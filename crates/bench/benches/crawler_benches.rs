@@ -1,0 +1,112 @@
+//! E10 microbenches: frontier queue operations, duplicate fingerprints,
+//! the caching DNS resolver, and end-to-end crawl-step throughput.
+
+use bingo_crawler::frontier::{Frontier, QueueEntry};
+use bingo_crawler::{CachingResolver, CrawlConfig, Crawler, Dedup, Judgment};
+use bingo_store::DocumentStore;
+use bingo_textproc::Vocabulary;
+use bingo_webworld::gen::WorldConfig;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_frontier(c: &mut Criterion) {
+    const N: u64 = 10_000;
+    let mut group = c.benchmark_group("frontier");
+    group.throughput(Throughput::Elements(N));
+    group.bench_function("push_pop_10k", |b| {
+        b.iter(|| {
+            let mut f = Frontier::new(4, 25_000, 1000);
+            for i in 0..N {
+                let mut e = QueueEntry::seed(&format!("http://h{}/p{i}", i % 97), Some((i % 4) as u32));
+                e.priority = (i % 997) as f32 / 997.0;
+                f.push(e);
+            }
+            let mut popped = 0;
+            while f.pop().is_some() {
+                popped += 1;
+            }
+            black_box(popped)
+        })
+    });
+    group.finish();
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    const N: u64 = 10_000;
+    let urls: Vec<String> = (0..N).map(|i| format!("http://host{}/page{i}.html", i % 113)).collect();
+    let mut group = c.benchmark_group("dedup");
+    group.throughput(Throughput::Elements(N * 2));
+    group.bench_function("fingerprints_10k", |b| {
+        b.iter(|| {
+            let mut d = Dedup::new();
+            for (i, u) in urls.iter().enumerate() {
+                d.mark_url(u);
+                d.mark_response((i % 113) as u32, u, 1000 + i as u64);
+            }
+            black_box(d.urls_marked())
+        })
+    });
+    group.finish();
+}
+
+fn bench_dns_cache(c: &mut Criterion) {
+    let world = WorldConfig::small_test(3).build();
+    let names: Vec<String> = (0..world.host_count() as u32)
+        .map(|h| world.host(h).name.clone())
+        .collect();
+    c.bench_function("dns_resolve_cached_1k", |b| {
+        let mut resolver = CachingResolver::new();
+        // Warm the cache.
+        for n in &names {
+            let _ = resolver.resolve(&world, n, 0);
+        }
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                let n = &names[(i as usize) % names.len()];
+                if let Ok(r) = resolver.resolve(&world, n, i) {
+                    acc += r.ip as u64;
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_crawl_steps(c: &mut Criterion) {
+    let world = Arc::new(WorldConfig::small_test(9).build());
+    let mut group = c.benchmark_group("crawl");
+    group.sample_size(10);
+    group.bench_function("full_crawl_small_world", |b| {
+        b.iter(|| {
+            let mut crawler = Crawler::new(
+                Arc::clone(&world),
+                CrawlConfig {
+                    max_depth: 0,
+                    ..CrawlConfig::default()
+                },
+                DocumentStore::new(),
+            );
+            crawler.add_seed(&world.url_of(1), Some(0));
+            let mut vocab = Vocabulary::new();
+            let mut judge = |_d: &bingo_textproc::AnalyzedDocument,
+                             _c: &bingo_crawler::PageContext| Judgment {
+                topic: Some(0),
+                confidence: 1.0,
+            };
+            let stored = crawler.run_until(u64::MAX, &mut judge, &mut vocab);
+            black_box(stored)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_frontier,
+    bench_dedup,
+    bench_dns_cache,
+    bench_crawl_steps
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! E10 microbenches: HITS link analysis at the base-set sizes the paper
+//! mentions ("a node set in the order of a few hundred or a few thousand
+//! documents").
+
+use bingo_graph::{expand_base_set, Hits, LinkGraph, LinkSource, PageId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_graph(nodes: usize, avg_degree: usize, hosts: u32, seed: u64) -> LinkGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = LinkGraph::new();
+    for p in 0..nodes as PageId {
+        g.add_page(p, rng.gen_range(0..hosts));
+    }
+    for p in 0..nodes as PageId {
+        for _ in 0..avg_degree {
+            let q = rng.gen_range(0..nodes as PageId);
+            if q != p {
+                g.add_link(p, q);
+            }
+        }
+    }
+    g
+}
+
+fn bench_hits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hits");
+    for &n in &[200usize, 1000, 4000] {
+        let g = random_graph(n, 8, (n / 10).max(2) as u32, 5);
+        let nodes: Vec<PageId> = (0..n as PageId).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &nodes, |b, nodes| {
+            b.iter(|| black_box(Hits::default().run(&g, black_box(nodes))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_base_set_expansion(c: &mut Criterion) {
+    let g = random_graph(5000, 10, 100, 9);
+    let base: Vec<PageId> = (0..500).collect();
+    c.bench_function("expand_base_set_500", |b| {
+        b.iter(|| black_box(expand_base_set(&g, black_box(&base), 10)))
+    });
+}
+
+fn bench_link_queries(c: &mut Criterion) {
+    let g = random_graph(5000, 10, 100, 9);
+    c.bench_function("successors_lookup_1000", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for p in 0..1000 {
+                acc += g.successors(black_box(p)).len();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_hits, bench_base_set_expansion, bench_link_queries);
+criterion_main!(benches);

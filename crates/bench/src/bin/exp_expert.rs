@@ -1,0 +1,70 @@
+//! E4-E5: the expert Web search experiment (Section 5.3; Figures 4-5).
+//!
+//! ```text
+//! cargo run --release -p bingo-bench --bin exp_expert
+//! ```
+//!
+//! Reproduces the ARIES case study: the Figure-4 training seeds, the
+//! 10-minute focused crawl, the Figure-5 top-10 for "source code
+//! release", and the keyword-baseline contrast.
+
+use bingo_bench::expert::{run, ExpertExperimentConfig};
+use bingo_bench::report::count;
+
+fn main() {
+    let cfg = ExpertExperimentConfig::default();
+    eprintln!("expert-search experiment: seed {}, crawl budget {}s virtual", cfg.seed, cfg.crawl_ms / 1000);
+    let started = std::time::Instant::now();
+    let out = run(&cfg);
+    eprintln!("completed in {:.1}s wall", started.elapsed().as_secs_f64());
+
+    println!("# Expert Web search: ARIES open-source implementations (paper §5.3)\n");
+
+    println!("## Figure 4 analog: initial training documents");
+    for (i, url) in out.seeds.iter().enumerate() {
+        println!("{} {url}", i + 1);
+    }
+    println!();
+
+    println!("## Focused crawl (10 virtual minutes)");
+    println!("visited URLs:          {}", count(out.stats.visited_urls));
+    println!("stored pages:          {}", count(out.stats.stored_pages));
+    println!("positively classified: {}", count(out.positive));
+    println!("max crawl depth:       {}", out.stats.max_depth);
+    println!();
+
+    println!("## Figure 5 analog: top 10 results for query \"source code release\"");
+    for r in &out.focused_top10 {
+        println!("{:.3}  {}", r.score, r.url);
+    }
+    println!(
+        "\nopen-source ARIES system pages (Shore/MiniBase/Exodus analogs) in top 10: {}",
+        out.needles_in_focused_top10
+    );
+    println!();
+
+    println!("## Baseline: direct keyword search over the whole corpus");
+    println!("query: \"public domain open source aries recovery\"");
+    for r in &out.baseline_top10 {
+        println!("{:.3}  {}", r.score, r.url);
+    }
+    println!(
+        "\nneedle pages in baseline top 10: {} (the paper: \"lots of results about binaries and libraries\")",
+        out.needles_in_baseline_top10
+    );
+
+    let json = serde_json::json!({
+        "experiment": "expert",
+        "seeds": out.seeds,
+        "visited_urls": out.stats.visited_urls,
+        "positive": out.positive,
+        "focused_top10": out.focused_top10.iter().map(|r| (r.score, r.url.clone())).collect::<Vec<_>>(),
+        "baseline_top10": out.baseline_top10.iter().map(|r| (r.score, r.url.clone())).collect::<Vec<_>>(),
+        "needles_in_focused_top10": out.needles_in_focused_top10,
+        "needles_in_baseline_top10": out.needles_in_baseline_top10,
+    });
+    let path = "experiments_expert.json";
+    if std::fs::write(path, serde_json::to_string_pretty(&json).unwrap()).is_ok() {
+        eprintln!("json report written to {path}");
+    }
+}

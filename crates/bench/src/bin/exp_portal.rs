@@ -1,0 +1,147 @@
+//! E1-E3: the portal-generation experiment (Section 5.2; Tables 1-3).
+//!
+//! ```text
+//! cargo run --release -p bingo-bench --bin exp_portal [-- --quick]
+//! ```
+//!
+//! Prints the crawl summary (Table 1) and the precision/recall
+//! evaluation against the synthetic author directory (Tables 2 and 3),
+//! and writes a JSON report next to the text output.
+
+use bingo_bench::portal::{PortalExperimentConfig, PortalOutcome, PortalSnapshot};
+use bingo_bench::report::{count, table};
+
+fn print_snapshot_eval(title: &str, snap: &PortalSnapshot) {
+    let rows: Vec<Vec<String>> = snap
+        .evaluation
+        .iter()
+        .zip(&snap.evaluation_postprocessed)
+        .map(|(&(cutoff, top, all), &(_, ptop, pall))| {
+            vec![
+                if cutoff >= snap.results_ranked {
+                    format!("all ({})", count(snap.results_ranked as u64))
+                } else {
+                    count(cutoff as u64)
+                },
+                count(top as u64),
+                count(all as u64),
+                count(ptop as u64),
+                count(pall as u64),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        table(
+            title,
+            &[
+                "Best crawl results",
+                "Top authors",
+                "All authors",
+                "Top (homepage pp.)",
+                "All (homepage pp.)",
+            ],
+            &rows,
+        )
+    );
+    println!();
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        PortalExperimentConfig {
+            authors: 400,
+            noise_scale: 1,
+            t1_ms: 240_000,
+            t2_ms: 1_920_000,
+            top_authors: 50,
+            result_cutoffs: vec![100, 500],
+            ..PortalExperimentConfig::default()
+        }
+    } else {
+        PortalExperimentConfig::default()
+    };
+
+    eprintln!(
+        "portal experiment: {} authors, seed {}, budgets {}s/{}s virtual{}",
+        cfg.authors,
+        cfg.seed,
+        cfg.t1_ms / 1000,
+        cfg.t2_ms / 1000,
+        if quick { " (--quick)" } else { "" }
+    );
+    let started = std::time::Instant::now();
+    let out: PortalOutcome = bingo_bench::portal::run(&cfg);
+    eprintln!("completed in {:.1}s wall", started.elapsed().as_secs_f64());
+
+    println!("# Portal generation for a single topic (paper §5.2)\n");
+    println!(
+        "world: {} pages, {} authors in the directory; {} archetypes promoted\n",
+        count(out.world_pages as u64),
+        count(out.authors as u64),
+        out.archetypes
+    );
+
+    // Table 1: crawl summary data.
+    let s1 = &out.t1.stats;
+    let s2 = &out.t2.stats;
+    let rows = vec![
+        vec!["Visited URLs".into(), count(s1.visited_urls), count(s2.visited_urls)],
+        vec!["Stored pages".into(), count(s1.stored_pages), count(s2.stored_pages)],
+        vec![
+            "Extracted links".into(),
+            count(s1.extracted_links),
+            count(s2.extracted_links),
+        ],
+        vec![
+            "Positively classified".into(),
+            count(s1.positively_classified),
+            count(s2.positively_classified),
+        ],
+        vec!["Visited hosts".into(), count(s1.visited_hosts), count(s2.visited_hosts)],
+        vec![
+            "Max crawling depth".into(),
+            s1.max_depth.to_string(),
+            s2.max_depth.to_string(),
+        ],
+        vec![
+            "Duplicates dismissed".into(),
+            count(s1.duplicates),
+            count(s2.duplicates),
+        ],
+        vec!["Fetch errors".into(), count(s1.fetch_errors), count(s2.fetch_errors)],
+    ];
+    print!(
+        "{}",
+        table(
+            "Table 1 analog: crawl summary data",
+            &["Property", "t1 (≙ 90 min)", "t2 (≙ 12 hours)"],
+            &rows,
+        )
+    );
+    println!();
+
+    print_snapshot_eval("Table 2 analog: BINGO! precision at t1", &out.t1);
+    print_snapshot_eval("Table 3 analog: BINGO! precision at t2", &out.t2);
+
+    // JSON report for EXPERIMENTS.md bookkeeping.
+    let json = serde_json::json!({
+        "experiment": "portal",
+        "config": {
+            "authors": cfg.authors,
+            "seed": cfg.seed,
+            "t1_ms": cfg.t1_ms,
+            "t2_ms": cfg.t2_ms,
+            "top_authors": cfg.top_authors,
+        },
+        "world_pages": out.world_pages,
+        "archetypes": out.archetypes,
+        "t1": { "stats": s1, "evaluation": out.t1.evaluation },
+        "t2": { "stats": s2, "evaluation": out.t2.evaluation },
+    });
+    let path = "experiments_portal.json";
+    if std::fs::write(path, serde_json::to_string_pretty(&json).unwrap()).is_ok() {
+        eprintln!("json report written to {path}");
+    }
+}

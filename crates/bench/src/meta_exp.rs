@@ -1,0 +1,292 @@
+//! Meta-classification precision experiment (Section 3.5's claim that
+//! unanimous/weighted meta decisions lift precision from ~80% to >90%)
+//! and the feature-selection example of Section 2.3.
+
+use crate::populate_others;
+use bingo_core::{BingoEngine, EngineConfig, TopicTree};
+use bingo_ml::feature_selection::{FeatureSelection, FeatureSelectionConfig};
+use bingo_ml::{NaiveBayes, TrainingSet};
+use bingo_textproc::features::{namespace_of, Namespace};
+use bingo_textproc::{DocumentFeatures, FeatureSpaceKind, TermId};
+use bingo_webworld::gen::WorldConfig;
+use bingo_webworld::{PageKind, World};
+
+/// Precision/recall of one decision method on the held-out set.
+#[derive(Debug, Clone)]
+pub struct MethodResult {
+    /// Method label.
+    pub method: String,
+    /// Precision among accepted documents.
+    pub precision: f64,
+    /// Recall over true positives.
+    pub recall: f64,
+    /// Documents accepted.
+    pub accepted: usize,
+}
+
+/// Experiment outcome: one row per decision method.
+#[derive(Debug, Clone)]
+pub struct MetaOutcome {
+    /// Per-method results (single spaces first, then meta functions).
+    pub rows: Vec<MethodResult>,
+    /// Held-out positives / negatives evaluated.
+    pub test_pos: usize,
+    /// Held-out negatives evaluated.
+    pub test_neg: usize,
+}
+
+fn held_out_pages(world: &World, topic: u32, skip: usize, take: usize) -> Vec<u64> {
+    (0..world.page_count() as u64)
+        .filter(|&id| {
+            world.true_topic(id) == Some(topic) && world.page(id).kind == PageKind::Content
+        })
+        .skip(skip)
+        .take(take)
+        .collect()
+}
+
+/// Run the meta-classification experiment: train a db-research topic
+/// model on a modest seed set, then measure per-space and per-policy
+/// precision on held-out pages including *related-topic* hard negatives
+/// (data mining, web IR) that share vocabulary with the positives.
+pub fn run_meta(seed: u64) -> MetaOutcome {
+    let world = WorldConfig::portal(seed, 200, 1).build();
+
+    let mut engine = BingoEngine::new(EngineConfig::default());
+    let topic = engine.add_topic(TopicTree::ROOT, "database research");
+
+    // Training positives: 16 db-research pages.
+    for id in held_out_pages(&world, 0, 0, 16) {
+        engine
+            .add_training_url(&world, topic, &world.url_of(id))
+            .expect("training page");
+    }
+    // Negatives: a mix of hard (related topics) and easy (noise) pages.
+    for id in held_out_pages(&world, 1, 0, 10) {
+        engine.add_others_url(&world, &world.url_of(id)).ok();
+    }
+    for id in held_out_pages(&world, 2, 0, 10) {
+        engine.add_others_url(&world, &world.url_of(id)).ok();
+    }
+    populate_others(&mut engine, &world, &[3, 4], 20);
+    engine.train().expect("training");
+
+    // Held-out evaluation set.
+    let pos_ids = held_out_pages(&world, 0, 16, 120);
+    let mut neg_ids = held_out_pages(&world, 1, 10, 60);
+    neg_ids.extend(held_out_pages(&world, 2, 10, 60));
+    neg_ids.extend(held_out_pages(&world, 3, 0, 30));
+
+    let analyze = |engine: &mut BingoEngine, ids: &[u64]| -> Vec<DocumentFeatures> {
+        ids.iter()
+            .filter_map(|&id| {
+                engine
+                    .analyze_url(&world, &world.url_of(id))
+                    .ok()
+                    .map(|(_, _, f)| f)
+            })
+            .collect()
+    };
+    let pos = analyze(&mut engine, &pos_ids);
+    let neg = analyze(&mut engine, &neg_ids);
+    let model = engine.model(topic).expect("model").clone();
+
+    // A genuinely different fourth classifier for the committee: a
+    // multinomial Naive Bayes over raw single-term counts (the paper's
+    // meta classifier combines alternative learning methods, not only
+    // alternative feature spaces).
+    let nb_vector = |f: &DocumentFeatures| {
+        bingo_textproc::SparseVector::from_pairs(
+            f.occurrences(FeatureSpaceKind::SingleTerms)
+                .into_iter()
+                .map(|(i, c)| (i, c as f32))
+                .collect(),
+        )
+    };
+    let mut nb_set = TrainingSet::new();
+    for d in engine.tree.node(topic).training.iter() {
+        nb_set.push(nb_vector(&d.features), true);
+    }
+    for d in engine.tree.others.iter() {
+        nb_set.push(nb_vector(&d.features), false);
+    }
+    let nb = NaiveBayes::train(&nb_set).expect("naive bayes");
+
+    // The committee: per-member accept function plus its ξα-style weight
+    // (the SVMs use their ξα precision estimate; the NB is weighted by
+    // its training-set precision).
+    type Member<'a> = (String, Box<dyn Fn(&DocumentFeatures) -> bool + 'a>, f64);
+    let mut members: Vec<Member<'_>> = Vec::new();
+    for (i, space) in model.spaces.iter().enumerate() {
+        let m = &model;
+        members.push((
+            format!("{:?} (single)", space.kind),
+            Box::new(move |f: &DocumentFeatures| m.spaces[i].confidence(f) >= 0.0),
+            (space.xi_precision() as f64).max(0.05),
+        ));
+    }
+    {
+        let nb_ref = &nb;
+        let train_tp = engine
+            .tree
+            .node(topic)
+            .training
+            .iter()
+            .filter(|d| nb_ref.score(&nb_vector(&d.features)) >= 0.0)
+            .count();
+        let train_fp = engine
+            .tree
+            .others
+            .iter()
+            .filter(|d| nb_ref.score(&nb_vector(&d.features)) >= 0.0)
+            .count();
+        let nb_weight = if train_tp + train_fp > 0 {
+            (train_tp as f64 / (train_tp + train_fp) as f64).max(0.05)
+        } else {
+            0.05
+        };
+        members.push((
+            "NaiveBayes (single)".to_string(),
+            Box::new(move |f: &DocumentFeatures| nb_ref.score(&nb_vector(f)) >= 0.0),
+            nb_weight,
+        ));
+    }
+
+    let mut rows = Vec::new();
+    let mut measure = |method: &str, decide: &dyn Fn(&DocumentFeatures) -> bool| {
+        let tp = pos.iter().filter(|f| decide(f)).count();
+        let fp = neg.iter().filter(|f| decide(f)).count();
+        let accepted = tp + fp;
+        rows.push(MethodResult {
+            method: method.to_string(),
+            precision: if accepted > 0 {
+                tp as f64 / accepted as f64
+            } else {
+                0.0
+            },
+            recall: tp as f64 / pos.len().max(1) as f64,
+            accepted,
+        });
+    };
+
+    for (label, decide, _w) in &members {
+        measure(label, decide.as_ref());
+    }
+    let h = members.len() as f64;
+    // Meta decision functions over the committee (Section 3.5 formula).
+    let vote = |f: &DocumentFeatures, weighted: bool| -> f64 {
+        members
+            .iter()
+            .map(|(_, d, w)| {
+                let res = if d(f) { 1.0 } else { -1.0 };
+                if weighted {
+                    w * res
+                } else {
+                    res
+                }
+            })
+            .sum()
+    };
+    measure("meta: majority", &|f| vote(f, false) > 0.0);
+    measure("meta: unanimous", &|f| vote(f, false) > h - 0.5);
+    measure("meta: weighted (xi-alpha)", &|f| vote(f, true) > 0.0);
+
+    MetaOutcome {
+        rows,
+        test_pos: pos.len(),
+        test_neg: neg.len(),
+    }
+}
+
+/// The Section 2.3 example: MI feature selection for a "Data Mining"
+/// class against its competing siblings. Returns the top stems — the
+/// paper reports `mine, knowledg, olap, frame, pattern, genet, discov,
+/// cluster, dataset`.
+pub fn run_feature_example(seed: u64, top_n: usize) -> Vec<String> {
+    let world = WorldConfig::portal(seed, 100, 1).build();
+    let mut engine = BingoEngine::new(EngineConfig::default());
+
+    // Documents: data-mining pages (the class) vs. db-research and
+    // web-IR pages (competing siblings at the same tree level).
+    let mining = held_out_pages(&world, 1, 0, 40);
+    let mut competing = held_out_pages(&world, 0, 0, 40);
+    competing.extend(held_out_pages(&world, 2, 0, 40));
+
+    let analyze = |engine: &mut BingoEngine, ids: &[u64]| -> Vec<DocumentFeatures> {
+        ids.iter()
+            .filter_map(|&id| {
+                engine
+                    .analyze_url(&world, &world.url_of(id))
+                    .ok()
+                    .map(|(_, _, f)| f)
+            })
+            .collect()
+    };
+    let pos = analyze(&mut engine, &mining);
+    let neg = analyze(&mut engine, &competing);
+
+    let pos_occ: Vec<Vec<(u32, u32)>> = pos
+        .iter()
+        .map(|f| f.occurrences(FeatureSpaceKind::SingleTerms))
+        .collect();
+    let neg_occ: Vec<Vec<(u32, u32)>> = neg
+        .iter()
+        .map(|f| f.occurrences(FeatureSpaceKind::SingleTerms))
+        .collect();
+    let labeled: Vec<(&[(u32, u32)], bool)> = pos_occ
+        .iter()
+        .map(|o| (o.as_slice(), true))
+        .chain(neg_occ.iter().map(|o| (o.as_slice(), false)))
+        .collect();
+    let selector = FeatureSelection::new(FeatureSelectionConfig::default()).select(&labeled);
+
+    selector
+        .ranked()
+        .iter()
+        .filter(|&&(f, _)| namespace_of(f) == Namespace::Term)
+        .take(top_n)
+        .map(|&(f, _)| engine.vocab.term(TermId(f)).to_string())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_improves_precision_over_singles() {
+        let out = run_meta(11);
+        assert!(out.test_pos > 50 && out.test_neg > 50);
+        let single_best = out
+            .rows
+            .iter()
+            .filter(|r| r.method.contains("single"))
+            .map(|r| r.precision)
+            .fold(0.0, f64::max);
+        let unanimous = out
+            .rows
+            .iter()
+            .find(|r| r.method.contains("unanimous"))
+            .unwrap();
+        assert!(
+            unanimous.precision >= single_best - 1e-9,
+            "unanimous {:.3} must not trail the best single {:.3}",
+            unanimous.precision,
+            single_best
+        );
+        assert!(unanimous.precision > 0.85, "unanimous too weak: {out:#?}");
+        assert!(unanimous.accepted > 0);
+    }
+
+    #[test]
+    fn feature_example_surfaces_mining_stems() {
+        let stems = run_feature_example(11, 12);
+        assert!(!stems.is_empty());
+        let expected = ["mine", "knowledg", "pattern", "cluster", "olap", "dataset"];
+        let hits = expected.iter().filter(|w| stems.iter().any(|s| s == *w)).count();
+        assert!(
+            hits >= 3,
+            "expected mining stems in top-12, got {stems:?}"
+        );
+    }
+}

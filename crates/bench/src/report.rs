@@ -1,0 +1,75 @@
+//! Plain-text table rendering for experiment reports, mirroring the
+//! layout of the paper's tables.
+
+/// Render a table with a header row and aligned columns.
+pub fn table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join("  | ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 5 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a large count with thousands separators.
+pub fn count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thousands_separators() {
+        assert_eq!(count(0), "0");
+        assert_eq!(count(999), "999");
+        assert_eq!(count(1000), "1,000");
+        assert_eq!(count(3001982), "3,001,982");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = table(
+            "Demo",
+            &["Property", "Value"],
+            &[
+                vec!["Visited URLs".into(), "100,209".into()],
+                vec!["Stored".into(), "38,176".into()],
+            ],
+        );
+        assert!(t.contains("## Demo"));
+        assert!(t.contains("Visited URLs"));
+        assert!(t.lines().count() >= 5);
+    }
+}

@@ -1,0 +1,723 @@
+//! The BINGO! engine: orchestrates classification, archetype selection,
+//! retraining, and the learning → harvesting phase transition
+//! (Sections 2.6, 3.1-3.3).
+
+use crate::model::{features_from_term_freqs, ModelConfig, TopicModel};
+use crate::topic::{TopicId, TopicTree, TrainingDoc};
+use bingo_crawler::{Crawler, DocumentJudge, Judgment, PageContext, StepOutcome};
+use bingo_graph::{expand_base_set, Hits, LinkSource};
+use bingo_ml::meta::MetaPolicy;
+use bingo_textproc::fxhash::FxHashMap;
+use bingo_textproc::tfidf::CorpusStats;
+use bingo_textproc::vocab::TermId;
+use bingo_textproc::{
+    analyze_html, AnalyzedDocument, ContentRegistry, DocumentFeatures, FeatureSpaceKind,
+    Vocabulary,
+};
+use bingo_webworld::{FetchOutcome, World};
+
+/// Engine-level configuration (defaults follow Section 5.1).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct EngineConfig {
+    /// Per-topic model training parameters.
+    pub model: ModelConfig,
+    /// Meta decision function during the learning phase (paper default:
+    /// unanimous).
+    pub meta_learning: MetaPolicy,
+    /// Meta decision function during harvesting (paper default:
+    /// ξα-weighted average).
+    pub meta_harvesting: MetaPolicy,
+    /// Run-time-critical mode: evaluate only the single best space.
+    pub single_classifier: bool,
+    /// Top authorities considered for archetype promotion (N_auth).
+    pub n_auth: usize,
+    /// Top-confidence documents considered for promotion (N_conf).
+    pub n_conf: usize,
+    /// Candidate pool size per topic.
+    pub candidate_pool: usize,
+    /// Enforce the mean-training-confidence threshold on archetypes
+    /// (Section 3.2; switch off to reproduce the topic-drift ablation).
+    pub archetype_threshold: bool,
+    /// Predecessors admitted per base-set page in HITS expansion.
+    pub max_predecessors: usize,
+    /// Base-set size cap for the per-topic link analysis.
+    pub max_base_set: usize,
+    /// Top hubs whose outgoing links are boosted after each retraining.
+    pub hub_boost: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            model: ModelConfig::default(),
+            meta_learning: MetaPolicy::Unanimous,
+            meta_harvesting: MetaPolicy::WeightedAverage,
+            single_classifier: false,
+            n_auth: 10,
+            n_conf: 10,
+            candidate_pool: 200,
+            archetype_threshold: true,
+            max_predecessors: 10,
+            max_base_set: 1000,
+            hub_boost: 5,
+        }
+    }
+}
+
+/// Crawl phase (Section 2.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Phase {
+    /// Calibrating precision: sharp focus, depth-first, archetype hunt.
+    Learning,
+    /// Maximizing recall: soft focus, best-first.
+    Harvesting,
+}
+
+/// Errors surfaced by engine operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The URL could not be fetched from the simulated web.
+    Fetch(String),
+    /// The payload could not be converted/analyzed.
+    Content(String),
+    /// Training prerequisites missing (no positives/negatives).
+    Training(&'static str),
+    /// Engine snapshot (de)serialization failed.
+    Persist(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Fetch(u) => write!(f, "cannot fetch {u}"),
+            EngineError::Content(u) => write!(f, "cannot analyze {u}"),
+            EngineError::Training(m) => write!(f, "training failed: {m}"),
+            EngineError::Persist(m) => write!(f, "persistence error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// An automatically classified document remembered as a potential
+/// archetype.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Page id.
+    pub page_id: u64,
+    /// URL.
+    pub url: String,
+    /// Classification confidence at crawl time.
+    pub confidence: f32,
+    /// Full feature ingredients captured at crawl time.
+    pub features: DocumentFeatures,
+}
+
+/// Summary of one retraining round.
+#[derive(Debug, Clone, Default)]
+pub struct RetrainReport {
+    /// Archetypes promoted per topic.
+    pub promoted: Vec<(TopicId, usize)>,
+    /// Hub URLs boosted into the frontier.
+    pub hubs_boosted: usize,
+}
+
+/// The engine.
+pub struct BingoEngine {
+    /// The user's topic tree with training data.
+    pub tree: TopicTree,
+    /// Shared term dictionary.
+    pub vocab: Vocabulary,
+    /// Engine configuration.
+    pub config: EngineConfig,
+    corpus: CorpusStats,
+    models: FxHashMap<u32, TopicModel>,
+    phase: Phase,
+    candidates: FxHashMap<u32, Vec<Candidate>>,
+    registry: ContentRegistry,
+}
+
+impl BingoEngine {
+    /// New engine with an empty topic tree.
+    pub fn new(config: EngineConfig) -> Self {
+        BingoEngine {
+            tree: TopicTree::new(),
+            vocab: Vocabulary::new(),
+            config,
+            corpus: CorpusStats::new(),
+            models: FxHashMap::default(),
+            phase: Phase::Learning,
+            candidates: FxHashMap::default(),
+            registry: ContentRegistry::new(),
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The trained model of a topic, when available.
+    pub fn model(&self, topic: TopicId) -> Option<&TopicModel> {
+        self.models.get(&topic.0)
+    }
+
+    /// The engine's corpus statistics (idf source).
+    pub fn corpus(&self) -> &CorpusStats {
+        &self.corpus
+    }
+
+    /// Add a topic under `parent`.
+    pub fn add_topic(&mut self, parent: TopicId, name: &str) -> TopicId {
+        self.tree.add_topic(parent, name)
+    }
+
+    /// Fetch a URL from the simulated web and produce its features;
+    /// updates the corpus statistics.
+    pub fn analyze_url(
+        &mut self,
+        world: &World,
+        url: &str,
+    ) -> Result<(u64, String, DocumentFeatures), EngineError> {
+        // A few attempts tolerate flaky hosts.
+        let response = (0..4)
+            .find_map(|attempt| match world.fetch(url, attempt) {
+                FetchOutcome::Ok(r) => Some(r),
+                _ => None,
+            })
+            .ok_or_else(|| EngineError::Fetch(url.to_string()))?;
+        let html = self
+            .registry
+            .to_html(response.mime, &response.payload)
+            .map_err(|_| EngineError::Content(url.to_string()))?;
+        let doc = analyze_html(&html, &mut self.vocab);
+        let features = DocumentFeatures::from_document(&doc);
+        self.record_corpus(&features);
+        Ok((response.page_id, doc.title, features))
+    }
+
+    /// Analyze a raw HTML string into features (virtual training
+    /// documents, e.g. a query turned into a document for expert search).
+    pub fn analyze_virtual(&mut self, html: &str) -> DocumentFeatures {
+        let doc = analyze_html(html, &mut self.vocab);
+        let features = DocumentFeatures::from_document(&doc);
+        self.record_corpus(&features);
+        features
+    }
+
+    fn record_corpus(&mut self, features: &DocumentFeatures) {
+        self.corpus.add_document(
+            features
+                .occurrences(FeatureSpaceKind::Combined)
+                .iter()
+                .map(|&(i, _)| TermId(i)),
+        );
+    }
+
+    /// Add an intellectually classified training document for `topic` by
+    /// URL (bookmark-style seeding).
+    pub fn add_training_url(
+        &mut self,
+        world: &World,
+        topic: TopicId,
+        url: &str,
+    ) -> Result<(), EngineError> {
+        let (page_id, _title, features) = self.analyze_url(world, url)?;
+        self.tree.node_mut(topic).training.push(TrainingDoc {
+            page_id,
+            url: url.to_string(),
+            features,
+            archetype: false,
+        });
+        Ok(())
+    }
+
+    /// Add a virtual training document (not backed by a page).
+    pub fn add_training_virtual(&mut self, topic: TopicId, html: &str) {
+        let features = self.analyze_virtual(html);
+        self.tree.node_mut(topic).training.push(TrainingDoc {
+            page_id: 0,
+            url: String::new(),
+            features,
+            archetype: false,
+        });
+    }
+
+    /// Populate the virtual OTHERS class with a far-away document
+    /// (Section 3.1's systematic negative examples).
+    pub fn add_others_url(&mut self, world: &World, url: &str) -> Result<(), EngineError> {
+        let (page_id, _title, features) = self.analyze_url(world, url)?;
+        self.tree.others.push(TrainingDoc {
+            page_id,
+            url: url.to_string(),
+            features,
+            archetype: false,
+        });
+        Ok(())
+    }
+
+    /// (Re)train all topic classifiers: for each topic, positives are its
+    /// subtree's training docs; negatives are the competing siblings'
+    /// docs plus the OTHERS class.
+    pub fn train(&mut self) -> Result<(), EngineError> {
+        let ids: Vec<TopicId> = self.tree.topic_ids().collect();
+        let mut new_models = FxHashMap::default();
+        for id in ids {
+            let positives: Vec<&DocumentFeatures> = self
+                .tree
+                .subtree_training(id)
+                .into_iter()
+                .map(|d| &d.features)
+                .collect();
+            let mut negatives: Vec<&DocumentFeatures> = Vec::new();
+            for sib in self.tree.siblings(id) {
+                negatives.extend(
+                    self.tree
+                        .subtree_training(sib)
+                        .into_iter()
+                        .map(|d| &d.features),
+                );
+            }
+            negatives.extend(self.tree.others.iter().map(|d| &d.features));
+            if positives.is_empty() {
+                continue;
+            }
+            if negatives.is_empty() {
+                return Err(EngineError::Training(
+                    "no negative examples: populate OTHERS or add sibling topics",
+                ));
+            }
+            if let Some(model) =
+                TopicModel::train(&positives, &negatives, &self.corpus, &self.config.model)
+            {
+                new_models.insert(id.0, model);
+            }
+        }
+        if new_models.is_empty() {
+            return Err(EngineError::Training("no topic could be trained"));
+        }
+        self.models = new_models;
+        Ok(())
+    }
+
+    /// Classify a document top-down through the topic tree
+    /// (Section 2.4). Returns the deepest accepted topic and the
+    /// confidence of the final decision.
+    pub fn classify(&self, features: &DocumentFeatures) -> Judgment {
+        let policy = match self.phase {
+            Phase::Learning => self.config.meta_learning,
+            Phase::Harvesting => self.config.meta_harvesting,
+        };
+        classify_impl(
+            &self.tree,
+            &self.models,
+            features,
+            policy,
+            self.config.single_classifier,
+        )
+    }
+
+    /// Mean training confidence of a topic (the archetype threshold).
+    pub fn mean_training_confidence(&self, topic: TopicId) -> f32 {
+        self.models
+            .get(&topic.0)
+            .map(|m| m.mean_training_confidence)
+            .unwrap_or(0.0)
+    }
+
+    /// Run the crawler until `deadline_ms` (virtual), retraining every
+    /// `retrain_every` stored-and-positively-classified documents when
+    /// `retrain_every > 0`. Returns documents stored in this slice.
+    pub fn crawl_until(
+        &mut self,
+        crawler: &mut Crawler,
+        deadline_ms: u64,
+        retrain_every: u64,
+    ) -> u64 {
+        let mut stored = 0u64;
+        let mut classified_since_retrain = 0u64;
+        loop {
+            if crawler.clock_ms() >= deadline_ms {
+                break;
+            }
+            let outcome = self.judge_step(crawler);
+            match outcome {
+                StepOutcome::Stored { judgment, .. } => {
+                    stored += 1;
+                    if judgment.topic.is_some() {
+                        classified_since_retrain += 1;
+                    }
+                }
+                StepOutcome::Skipped(_) => {}
+                StepOutcome::FrontierEmpty => break,
+            }
+            if retrain_every > 0 && classified_since_retrain >= retrain_every {
+                classified_since_retrain = 0;
+                let _ = self.retrain(crawler);
+            }
+        }
+        stored
+    }
+
+    /// One crawl step with this engine as the judge.
+    pub fn judge_step(&mut self, crawler: &mut Crawler) -> StepOutcome {
+        let policy = match self.phase {
+            Phase::Learning => self.config.meta_learning,
+            Phase::Harvesting => self.config.meta_harvesting,
+        };
+        let BingoEngine {
+            tree,
+            vocab,
+            config,
+            corpus,
+            models,
+            candidates,
+            ..
+        } = self;
+        let mut judge = EngineJudge {
+            tree,
+            models,
+            corpus,
+            candidates,
+            policy,
+            single_classifier: config.single_classifier,
+            pool_cap: config.candidate_pool,
+        };
+        crawler.step(&mut judge, vocab)
+    }
+
+    /// Retraining round (Sections 2.5, 3.2): promote archetypes from top
+    /// authorities and top-confidence documents, retrain all classifiers,
+    /// and boost the best hubs' links in the frontier.
+    pub fn retrain(&mut self, crawler: &mut Crawler) -> RetrainReport {
+        let mut report = RetrainReport::default();
+        let cap = self.config.n_auth.min(self.config.n_conf);
+        let leaves = self.tree.leaves();
+        for topic in leaves {
+            let t = topic.0;
+            // --- Link analysis over the topic's crawled documents.
+            let mut base = crawler.store().topic_documents(t);
+            base.truncate(self.config.max_base_set);
+            let mut hub_candidates: Vec<(u64, f64)> = Vec::new();
+            let mut authority_candidates: Vec<(u64, f64)> = Vec::new();
+            if !base.is_empty() {
+                let world = crawler.world().clone();
+                let nodes =
+                    expand_base_set(world.as_ref(), &base, self.config.max_predecessors);
+                let hits = Hits::default().run(world.as_ref(), &nodes);
+                authority_candidates = hits.top_authorities(self.config.n_auth);
+                hub_candidates = hits.top_hubs(self.config.hub_boost);
+            }
+
+            // --- Candidate set: top authorities ∪ top-confidence docs.
+            let mut pool = self.candidates.get(&t).cloned().unwrap_or_default();
+            pool.sort_by(|a, b| {
+                b.confidence
+                    .partial_cmp(&a.confidence)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            pool.truncate(self.config.n_conf);
+            let mut union: FxHashMap<u64, Candidate> =
+                pool.into_iter().map(|c| (c.page_id, c)).collect();
+            for (page, _score) in &authority_candidates {
+                if union.contains_key(page) {
+                    continue;
+                }
+                // Rebuild features from the stored row when the candidate
+                // pool does not hold this authority.
+                if let Some(row) = crawler.store().document(*page) {
+                    if row.topic != Some(t) {
+                        continue;
+                    }
+                    let features = features_from_term_freqs(&row.term_freqs);
+                    let confidence = self
+                        .models
+                        .get(&t)
+                        .map(|m| {
+                            m.confidence(
+                                &features,
+                                MetaPolicy::WeightedAverage,
+                                self.config.single_classifier,
+                            )
+                        })
+                        .unwrap_or(0.0);
+                    union.insert(
+                        *page,
+                        Candidate {
+                            page_id: *page,
+                            url: row.url,
+                            confidence,
+                            features,
+                        },
+                    );
+                }
+            }
+
+            // --- Threshold and promotion (Section 3.2).
+            let threshold = if self.config.archetype_threshold {
+                self.mean_training_confidence(topic)
+            } else {
+                f32::MIN
+            };
+            let existing: std::collections::HashSet<u64> = self
+                .tree
+                .node(topic)
+                .training
+                .iter()
+                .map(|d| d.page_id)
+                .collect();
+            let mut ordered: Vec<Candidate> = union.into_values().collect();
+            ordered.sort_by(|a, b| {
+                b.confidence
+                    .partial_cmp(&a.confidence)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut promoted = 0usize;
+            for cand in ordered {
+                if promoted >= cap {
+                    break;
+                }
+                if cand.confidence <= threshold || existing.contains(&cand.page_id) {
+                    continue;
+                }
+                self.tree.node_mut(topic).training.push(TrainingDoc {
+                    page_id: cand.page_id,
+                    url: cand.url,
+                    features: cand.features,
+                    archetype: true,
+                });
+                promoted += 1;
+            }
+            if promoted > 0 {
+                report.promoted.push((topic, promoted));
+            }
+
+            // --- Resume from the best hubs (Section 2.5): their links go
+            // to the high-priority end of the crawl queue.
+            let world = crawler.world().clone();
+            for (hub, score) in hub_candidates {
+                for succ in world.successors(hub) {
+                    let url = world.url_of(succ);
+                    crawler.boost_url(&url, Some(t), 10.0 + score as f32);
+                    report.hubs_boosted += 1;
+                }
+            }
+        }
+        // Retrain with the extended basis (feature selection reruns
+        // inside model training).
+        let _ = self.train();
+        report
+    }
+
+    /// Manually promote a crawled document to training data — the user
+    /// feedback step between learning and harvesting (Section 2.6: "the
+    /// user can intellectually identify archetypes among the documents
+    /// found so far"). When `trimmed_html` is given, the user has edited
+    /// the page to remove irrelevant, diluting parts (Section 2.6's
+    /// page-trimming), and the trimmed text is analyzed instead of the
+    /// stored features.
+    pub fn promote_manual_archetype(
+        &mut self,
+        store: &bingo_store::DocumentStore,
+        topic: TopicId,
+        page_id: u64,
+        trimmed_html: Option<&str>,
+    ) -> Result<(), EngineError> {
+        let row = store
+            .document(page_id)
+            .ok_or_else(|| EngineError::Training("document not in the crawl database"))?;
+        if self
+            .tree
+            .node(topic)
+            .training
+            .iter()
+            .any(|d| d.page_id == page_id)
+        {
+            return Ok(()); // already training data
+        }
+        let features = match trimmed_html {
+            Some(html) => self.analyze_virtual(html),
+            None => features_from_term_freqs(&row.term_freqs),
+        };
+        self.tree.node_mut(topic).training.push(TrainingDoc {
+            page_id,
+            url: row.url,
+            features,
+            archetype: true,
+        });
+        Ok(())
+    }
+
+    /// Number of archetypes promoted so far for a topic.
+    pub fn archetype_count(&self, topic: TopicId) -> usize {
+        self.tree
+            .node(topic)
+            .training
+            .iter()
+            .filter(|d| d.archetype)
+            .count()
+    }
+
+    /// "Once the training set has reached min{N_auth, N_conf} documents
+    /// per topic" the harvesting phase can start.
+    pub fn ready_for_harvesting(&self) -> bool {
+        let need = self.config.n_auth.min(self.config.n_conf);
+        self.tree
+            .leaves()
+            .iter()
+            .all(|&t| self.archetype_count(t) >= need)
+    }
+
+    /// Switch to the harvesting phase: soft focus, best-first strategy,
+    /// no depth/domain limits (Section 3.3).
+    pub fn switch_to_harvesting(&mut self, crawler: &mut Crawler) {
+        self.phase = Phase::Harvesting;
+        crawler.config = crawler.config.harvesting();
+    }
+
+    /// Snapshot of all trained models (persistence support).
+    pub(crate) fn models_snapshot(&self) -> Vec<(u32, TopicModel)> {
+        let mut v: Vec<(u32, TopicModel)> =
+            self.models.iter().map(|(&k, m)| (k, m.clone())).collect();
+        v.sort_by_key(|&(k, _)| k);
+        v
+    }
+
+    /// Rebuild an engine from persisted parts (see [`crate::persist`]).
+    pub(crate) fn from_parts(
+        config: EngineConfig,
+        phase: Phase,
+        vocab: Vocabulary,
+        tree: TopicTree,
+        corpus: CorpusStats,
+        models: FxHashMap<u32, TopicModel>,
+    ) -> Self {
+        BingoEngine {
+            tree,
+            vocab,
+            config,
+            corpus,
+            models,
+            phase,
+            candidates: FxHashMap::default(),
+            registry: ContentRegistry::new(),
+        }
+    }
+
+    /// Candidate pool of a topic (inspection/testing).
+    pub fn candidates(&self, topic: TopicId) -> &[Candidate] {
+        self.candidates
+            .get(&topic.0)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+/// The crawl-time judge: classification + corpus/candidate bookkeeping,
+/// borrowing disjoint engine fields so the crawler can hold the shared
+/// vocabulary mutably at the same time.
+struct EngineJudge<'a> {
+    tree: &'a TopicTree,
+    models: &'a FxHashMap<u32, TopicModel>,
+    corpus: &'a mut CorpusStats,
+    candidates: &'a mut FxHashMap<u32, Vec<Candidate>>,
+    policy: MetaPolicy,
+    single_classifier: bool,
+    pool_cap: usize,
+}
+
+impl DocumentJudge for EngineJudge<'_> {
+    fn judge(&mut self, doc: &AnalyzedDocument, ctx: &PageContext) -> Judgment {
+        let mut features = DocumentFeatures::from_document(doc);
+        features.add_incoming_anchor(&ctx.anchor_terms);
+        features.add_neighbor_terms(&ctx.neighbor_terms);
+        self.corpus.add_document(
+            features
+                .occurrences(FeatureSpaceKind::Combined)
+                .iter()
+                .map(|&(i, _)| TermId(i)),
+        );
+        let judgment = classify_impl(
+            self.tree,
+            self.models,
+            &features,
+            self.policy,
+            self.single_classifier,
+        );
+        if let Some(t) = judgment.topic {
+            let pool = self.candidates.entry(t).or_default();
+            pool.push(Candidate {
+                page_id: ctx.page_id,
+                url: ctx.url.clone(),
+                confidence: judgment.confidence,
+                features,
+            });
+            if pool.len() > self.pool_cap * 2 {
+                pool.sort_by(|a, b| {
+                    b.confidence
+                        .partial_cmp(&a.confidence)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                pool.truncate(self.pool_cap);
+            }
+        }
+        judgment
+    }
+}
+
+/// Top-down hierarchical classification: at each level evaluate the
+/// competing children; descend into the most confident acceptor; a
+/// document nobody accepts lands in OTHERS (rejection).
+fn classify_impl(
+    tree: &TopicTree,
+    models: &FxHashMap<u32, TopicModel>,
+    features: &DocumentFeatures,
+    policy: MetaPolicy,
+    single_classifier: bool,
+) -> Judgment {
+    let mut current = TopicTree::ROOT;
+    let mut assigned: Option<TopicId> = None;
+    let mut confidence = f32::MIN;
+    loop {
+        let children = &tree.node(current).children;
+        if children.is_empty() {
+            break;
+        }
+        let mut best: Option<(TopicId, f32)> = None;
+        let mut best_rejected = f32::MIN;
+        for &child in children {
+            let Some(model) = models.get(&child.0) else {
+                continue;
+            };
+            let (accept, conf) = model.decide(features, policy, single_classifier);
+            if accept {
+                if best.map(|(_, c)| conf > c).unwrap_or(true) {
+                    best = Some((child, conf));
+                }
+            } else {
+                best_rejected = best_rejected.max(conf);
+            }
+        }
+        match best {
+            Some((child, conf)) => {
+                assigned = Some(child);
+                confidence = conf;
+                current = child;
+            }
+            None => {
+                if assigned.is_none() {
+                    confidence = if best_rejected == f32::MIN {
+                        -1.0
+                    } else {
+                        best_rejected
+                    };
+                }
+                break;
+            }
+        }
+    }
+    Judgment {
+        topic: assigned.map(|t| t.0),
+        confidence,
+    }
+}

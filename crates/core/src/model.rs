@@ -1,0 +1,519 @@
+//! Per-topic classifier models (Sections 2.4, 3.4, 3.5).
+//!
+//! For each topic BINGO! trains one linear SVM *per feature space* on the
+//! topic's training documents (positives) against its competing siblings
+//! and the OTHERS documents (negatives). Each space carries its own MI
+//! feature selection and frozen idf weighting; at decision time the
+//! per-space verdicts are combined by the configured meta decision
+//! function, or — in the run-time-critical single-classifier mode — only
+//! the space with the best ξα precision estimate is evaluated.
+
+use bingo_ml::feature_selection::{FeatureSelection, FeatureSelectionConfig};
+use bingo_ml::meta::MetaPolicy;
+use bingo_ml::svm::{LinearSvm, SvmConfig, TrainedSvm};
+use bingo_ml::{FeatureSelector, NaiveBayes, TrainingSet};
+use bingo_textproc::tfidf::{CorpusStats, TfIdfWeighter};
+use bingo_textproc::vocab::TermId;
+use bingo_textproc::{DocumentFeatures, FeatureSpaceKind, SparseVector};
+
+/// One feature-space variant of a topic's classifier.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SpaceModel {
+    /// Which feature components this space uses.
+    pub kind: FeatureSpaceKind,
+    /// MI-selected feature set with raw→compact projection.
+    pub selector: FeatureSelector,
+    /// Frozen idf statistics at training time.
+    pub weighter: TfIdfWeighter,
+    /// The trained SVM in the compact selected space.
+    pub svm: TrainedSvm,
+}
+
+/// Floor on the projected-mass fraction used when renormalizing after
+/// feature selection. A document whose selected features carry less than
+/// this fraction of its tf·idf mass is *not* amplified to full unit
+/// length: a page sharing only two or three topic terms must not look as
+/// confident as a fully topical page.
+pub const MIN_PROJECTION_COVERAGE: f32 = 0.3;
+
+impl SpaceModel {
+    /// The classifier-ready vector of a document in this space.
+    ///
+    /// The tf·idf vector is unit-normalized in the full feature space,
+    /// projected onto the MI-selected features, and rescaled by
+    /// `1 / max(coverage, MIN_PROJECTION_COVERAGE)` where coverage is the
+    /// retained mass. Fully topical documents come out unit length;
+    /// marginal ones stay proportionally shorter so the SVM bias can
+    /// reject them.
+    pub fn vector(&self, features: &DocumentFeatures) -> SparseVector {
+        let occ = features.occurrences(self.kind);
+        let pairs: Vec<(TermId, u32)> = occ.into_iter().map(|(i, f)| (TermId(i), f)).collect();
+        let weighted = self.weighter.weigh(&pairs);
+        let mut projected = self.selector.project(&weighted);
+        let coverage = projected.norm();
+        if coverage > 0.0 {
+            projected.scale(1.0 / coverage.max(MIN_PROJECTION_COVERAGE));
+        }
+        projected
+    }
+
+    /// Signed hyperplane-distance confidence for a document.
+    pub fn confidence(&self, features: &DocumentFeatures) -> f32 {
+        self.svm.confidence(&self.vector(features))
+    }
+
+    /// The ξα precision estimate of this space's SVM.
+    pub fn xi_precision(&self) -> f32 {
+        self.svm.estimate.precision()
+    }
+}
+
+/// Training parameters for one topic model.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ModelConfig {
+    /// SVM hyperparameters.
+    pub svm: SvmConfig,
+    /// Feature-selection sizes (paper: pre-select 5000, keep 2000).
+    pub selection: FeatureSelectionConfig,
+    /// Feature spaces to train in parallel.
+    pub spaces: Vec<FeatureSpaceKind>,
+    /// Also train a multinomial Naive Bayes on the first feature space
+    /// and include it in the meta committee — a genuinely different
+    /// learning method (Section 3.5 combines alternative classifiers,
+    /// not only alternative feature spaces).
+    pub use_naive_bayes: bool,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            svm: SvmConfig::default(),
+            selection: FeatureSelectionConfig::default(),
+            spaces: vec![
+                FeatureSpaceKind::SingleTerms,
+                FeatureSpaceKind::TermPairs,
+                FeatureSpaceKind::Combined,
+            ],
+            use_naive_bayes: false,
+        }
+    }
+}
+
+/// A topic's trained decision models across feature spaces.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TopicModel {
+    /// One model per configured feature space.
+    pub spaces: Vec<SpaceModel>,
+    /// Index into `spaces` of the best space by ξα precision (used in
+    /// single-classifier mode).
+    pub best_space: usize,
+    /// Optional Naive Bayes committee member over the *raw* single-term
+    /// space (NB models class-conditional term distributions, so it must
+    /// see the negatives' vocabulary too — the MI-projected space keeps
+    /// only in-topic features), with its committee weight (training-set
+    /// precision).
+    pub naive_bayes: Option<(NaiveBayes, f32)>,
+    /// Mean confidence of the training documents under the trained model
+    /// — the archetype-promotion threshold of Section 3.2.
+    pub mean_training_confidence: f32,
+}
+
+impl TopicModel {
+    /// Train a topic model from positive and negative documents.
+    /// Returns `None` when either side is empty.
+    pub fn train(
+        positives: &[&DocumentFeatures],
+        negatives: &[&DocumentFeatures],
+        corpus: &CorpusStats,
+        config: &ModelConfig,
+    ) -> Option<TopicModel> {
+        if positives.is_empty() || negatives.is_empty() {
+            return None;
+        }
+        let weighter = corpus.weighter();
+        // Balance the box constraints for the (typically tiny) positive
+        // side.
+        let mut svm_cfg = config.svm;
+        svm_cfg.positive_cost_factor = (negatives.len() as f32 / positives.len() as f32)
+            .clamp(1.0, 50.0);
+        let trainer = LinearSvm::new(svm_cfg);
+
+        let mut spaces = Vec::with_capacity(config.spaces.len());
+        for &kind in &config.spaces {
+            // Occurrences per document for this space.
+            let pos_occ: Vec<Vec<(u32, u32)>> =
+                positives.iter().map(|f| f.occurrences(kind)).collect();
+            let neg_occ: Vec<Vec<(u32, u32)>> =
+                negatives.iter().map(|f| f.occurrences(kind)).collect();
+            let labeled: Vec<(&[(u32, u32)], bool)> = pos_occ
+                .iter()
+                .map(|o| (o.as_slice(), true))
+                .chain(neg_occ.iter().map(|o| (o.as_slice(), false)))
+                .collect();
+            let selector = FeatureSelection::new(config.selection).select(&labeled);
+            if selector.is_empty() {
+                continue;
+            }
+
+            let mut set = TrainingSet::new();
+            for (occ, positive) in pos_occ
+                .iter()
+                .map(|o| (o, true))
+                .chain(neg_occ.iter().map(|o| (o, false)))
+            {
+                let pairs: Vec<(TermId, u32)> =
+                    occ.iter().map(|&(i, f)| (TermId(i), f)).collect();
+                let mut v = selector.project(&weighter.weigh(&pairs));
+                let coverage = v.norm();
+                if coverage > 0.0 {
+                    v.scale(1.0 / coverage.max(MIN_PROJECTION_COVERAGE));
+                }
+                set.push(v, positive);
+            }
+            let Some(svm) = trainer.train(&set) else {
+                continue;
+            };
+            spaces.push(SpaceModel {
+                kind,
+                selector,
+                weighter: weighter.clone(),
+                svm,
+            });
+        }
+        if spaces.is_empty() {
+            return None;
+        }
+
+        let best_space = spaces
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.xi_precision()
+                    .partial_cmp(&b.1.xi_precision())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+
+        // Optional Naive Bayes committee member over raw term counts.
+        let naive_bayes = if config.use_naive_bayes {
+            let mut nb_set = TrainingSet::new();
+            for f in positives {
+                nb_set.push(nb_vector(f), true);
+            }
+            for f in negatives {
+                nb_set.push(nb_vector(f), false);
+            }
+            NaiveBayes::train(&nb_set).map(|nb| {
+                let tp = positives
+                    .iter()
+                    .filter(|f| nb.score(&nb_vector(f)) >= 0.0)
+                    .count();
+                let fp = negatives
+                    .iter()
+                    .filter(|f| nb.score(&nb_vector(f)) >= 0.0)
+                    .count();
+                let weight = if tp + fp > 0 {
+                    (tp as f32 / (tp + fp) as f32).max(0.05)
+                } else {
+                    0.05
+                };
+                (nb, weight)
+            })
+        } else {
+            None
+        };
+
+        let mut model = TopicModel {
+            spaces,
+            best_space,
+            naive_bayes,
+            mean_training_confidence: 0.0,
+        };
+        // The training documents' own confidence scores define the
+        // archetype threshold ("training documents have a confidence
+        // score associated with them, too", Section 2.4).
+        let sum: f32 = positives
+            .iter()
+            .map(|f| model.confidence(f, MetaPolicy::WeightedAverage, false))
+            .sum();
+        model.mean_training_confidence = sum / positives.len() as f32;
+        Some(model)
+    }
+
+    /// The tri-state meta decision over all spaces (Section 3.5).
+    /// Returns `(accepted, confidence)`; abstention counts as rejection.
+    pub fn decide(
+        &self,
+        features: &DocumentFeatures,
+        policy: MetaPolicy,
+        single_classifier: bool,
+    ) -> (bool, f32) {
+        if single_classifier {
+            let conf = self.spaces[self.best_space].confidence(features);
+            return (conf >= 0.0, conf);
+        }
+        let h = (self.spaces.len() + usize::from(self.naive_bayes.is_some())) as f32;
+        let t1 = match policy {
+            MetaPolicy::Unanimous => h - 0.5,
+            MetaPolicy::Majority | MetaPolicy::WeightedAverage => 0.0,
+        };
+        let mut vote_sum = 0.0f32;
+        let mut conf_sum = 0.0f32;
+        for space in &self.spaces {
+            let conf = space.confidence(features);
+            conf_sum += conf;
+            let res = if conf >= 0.0 { 1.0 } else { -1.0 };
+            let w = match policy {
+                MetaPolicy::WeightedAverage => space.xi_precision().max(0.01),
+                _ => 1.0,
+            };
+            vote_sum += w * res;
+        }
+        if let Some((nb, weight)) = &self.naive_bayes {
+            let conf = nb.score(&nb_vector(features));
+            conf_sum += conf;
+            let res = if conf >= 0.0 { 1.0 } else { -1.0 };
+            let w = match policy {
+                MetaPolicy::WeightedAverage => weight.max(0.01),
+                _ => 1.0,
+            };
+            vote_sum += w * res;
+        }
+        let mean_conf = conf_sum / h;
+        if vote_sum > t1 {
+            (true, mean_conf.max(0.0))
+        } else {
+            // Negative or abstaining: report a non-positive confidence.
+            (false, mean_conf.min(-f32::EPSILON))
+        }
+    }
+
+    /// Confidence only (signed), under the given policy.
+    pub fn confidence(
+        &self,
+        features: &DocumentFeatures,
+        policy: MetaPolicy,
+        single_classifier: bool,
+    ) -> f32 {
+        self.decide(features, policy, single_classifier).1
+    }
+}
+
+/// The raw single-term count vector a Naive Bayes member consumes.
+fn nb_vector(features: &DocumentFeatures) -> SparseVector {
+    SparseVector::from_pairs(
+        features
+            .occurrences(FeatureSpaceKind::SingleTerms)
+            .into_iter()
+            .map(|(i, c)| (i, c as f32))
+            .collect(),
+    )
+}
+
+/// Choose the number of selected features by ξα estimate (Section 3.5:
+/// "the same estimation technique can be used for choosing an
+/// appropriate value for the number of most significant terms").
+///
+/// Trains one model per candidate `select` size and returns the size
+/// whose best-space ξα precision estimate is highest, together with
+/// that model.
+pub fn choose_feature_count(
+    positives: &[&DocumentFeatures],
+    negatives: &[&DocumentFeatures],
+    corpus: &CorpusStats,
+    base: &ModelConfig,
+    candidates: &[usize],
+) -> Option<(usize, TopicModel)> {
+    let mut best: Option<(usize, TopicModel, f32)> = None;
+    for &count in candidates {
+        let mut config = base.clone();
+        config.selection.select = count;
+        let Some(model) = TopicModel::train(positives, negatives, corpus, &config) else {
+            continue;
+        };
+        let score = model.spaces[model.best_space].xi_precision();
+        let better = best
+            .as_ref()
+            .map(|&(_, _, s)| score > s)
+            .unwrap_or(true);
+        if better {
+            best = Some((count, model, score));
+        }
+    }
+    best.map(|(count, model, _)| (count, model))
+}
+
+/// Build [`DocumentFeatures`] from a stored row's term frequencies (used
+/// when an authority candidate is not in the in-memory candidate pool;
+/// pair/anchor components are unavailable from the flat row and stay
+/// empty).
+pub fn features_from_term_freqs(term_freqs: &[(u32, u32)]) -> DocumentFeatures {
+    DocumentFeatures {
+        term_freqs: term_freqs
+            .iter()
+            .map(|&(t, f)| (TermId(t), f))
+            .collect(),
+        pair_freqs: Vec::new(),
+        incoming_anchor_terms: Vec::new(),
+        neighbor_terms: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bingo_textproc::{analyze_html, Vocabulary};
+
+    fn corpus_and_docs() -> (CorpusStats, Vec<DocumentFeatures>, Vec<DocumentFeatures>) {
+        let mut vocab = Vocabulary::new();
+        let mut corpus = CorpusStats::new();
+        let mut make = |text: &str| {
+            let doc = analyze_html(text, &mut vocab);
+            let f = DocumentFeatures::from_document(&doc);
+            corpus.add_document(
+                f.occurrences(FeatureSpaceKind::Combined)
+                    .iter()
+                    .map(|&(i, _)| TermId(i)),
+            );
+            f
+        };
+        let positives: Vec<DocumentFeatures> = (0..6)
+            .map(|i| {
+                make(&format!(
+                    "<p>database transaction recovery logging concurrency \
+                     index query optimization storage {i}</p>"
+                ))
+            })
+            .collect();
+        let negatives: Vec<DocumentFeatures> = (0..8)
+            .map(|i| {
+                make(&format!(
+                    "<p>football stadium championship soccer team player \
+                     coach season goal ticket {i}</p>"
+                ))
+            })
+            .collect();
+        (corpus, positives, negatives)
+    }
+
+    fn train() -> (TopicModel, Vec<DocumentFeatures>, Vec<DocumentFeatures>) {
+        let (corpus, pos, neg) = corpus_and_docs();
+        let p: Vec<&DocumentFeatures> = pos.iter().collect();
+        let n: Vec<&DocumentFeatures> = neg.iter().collect();
+        let model = TopicModel::train(&p, &n, &corpus, &ModelConfig::default()).unwrap();
+        (model, pos, neg)
+    }
+
+    #[test]
+    fn separates_topics_across_all_policies() {
+        let (model, pos, neg) = train();
+        for policy in [
+            MetaPolicy::Unanimous,
+            MetaPolicy::Majority,
+            MetaPolicy::WeightedAverage,
+        ] {
+            for f in &pos {
+                assert!(model.decide(f, policy, false).0, "positive rejected");
+            }
+            for f in &neg {
+                assert!(!model.decide(f, policy, false).0, "negative accepted");
+            }
+        }
+    }
+
+    #[test]
+    fn single_classifier_mode_works() {
+        let (model, pos, neg) = train();
+        assert!(model.decide(&pos[0], MetaPolicy::Majority, true).0);
+        assert!(!model.decide(&neg[0], MetaPolicy::Majority, true).0);
+    }
+
+    #[test]
+    fn trains_one_model_per_space() {
+        let (model, _, _) = train();
+        assert_eq!(model.spaces.len(), 3);
+        assert!(model.best_space < model.spaces.len());
+        for s in &model.spaces {
+            let p = s.xi_precision();
+            assert!((0.0..=1.0).contains(&p), "precision {p} out of range");
+        }
+    }
+
+    #[test]
+    fn mean_training_confidence_positive() {
+        let (model, _, _) = train();
+        assert!(
+            model.mean_training_confidence > 0.0,
+            "training docs should sit on the positive side: {}",
+            model.mean_training_confidence
+        );
+    }
+
+    #[test]
+    fn empty_sides_rejected() {
+        let (corpus, pos, _neg) = corpus_and_docs();
+        let p: Vec<&DocumentFeatures> = pos.iter().collect();
+        assert!(TopicModel::train(&p, &[], &corpus, &ModelConfig::default()).is_none());
+        assert!(TopicModel::train(&[], &p, &corpus, &ModelConfig::default()).is_none());
+    }
+
+    #[test]
+    fn naive_bayes_member_joins_the_committee() {
+        let (corpus, pos, neg) = corpus_and_docs();
+        let p: Vec<&DocumentFeatures> = pos.iter().collect();
+        let n: Vec<&DocumentFeatures> = neg.iter().collect();
+        let config = ModelConfig {
+            use_naive_bayes: true,
+            ..ModelConfig::default()
+        };
+        let model = TopicModel::train(&p, &n, &corpus, &config).unwrap();
+        let (nb, weight) = model.naive_bayes.as_ref().expect("nb trained");
+        assert!((0.05..=1.0).contains(weight));
+        // NB broadly agrees on clean data (it may reject borderline
+        // positives — that conservatism is exactly why the unanimous
+        // meta trades recall for precision).
+        let nb_accepts = pos
+            .iter()
+            .filter(|f| nb.score(&super::nb_vector(f)) >= 0.0)
+            .count();
+        assert!(nb_accepts * 2 >= pos.len(), "NB accepts {nb_accepts}/{}", pos.len());
+        for f in &pos {
+            assert!(model.decide(f, MetaPolicy::Majority, false).0);
+        }
+        for f in &neg {
+            assert!(!model.decide(f, MetaPolicy::Unanimous, false).0);
+            assert!(!model.decide(f, MetaPolicy::Majority, false).0);
+        }
+    }
+
+    #[test]
+    fn choose_feature_count_picks_a_candidate() {
+        let (corpus, pos, neg) = corpus_and_docs();
+        let p: Vec<&DocumentFeatures> = pos.iter().collect();
+        let n: Vec<&DocumentFeatures> = neg.iter().collect();
+        let (count, model) = choose_feature_count(
+            &p,
+            &n,
+            &corpus,
+            &ModelConfig::default(),
+            &[5, 50, 500],
+        )
+        .expect("some candidate trains");
+        assert!([5usize, 50, 500].contains(&count));
+        // The returned model is trained with that size.
+        assert!(model.spaces[0].selector.len() <= count);
+        for f in &pos {
+            assert!(model.decide(f, MetaPolicy::Majority, false).0);
+        }
+    }
+
+    #[test]
+    fn features_from_row_round_trip() {
+        let f = features_from_term_freqs(&[(3, 2), (9, 1)]);
+        assert_eq!(f.term_freqs.len(), 2);
+        assert!(f.pair_freqs.is_empty());
+        let occ = f.occurrences(FeatureSpaceKind::SingleTerms);
+        assert_eq!(occ.len(), 2);
+    }
+}

@@ -1,0 +1,197 @@
+//! Saving and restoring a trained engine.
+//!
+//! A BINGO! crawl is a long-running affair ("setting up an overnight
+//! crawl ... looking at the results the next morning", Section 1.2);
+//! the trained state — topic tree with training documents, vocabulary,
+//! corpus statistics and all per-topic decision models — survives the
+//! process through a JSON snapshot, so postprocessing, feedback rounds
+//! and crawl resumption can run in later sessions.
+
+use crate::engine::{BingoEngine, EngineError, Phase};
+use crate::model::TopicModel;
+use crate::topic::TopicTree;
+use bingo_textproc::fxhash::FxHashMap;
+use bingo_textproc::tfidf::CorpusStats;
+use bingo_textproc::Vocabulary;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+#[derive(Serialize, Deserialize)]
+struct EngineSnapshot {
+    magic: String,
+    version: u32,
+    config: crate::engine::EngineConfig,
+    phase: Phase,
+    vocab: Vocabulary,
+    tree: TopicTree,
+    corpus: CorpusStats,
+    models: Vec<(u32, TopicModel)>,
+}
+
+const MAGIC: &str = "bingo-engine";
+const VERSION: u32 = 1;
+
+/// Serialize the engine's trained state to a writer as JSON.
+pub fn save_engine<W: Write>(engine: &BingoEngine, w: W) -> Result<(), EngineError> {
+    let snapshot = EngineSnapshot {
+        magic: MAGIC.to_string(),
+        version: VERSION,
+        config: engine.config.clone(),
+        phase: engine.phase(),
+        vocab: engine.vocab.clone(),
+        tree: engine.tree.clone(),
+        corpus: engine.corpus().clone(),
+        models: engine.models_snapshot(),
+    };
+    serde_json::to_writer(w, &snapshot)
+        .map_err(|e| EngineError::Persist(e.to_string()))
+}
+
+/// Restore an engine from a snapshot. Derived lookup structures
+/// (vocabulary index, feature-selection projections) are rebuilt; the
+/// candidate pool is session state and starts empty.
+pub fn load_engine<R: Read>(r: R) -> Result<BingoEngine, EngineError> {
+    let mut snapshot: EngineSnapshot =
+        serde_json::from_reader(r).map_err(|e| EngineError::Persist(e.to_string()))?;
+    if snapshot.magic != MAGIC {
+        return Err(EngineError::Persist(format!(
+            "bad magic {:?}",
+            snapshot.magic
+        )));
+    }
+    if snapshot.version != VERSION {
+        return Err(EngineError::Persist(format!(
+            "unsupported version {}",
+            snapshot.version
+        )));
+    }
+    snapshot.vocab.rebuild_index();
+    let mut models: FxHashMap<u32, TopicModel> = FxHashMap::default();
+    for (id, mut model) in snapshot.models {
+        for space in &mut model.spaces {
+            space.selector.rebuild_index();
+        }
+        models.insert(id, model);
+    }
+    Ok(BingoEngine::from_parts(
+        snapshot.config,
+        snapshot.phase,
+        snapshot.vocab,
+        snapshot.tree,
+        snapshot.corpus,
+        models,
+    ))
+}
+
+/// Save to a file path.
+pub fn save_engine_to<P: AsRef<std::path::Path>>(
+    engine: &BingoEngine,
+    path: P,
+) -> Result<(), EngineError> {
+    let f = std::fs::File::create(path).map_err(|e| EngineError::Persist(e.to_string()))?;
+    save_engine(engine, std::io::BufWriter::new(f))
+}
+
+/// Load from a file path.
+pub fn load_engine_from<P: AsRef<std::path::Path>>(path: P) -> Result<BingoEngine, EngineError> {
+    let f = std::fs::File::open(path).map_err(|e| EngineError::Persist(e.to_string()))?;
+    load_engine(std::io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EngineConfig, TopicTree as Tree};
+    use bingo_webworld::gen::WorldConfig;
+
+    fn trained_engine() -> (BingoEngine, bingo_webworld::World, crate::TopicId) {
+        let world = WorldConfig::small_test(71).build();
+        let mut engine = BingoEngine::new(EngineConfig::default());
+        let topic = engine.add_topic(Tree::ROOT, "database research");
+        for a in &world.authors()[..3] {
+            engine
+                .add_training_url(&world, topic, &world.url_of(a.homepage))
+                .unwrap();
+        }
+        let mut added = 0;
+        for id in 0..world.page_count() as u64 {
+            if matches!(world.true_topic(id), Some(2) | Some(3)) {
+                if engine.add_others_url(&world, &world.url_of(id)).is_ok() {
+                    added += 1;
+                }
+                if added >= 20 {
+                    break;
+                }
+            }
+        }
+        engine.train().unwrap();
+        (engine, world, topic)
+    }
+
+    #[test]
+    fn round_trip_preserves_decisions() {
+        let (mut engine, world, topic) = trained_engine();
+        // Collect a probe set and its verdicts before saving.
+        let probes: Vec<_> = (0..world.page_count() as u64)
+            .filter(|&id| {
+                matches!(world.true_topic(id), Some(0) | Some(2))
+                    && world.page(id).kind == bingo_webworld::PageKind::Content
+            })
+            .take(12)
+            .filter_map(|id| {
+                engine
+                    .analyze_url(&world, &world.url_of(id))
+                    .ok()
+                    .map(|(_, _, f)| f)
+            })
+            .collect();
+        let before: Vec<_> = probes.iter().map(|f| engine.classify(f)).collect();
+
+        let mut buf = Vec::new();
+        save_engine(&engine, &mut buf).unwrap();
+        let restored = load_engine(&buf[..]).unwrap();
+
+        assert_eq!(restored.tree.len(), engine.tree.len());
+        assert_eq!(restored.vocab.len(), engine.vocab.len());
+        assert_eq!(restored.phase(), engine.phase());
+        assert!(restored.model(topic).is_some());
+        let after: Vec<_> = probes.iter().map(|f| restored.classify(f)).collect();
+        for (b, a) in before.iter().zip(&after) {
+            assert_eq!(b.topic, a.topic);
+            assert!((b.confidence - a.confidence).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn restored_engine_can_retrain() {
+        let (engine, world, topic) = trained_engine();
+        let mut buf = Vec::new();
+        save_engine(&engine, &mut buf).unwrap();
+        let mut restored = load_engine(&buf[..]).unwrap();
+        // Training data came back: retraining from scratch succeeds.
+        restored.train().unwrap();
+        assert!(restored.model(topic).is_some());
+        let _ = world;
+    }
+
+    #[test]
+    fn rejects_garbage_and_wrong_magic() {
+        assert!(load_engine(&b"not json"[..]).is_err());
+        let wrong = serde_json::json!({
+            "magic": "nope", "version": 1, "config": serde_json::Value::Null,
+        });
+        assert!(load_engine(wrong.to_string().as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (engine, _world, _topic) = trained_engine();
+        let dir = std::env::temp_dir().join("bingo-engine-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.json");
+        save_engine_to(&engine, &path).unwrap();
+        let restored = load_engine_from(&path).unwrap();
+        assert_eq!(restored.tree.len(), engine.tree.len());
+        std::fs::remove_file(path).ok();
+    }
+}

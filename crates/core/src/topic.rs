@@ -1,0 +1,241 @@
+//! The topic tree (Section 2, Figure 2).
+//!
+//! "The crawler starts from a user's bookmark file or some other form of
+//! personalized topic directory. These intellectually classified
+//! documents provide the initial seeds and the initial training data."
+//! Every node holds its positive training documents; the negatives for a
+//! node's classifier are the training documents of its *competing* topics
+//! (siblings) plus the virtual OTHERS examples (Section 3.1).
+
+use bingo_textproc::DocumentFeatures;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a topic-tree node. The root is [`TopicTree::ROOT`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TopicId(pub u32);
+
+/// One training document of a topic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingDoc {
+    /// Page id when the document came from the web (0 for virtual docs).
+    pub page_id: u64,
+    /// Source URL (empty for virtual documents such as query seeds).
+    pub url: String,
+    /// The document's feature ingredients.
+    pub features: DocumentFeatures,
+    /// True when promoted automatically as an archetype (vs. provided by
+    /// the user).
+    pub archetype: bool,
+}
+
+/// A node of the topic tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopicNode {
+    /// Topic name.
+    pub name: String,
+    /// Parent node (`None` for the root).
+    pub parent: Option<TopicId>,
+    /// Child topics.
+    pub children: Vec<TopicId>,
+    /// Positive training documents.
+    pub training: Vec<TrainingDoc>,
+}
+
+/// The tree of topics of interest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopicTree {
+    nodes: Vec<TopicNode>,
+    /// Virtual OTHERS training documents: "semantically far away"
+    /// common-sense material used as negatives everywhere (Section 3.1).
+    pub others: Vec<TrainingDoc>,
+}
+
+impl Default for TopicTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TopicTree {
+    /// The root node: the union of the user's topics of interest.
+    pub const ROOT: TopicId = TopicId(0);
+
+    /// A tree with only the root.
+    pub fn new() -> Self {
+        TopicTree {
+            nodes: vec![TopicNode {
+                name: "ROOT".to_string(),
+                parent: None,
+                children: Vec::new(),
+                training: Vec::new(),
+            }],
+            others: Vec::new(),
+        }
+    }
+
+    /// Add a topic under `parent`. Returns the new node's id.
+    pub fn add_topic(&mut self, parent: TopicId, name: &str) -> TopicId {
+        let id = TopicId(self.nodes.len() as u32);
+        self.nodes.push(TopicNode {
+            name: name.to_string(),
+            parent: Some(parent),
+            children: Vec::new(),
+            training: Vec::new(),
+        });
+        self.nodes[parent.0 as usize].children.push(id);
+        id
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: TopicId) -> &TopicNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Mutable node accessor.
+    pub fn node_mut(&mut self, id: TopicId) -> &mut TopicNode {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    /// Number of nodes including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// All node ids in creation order (root first).
+    pub fn ids(&self) -> impl Iterator<Item = TopicId> {
+        (0..self.nodes.len() as u32).map(TopicId)
+    }
+
+    /// Ids of all non-root nodes.
+    pub fn topic_ids(&self) -> impl Iterator<Item = TopicId> {
+        (1..self.nodes.len() as u32).map(TopicId)
+    }
+
+    /// The competing topics of `id`: its siblings (children of the same
+    /// parent, excluding `id` itself).
+    pub fn siblings(&self, id: TopicId) -> Vec<TopicId> {
+        match self.node(id).parent {
+            Some(p) => self
+                .node(p)
+                .children
+                .iter()
+                .copied()
+                .filter(|&c| c != id)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Leaf topics (no children, excluding the root).
+    pub fn leaves(&self) -> Vec<TopicId> {
+        self.topic_ids()
+            .filter(|&id| self.node(id).children.is_empty())
+            .collect()
+    }
+
+    /// All training docs of a node and its descendants (a parent topic's
+    /// positive examples include its subtree).
+    pub fn subtree_training(&self, id: TopicId) -> Vec<&TrainingDoc> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            out.extend(self.node(n).training.iter());
+            stack.extend(self.node(n).children.iter().copied());
+        }
+        out
+    }
+
+    /// Full path name of a node, e.g. `ROOT/mathematics/algebra`.
+    pub fn path(&self, id: TopicId) -> String {
+        let mut parts = vec![self.node(id).name.clone()];
+        let mut cur = self.node(id).parent;
+        while let Some(p) = cur {
+            parts.push(self.node(p).name.clone());
+            cur = self.node(p).parent;
+        }
+        parts.reverse();
+        parts.join("/")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(id: u64) -> TrainingDoc {
+        TrainingDoc {
+            page_id: id,
+            url: format!("u{id}"),
+            features: DocumentFeatures::default(),
+            archetype: false,
+        }
+    }
+
+    /// The Figure 2 example: mathematics (algebra, stochastics),
+    /// agriculture, arts.
+    fn figure2() -> (TopicTree, TopicId, TopicId, TopicId, TopicId, TopicId) {
+        let mut t = TopicTree::new();
+        let math = t.add_topic(TopicTree::ROOT, "mathematics");
+        let agri = t.add_topic(TopicTree::ROOT, "agriculture");
+        let arts = t.add_topic(TopicTree::ROOT, "arts");
+        let algebra = t.add_topic(math, "algebra");
+        let stoch = t.add_topic(math, "stochastics");
+        (t, math, agri, arts, algebra, stoch)
+    }
+
+    #[test]
+    fn structure_and_paths() {
+        let (t, math, _agri, _arts, algebra, _stoch) = figure2();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.node(math).children.len(), 2);
+        assert_eq!(t.path(algebra), "ROOT/mathematics/algebra");
+        assert_eq!(t.node(algebra).parent, Some(math));
+    }
+
+    #[test]
+    fn siblings_are_competing_topics() {
+        let (t, math, agri, arts, algebra, stoch) = figure2();
+        let mut s = t.siblings(math);
+        s.sort();
+        assert_eq!(s, vec![agri, arts]);
+        assert_eq!(t.siblings(algebra), vec![stoch]);
+        assert!(t.siblings(TopicTree::ROOT).is_empty());
+    }
+
+    #[test]
+    fn leaves_exclude_inner_nodes() {
+        let (t, math, agri, arts, algebra, stoch) = figure2();
+        let leaves = t.leaves();
+        assert!(leaves.contains(&algebra) && leaves.contains(&stoch));
+        assert!(leaves.contains(&agri) && leaves.contains(&arts));
+        assert!(!leaves.contains(&math));
+    }
+
+    #[test]
+    fn subtree_training_includes_descendants() {
+        let (mut t, math, _agri, _arts, algebra, stoch) = figure2();
+        t.node_mut(math).training.push(doc(1));
+        t.node_mut(algebra).training.push(doc(2));
+        t.node_mut(stoch).training.push(doc(3));
+        let ids: Vec<u64> = t.subtree_training(math).iter().map(|d| d.page_id).collect();
+        assert_eq!(ids.len(), 3);
+        assert!(ids.contains(&1) && ids.contains(&2) && ids.contains(&3));
+        assert_eq!(t.subtree_training(algebra).len(), 1);
+    }
+
+    #[test]
+    fn single_node_tree_special_case() {
+        // "A single-node tree is a special case for generating an
+        // information portal with a single topic."
+        let mut t = TopicTree::new();
+        assert!(t.is_empty());
+        let only = t.add_topic(TopicTree::ROOT, "database research");
+        assert_eq!(t.leaves(), vec![only]);
+        assert!(t.siblings(only).is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! Duplicate recognition (Section 4.2).
+//!
+//! "The crawler uses several fingerprints to recognize duplicates. The
+//! initial step consists of simple URL matching (our implementation
+//! merely compares the hashcode representation of the visited URL, with a
+//! small risk of falsely dismissing a new document). In the next step,
+//! the crawler checks the combination of returned IP address and path of
+//! the resource. Finally ... we assume that the filesize is a unique
+//! value within the same host and consider candidates with previously
+//! seen IP/filesize combinations as duplicates."
+
+use bingo_textproc::fxhash::{self, FxHashSet};
+
+/// The three-stage duplicate filter.
+#[derive(Debug, Default)]
+pub struct Dedup {
+    /// Hashcodes of URLs already queued/visited (not the URLs themselves —
+    /// mirroring the paper's memory/accuracy trade-off).
+    url_hashes: FxHashSet<u64>,
+    /// (IP, path-hash) pairs already fetched.
+    ip_path: FxHashSet<(u32, u64)>,
+    /// (IP, filesize) pairs already fetched.
+    ip_size: FxHashSet<(u32, u64)>,
+}
+
+impl Dedup {
+    /// Empty filter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stage 1: mark a URL as seen. Returns `false` when its hash was
+    /// already present (treat as duplicate).
+    pub fn mark_url(&mut self, url: &str) -> bool {
+        self.url_hashes.insert(fxhash::hash_one(&url))
+    }
+
+    /// True when the URL hash was seen before (non-mutating).
+    pub fn url_seen(&self, url: &str) -> bool {
+        self.url_hashes.contains(&fxhash::hash_one(&url))
+    }
+
+    /// Stages 2+3: mark a fetched response by server IP, resource path
+    /// and reported size. Returns `false` when either fingerprint
+    /// matches a previous response (duplicate content).
+    pub fn mark_response(&mut self, ip: u32, path: &str, size: u64) -> bool {
+        let path_new = self.ip_path.insert((ip, fxhash::hash_one(&path)));
+        let size_new = self.ip_size.insert((ip, size));
+        path_new && size_new
+    }
+
+    /// Number of distinct URLs marked.
+    pub fn urls_marked(&self) -> usize {
+        self.url_hashes.len()
+    }
+}
+
+/// Extract the path component of an `http://host/path` URL.
+pub fn path_of_url(url: &str) -> &str {
+    url.strip_prefix("http://")
+        .and_then(|rest| rest.find('/').map(|i| &rest[i..]))
+        .unwrap_or("")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_stage() {
+        let mut d = Dedup::new();
+        assert!(d.mark_url("http://a/x"));
+        assert!(!d.mark_url("http://a/x"));
+        assert!(d.mark_url("http://a/y"));
+        assert!(d.url_seen("http://a/x"));
+        assert!(!d.url_seen("http://a/z"));
+        assert_eq!(d.urls_marked(), 2);
+    }
+
+    #[test]
+    fn ip_path_stage_catches_host_aliases() {
+        // Same path + size served under two hostnames on one IP.
+        let mut d = Dedup::new();
+        assert!(d.mark_response(42, "/page.html", 1000));
+        assert!(!d.mark_response(42, "/page.html", 2000), "same ip+path");
+    }
+
+    #[test]
+    fn ip_size_stage_catches_path_aliases() {
+        // Same content under two paths on one host: size matches.
+        let mut d = Dedup::new();
+        assert!(d.mark_response(42, "/canonical.html", 1234));
+        assert!(!d.mark_response(42, "/alias/canonical.html", 1234));
+    }
+
+    #[test]
+    fn different_hosts_do_not_collide() {
+        let mut d = Dedup::new();
+        assert!(d.mark_response(1, "/p", 100));
+        assert!(d.mark_response(2, "/p", 100), "other IP is fine");
+    }
+
+    #[test]
+    fn path_extraction() {
+        assert_eq!(path_of_url("http://h.com/a/b.html"), "/a/b.html");
+        assert_eq!(path_of_url("http://h.com"), "");
+        assert_eq!(path_of_url("nonsense"), "");
+    }
+}

@@ -1,0 +1,230 @@
+//! The crawler-side caching DNS resolver (Section 4.2).
+//!
+//! "To speed up name resolution, we implemented our own asynchronous DNS
+//! resolver. This resolver can operate with multiple DNS servers in
+//! parallel and resends requests to alternative servers upon timeouts. To
+//! reduce the number of DNS server requests, the resolver caches all
+//! obtained information using a limited amount of memory with LRU
+//! replacement and TTL-based invalidation."
+//!
+//! The simulated resolver queries the world's authoritative records; each
+//! retry is directed at an "alternative server" (a different attempt
+//! salt), and both positive entries (IP) and the lookup cost are cached.
+
+use bingo_textproc::fxhash::FxHashMap;
+use bingo_webworld::{DnsError, World};
+use std::collections::VecDeque;
+
+/// Default cache capacity (entries).
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// Default TTL in virtual milliseconds (10 virtual minutes).
+pub const DEFAULT_TTL_MS: u64 = 600_000;
+
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    ip: u32,
+    stored_at: u64,
+}
+
+/// A resolution outcome with its virtual-time cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resolution {
+    /// Resolved address.
+    pub ip: u32,
+    /// Virtual milliseconds the resolution took (0 on cache hit).
+    pub latency_ms: u64,
+    /// True when served from cache.
+    pub cached: bool,
+}
+
+/// LRU+TTL caching resolver over the simulated DNS.
+pub struct CachingResolver {
+    capacity: usize,
+    ttl_ms: u64,
+    /// Number of simulated upstream servers to try before giving up.
+    servers: u32,
+    cache: FxHashMap<String, CacheEntry>,
+    /// LRU order: front = oldest.
+    order: VecDeque<String>,
+    /// Statistics.
+    pub hits: u64,
+    /// Cache misses (authoritative lookups performed).
+    pub misses: u64,
+    /// Lookups that failed on every server.
+    pub failures: u64,
+}
+
+impl CachingResolver {
+    /// Resolver with default capacity/TTL and 5 upstream servers
+    /// (the paper's testbed used 5 DNS servers).
+    pub fn new() -> Self {
+        Self::with_config(DEFAULT_CACHE_CAPACITY, DEFAULT_TTL_MS, 5)
+    }
+
+    /// Fully parameterized resolver.
+    pub fn with_config(capacity: usize, ttl_ms: u64, servers: u32) -> Self {
+        CachingResolver {
+            capacity: capacity.max(1),
+            ttl_ms,
+            servers: servers.max(1),
+            cache: FxHashMap::default(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+            failures: 0,
+        }
+    }
+
+    /// Resolve `hostname` at virtual time `now`, consulting the cache
+    /// first and retrying alternative servers on timeouts.
+    pub fn resolve(
+        &mut self,
+        world: &World,
+        hostname: &str,
+        now: u64,
+    ) -> Result<Resolution, DnsError> {
+        if let Some(entry) = self.cache.get(hostname) {
+            if now.saturating_sub(entry.stored_at) <= self.ttl_ms {
+                self.hits += 1;
+                return Ok(Resolution {
+                    ip: entry.ip,
+                    latency_ms: 0,
+                    cached: true,
+                });
+            }
+            // TTL expired: fall through to an authoritative lookup.
+        }
+        self.misses += 1;
+        let mut total_latency = 0u64;
+        let mut last_err = DnsError::Timeout;
+        for server in 0..self.servers {
+            match world.dns_lookup(hostname, server) {
+                Ok((ip, latency)) => {
+                    total_latency += latency;
+                    self.insert(hostname, ip, now);
+                    return Ok(Resolution {
+                        ip,
+                        latency_ms: total_latency,
+                        cached: false,
+                    });
+                }
+                Err(DnsError::NxDomain) => {
+                    self.failures += 1;
+                    return Err(DnsError::NxDomain);
+                }
+                Err(DnsError::Timeout) => {
+                    // Resend to an alternative server; a timeout costs a
+                    // short probe interval.
+                    total_latency += 50;
+                    last_err = DnsError::Timeout;
+                }
+            }
+        }
+        self.failures += 1;
+        Err(last_err)
+    }
+
+    fn insert(&mut self, hostname: &str, ip: u32, now: u64) {
+        if !self.cache.contains_key(hostname) {
+            if self.cache.len() >= self.capacity {
+                // Evict the least recently inserted entry.
+                if let Some(old) = self.order.pop_front() {
+                    self.cache.remove(&old);
+                }
+            }
+            self.order.push_back(hostname.to_string());
+        }
+        self.cache.insert(
+            hostname.to_string(),
+            CacheEntry {
+                ip,
+                stored_at: now,
+            },
+        );
+    }
+
+    /// Number of cached entries.
+    pub fn cached_entries(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+impl Default for CachingResolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bingo_webworld::gen::WorldConfig;
+
+    fn world() -> World {
+        WorldConfig::small_test(21).build()
+    }
+
+    #[test]
+    fn cache_hit_after_first_lookup() {
+        let w = world();
+        let name = w.host(0).name.clone();
+        let mut r = CachingResolver::new();
+        let first = r.resolve(&w, &name, 0).unwrap();
+        assert!(!first.cached);
+        assert!(first.latency_ms > 0);
+        let second = r.resolve(&w, &name, 100).unwrap();
+        assert!(second.cached);
+        assert_eq!(second.latency_ms, 0);
+        assert_eq!(second.ip, first.ip);
+        assert_eq!(r.hits, 1);
+        assert_eq!(r.misses, 1);
+    }
+
+    #[test]
+    fn ttl_expiry_forces_relookup() {
+        let w = world();
+        let name = w.host(0).name.clone();
+        let mut r = CachingResolver::with_config(10, 1000, 5);
+        r.resolve(&w, &name, 0).unwrap();
+        let later = r.resolve(&w, &name, 5000).unwrap();
+        assert!(!later.cached, "expired entry must be refreshed");
+        assert_eq!(r.misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity() {
+        let w = world();
+        let mut r = CachingResolver::with_config(3, u64::MAX, 5);
+        for h in 0..5u32 {
+            let name = w.host(h).name.clone();
+            let _ = r.resolve(&w, &name, 0);
+        }
+        assert!(r.cached_entries() <= 3);
+    }
+
+    #[test]
+    fn nxdomain_is_terminal() {
+        let w = world();
+        let mut r = CachingResolver::new();
+        assert_eq!(
+            r.resolve(&w, "no-such-host.invalid", 0),
+            Err(DnsError::NxDomain)
+        );
+        assert_eq!(r.failures, 1);
+    }
+
+    #[test]
+    fn flaky_dns_retries_alternative_servers() {
+        let w = world();
+        // Find a flaky host whose DNS fails on at least one server salt.
+        let flaky = (0..w.host_count() as u32)
+            .map(|h| w.host(h))
+            .find(|h| matches!(h.behavior, bingo_webworld::HostBehavior::Flaky(_)))
+            .expect("flaky host exists");
+        let mut r = CachingResolver::with_config(10, u64::MAX, 5);
+        // With 5 servers the lookup should eventually succeed.
+        let res = r.resolve(&w, &flaky.name, 0);
+        assert!(res.is_ok(), "5-server retry should succeed: {res:?}");
+    }
+}

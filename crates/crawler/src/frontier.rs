@@ -1,0 +1,268 @@
+//! The crawl frontier (Section 4.2, "crawl queue management").
+//!
+//! "The queue manager maintains several queues, one (large) incoming and
+//! one (small) outgoing queue for each topic, implemented as Red-Black
+//! trees. ... URLs are prioritized based on their SVM confidence scores.
+//! Incoming URL queues are limited to 25.000 links, outgoing URL queues
+//! to 1000 links, to avoid uncontrolled memory usage."
+//!
+//! `BTreeMap` is Rust's red-black-equivalent ordered tree. Keys order by
+//! descending priority with FIFO tie-breaking; when a capacity is hit the
+//! *worst* entry is evicted, so the queues degrade gracefully under
+//! pressure. URLs move from incoming to outgoing lazily — the outgoing
+//! queue is refilled when it runs low, which in the paper is the moment
+//! DNS prefetching is triggered for the promising candidates.
+
+use crate::types::QueuePriority;
+use std::collections::BTreeMap;
+
+/// One queued crawl task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueEntry {
+    /// Target URL.
+    pub url: String,
+    /// Queue priority (SVM confidence, possibly tunnel-decayed).
+    pub priority: f32,
+    /// Crawl depth this URL will be fetched at.
+    pub depth: u32,
+    /// Tunnelling steps taken through rejected pages so far.
+    pub tunnel: u32,
+    /// Topic of the parent document that enqueued the URL.
+    pub src_topic: Option<u32>,
+    /// Page id of the enqueuing parent (0 = seed).
+    pub src_page: u64,
+    /// Anchor terms of the enqueuing link.
+    pub anchor_terms: Vec<bingo_textproc::TermId>,
+    /// Redirect hops already taken for this URL.
+    pub redirects: u32,
+    /// Fetch attempt number (for retry bookkeeping).
+    pub attempt: u32,
+}
+
+impl QueueEntry {
+    /// A seed entry at depth 0 with maximal priority.
+    pub fn seed(url: &str, topic: Option<u32>) -> Self {
+        QueueEntry {
+            url: url.to_string(),
+            priority: f32::MAX,
+            depth: 0,
+            tunnel: 0,
+            src_topic: topic,
+            src_page: 0,
+            anchor_terms: Vec::new(),
+            redirects: 0,
+            attempt: 0,
+        }
+    }
+}
+
+/// Ordered queue keyed by descending priority, FIFO within equal
+/// priorities, with worst-entry eviction at capacity.
+#[derive(Debug, Default)]
+struct PriorityQueue {
+    entries: BTreeMap<(QueuePriority, u64), QueueEntry>,
+    seq: u64,
+}
+
+impl PriorityQueue {
+    fn push(&mut self, entry: QueueEntry, cap: usize) -> bool {
+        let key = (QueuePriority::new(entry.priority), self.seq);
+        self.seq += 1;
+        self.entries.insert(key, entry);
+        if self.entries.len() > cap {
+            // Evict the worst (largest key: lowest priority, newest).
+            let worst = *self.entries.keys().next_back().expect("non-empty");
+            self.entries.remove(&worst);
+            return false;
+        }
+        true
+    }
+
+    fn pop(&mut self) -> Option<QueueEntry> {
+        let best = *self.entries.keys().next()?;
+        self.entries.remove(&best)
+    }
+
+    fn peek_priority(&self) -> Option<f32> {
+        self.entries.keys().next().map(|(p, _)| p.as_f32())
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Per-topic incoming/outgoing queues. Topic `None` (tunnelled links from
+/// pages not yet attributable to a topic) shares a dedicated queue slot.
+#[derive(Debug)]
+pub struct Frontier {
+    incoming: Vec<PriorityQueue>,
+    outgoing: Vec<PriorityQueue>,
+    incoming_cap: usize,
+    outgoing_cap: usize,
+    /// Links dropped due to capacity.
+    pub overflow: u64,
+}
+
+impl Frontier {
+    /// Frontier over `topics` topic queues plus the shared untopiced slot.
+    pub fn new(topics: usize, incoming_cap: usize, outgoing_cap: usize) -> Self {
+        let n = topics + 1;
+        Frontier {
+            incoming: (0..n).map(|_| PriorityQueue::default()).collect(),
+            outgoing: (0..n).map(|_| PriorityQueue::default()).collect(),
+            incoming_cap,
+            outgoing_cap,
+            overflow: 0,
+        }
+    }
+
+    fn slot(&self, topic: Option<u32>) -> usize {
+        match topic {
+            Some(t) if (t as usize) < self.incoming.len() - 1 => t as usize,
+            _ => self.incoming.len() - 1,
+        }
+    }
+
+    /// Enqueue into the topic's incoming queue.
+    pub fn push(&mut self, entry: QueueEntry) {
+        let slot = self.slot(entry.src_topic);
+        if !self.incoming[slot].push(entry, self.incoming_cap) {
+            self.overflow += 1;
+        }
+    }
+
+    /// Enqueue directly into the outgoing queue (seeds, retries, hub
+    /// boosts after retraining).
+    pub fn push_outgoing(&mut self, entry: QueueEntry) {
+        let slot = self.slot(entry.src_topic);
+        if !self.outgoing[slot].push(entry, self.outgoing_cap) {
+            self.overflow += 1;
+        }
+    }
+
+    /// Take the globally best URL: refill outgoing queues that run low,
+    /// then pop the best entry across all outgoing queues.
+    pub fn pop(&mut self) -> Option<QueueEntry> {
+        // Refill: move the best incoming entries into outgoing when the
+        // outgoing side is below a quarter of its capacity. This is the
+        // point where the real system starts asynchronous DNS resolution
+        // "only for promising crawl candidates".
+        for slot in 0..self.outgoing.len() {
+            while self.outgoing[slot].len() < (self.outgoing_cap / 4).max(1) {
+                match self.incoming[slot].pop() {
+                    Some(e) => {
+                        self.outgoing[slot].push(e, self.outgoing_cap);
+                    }
+                    None => break,
+                }
+            }
+        }
+        let best_slot = (0..self.outgoing.len())
+            .filter_map(|s| self.outgoing[s].peek_priority().map(|p| (s, p)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(s, _)| s)?;
+        self.outgoing[best_slot].pop()
+    }
+
+    /// Total queued URLs.
+    pub fn len(&self) -> usize {
+        self.incoming
+            .iter()
+            .chain(self.outgoing.iter())
+            .map(PriorityQueue::len)
+            .sum()
+    }
+
+    /// True when no URLs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(url: &str, priority: f32, topic: Option<u32>) -> QueueEntry {
+        QueueEntry {
+            url: url.to_string(),
+            priority,
+            ..QueueEntry::seed(url, topic)
+        }
+    }
+
+    #[test]
+    fn pops_highest_priority_first() {
+        let mut f = Frontier::new(2, 100, 10);
+        f.push(entry("low", 0.1, Some(0)));
+        f.push(entry("high", 0.9, Some(0)));
+        f.push(entry("mid", 0.5, Some(0)));
+        assert_eq!(f.pop().unwrap().url, "high");
+        assert_eq!(f.pop().unwrap().url, "mid");
+        assert_eq!(f.pop().unwrap().url, "low");
+        assert!(f.pop().is_none());
+    }
+
+    #[test]
+    fn fifo_within_equal_priority() {
+        let mut f = Frontier::new(1, 100, 10);
+        f.push(entry("first", 0.5, Some(0)));
+        f.push(entry("second", 0.5, Some(0)));
+        assert_eq!(f.pop().unwrap().url, "first");
+        assert_eq!(f.pop().unwrap().url, "second");
+    }
+
+    #[test]
+    fn capacity_evicts_worst() {
+        let mut f = Frontier::new(1, 3, 2);
+        for i in 0..5 {
+            f.push(entry(&format!("u{i}"), i as f32 / 10.0, Some(0)));
+        }
+        assert_eq!(f.overflow, 2);
+        // The three best survive: u4, u3, u2.
+        let mut got = Vec::new();
+        while let Some(e) = f.pop() {
+            got.push(e.url);
+        }
+        assert_eq!(got, vec!["u4", "u3", "u2"]);
+    }
+
+    #[test]
+    fn pops_best_across_topics() {
+        let mut f = Frontier::new(2, 100, 10);
+        f.push(entry("t0", 0.3, Some(0)));
+        f.push(entry("t1", 0.8, Some(1)));
+        f.push(entry("untopiced", 0.5, None));
+        assert_eq!(f.pop().unwrap().url, "t1");
+        assert_eq!(f.pop().unwrap().url, "untopiced");
+        assert_eq!(f.pop().unwrap().url, "t0");
+    }
+
+    #[test]
+    fn unknown_topic_goes_to_shared_slot() {
+        let mut f = Frontier::new(1, 100, 10);
+        f.push(entry("weird", 0.5, Some(42)));
+        assert_eq!(f.pop().unwrap().url, "weird");
+    }
+
+    #[test]
+    fn outgoing_refills_from_incoming() {
+        let mut f = Frontier::new(1, 1000, 40);
+        for i in 0..100 {
+            f.push(entry(&format!("u{i}"), (i % 10) as f32, Some(0)));
+        }
+        assert_eq!(f.len(), 100);
+        let first = f.pop().unwrap();
+        assert_eq!(first.priority, 9.0);
+        assert_eq!(f.len(), 99);
+    }
+
+    #[test]
+    fn seed_has_max_priority() {
+        let mut f = Frontier::new(1, 100, 10);
+        f.push(entry("normal", 100.0, Some(0)));
+        f.push_outgoing(QueueEntry::seed("http://seed/", Some(0)));
+        assert_eq!(f.pop().unwrap().url, "http://seed/");
+    }
+}

@@ -1,0 +1,129 @@
+//! Host management (Section 4.2).
+//!
+//! "A good focused crawler needs to handle crawl failures. If the DNS
+//! resolution or page download causes a timeout or error, we tag the
+//! corresponding host as slow. For slow hosts the number of retrials is
+//! restricted to 3; if the third attempt fails the host is tagged as bad
+//! and excluded for the rest of the current crawl."
+
+use bingo_store::HostState;
+use bingo_textproc::fxhash::{FxHashMap, FxHashSet};
+
+/// Per-host crawl health bookkeeping plus domain allow/lock lists.
+#[derive(Debug, Default)]
+pub struct HostManager {
+    states: FxHashMap<String, (HostState, u32)>,
+    visited: FxHashSet<String>,
+    max_retries: u32,
+}
+
+impl HostManager {
+    /// Manager with the given retry budget per host.
+    pub fn new(max_retries: u32) -> Self {
+        HostManager {
+            states: FxHashMap::default(),
+            visited: FxHashSet::default(),
+            max_retries: max_retries.max(1),
+        }
+    }
+
+    /// True when the host has been tagged bad (excluded).
+    pub fn is_bad(&self, host: &str) -> bool {
+        matches!(self.states.get(host), Some((HostState::Bad, _)))
+    }
+
+    /// Current state of a host.
+    pub fn state(&self, host: &str) -> HostState {
+        self.states
+            .get(host)
+            .map(|&(s, _)| s)
+            .unwrap_or(HostState::Good)
+    }
+
+    /// Record a failed fetch/DNS attempt. The host becomes slow on the
+    /// first failure and bad when the retry budget is exhausted.
+    /// Returns the resulting state.
+    pub fn record_failure(&mut self, host: &str) -> HostState {
+        let entry = self
+            .states
+            .entry(host.to_string())
+            .or_insert((HostState::Good, 0));
+        entry.1 += 1;
+        entry.0 = if entry.1 >= self.max_retries {
+            HostState::Bad
+        } else {
+            HostState::Slow
+        };
+        entry.0
+    }
+
+    /// Record a successful fetch (counts the host as visited; does not
+    /// reset the failure budget — a flaky host keeps its history).
+    pub fn record_success(&mut self, host: &str) {
+        self.visited.insert(host.to_string());
+    }
+
+    /// Whether another retry is allowed for this host.
+    pub fn retries_left(&self, host: &str) -> bool {
+        match self.states.get(host) {
+            Some((HostState::Bad, _)) => false,
+            Some((_, n)) => *n < self.max_retries,
+            None => true,
+        }
+    }
+
+    /// Number of distinct hosts successfully visited (Table 1).
+    pub fn visited_count(&self) -> usize {
+        self.visited.len()
+    }
+
+    /// Export current states (for persistence into the host table).
+    pub fn states(&self) -> impl Iterator<Item = (&str, HostState, u32)> {
+        self.states.iter().map(|(h, &(s, n))| (h.as_str(), s, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalation_good_slow_bad() {
+        let mut m = HostManager::new(3);
+        assert_eq!(m.state("h"), HostState::Good);
+        assert!(m.retries_left("h"));
+        assert_eq!(m.record_failure("h"), HostState::Slow);
+        assert!(m.retries_left("h"));
+        assert_eq!(m.record_failure("h"), HostState::Slow);
+        assert_eq!(m.record_failure("h"), HostState::Bad);
+        assert!(m.is_bad("h"));
+        assert!(!m.retries_left("h"));
+    }
+
+    #[test]
+    fn success_counts_visited_hosts() {
+        let mut m = HostManager::new(3);
+        m.record_success("a");
+        m.record_success("a");
+        m.record_success("b");
+        assert_eq!(m.visited_count(), 2);
+    }
+
+    #[test]
+    fn independent_hosts() {
+        let mut m = HostManager::new(2);
+        m.record_failure("x");
+        m.record_failure("x");
+        assert!(m.is_bad("x"));
+        assert!(!m.is_bad("y"));
+        assert_eq!(m.state("y"), HostState::Good);
+    }
+
+    #[test]
+    fn states_export() {
+        let mut m = HostManager::new(3);
+        m.record_failure("x");
+        let v: Vec<_> = m.states().collect();
+        assert_eq!(v, vec![("x", HostState::Slow, 1)]);
+    }
+}

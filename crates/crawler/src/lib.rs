@@ -1,0 +1,62 @@
+//! The focused crawler (Sections 2.1, 3.3 and 4.2).
+//!
+//! The crawler processes a prioritized URL frontier with simulated
+//! multi-threading over the synthetic web:
+//!
+//! * per-topic **incoming/outgoing queues** with size limits, ordered by
+//!   SVM confidence ([`frontier`]),
+//! * **focusing rules**: sharp focus (learning phase) vs. soft focus
+//!   (harvesting phase), with depth-limited **tunnelling** whose priority
+//!   decays exponentially per step ([`types::FocusRule`]),
+//! * **duplicate elimination** by URL hash, IP+path and IP+filesize
+//!   fingerprints ([`dedup`]),
+//! * an **asynchronous-style caching DNS resolver** with LRU replacement,
+//!   TTL invalidation and alternative-server retry ([`dns`]),
+//! * **host management**: failure counting, "slow"/"bad" tagging with a
+//!   bounded retry budget, and locked domains ([`hosts`]),
+//! * URL hygiene: hostname ≤ 255 chars, URL ≤ 1000 chars, redirect chains
+//!   bounded, MIME-type and size limits per document class,
+//! * a **discrete-event executor** modelling N crawler threads over
+//!   virtual time, deterministic and snapshot-friendly ([`Crawler`]), and
+//!   a real-thread executor for raw throughput measurements
+//!   ([`threaded`]).
+//!
+//! Classification is pluggable through the [`DocumentJudge`] trait; the
+//! BINGO! engine (crate `bingo-core`) implements it with the hierarchical
+//! SVM classifier and drives phase switches and retraining between crawl
+//! steps.
+
+pub mod dedup;
+pub mod dns;
+pub mod frontier;
+pub mod hosts;
+pub mod threaded;
+pub mod types;
+
+mod step;
+
+pub use dedup::Dedup;
+pub use dns::CachingResolver;
+pub use frontier::{Frontier, QueueEntry};
+pub use hosts::HostManager;
+pub use step::{Crawler, StepOutcome};
+pub use types::{CrawlConfig, CrawlStats, CrawlStrategy, FocusRule, Judgment, PageContext};
+
+use bingo_textproc::AnalyzedDocument;
+
+/// The classification callback the crawler invokes for every analyzed
+/// document. Implemented by the BINGO! engine's topic-tree classifier.
+pub trait DocumentJudge {
+    /// Classify `doc`; return the assigned topic and the classifier's
+    /// confidence, or a rejection (`topic: None`).
+    fn judge(&mut self, doc: &AnalyzedDocument, ctx: &PageContext) -> Judgment;
+}
+
+impl<F> DocumentJudge for F
+where
+    F: FnMut(&AnalyzedDocument, &PageContext) -> Judgment,
+{
+    fn judge(&mut self, doc: &AnalyzedDocument, ctx: &PageContext) -> Judgment {
+        self(doc, ctx)
+    }
+}

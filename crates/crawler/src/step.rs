@@ -1,0 +1,818 @@
+//! The crawl loop: a discrete-event simulation of the multi-threaded
+//! fetch/classify/enqueue pipeline (Sections 2.1 and 4.2).
+//!
+//! Each [`Crawler::step`] call processes one URL end to end on the
+//! earliest-free simulated thread: frontier pop → hygiene guards → DNS →
+//! fetch (with redirect/timeout handling) → MIME/size filter → duplicate
+//! fingerprints → content conversion → document analysis →
+//! classification via the pluggable [`DocumentJudge`] → storage → link
+//! extraction and focusing-rule-driven enqueueing. Virtual time advances
+//! by the real latencies the simulated network reports, so wall-clock
+//! budgets ("a 90-minute crawl") are meaningful and deterministic.
+
+use crate::dedup::{path_of_url, Dedup};
+use crate::dns::CachingResolver;
+use crate::frontier::{Frontier, QueueEntry};
+use crate::hosts::HostManager;
+use crate::types::{
+    CrawlConfig, CrawlStats, CrawlStrategy, FocusRule, Judgment, PageContext, MAX_HOSTNAME_LEN,
+    MAX_URL_LEN,
+};
+use crate::DocumentJudge;
+use bingo_store::{DocumentRow, DocumentStore, LinkRow};
+use bingo_textproc::{analyze_html, ContentRegistry, Vocabulary};
+use bingo_webworld::fetch::host_of_url;
+use bingo_webworld::{FetchError, FetchOutcome, World};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// What one crawl step did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepOutcome {
+    /// A document was fetched, analyzed, judged and stored.
+    Stored {
+        /// Page id of the stored document.
+        page_id: u64,
+        /// The classifier's verdict.
+        judgment: Judgment,
+    },
+    /// The URL was consumed without storing a document (duplicate,
+    /// error, filtered, redirect...).
+    Skipped(&'static str),
+    /// No URLs left in the frontier.
+    FrontierEmpty,
+}
+
+/// The focused crawler over a simulated web.
+pub struct Crawler {
+    world: Arc<World>,
+    /// Active configuration (the engine swaps learning → harvesting).
+    pub config: CrawlConfig,
+    frontier: Frontier,
+    dedup: Dedup,
+    resolver: CachingResolver,
+    hosts: HostManager,
+    registry: ContentRegistry,
+    store: DocumentStore,
+    stats: CrawlStats,
+    /// Min-heap of (free-at, thread id).
+    threads: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Per-host connection slots: times each slot becomes free
+    /// (politeness: at most `per_host_connections` simultaneous fetches
+    /// per host, Section 5.1).
+    host_slots: bingo_textproc::fxhash::FxHashMap<String, Vec<u64>>,
+    /// Most significant terms of each stored page, feeding the
+    /// neighbour-document feature space of its successors (Section 3.4).
+    page_top_terms: bingo_textproc::fxhash::FxHashMap<u64, Vec<bingo_textproc::TermId>>,
+    clock: u64,
+}
+
+/// How many of a predecessor's terms feed the neighbour feature space.
+const NEIGHBOR_TERMS_KEPT: usize = 8;
+
+impl Crawler {
+    /// New crawler over `world` writing into `store`.
+    pub fn new(world: Arc<World>, config: CrawlConfig, store: DocumentStore) -> Self {
+        let topics = world.topics().len();
+        let frontier = Frontier::new(
+            topics,
+            config.incoming_queue_cap,
+            config.outgoing_queue_cap,
+        );
+        let threads = (0..config.threads.max(1))
+            .map(|tid| Reverse((0u64, tid)))
+            .collect();
+        Crawler {
+            hosts: HostManager::new(config.max_retries),
+            frontier,
+            threads,
+            world,
+            config,
+            dedup: Dedup::new(),
+            resolver: CachingResolver::new(),
+            registry: ContentRegistry::new(),
+            store,
+            stats: CrawlStats::default(),
+            host_slots: bingo_textproc::fxhash::FxHashMap::default(),
+            page_top_terms: bingo_textproc::fxhash::FxHashMap::default(),
+            clock: 0,
+        }
+    }
+
+    /// Seed the crawl with a URL for a topic.
+    pub fn add_seed(&mut self, url: &str, topic: Option<u32>) {
+        if self.dedup.mark_url(url) {
+            self.frontier.push_outgoing(QueueEntry::seed(url, topic));
+        }
+    }
+
+    /// Rebuild duplicate-detection state from an existing crawl database
+    /// (resuming a crawl in a later session): every stored document's URL
+    /// and response fingerprints are re-marked so the resumed crawl never
+    /// refetches what it already has.
+    pub fn resume_from_store(&mut self) {
+        let docs = self.store.all_documents();
+        for row in docs {
+            self.dedup.mark_url(&row.url);
+            let ip = self.world.host(row.host).ip;
+            self.dedup
+                .mark_response(ip, crate::dedup::path_of_url(&row.url), row.size as u64);
+            // Restore the neighbour-term cache for feature construction.
+            let mut by_freq: Vec<(u32, u32)> = row.term_freqs.clone();
+            by_freq.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            self.page_top_terms.insert(
+                row.id,
+                by_freq
+                    .into_iter()
+                    .take(NEIGHBOR_TERMS_KEPT)
+                    .map(|(t, _)| bingo_textproc::TermId(t))
+                    .collect(),
+            );
+            if let Some(host) = host_of_url(&row.url) {
+                self.hosts.record_success(host);
+            }
+        }
+        self.stats.stored_pages = self.store.document_count() as u64;
+        self.stats.visited_hosts = self.hosts.visited_count() as u64;
+    }
+
+    /// Queue a not-yet-seen URL with an explicit priority (used to resume
+    /// harvesting from the best hubs after retraining, Section 2.5).
+    pub fn boost_url(&mut self, url: &str, topic: Option<u32>, priority: f32) {
+        if self.dedup.mark_url(url) {
+            self.frontier.push_outgoing(QueueEntry {
+                priority,
+                ..QueueEntry::seed(url, topic)
+            });
+        }
+    }
+
+    /// Crawl statistics so far.
+    pub fn stats(&self) -> &CrawlStats {
+        &self.stats
+    }
+
+    /// Current virtual time in milliseconds.
+    pub fn clock_ms(&self) -> u64 {
+        self.clock
+    }
+
+    /// The result database.
+    pub fn store(&self) -> &DocumentStore {
+        &self.store
+    }
+
+    /// Number of URLs waiting in the frontier.
+    pub fn frontier_len(&self) -> usize {
+        self.frontier.len()
+    }
+
+    /// The simulated web (also the link analysis' unfocused database).
+    pub fn world(&self) -> &Arc<World> {
+        &self.world
+    }
+
+    /// Run steps until the virtual clock passes `deadline_ms` or the
+    /// frontier empties. Returns the number of documents stored.
+    pub fn run_until(
+        &mut self,
+        deadline_ms: u64,
+        judge: &mut dyn DocumentJudge,
+        vocab: &mut Vocabulary,
+    ) -> u64 {
+        let mut stored = 0;
+        while self.clock < deadline_ms {
+            match self.step(judge, vocab) {
+                StepOutcome::Stored { .. } => stored += 1,
+                StepOutcome::Skipped(_) => {}
+                StepOutcome::FrontierEmpty => break,
+            }
+        }
+        stored
+    }
+
+    /// Process one URL. See the module docs for the pipeline stages.
+    pub fn step(
+        &mut self,
+        judge: &mut dyn DocumentJudge,
+        vocab: &mut Vocabulary,
+    ) -> StepOutcome {
+        let Some(entry) = self.frontier.pop() else {
+            return StepOutcome::FrontierEmpty;
+        };
+        // Acquire the earliest-free simulated thread...
+        let Reverse((free_at, tid)) = self.threads.pop().expect("threads configured");
+        let mut now = self.clock.max(free_at);
+        // ...and a connection slot on the target host (politeness: at
+        // most `per_host_connections` simultaneous fetches per host).
+        let slot_key = host_of_url(&entry.url).map(str::to_string);
+        let mut slot_index = None;
+        if let Some(host) = &slot_key {
+            let slots = self
+                .host_slots
+                .entry(host.clone())
+                .or_insert_with(|| vec![0; self.config.per_host_connections.max(1)]);
+            let (idx, &earliest) = slots
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &t)| t)
+                .expect("at least one slot");
+            now = now.max(earliest);
+            slot_index = Some(idx);
+        }
+        self.clock = self.clock.max(now);
+        let mut cost = self.config.processing_cost_ms;
+        let outcome = self.process(entry, now, &mut cost, judge, vocab);
+        let done = now + cost;
+        if let (Some(host), Some(idx)) = (&slot_key, slot_index) {
+            if let Some(slots) = self.host_slots.get_mut(host) {
+                slots[idx] = done;
+            }
+        }
+        self.threads.push(Reverse((done, tid)));
+        self.stats.elapsed_ms = self.stats.elapsed_ms.max(done);
+        outcome
+    }
+
+    fn process(
+        &mut self,
+        entry: QueueEntry,
+        now: u64,
+        cost: &mut u64,
+        judge: &mut dyn DocumentJudge,
+        vocab: &mut Vocabulary,
+    ) -> StepOutcome {
+        self.stats.visited_urls += 1;
+        self.stats.max_depth = self.stats.max_depth.max(entry.depth);
+
+        // URL hygiene (Section 4.2 "document type management").
+        let Some(host) = host_of_url(&entry.url).map(str::to_string) else {
+            self.stats.url_rejected += 1;
+            return StepOutcome::Skipped("malformed url");
+        };
+        if entry.url.len() > MAX_URL_LEN || host.len() > MAX_HOSTNAME_LEN {
+            self.stats.url_rejected += 1;
+            return StepOutcome::Skipped("url length guard");
+        }
+        if self.config.locked_hosts.contains(&host) {
+            self.stats.url_rejected += 1;
+            return StepOutcome::Skipped("locked host");
+        }
+        if let Some(allowed) = &self.config.allowed_hosts {
+            if !allowed.contains(&host) {
+                self.stats.url_rejected += 1;
+                return StepOutcome::Skipped("outside allowed domains");
+            }
+        }
+        if self.hosts.is_bad(&host) {
+            return StepOutcome::Skipped("bad host");
+        }
+
+        // DNS.
+        match self.resolver.resolve(&self.world, &host, now) {
+            Ok(res) => *cost += res.latency_ms,
+            Err(_) => {
+                *cost += 100;
+                self.stats.fetch_errors += 1;
+                self.hosts.record_failure(&host);
+                return StepOutcome::Skipped("dns failure");
+            }
+        }
+
+        // Fetch.
+        let response = match self.world.fetch(&entry.url, entry.attempt) {
+            FetchOutcome::Redirect {
+                location,
+                latency_ms,
+            } => {
+                *cost += latency_ms;
+                self.stats.redirects += 1;
+                if entry.redirects < self.config.max_redirects && self.dedup.mark_url(&location)
+                {
+                    self.frontier.push_outgoing(QueueEntry {
+                        url: location,
+                        redirects: entry.redirects + 1,
+                        ..entry
+                    });
+                }
+                return StepOutcome::Skipped("redirect");
+            }
+            FetchOutcome::Err { error, latency_ms } => {
+                *cost += latency_ms;
+                self.stats.fetch_errors += 1;
+                if error == FetchError::Timeout {
+                    self.hosts.record_failure(&host);
+                    if self.hosts.retries_left(&host) {
+                        // Retry later at reduced priority.
+                        self.frontier.push(QueueEntry {
+                            attempt: entry.attempt + 1,
+                            priority: entry.priority * 0.5,
+                            ..entry
+                        });
+                    }
+                }
+                return StepOutcome::Skipped("fetch error");
+            }
+            FetchOutcome::Ok(resp) => {
+                *cost += resp.latency_ms;
+                resp
+            }
+        };
+        self.hosts.record_success(&host);
+        self.stats.visited_hosts = self.hosts.visited_count() as u64;
+
+        // MIME/size filter.
+        if !self.registry.can_handle(response.mime)
+            || response.size > response.mime.max_size() as u64
+        {
+            self.stats.mime_rejected += 1;
+            return StepOutcome::Skipped("mime/size filter");
+        }
+
+        // Duplicate fingerprints (IP+path, IP+filesize).
+        if !self
+            .dedup
+            .mark_response(response.ip, path_of_url(&response.url), response.size)
+        {
+            self.stats.duplicates += 1;
+            return StepOutcome::Skipped("duplicate content");
+        }
+
+        // Convert and analyze.
+        let html = match self.registry.to_html(response.mime, &response.payload) {
+            Ok(h) => h,
+            Err(_) => {
+                self.stats.mime_rejected += 1;
+                return StepOutcome::Skipped("malformed payload");
+            }
+        };
+        let doc = analyze_html(&html, vocab);
+
+        // Classify. The enqueuing predecessor's most significant terms
+        // feed the neighbour-document feature space.
+        let neighbor_terms = self
+            .page_top_terms
+            .get(&entry.src_page)
+            .cloned()
+            .unwrap_or_default();
+        let ctx = PageContext {
+            page_id: response.page_id,
+            url: response.url.clone(),
+            depth: entry.depth,
+            src_topic: entry.src_topic,
+            anchor_terms: entry.anchor_terms.clone(),
+            neighbor_terms,
+            fetched_at: now,
+        };
+        let judgment = judge.judge(&doc, &ctx);
+
+        // Remember this page's top terms for its successors.
+        let mut by_freq: Vec<(bingo_textproc::TermId, u32)> = doc.term_freqs.clone();
+        by_freq.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        self.page_top_terms.insert(
+            response.page_id,
+            by_freq
+                .into_iter()
+                .take(NEIGHBOR_TERMS_KEPT)
+                .map(|(t, _)| t)
+                .collect(),
+        );
+
+        // Store.
+        let row = DocumentRow {
+            id: response.page_id,
+            url: response.url.clone(),
+            host: self.world.page(response.page_id).host,
+            mime: response.mime,
+            depth: entry.depth,
+            title: doc.title.clone(),
+            topic: judgment.topic,
+            confidence: judgment.confidence,
+            term_freqs: doc
+                .term_freqs
+                .iter()
+                .map(|&(t, f)| (t.0, f))
+                .collect(),
+            size: response.size as usize,
+            fetched_at: now,
+        };
+        let duplicate_id = self.store.insert_document(row).is_err();
+        if duplicate_id {
+            // Same page re-fetched through another alias/redirect chain.
+            self.stats.duplicates += 1;
+            return StepOutcome::Skipped("already stored");
+        }
+        self.stats.stored_pages += 1;
+        if judgment.topic.is_some() {
+            self.stats.positively_classified += 1;
+        }
+
+        // Link extraction and enqueueing under the focusing rule.
+        self.stats.extracted_links += doc.links.len() as u64;
+        self.enqueue_links(&entry, &judgment, &doc, response.page_id);
+
+        StepOutcome::Stored {
+            page_id: response.page_id,
+            judgment,
+        }
+    }
+
+    fn enqueue_links(
+        &mut self,
+        entry: &QueueEntry,
+        judgment: &Judgment,
+        doc: &bingo_textproc::AnalyzedDocument,
+        page_id: u64,
+    ) {
+        let child_depth = entry.depth + 1;
+        if self.config.max_depth > 0 && child_depth > self.config.max_depth {
+            return;
+        }
+
+        // Decide how this document propagates focus (Section 3.3).
+        let on_topic = match (self.config.focus, judgment.topic) {
+            // Sharp: the document must be classified into the same topic
+            // it was queued for (seeds with src_topic None accept any
+            // positive classification).
+            (FocusRule::Sharp, Some(t)) => {
+                entry.src_topic.is_none() || entry.src_topic == Some(t)
+            }
+            // Soft: any topic of interest counts.
+            (FocusRule::Soft, Some(_)) => true,
+            (_, None) => false,
+        };
+
+        let (tunnel, src_topic, base_priority) = if on_topic {
+            (
+                0,
+                judgment.topic.or(entry.src_topic),
+                judgment.confidence.max(0.0),
+            )
+        } else {
+            // Tunnelling through a rejected (or off-topic) page.
+            let tunnel = entry.tunnel + 1;
+            if tunnel > self.config.max_tunnel {
+                return;
+            }
+            let parent = if entry.priority.is_finite() && entry.priority < 1e12 {
+                entry.priority
+            } else {
+                1.0
+            };
+            (
+                tunnel,
+                entry.src_topic,
+                (parent * self.config.tunnel_decay).max(0.001),
+            )
+        };
+
+        for link in &doc.links {
+            let url = &link.href;
+            if url.len() > MAX_URL_LEN {
+                self.stats.url_rejected += 1;
+                continue;
+            }
+            let Some(link_host) = host_of_url(url) else {
+                self.stats.url_rejected += 1;
+                continue;
+            };
+            if link_host.len() > MAX_HOSTNAME_LEN
+                || self.config.locked_hosts.contains(link_host)
+            {
+                self.stats.url_rejected += 1;
+                continue;
+            }
+            if let Some(allowed) = &self.config.allowed_hosts {
+                if !allowed.contains(link_host) {
+                    continue;
+                }
+            }
+            if self.hosts.is_bad(link_host) {
+                continue;
+            }
+            if !self.dedup.mark_url(url) {
+                continue; // already queued or visited
+            }
+            // Depth-first learning gives deeper URLs higher priority;
+            // best-first harvesting orders by confidence.
+            let priority = match self.config.strategy {
+                CrawlStrategy::DepthFirst => child_depth as f32 * 10.0 + base_priority,
+                CrawlStrategy::BestFirst => base_priority,
+            };
+            // Record the link row for the link analysis.
+            if let Some(to_id) = self.world.resolve_url(url) {
+                self.store.insert_link(LinkRow {
+                    from: page_id,
+                    to: to_id,
+                    to_url: url.clone(),
+                });
+            }
+            self.frontier.push(QueueEntry {
+                url: url.clone(),
+                priority,
+                depth: child_depth,
+                tunnel,
+                src_topic,
+                src_page: page_id,
+                anchor_terms: link.anchor_terms.clone(),
+                redirects: 0,
+                attempt: 0,
+            });
+        }
+        self.stats.queue_overflow = self.frontier.overflow;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bingo_textproc::AnalyzedDocument;
+    use bingo_webworld::gen::WorldConfig;
+
+    /// Accept everything into topic 0 with constant confidence.
+    fn accept_all() -> impl FnMut(&AnalyzedDocument, &PageContext) -> Judgment {
+        |_doc, _ctx| Judgment {
+            topic: Some(0),
+            confidence: 1.0,
+        }
+    }
+
+    /// Reject everything.
+    fn reject_all() -> impl FnMut(&AnalyzedDocument, &PageContext) -> Judgment {
+        |_doc, _ctx| Judgment::reject(-1.0)
+    }
+
+    fn setup(seed: u64) -> (Crawler, Vocabulary) {
+        let world = Arc::new(WorldConfig::small_test(seed).build());
+        let config = CrawlConfig {
+            max_depth: 0,
+            ..CrawlConfig::default()
+        };
+        let crawler = Crawler::new(world, config, DocumentStore::new());
+        (crawler, Vocabulary::new())
+    }
+
+    #[test]
+    fn crawl_explores_and_stores() {
+        let (mut crawler, mut vocab) = setup(31);
+        let seed_url = crawler.world().url_of(1);
+        crawler.add_seed(&seed_url, Some(0));
+        let mut judge = accept_all();
+        let stored = crawler.run_until(u64::MAX, &mut judge, &mut vocab);
+        let stats = crawler.stats().clone();
+        assert!(stored > 50, "only {stored} stored");
+        assert_eq!(stats.stored_pages, stored);
+        assert!(stats.extracted_links > stats.stored_pages);
+        assert!(stats.visited_hosts > 3);
+        assert!(stats.elapsed_ms > 0);
+        assert_eq!(stats.positively_classified, stored);
+        assert_eq!(crawler.store().document_count() as u64, stored);
+    }
+
+    #[test]
+    fn rejection_limits_spread_via_tunnelling() {
+        let (mut crawler_r, mut vocab_r) = setup(31);
+        let seed_url = crawler_r.world().url_of(1);
+        crawler_r.add_seed(&seed_url, Some(0));
+        let mut reject = reject_all();
+        let stored_rejecting = crawler_r.run_until(u64::MAX, &mut reject, &mut vocab_r);
+
+        let (mut crawler_a, mut vocab_a) = setup(31);
+        crawler_a.add_seed(&seed_url, Some(0));
+        let mut accept = accept_all();
+        let stored_accepting = crawler_a.run_until(u64::MAX, &mut accept, &mut vocab_a);
+
+        // With everything rejected, only tunnelling (≤2 steps) spreads the
+        // crawl, so far fewer pages are reached.
+        assert!(
+            stored_rejecting < stored_accepting / 2,
+            "tunnelling bound violated: rejecting={stored_rejecting} accepting={stored_accepting}"
+        );
+        assert!(stored_rejecting > 0, "tunnelling must still pass welcome pages");
+    }
+
+    #[test]
+    fn domain_restriction_confines_crawl() {
+        let world = Arc::new(WorldConfig::small_test(31).build());
+        let seed_url = world.url_of(1);
+        let seed_host = bingo_webworld::fetch::host_of_url(&seed_url)
+            .unwrap()
+            .to_string();
+        let config = CrawlConfig {
+            max_depth: 0,
+            allowed_hosts: Some([seed_host.clone()].into_iter().collect()),
+            ..CrawlConfig::default()
+        };
+        let mut crawler = Crawler::new(world, config, DocumentStore::new());
+        crawler.add_seed(&seed_url, Some(0));
+        let mut judge = accept_all();
+        let mut vocab = Vocabulary::new();
+        crawler.run_until(u64::MAX, &mut judge, &mut vocab);
+        crawler.store().for_each_document(|row| {
+            let h = bingo_webworld::fetch::host_of_url(&row.url).unwrap();
+            assert_eq!(h, seed_host, "crawled outside allowed domain: {}", row.url);
+        });
+    }
+
+    #[test]
+    fn locked_hosts_never_visited() {
+        let world = Arc::new(WorldConfig::small_test(31).build());
+        let locked = world.host(0).name.clone();
+        let seed_url = world.url_of(1);
+        let config = CrawlConfig {
+            max_depth: 0,
+            locked_hosts: [locked.clone()].into_iter().collect(),
+            ..CrawlConfig::default()
+        };
+        let mut crawler = Crawler::new(world, config, DocumentStore::new());
+        crawler.add_seed(&seed_url, Some(0));
+        let mut judge = accept_all();
+        let mut vocab = Vocabulary::new();
+        crawler.run_until(u64::MAX, &mut judge, &mut vocab);
+        crawler.store().for_each_document(|row| {
+            assert_ne!(
+                bingo_webworld::fetch::host_of_url(&row.url).unwrap(),
+                locked
+            );
+        });
+    }
+
+    #[test]
+    fn duplicates_are_dismissed() {
+        let (mut crawler, mut vocab) = setup(33);
+        let seed_url = crawler.world().url_of(1);
+        crawler.add_seed(&seed_url, Some(0));
+        let mut judge = accept_all();
+        crawler.run_until(u64::MAX, &mut judge, &mut vocab);
+        // Every stored page id is unique (aliases collapsed).
+        let docs = crawler.store().all_documents();
+        let ids: std::collections::HashSet<u64> = docs.iter().map(|d| d.id).collect();
+        assert_eq!(ids.len(), docs.len());
+        assert!(crawler.stats().duplicates > 0, "aliases should be caught");
+    }
+
+    #[test]
+    fn media_filtered_and_errors_survived() {
+        let (mut crawler, mut vocab) = setup(34);
+        let seed_url = crawler.world().url_of(1);
+        crawler.add_seed(&seed_url, Some(0));
+        let mut judge = accept_all();
+        crawler.run_until(u64::MAX, &mut judge, &mut vocab);
+        let stats = crawler.stats();
+        assert!(stats.mime_rejected > 0, "video links must be filtered");
+        assert!(stats.fetch_errors > 0, "dead/flaky hosts must show up");
+        assert!(stats.url_rejected > 0, "trap URLs must be rejected");
+        // No stored video documents.
+        crawler.store().for_each_document(|row| {
+            assert_ne!(row.mime, bingo_textproc::MimeType::Video);
+        });
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let world = Arc::new(WorldConfig::small_test(31).build());
+        let seed_url = world.url_of(1);
+        let config = CrawlConfig {
+            max_depth: 2,
+            ..CrawlConfig::default()
+        };
+        let mut crawler = Crawler::new(world, config, DocumentStore::new());
+        crawler.add_seed(&seed_url, Some(0));
+        let mut judge = accept_all();
+        let mut vocab = Vocabulary::new();
+        crawler.run_until(u64::MAX, &mut judge, &mut vocab);
+        assert!(crawler.stats().max_depth <= 2);
+        crawler
+            .store()
+            .for_each_document(|row| assert!(row.depth <= 2));
+    }
+
+    #[test]
+    fn deterministic_crawl() {
+        let run = || {
+            let (mut crawler, mut vocab) = setup(35);
+            let seed_url = crawler.world().url_of(1);
+            crawler.add_seed(&seed_url, Some(0));
+            let mut judge = accept_all();
+            crawler.run_until(1_000_000, &mut judge, &mut vocab);
+            (
+                crawler.stats().clone().stored_pages,
+                crawler.stats().visited_urls,
+                crawler.clock_ms(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn time_budget_halts_crawl() {
+        let (mut crawler, mut vocab) = setup(36);
+        let seed_url = crawler.world().url_of(1);
+        crawler.add_seed(&seed_url, Some(0));
+        let mut judge = accept_all();
+        crawler.run_until(500, &mut judge, &mut vocab);
+        let early = crawler.stats().stored_pages;
+        crawler.run_until(u64::MAX, &mut judge, &mut vocab);
+        let late = crawler.stats().stored_pages;
+        assert!(early < late, "crawl must be resumable after a budget stop");
+    }
+
+    #[test]
+    fn per_host_politeness_serializes_single_host_crawls() {
+        // Crawl restricted to one host: with 1 connection slot the crawl
+        // must take longer (virtual time) than with 8 slots, because
+        // fetches serialize.
+        let elapsed_with = |conns: usize| {
+            let world = Arc::new(WorldConfig::small_test(31).build());
+            let seed_url = world.url_of(1);
+            let host = bingo_webworld::fetch::host_of_url(&seed_url)
+                .unwrap()
+                .to_string();
+            let config = CrawlConfig {
+                max_depth: 0,
+                per_host_connections: conns,
+                allowed_hosts: Some([host].into_iter().collect()),
+                ..CrawlConfig::default()
+            };
+            let mut crawler = Crawler::new(world, config, DocumentStore::new());
+            crawler.add_seed(&seed_url, Some(0));
+            let mut judge = accept_all();
+            let mut vocab = Vocabulary::new();
+            crawler.run_until(u64::MAX, &mut judge, &mut vocab);
+            (crawler.stats().stored_pages, crawler.stats().elapsed_ms)
+        };
+        let (stored_1, time_1) = elapsed_with(1);
+        let (stored_8, time_8) = elapsed_with(8);
+        assert_eq!(stored_1, stored_8, "same pages crawled either way");
+        assert!(
+            time_1 > time_8,
+            "1 connection must be slower: {time_1} vs {time_8}"
+        );
+    }
+
+    #[test]
+    fn resume_from_store_never_refetches() {
+        // First session: crawl with a budget, snapshot the store.
+        let world = Arc::new(WorldConfig::small_test(44).build());
+        let seed_url = world.url_of(1);
+        let store = DocumentStore::new();
+        let mut crawler = Crawler::new(
+            world.clone(),
+            CrawlConfig {
+                max_depth: 0,
+                ..CrawlConfig::default()
+            },
+            store.clone(),
+        );
+        crawler.add_seed(&seed_url, Some(0));
+        let mut judge = accept_all();
+        let mut vocab = Vocabulary::new();
+        crawler.run_until(3_000, &mut judge, &mut vocab);
+        let first_ids: std::collections::HashSet<u64> =
+            store.all_documents().iter().map(|d| d.id).collect();
+        assert!(!first_ids.is_empty());
+
+        // Second session: fresh crawler over the same store, resumed.
+        let mut resumed = Crawler::new(
+            world.clone(),
+            CrawlConfig {
+                max_depth: 0,
+                ..CrawlConfig::default()
+            },
+            store.clone(),
+        );
+        resumed.resume_from_store();
+        assert_eq!(resumed.stats().stored_pages, first_ids.len() as u64);
+        // Seeding the same URLs again is a no-op (already marked)...
+        resumed.add_seed(&seed_url, Some(0));
+        assert_eq!(resumed.frontier_len(), 0, "seed was refetched");
+        // ...but seeding an uncrawled page continues the crawl without
+        // duplicate-key errors.
+        let fresh = (0..world.page_count() as u64)
+            .find(|id| !first_ids.contains(id) && world.page(*id).redirect_to.is_none()
+                && world.page(*id).size_hint.is_none()
+                && world.host(world.page(*id).host).behavior
+                    == bingo_webworld::HostBehavior::Normal)
+            .unwrap();
+        resumed.add_seed(&world.url_of(fresh), Some(0));
+        let mut judge = accept_all();
+        resumed.run_until(u64::MAX, &mut judge, &mut vocab);
+        assert!(resumed.stats().stored_pages as usize > first_ids.len());
+        // "already stored" duplicates may only come from alias pages, not
+        // from re-walking the first session's URLs.
+        let all_ids: std::collections::HashSet<u64> =
+            store.all_documents().iter().map(|d| d.id).collect();
+        assert!(all_ids.is_superset(&first_ids));
+    }
+
+    #[test]
+    fn redirects_reach_canonical_pages() {
+        let (mut crawler, mut vocab) = setup(37);
+        let seed_url = crawler.world().url_of(1);
+        crawler.add_seed(&seed_url, Some(0));
+        let mut judge = accept_all();
+        crawler.run_until(u64::MAX, &mut judge, &mut vocab);
+        assert!(crawler.stats().redirects > 0, "redirect stubs exist");
+    }
+}

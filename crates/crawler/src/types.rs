@@ -1,0 +1,238 @@
+//! Crawl configuration, statistics and shared types.
+
+use bingo_textproc::fxhash::FxHashSet;
+use serde::{Deserialize, Serialize};
+
+/// Maximum accepted hostname length (RFC 1738; Section 4.2).
+pub const MAX_HOSTNAME_LEN: usize = 255;
+/// Maximum accepted URL length (Section 4.2).
+pub const MAX_URL_LEN: usize = 1000;
+
+/// The crawl focusing rule (Section 3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FocusRule {
+    /// Learning phase: "accept only those links where
+    /// `class(p) = class(q)`" — links are followed only from documents
+    /// classified into the same topic the link was queued for; rejected
+    /// documents contribute links only through bounded tunnelling.
+    Sharp,
+    /// Harvesting phase: accept links from documents classified into
+    /// *any* topic of interest.
+    Soft,
+}
+
+/// Frontier ordering (Section 2.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrawlStrategy {
+    /// Learning phase: "a limited (mostly depth-first) crawl" — deeper
+    /// URLs first.
+    DepthFirst,
+    /// Harvesting phase: breadth-first with SVM-confidence
+    /// prioritization — best-confidence URLs first.
+    BestFirst,
+}
+
+/// Crawl parameters; defaults follow the paper's testbed (Section 5.1).
+#[derive(Debug, Clone)]
+pub struct CrawlConfig {
+    /// Simulated crawler threads (paper: 15).
+    pub threads: usize,
+    /// Focusing rule in effect.
+    pub focus: FocusRule,
+    /// Frontier ordering.
+    pub strategy: CrawlStrategy,
+    /// Maximum crawl depth (0 = unlimited). Learning phase: 4.
+    pub max_depth: u32,
+    /// Maximum tunnelling distance through rejected pages (paper: 2).
+    pub max_tunnel: u32,
+    /// Priority decay per tunnelling step (paper: 0.5).
+    pub tunnel_decay: f32,
+    /// Maximum redirects followed per chain (paper: 25).
+    pub max_redirects: u32,
+    /// Retries per host before it is tagged bad (paper: 3).
+    pub max_retries: u32,
+    /// Incoming queue capacity per topic (paper: 25,000).
+    pub incoming_queue_cap: usize,
+    /// Outgoing queue capacity per topic (paper: 1,000).
+    pub outgoing_queue_cap: usize,
+    /// When set, the crawl only visits these hostnames (learning-phase
+    /// domain restriction).
+    pub allowed_hosts: Option<FxHashSet<String>>,
+    /// Hostnames never visited ("the domains of major Web search engines
+    /// were explicitly locked", and DBLP is locked in the experiment).
+    pub locked_hosts: FxHashSet<String>,
+    /// Estimated per-document processing cost in virtual ms (parsing,
+    /// classification, storing) added to each thread's busy time.
+    pub processing_cost_ms: u64,
+    /// Maximum simultaneous connections per host (paper testbed: 2).
+    /// A fetch whose host has no free connection slot waits for one.
+    pub per_host_connections: usize,
+}
+
+impl Default for CrawlConfig {
+    fn default() -> Self {
+        CrawlConfig {
+            threads: 15,
+            focus: FocusRule::Sharp,
+            strategy: CrawlStrategy::DepthFirst,
+            max_depth: 4,
+            max_tunnel: 2,
+            tunnel_decay: 0.5,
+            max_redirects: 25,
+            max_retries: 3,
+            incoming_queue_cap: 25_000,
+            outgoing_queue_cap: 1_000,
+            allowed_hosts: None,
+            locked_hosts: FxHashSet::default(),
+            processing_cost_ms: 5,
+            per_host_connections: 2,
+        }
+    }
+}
+
+impl CrawlConfig {
+    /// The harvesting-phase variant of this configuration: soft focus,
+    /// best-first ordering, no depth limit, no domain restriction
+    /// (Section 3.3).
+    pub fn harvesting(&self) -> CrawlConfig {
+        CrawlConfig {
+            focus: FocusRule::Soft,
+            strategy: CrawlStrategy::BestFirst,
+            max_depth: 0,
+            allowed_hosts: None,
+            ..self.clone()
+        }
+    }
+}
+
+/// Total-ordered queue key derived from an `f32` priority. Smaller keys
+/// sort first, so the key negates the priority: the BTree's first entry
+/// is the *highest*-priority URL. Fixed-point scaling keeps the ordering
+/// total (no NaN pitfalls) at microscale resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct QueuePriority(i64);
+
+impl QueuePriority {
+    /// Key for a priority value.
+    pub fn new(priority: f32) -> Self {
+        let p = if priority.is_nan() { 0.0 } else { priority };
+        QueuePriority(-((p.clamp(-1e12, 1e12) as f64 * 1e6.to_owned()) as i64))
+    }
+
+    /// Approximate priority back from the key.
+    pub fn as_f32(self) -> f32 {
+        (-(self.0 as f64) / 1e6) as f32
+    }
+}
+
+/// The verdict of the engine's classifier on one document.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Judgment {
+    /// Topic the document was assigned to; `None` = rejected everywhere
+    /// (the OTHERS case).
+    pub topic: Option<u32>,
+    /// Classification confidence (signed hyperplane distance of the
+    /// winning topic, or the best rejected score).
+    pub confidence: f32,
+}
+
+impl Judgment {
+    /// Outright rejection with the given (non-positive) confidence.
+    pub fn reject(confidence: f32) -> Self {
+        Judgment {
+            topic: None,
+            confidence,
+        }
+    }
+}
+
+/// Crawl context handed to the judge along with the analyzed document.
+#[derive(Debug, Clone)]
+pub struct PageContext {
+    /// Page id in the web graph.
+    pub page_id: u64,
+    /// URL the document was fetched from.
+    pub url: String,
+    /// Crawl depth.
+    pub depth: u32,
+    /// Topic the enqueuing parent was classified into, if any.
+    pub src_topic: Option<u32>,
+    /// Anchor terms of the link that enqueued this page (for the
+    /// anchor-text feature space).
+    pub anchor_terms: Vec<bingo_textproc::TermId>,
+    /// Most significant terms of the hyperlink predecessor that enqueued
+    /// this page (for the neighbour-document feature space, Section 3.4).
+    pub neighbor_terms: Vec<bingo_textproc::TermId>,
+    /// Virtual time of the fetch.
+    pub fetched_at: u64,
+}
+
+/// Counters reported in Table 1 plus the operational counters the
+/// Section 4.2 mechanisms produce.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CrawlStats {
+    /// URLs taken off the frontier and processed (Table 1 "Visited URLs").
+    pub visited_urls: u64,
+    /// Documents stored in the database (Table 1 "Stored pages").
+    pub stored_pages: u64,
+    /// Hyperlinks extracted from stored documents (Table 1).
+    pub extracted_links: u64,
+    /// Documents positively classified into a topic (Table 1).
+    pub positively_classified: u64,
+    /// Distinct hosts successfully visited (Table 1).
+    pub visited_hosts: u64,
+    /// Maximum crawl depth reached (Table 1).
+    pub max_depth: u32,
+    /// Duplicates dismissed by any fingerprint.
+    pub duplicates: u64,
+    /// Fetch failures (timeouts, 404s, DNS).
+    pub fetch_errors: u64,
+    /// Redirects followed.
+    pub redirects: u64,
+    /// Documents dropped by MIME/size limits.
+    pub mime_rejected: u64,
+    /// URLs dropped by hygiene guards (length limits, locked hosts).
+    pub url_rejected: u64,
+    /// Links dropped because a frontier queue was full.
+    pub queue_overflow: u64,
+    /// Virtual time elapsed (ms).
+    pub elapsed_ms: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_testbed() {
+        let c = CrawlConfig::default();
+        assert_eq!(c.threads, 15);
+        assert_eq!(c.max_tunnel, 2);
+        assert_eq!(c.tunnel_decay, 0.5);
+        assert_eq!(c.max_redirects, 25);
+        assert_eq!(c.max_retries, 3);
+        assert_eq!(c.incoming_queue_cap, 25_000);
+        assert_eq!(c.outgoing_queue_cap, 1_000);
+    }
+
+    #[test]
+    fn harvesting_variant_relaxes() {
+        let c = CrawlConfig {
+            allowed_hosts: Some(["x.edu".to_string()].into_iter().collect()),
+            ..CrawlConfig::default()
+        };
+        let h = c.harvesting();
+        assert_eq!(h.focus, FocusRule::Soft);
+        assert_eq!(h.strategy, CrawlStrategy::BestFirst);
+        assert_eq!(h.max_depth, 0);
+        assert!(h.allowed_hosts.is_none());
+        assert_eq!(h.threads, c.threads);
+    }
+
+    #[test]
+    fn judgment_reject() {
+        let j = Judgment::reject(-0.4);
+        assert_eq!(j.topic, None);
+        assert_eq!(j.confidence, -0.4);
+    }
+}

@@ -1,0 +1,214 @@
+//! PageRank (Brin & Page, WWW 1998 — the paper's reference [5]).
+//!
+//! BINGO!'s own distiller is HITS, but the paper frames authority-based
+//! ranking with both classics; the local search engine exposes PageRank
+//! as an alternative global authority metric for result postprocessing
+//! (an extension beyond the paper's HITS-only postprocessor, documented
+//! as such in DESIGN.md).
+
+use crate::{LinkSource, PageId};
+use bingo_textproc::fxhash::FxHashMap;
+
+/// PageRank parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PageRankConfig {
+    /// Damping factor (classic: 0.85).
+    pub damping: f64,
+    /// Maximum power iterations.
+    pub max_iterations: usize,
+    /// L1 convergence threshold.
+    pub epsilon: f64,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        PageRankConfig {
+            damping: 0.85,
+            max_iterations: 60,
+            epsilon: 1e-9,
+        }
+    }
+}
+
+/// PageRank scores over a node set.
+#[derive(Debug, Clone)]
+pub struct PageRankResult {
+    /// Node set in score-vector order.
+    pub nodes: Vec<PageId>,
+    /// Score per node; sums to 1 over the set.
+    pub scores: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+impl PageRankResult {
+    /// Score of a page (0 outside the analyzed set).
+    pub fn score_of(&self, page: PageId) -> f64 {
+        self.nodes
+            .iter()
+            .position(|&p| p == page)
+            .map(|i| self.scores[i])
+            .unwrap_or(0.0)
+    }
+
+    /// Top-`n` pages by score, best first.
+    pub fn top(&self, n: usize) -> Vec<(PageId, f64)> {
+        let mut pairs: Vec<(PageId, f64)> = self
+            .nodes
+            .iter()
+            .copied()
+            .zip(self.scores.iter().copied())
+            .collect();
+        pairs.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        pairs.truncate(n);
+        pairs
+    }
+}
+
+/// Compute PageRank over the subgraph induced by `nodes`. Dangling nodes
+/// (no out-links within the set) distribute their mass uniformly.
+pub fn pagerank<S: LinkSource + ?Sized>(
+    source: &S,
+    nodes: &[PageId],
+    config: PageRankConfig,
+) -> PageRankResult {
+    let n = nodes.len();
+    if n == 0 {
+        return PageRankResult {
+            nodes: Vec::new(),
+            scores: Vec::new(),
+            iterations: 0,
+        };
+    }
+    let index: FxHashMap<PageId, usize> =
+        nodes.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+    // Induced adjacency (deduplicated).
+    let out: Vec<Vec<usize>> = nodes
+        .iter()
+        .map(|&p| {
+            let mut targets: Vec<usize> = source
+                .successors(p)
+                .into_iter()
+                .filter_map(|s| index.get(&s).copied())
+                .collect();
+            targets.sort_unstable();
+            targets.dedup();
+            targets
+        })
+        .collect();
+
+    let uniform = 1.0 / n as f64;
+    let mut scores = vec![uniform; n];
+    let mut iterations = 0;
+    for it in 0..config.max_iterations {
+        iterations = it + 1;
+        let mut next = vec![(1.0 - config.damping) * uniform; n];
+        let mut dangling_mass = 0.0;
+        for (i, targets) in out.iter().enumerate() {
+            if targets.is_empty() {
+                dangling_mass += scores[i];
+            } else {
+                let share = config.damping * scores[i] / targets.len() as f64;
+                for &t in targets {
+                    next[t] += share;
+                }
+            }
+        }
+        let dangling_share = config.damping * dangling_mass * uniform;
+        for v in next.iter_mut() {
+            *v += dangling_share;
+        }
+        let delta: f64 = scores
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        scores = next;
+        if delta < config.epsilon {
+            break;
+        }
+    }
+
+    PageRankResult {
+        nodes: nodes.to_vec(),
+        scores,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinkGraph;
+
+    fn star_graph() -> LinkGraph {
+        // Pages 1..=4 all link to 0; 0 links to 1.
+        let mut g = LinkGraph::new();
+        for p in 0..5 {
+            g.add_page(p, p as u32);
+        }
+        for p in 1..5 {
+            g.add_link(p, 0);
+        }
+        g.add_link(0, 1);
+        g
+    }
+
+    #[test]
+    fn scores_sum_to_one_and_hub_wins() {
+        let g = star_graph();
+        let nodes: Vec<PageId> = (0..5).collect();
+        let r = pagerank(&g, &nodes, PageRankConfig::default());
+        let sum: f64 = r.scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+        let top = r.top(1);
+        assert_eq!(top[0].0, 0, "the link sink must rank first");
+        // Page 1 receives 0's endorsement, beating 2..4.
+        assert!(r.score_of(1) > r.score_of(2));
+    }
+
+    #[test]
+    fn dangling_nodes_handled() {
+        let mut g = LinkGraph::new();
+        for p in 0..3 {
+            g.add_page(p, p as u32);
+        }
+        g.add_link(0, 1);
+        g.add_link(1, 2);
+        // 2 is dangling.
+        let r = pagerank(&g, &[0, 1, 2], PageRankConfig::default());
+        let sum: f64 = r.scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(r.scores.iter().all(|&s| s > 0.0));
+        assert!(r.score_of(2) > r.score_of(0), "chain end accumulates rank");
+    }
+
+    #[test]
+    fn empty_set() {
+        let g = LinkGraph::new();
+        let r = pagerank(&g, &[], PageRankConfig::default());
+        assert!(r.nodes.is_empty());
+        assert_eq!(r.score_of(7), 0.0);
+    }
+
+    #[test]
+    fn converges_on_cycle() {
+        let mut g = LinkGraph::new();
+        for p in 0..4 {
+            g.add_page(p, p as u32);
+        }
+        for p in 0..4u64 {
+            g.add_link(p, (p + 1) % 4);
+        }
+        let r = pagerank(&g, &[0, 1, 2, 3], PageRankConfig::default());
+        // Symmetric cycle: uniform scores.
+        for &s in &r.scores {
+            assert!((s - 0.25).abs() < 1e-6);
+        }
+        assert!(r.iterations < 60);
+    }
+}

@@ -1,0 +1,220 @@
+//! Meta classification (Section 3.5).
+//!
+//! BINGO! trains one classifier per feature-space variant and combines
+//! them at run time with a meta decision function
+//!
+//! ```text
+//! Meta(V, D, C) = +1  when Σ wᵢ·res(vᵢ) > t₁
+//!                 -1  when Σ wᵢ·res(vᵢ) < t₂
+//!                  0  otherwise (abstention)
+//! ```
+//!
+//! with the three instances the paper highlights: **unanimous** decision,
+//! **majority** decision, and the **ξα-weighted average** where classifier
+//! i is weighted by its estimated precision. "Unanimous and weighted
+//! average decisions improved precision from values around 80 percent to
+//! values above 90 percent."
+
+use crate::{Classifier, Decision};
+use bingo_textproc::SparseVector;
+use serde::{Deserialize, Serialize};
+
+/// The meta decision-function instance to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MetaPolicy {
+    /// All classifiers must agree for a definite decision:
+    /// `wᵢ = 1, t₁ = h - 0.5 = -t₂`.
+    Unanimous,
+    /// Majority vote: `wᵢ = 1, t₁ = t₂ = 0`.
+    Majority,
+    /// ξα-precision weighted average: `wᵢ = precision_ξα(vᵢ), t₁ = t₂ = 0`.
+    WeightedAverage,
+}
+
+/// The tri-state outcome of the meta decision function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetaOutcome {
+    /// Definitively positive (+1).
+    Positive,
+    /// Definitively negative (-1).
+    Negative,
+    /// The meta classifier abstains (0).
+    Abstain,
+}
+
+/// A combination of base classifiers with per-classifier weights.
+pub struct MetaClassifier {
+    members: Vec<(Box<dyn Classifier>, f32)>,
+    policy: MetaPolicy,
+}
+
+impl MetaClassifier {
+    /// Build from `(classifier, ξα precision)` pairs. The precision is
+    /// only used by [`MetaPolicy::WeightedAverage`].
+    pub fn new(members: Vec<(Box<dyn Classifier>, f32)>, policy: MetaPolicy) -> Self {
+        MetaClassifier { members, policy }
+    }
+
+    /// Number of member classifiers.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when no members are configured.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The configured decision policy.
+    pub fn policy(&self) -> MetaPolicy {
+        self.policy
+    }
+
+    /// Evaluate the tri-state meta decision function on `x`.
+    ///
+    /// Every member receives the *same* vector; members built over
+    /// different feature spaces ignore namespaces they were not trained
+    /// on, which is exactly how BINGO! runs its parallel classifiers.
+    pub fn evaluate(&self, x: &SparseVector) -> MetaOutcome {
+        if self.members.is_empty() {
+            return MetaOutcome::Abstain;
+        }
+        let h = self.members.len() as f32;
+        let (t1, t2) = match self.policy {
+            MetaPolicy::Unanimous => (h - 0.5, -(h - 0.5)),
+            MetaPolicy::Majority | MetaPolicy::WeightedAverage => (0.0, 0.0),
+        };
+        let mut sum = 0.0f32;
+        for (clf, precision) in &self.members {
+            let res = if clf.decide(x).accept() { 1.0 } else { -1.0 };
+            let w = match self.policy {
+                MetaPolicy::WeightedAverage => *precision,
+                _ => 1.0,
+            };
+            sum += w * res;
+        }
+        if sum > t1 {
+            MetaOutcome::Positive
+        } else if sum < t2 {
+            MetaOutcome::Negative
+        } else {
+            MetaOutcome::Abstain
+        }
+    }
+
+    /// Mean signed confidence of the members — used when a single
+    /// confidence number is needed (e.g. URL priorities) for a meta
+    /// decision.
+    pub fn mean_confidence(&self, x: &SparseVector) -> f32 {
+        if self.members.is_empty() {
+            return 0.0;
+        }
+        let sum: f32 = self.members.iter().map(|(c, _)| c.decide(x).score).sum();
+        sum / self.members.len() as f32
+    }
+}
+
+impl Classifier for MetaClassifier {
+    /// Collapse the tri-state outcome into a [`Decision`]: abstention maps
+    /// to a zero-confidence rejection... except that `score = 0.0` counts
+    /// as accept in [`Decision`], so abstention is encoded as a tiny
+    /// negative score.
+    fn decide(&self, x: &SparseVector) -> Decision {
+        let score = match self.evaluate(x) {
+            MetaOutcome::Positive => self.mean_confidence(x).max(0.0),
+            MetaOutcome::Negative => self.mean_confidence(x).min(-f32::EPSILON),
+            MetaOutcome::Abstain => -f32::EPSILON,
+        };
+        Decision { score }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fixed-score classifier for testing.
+    struct Fixed(f32);
+    impl Classifier for Fixed {
+        fn decide(&self, _x: &SparseVector) -> Decision {
+            Decision { score: self.0 }
+        }
+    }
+
+    fn members(scores: &[f32], precisions: &[f32]) -> Vec<(Box<dyn Classifier>, f32)> {
+        scores
+            .iter()
+            .zip(precisions)
+            .map(|(&s, &p)| (Box::new(Fixed(s)) as Box<dyn Classifier>, p))
+            .collect()
+    }
+
+    fn x() -> SparseVector {
+        SparseVector::new()
+    }
+
+    #[test]
+    fn unanimous_requires_agreement() {
+        let all_yes = MetaClassifier::new(members(&[1.0, 2.0, 0.5], &[1.0; 3]), MetaPolicy::Unanimous);
+        assert_eq!(all_yes.evaluate(&x()), MetaOutcome::Positive);
+
+        let split = MetaClassifier::new(members(&[1.0, 1.0, -1.0], &[1.0; 3]), MetaPolicy::Unanimous);
+        assert_eq!(split.evaluate(&x()), MetaOutcome::Abstain);
+
+        let all_no = MetaClassifier::new(members(&[-1.0, -1.0, -2.0], &[1.0; 3]), MetaPolicy::Unanimous);
+        assert_eq!(all_no.evaluate(&x()), MetaOutcome::Negative);
+    }
+
+    #[test]
+    fn majority_decides_by_count() {
+        let two_of_three =
+            MetaClassifier::new(members(&[1.0, 1.0, -1.0], &[1.0; 3]), MetaPolicy::Majority);
+        assert_eq!(two_of_three.evaluate(&x()), MetaOutcome::Positive);
+
+        let one_of_three =
+            MetaClassifier::new(members(&[1.0, -1.0, -1.0], &[1.0; 3]), MetaPolicy::Majority);
+        assert_eq!(one_of_three.evaluate(&x()), MetaOutcome::Negative);
+
+        // Even split abstains (sum == 0).
+        let tie = MetaClassifier::new(members(&[1.0, -1.0], &[1.0; 2]), MetaPolicy::Majority);
+        assert_eq!(tie.evaluate(&x()), MetaOutcome::Abstain);
+    }
+
+    #[test]
+    fn weighted_average_respects_precision() {
+        // One confident high-precision classifier outvotes two weak ones.
+        let m = MetaClassifier::new(
+            members(&[1.0, -1.0, -1.0], &[0.95, 0.3, 0.3]),
+            MetaPolicy::WeightedAverage,
+        );
+        assert_eq!(m.evaluate(&x()), MetaOutcome::Positive);
+
+        // With equal precisions the majority wins instead.
+        let m = MetaClassifier::new(
+            members(&[1.0, -1.0, -1.0], &[0.5, 0.5, 0.5]),
+            MetaPolicy::WeightedAverage,
+        );
+        assert_eq!(m.evaluate(&x()), MetaOutcome::Negative);
+    }
+
+    #[test]
+    fn empty_meta_abstains() {
+        let m = MetaClassifier::new(vec![], MetaPolicy::Majority);
+        assert_eq!(m.evaluate(&x()), MetaOutcome::Abstain);
+        assert!(!m.decide(&x()).accept());
+    }
+
+    #[test]
+    fn decision_view_encodes_abstention_as_reject() {
+        let split = MetaClassifier::new(members(&[1.0, -1.0], &[1.0; 2]), MetaPolicy::Unanimous);
+        assert!(!split.decide(&x()).accept());
+        let yes = MetaClassifier::new(members(&[1.0, 1.0], &[1.0; 2]), MetaPolicy::Unanimous);
+        assert!(yes.decide(&x()).accept());
+    }
+
+    #[test]
+    fn mean_confidence_averages() {
+        let m = MetaClassifier::new(members(&[2.0, -1.0], &[1.0; 2]), MetaPolicy::Majority);
+        assert!((m.mean_confidence(&x()) - 0.5).abs() < 1e-6);
+    }
+}

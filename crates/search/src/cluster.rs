@@ -1,0 +1,141 @@
+//! Cluster-based subclass suggestion (Section 3.6).
+//!
+//! "For information portal generation, a typical problem is that the
+//! results in a given class are heterogeneous. BINGO! can perform a
+//! cluster analysis on the results of one class and suggest creating new
+//! subclasses with tentative labels automatically drawn from the most
+//! characteristic terms of these subclasses. The user can experiment
+//! with different numbers of clusters, or BINGO! can choose the number
+//! of clusters such that an entropy-based cluster impurity measure is
+//! minimized."
+
+use bingo_graph::PageId;
+use bingo_ml::kmeans::choose_k_by_impurity;
+use bingo_store::DocumentStore;
+use bingo_textproc::{SparseVector, TermId, Vocabulary};
+
+/// One suggested subclass.
+#[derive(Debug, Clone)]
+pub struct SubclassSuggestion {
+    /// Tentative label: the most characteristic stems of the cluster.
+    pub label: Vec<String>,
+    /// Member documents.
+    pub members: Vec<PageId>,
+}
+
+/// Cluster the documents of `topic` and suggest subclasses. `k_range`
+/// bounds the number-of-clusters search; the entropy-impurity-minimizing
+/// k wins. Returns `None` when the class holds too few documents.
+pub fn suggest_subclasses(
+    store: &DocumentStore,
+    vocab: &Vocabulary,
+    topic: u32,
+    k_range: std::ops::RangeInclusive<usize>,
+    label_terms: usize,
+) -> Option<Vec<SubclassSuggestion>> {
+    let doc_ids = store.topic_documents(topic);
+    if doc_ids.len() < *k_range.start() {
+        return None;
+    }
+    let vectors: Vec<SparseVector> = doc_ids
+        .iter()
+        .filter_map(|&id| store.document(id))
+        .map(|row| {
+            SparseVector::from_pairs(
+                row.term_freqs
+                    .iter()
+                    .map(|&(t, f)| (t, (1.0 + (f as f32).ln())))
+                    .collect(),
+            )
+            .normalized()
+        })
+        .collect();
+
+    let (_k, result) = choose_k_by_impurity(&vectors, k_range, 0.05, 42)?;
+
+    let mut suggestions: Vec<SubclassSuggestion> = (0..result.centroids.len())
+        .map(|c| SubclassSuggestion {
+            label: result
+                .label_features(c, label_terms)
+                .into_iter()
+                .filter(|&f| (f as usize) < vocab.len())
+                .map(|f| vocab.term(TermId(f)).to_string())
+                .collect(),
+            members: Vec::new(),
+        })
+        .collect();
+    for (i, &cluster) in result.assignments.iter().enumerate() {
+        suggestions[cluster].members.push(doc_ids[i]);
+    }
+    suggestions.retain(|s| !s.members.is_empty());
+    Some(suggestions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bingo_store::DocumentRow;
+    use bingo_textproc::{analyze_html, MimeType};
+
+    /// A heterogeneous "database research" class: half the docs are about
+    /// recovery, half about data mining.
+    fn heterogeneous_store() -> (DocumentStore, Vocabulary) {
+        let mut vocab = Vocabulary::new();
+        let store = DocumentStore::new();
+        let mut add = |id: u64, text: &str| {
+            let doc = analyze_html(&format!("<p>{text}</p>"), &mut vocab);
+            store
+                .insert_document(DocumentRow {
+                    id,
+                    url: format!("http://h/d{id}"),
+                    host: 1,
+                    mime: MimeType::Html,
+                    depth: 0,
+                    title: String::new(),
+                    topic: Some(1),
+                    confidence: 0.5,
+                    term_freqs: doc.term_freqs.iter().map(|&(t, f)| (t.0, f)).collect(),
+                    size: 0,
+                    fetched_at: 0,
+                })
+                .unwrap();
+        };
+        for i in 0..6 {
+            add(
+                i,
+                &format!("recovery logging checkpoint aries undo redo transactions {i}"),
+            );
+            add(
+                100 + i,
+                &format!("mining clustering patterns knowledge discovery datasets olap {i}"),
+            );
+        }
+        (store, vocab)
+    }
+
+    #[test]
+    fn suggests_two_topical_subclasses() {
+        let (store, vocab) = heterogeneous_store();
+        let suggestions = suggest_subclasses(&store, &vocab, 1, 1..=4, 4).unwrap();
+        assert_eq!(suggestions.len(), 2, "two latent subtopics");
+        // Each cluster's label must be topically pure.
+        for s in &suggestions {
+            let text = s.label.join(" ");
+            let is_recovery = text.contains("recoveri") || text.contains("log");
+            let is_mining = text.contains("mine") || text.contains("cluster");
+            assert!(
+                is_recovery ^ is_mining,
+                "mixed or empty label: {:?}",
+                s.label
+            );
+            assert_eq!(s.members.len(), 6);
+        }
+    }
+
+    #[test]
+    fn too_few_documents_yields_none() {
+        let store = DocumentStore::new();
+        let vocab = Vocabulary::new();
+        assert!(suggest_subclasses(&store, &vocab, 1, 2..=3, 3).is_none());
+    }
+}

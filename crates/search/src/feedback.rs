@@ -1,0 +1,176 @@
+//! Interactive relevance feedback (Section 3.6).
+//!
+//! "When BINGO! is used for expert Web search, the local search engine
+//! supports additional interactive feedback: the user may select
+//! additional training documents among the top ranked results and
+//! possibly drop previous training data; then the filtered documents are
+//! classified again under the retrained model to improve precision."
+
+use bingo_core::model::features_from_term_freqs;
+use bingo_core::{BingoEngine, TopicId, TrainingDoc};
+use bingo_graph::PageId;
+use bingo_store::DocumentStore;
+
+/// Outcome of one feedback round.
+#[derive(Debug, Clone, Default)]
+pub struct FeedbackReport {
+    /// Documents promoted to training data.
+    pub promoted: usize,
+    /// Previous training documents dropped.
+    pub dropped: usize,
+    /// Documents whose topic assignment changed after re-classification.
+    pub reassigned: usize,
+}
+
+/// Apply user feedback: `promote` stored documents into `topic`'s
+/// training set, drop the training documents whose page ids are in
+/// `drop`, retrain, and re-classify every stored document that was
+/// assigned to `topic` (updating the store's assignments and
+/// confidences).
+pub fn apply_feedback(
+    engine: &mut BingoEngine,
+    store: &DocumentStore,
+    topic: TopicId,
+    promote: &[PageId],
+    drop: &[PageId],
+) -> FeedbackReport {
+    let mut report = FeedbackReport::default();
+
+    // Drop unwanted training documents.
+    let before = engine.tree.node(topic).training.len();
+    engine
+        .tree
+        .node_mut(topic)
+        .training
+        .retain(|d| !drop.contains(&d.page_id));
+    report.dropped = before - engine.tree.node(topic).training.len();
+
+    // Promote selected results.
+    for &page in promote {
+        let Some(row) = store.document(page) else {
+            continue;
+        };
+        let already = engine
+            .tree
+            .node(topic)
+            .training
+            .iter()
+            .any(|d| d.page_id == page);
+        if already {
+            continue;
+        }
+        engine.tree.node_mut(topic).training.push(TrainingDoc {
+            page_id: page,
+            url: row.url,
+            features: features_from_term_freqs(&row.term_freqs),
+            archetype: false,
+        });
+        report.promoted += 1;
+    }
+
+    if engine.train().is_err() {
+        return report;
+    }
+
+    // Re-classify the filtered set under the retrained model.
+    let assigned = store.topic_documents(topic.0);
+    for page in assigned {
+        let Some(row) = store.document(page) else {
+            continue;
+        };
+        let features = features_from_term_freqs(&row.term_freqs);
+        let judgment = engine.classify(&features);
+        if judgment.topic != row.topic {
+            report.reassigned += 1;
+        }
+        let _ = store.set_topic(page, judgment.topic, judgment.confidence);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bingo_core::{EngineConfig, TopicTree};
+    use bingo_store::DocumentRow;
+    use bingo_textproc::{analyze_html, MimeType};
+
+    fn doc_row(
+        engine: &mut BingoEngine,
+        id: u64,
+        topic: Option<u32>,
+        conf: f32,
+        text: &str,
+    ) -> DocumentRow {
+        let doc = analyze_html(&format!("<p>{text}</p>"), &mut engine.vocab);
+        DocumentRow {
+            id,
+            url: format!("http://h{id}.example/d{id}.html"),
+            host: id as u32,
+            mime: MimeType::Html,
+            depth: 1,
+            title: String::new(),
+            topic,
+            confidence: conf,
+            term_freqs: doc.term_freqs.iter().map(|&(t, f)| (t.0, f)).collect(),
+            size: text.len(),
+            fetched_at: 0,
+        }
+    }
+
+    #[test]
+    fn feedback_promotes_drops_and_reclassifies() {
+        let mut engine = BingoEngine::new(EngineConfig::default());
+        let topic = engine.add_topic(TopicTree::ROOT, "recovery");
+        // Minimal training: one positive, several negatives.
+        engine.add_training_virtual(
+            topic,
+            "<p>aries recovery logging checkpoint undo redo transactions</p>",
+        );
+        for i in 0..6 {
+            let html = format!("<p>football stadium championship team player {i}</p>");
+            let f = engine.analyze_virtual(&html);
+            engine.tree.others.push(bingo_core::TrainingDoc {
+                page_id: 0,
+                url: String::new(),
+                features: f,
+                archetype: false,
+            });
+        }
+        engine.train().unwrap();
+
+        let store = DocumentStore::new();
+        // Misassigned sports doc and two good recovery docs.
+        let rows = vec![
+            doc_row(&mut engine, 1, Some(topic.0), 0.1, "football stadium game season ticket"),
+            doc_row(&mut engine, 2, Some(topic.0), 0.6, "aries recovery logging redo undo"),
+            doc_row(&mut engine, 3, None, -0.1, "recovery checkpoint transactions logging aries"),
+        ];
+        for r in rows {
+            store.insert_document(r).unwrap();
+        }
+
+        let report = apply_feedback(&mut engine, &store, topic, &[3], &[]);
+        assert_eq!(report.promoted, 1);
+        assert_eq!(report.dropped, 0);
+        // The sports doc must lose its (wrong) topic assignment.
+        assert_eq!(store.document(1).unwrap().topic, None);
+        assert_eq!(store.document(2).unwrap().topic, Some(topic.0));
+        assert!(report.reassigned >= 1);
+    }
+
+    #[test]
+    fn dropping_training_docs() {
+        let mut engine = BingoEngine::new(EngineConfig::default());
+        let topic = engine.add_topic(TopicTree::ROOT, "t");
+        let store = DocumentStore::new();
+        let row = doc_row(&mut engine, 7, None, 0.0, "aries recovery logging");
+        store.insert_document(row).unwrap();
+        // Seed training contains page 7; then drop it via feedback.
+        apply_feedback(&mut engine, &store, topic, &[7], &[]);
+        assert_eq!(engine.tree.node(topic).training.len(), 1);
+        let report = apply_feedback(&mut engine, &store, topic, &[], &[7]);
+        assert_eq!(report.dropped, 1);
+        assert!(engine.tree.node(topic).training.is_empty());
+    }
+}

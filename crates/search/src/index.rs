@@ -1,0 +1,147 @@
+//! Inverted index over the crawl database.
+
+use bingo_graph::PageId;
+use bingo_store::DocumentStore;
+use bingo_textproc::fxhash::FxHashMap;
+use bingo_textproc::{porter_stem, Tokenizer, Vocabulary};
+
+/// Term → postings index with idf and document norms, built once from the
+/// crawl result database.
+#[derive(Debug, Default)]
+pub struct InvertedIndex {
+    /// term (feature index) → `(doc, tf)` postings.
+    postings: FxHashMap<u32, Vec<(PageId, u32)>>,
+    /// Per-document L2 norm of the tf·idf vector.
+    norms: FxHashMap<PageId, f32>,
+    doc_count: u64,
+}
+
+impl InvertedIndex {
+    /// Build from all documents in the store.
+    pub fn build(store: &DocumentStore) -> Self {
+        let mut postings: FxHashMap<u32, Vec<(PageId, u32)>> = FxHashMap::default();
+        let mut doc_count = 0u64;
+        store.for_each_document(|row| {
+            doc_count += 1;
+            for &(term, tf) in &row.term_freqs {
+                postings.entry(term).or_default().push((row.id, tf));
+            }
+        });
+        for list in postings.values_mut() {
+            list.sort_unstable_by_key(|&(d, _)| d);
+        }
+        let mut index = InvertedIndex {
+            postings,
+            norms: FxHashMap::default(),
+            doc_count,
+        };
+        // Norms under the same weighting used at query time.
+        let mut norms: FxHashMap<PageId, f32> = FxHashMap::default();
+        for (&term, list) in &index.postings {
+            let idf = index.idf(term);
+            for &(doc, tf) in list {
+                let w = (1.0 + (tf as f32).ln()) * idf;
+                *norms.entry(doc).or_insert(0.0) += w * w;
+            }
+        }
+        for v in norms.values_mut() {
+            *v = v.sqrt();
+        }
+        index.norms = norms;
+        index
+    }
+
+    /// Documents containing `term`, with raw frequencies.
+    pub fn postings(&self, term: u32) -> &[(PageId, u32)] {
+        self.postings
+            .get(&term)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Logarithmically dampened idf of a term.
+    pub fn idf(&self, term: u32) -> f32 {
+        let df = self.postings(term).len() as f32;
+        if df == 0.0 {
+            0.0
+        } else {
+            (1.0 + self.doc_count as f32 / df).ln()
+        }
+    }
+
+    /// L2 norm of a document's tf·idf vector.
+    pub fn norm(&self, doc: PageId) -> f32 {
+        self.norms.get(&doc).copied().unwrap_or(0.0)
+    }
+
+    /// Number of indexed documents.
+    pub fn doc_count(&self) -> u64 {
+        self.doc_count
+    }
+
+    /// Number of distinct terms.
+    pub fn term_count(&self) -> usize {
+        self.postings.len()
+    }
+}
+
+/// Tokenize and stem a query, resolving terms against the crawl's shared
+/// vocabulary. Unknown terms are dropped ("a query is a vector too").
+pub fn analyze_query(vocab: &Vocabulary, text: &str) -> Vec<u32> {
+    let tokenizer = Tokenizer::default();
+    let mut terms: Vec<u32> = tokenizer
+        .tokens(text)
+        .filter_map(|t| vocab.lookup(&porter_stem(&t)).map(|id| id.0))
+        .collect();
+    terms.sort_unstable();
+    terms.dedup();
+    terms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::sample_store;
+
+    #[test]
+    fn postings_and_counts() {
+        let (store, vocab) = sample_store();
+        let idx = InvertedIndex::build(&store);
+        assert_eq!(idx.doc_count(), 5);
+        assert!(idx.term_count() > 10);
+        let aries = vocab.lookup("ari").or_else(|| vocab.lookup("aries"));
+        let aries = aries.expect("aries stem interned").0;
+        let docs: Vec<u64> = idx.postings(aries).iter().map(|&(d, _)| d).collect();
+        assert_eq!(docs, vec![1, 2]);
+    }
+
+    #[test]
+    fn idf_orders_rarity() {
+        let (store, vocab) = sample_store();
+        let idx = InvertedIndex::build(&store);
+        // "recovery" (3 docs) must have lower idf than "football" (1 doc).
+        let recov = vocab.lookup(&bingo_textproc::porter_stem("recovery")).unwrap().0;
+        let foot = vocab.lookup(&bingo_textproc::porter_stem("football")).unwrap().0;
+        assert!(idx.idf(foot) > idx.idf(recov));
+        assert_eq!(idx.idf(9_999_999), 0.0);
+    }
+
+    #[test]
+    fn norms_are_positive_for_indexed_docs() {
+        let (store, _vocab) = sample_store();
+        let idx = InvertedIndex::build(&store);
+        for d in 1..=5u64 {
+            assert!(idx.norm(d) > 0.0, "doc {d} norm");
+        }
+        assert_eq!(idx.norm(999), 0.0);
+    }
+
+    #[test]
+    fn query_analysis_stems_and_dedups() {
+        let (_store, vocab) = sample_store();
+        let q = analyze_query(&vocab, "Recovery RECOVERIES recovery!");
+        assert_eq!(q.len(), 1);
+        let unknown = analyze_query(&vocab, "zebrafish");
+        assert!(unknown.is_empty());
+    }
+}

@@ -1,0 +1,400 @@
+//! Embedded storage engine — the role Oracle9i plays for BINGO!
+//! (Section 4.1).
+//!
+//! The paper's hard-won lessons are baked in:
+//!
+//! * **Flat relations.** The first BINGO! prototype used object-relational
+//!   nested tables and suffered Cartesian-product plans; the production
+//!   version switched to "a schema with 24 flat relations". This engine
+//!   stores typed flat rows (documents, links, hosts) with hash indexes —
+//!   no nesting.
+//! * **Batched bulk loading.** "Each thread batches the storing of new
+//!   documents ... first collecting a certain number of documents in
+//!   workspaces and then invoking the bulk loader", sustaining roughly ten
+//!   thousand documents per minute. [`bulk::BulkLoader`] reproduces this:
+//!   per-thread workspaces flush whole batches under a single lock
+//!   acquisition.
+//! * The store doubles as the idf corpus and the base for the local
+//!   search engine's postprocessing.
+//!
+//! Persistence is snapshot-based ([`persist`]): the crawl result database
+//! can be saved and reloaded between the crawl and postprocessing
+//! sessions.
+
+pub mod bulk;
+pub mod persist;
+pub mod tables;
+
+pub use bulk::BulkLoader;
+pub use tables::{DocumentRow, HostRow, HostState, LinkRow};
+
+use bingo_graph::{HostId, LinkSource, PageId};
+use bingo_textproc::fxhash::FxHashMap;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Errors surfaced by the storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A row with the same primary key already exists.
+    DuplicateKey(PageId),
+    /// Referenced document does not exist.
+    MissingDocument(PageId),
+    /// Snapshot (de)serialization failure.
+    Persist(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::DuplicateKey(id) => write!(f, "duplicate document id {id}"),
+            StoreError::MissingDocument(id) => write!(f, "missing document id {id}"),
+            StoreError::Persist(msg) => write!(f, "persistence error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// The in-memory relational state: flat tables plus derived indexes.
+#[derive(Debug, Default)]
+pub(crate) struct Inner {
+    pub(crate) documents: FxHashMap<PageId, DocumentRow>,
+    pub(crate) links: Vec<LinkRow>,
+    pub(crate) hosts: FxHashMap<HostId, HostRow>,
+    // Derived indexes.
+    pub(crate) by_url: FxHashMap<String, PageId>,
+    pub(crate) by_topic: FxHashMap<u32, Vec<PageId>>,
+    pub(crate) out_links: FxHashMap<PageId, Vec<PageId>>,
+    pub(crate) in_links: FxHashMap<PageId, Vec<PageId>>,
+}
+
+impl Inner {
+    fn insert_document(&mut self, row: DocumentRow) -> Result<(), StoreError> {
+        if self.documents.contains_key(&row.id) {
+            return Err(StoreError::DuplicateKey(row.id));
+        }
+        self.by_url.insert(row.url.clone(), row.id);
+        if let Some(topic) = row.topic {
+            self.by_topic.entry(topic).or_default().push(row.id);
+        }
+        self.documents.insert(row.id, row);
+        Ok(())
+    }
+
+    fn insert_link(&mut self, link: LinkRow) {
+        let out = self.out_links.entry(link.from).or_default();
+        if !out.contains(&link.to) {
+            out.push(link.to);
+            self.in_links.entry(link.to).or_default().push(link.from);
+        }
+        self.links.push(link);
+    }
+
+    fn set_topic(&mut self, id: PageId, topic: Option<u32>, confidence: f32) -> Result<(), StoreError> {
+        let row = self
+            .documents
+            .get_mut(&id)
+            .ok_or(StoreError::MissingDocument(id))?;
+        if let Some(old) = row.topic {
+            if let Some(list) = self.by_topic.get_mut(&old) {
+                list.retain(|&d| d != id);
+            }
+        }
+        row.topic = topic;
+        row.confidence = confidence;
+        if let Some(t) = topic {
+            self.by_topic.entry(t).or_default().push(id);
+        }
+        Ok(())
+    }
+}
+
+/// The document store: cheaply cloneable handle over the shared state.
+///
+/// All methods take `&self`; interior locking follows the paper's setup of
+/// many crawler threads writing through dedicated connections.
+///
+/// ```
+/// use bingo_store::{DocumentStore, DocumentRow};
+/// use bingo_textproc::MimeType;
+///
+/// let store = DocumentStore::new();
+/// store.insert_document(DocumentRow {
+///     id: 1, url: "http://h/a".into(), host: 0, mime: MimeType::Html,
+///     depth: 0, title: "a".into(), topic: Some(2), confidence: 0.5,
+///     term_freqs: vec![], size: 10, fetched_at: 0,
+/// }).unwrap();
+/// assert_eq!(store.topic_documents(2), vec![1]);
+/// assert!(store.contains_url("http://h/a"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DocumentStore {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl DocumentStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert one document row. Fails on duplicate ids.
+    pub fn insert_document(&self, row: DocumentRow) -> Result<(), StoreError> {
+        self.inner.write().insert_document(row)
+    }
+
+    /// Insert a batch of documents under one lock acquisition; rows with
+    /// duplicate ids are skipped and reported back.
+    pub fn insert_documents(&self, rows: Vec<DocumentRow>) -> Vec<StoreError> {
+        let mut inner = self.inner.write();
+        rows.into_iter()
+            .filter_map(|r| inner.insert_document(r).err())
+            .collect()
+    }
+
+    /// Record a hyperlink between pages (ids need not be stored yet; the
+    /// link table also feeds the HITS predecessor lookup).
+    pub fn insert_link(&self, link: LinkRow) {
+        self.inner.write().insert_link(link);
+    }
+
+    /// Record a batch of links under one lock acquisition.
+    pub fn insert_links(&self, links: Vec<LinkRow>) {
+        let mut inner = self.inner.write();
+        for l in links {
+            inner.insert_link(l);
+        }
+    }
+
+    /// Upsert host metadata.
+    pub fn upsert_host(&self, row: HostRow) {
+        self.inner.write().hosts.insert(row.id, row);
+    }
+
+    /// Update the topic assignment and classification confidence of a
+    /// stored document (re-classification during retraining).
+    pub fn set_topic(&self, id: PageId, topic: Option<u32>, confidence: f32) -> Result<(), StoreError> {
+        self.inner.write().set_topic(id, topic, confidence)
+    }
+
+    /// Fetch a document row by id.
+    pub fn document(&self, id: PageId) -> Option<DocumentRow> {
+        self.inner.read().documents.get(&id).cloned()
+    }
+
+    /// Fetch a document row by URL.
+    pub fn document_by_url(&self, url: &str) -> Option<DocumentRow> {
+        let inner = self.inner.read();
+        inner
+            .by_url
+            .get(url)
+            .and_then(|id| inner.documents.get(id))
+            .cloned()
+    }
+
+    /// True when a document with this URL is stored.
+    pub fn contains_url(&self, url: &str) -> bool {
+        self.inner.read().by_url.contains_key(url)
+    }
+
+    /// Ids of all documents assigned to a topic.
+    pub fn topic_documents(&self, topic: u32) -> Vec<PageId> {
+        self.inner
+            .read()
+            .by_topic
+            .get(&topic)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Snapshot of all document rows (postprocessing input).
+    pub fn all_documents(&self) -> Vec<DocumentRow> {
+        self.inner.read().documents.values().cloned().collect()
+    }
+
+    /// Host metadata.
+    pub fn host(&self, id: HostId) -> Option<HostRow> {
+        self.inner.read().hosts.get(&id).cloned()
+    }
+
+    /// Number of stored documents.
+    pub fn document_count(&self) -> usize {
+        self.inner.read().documents.len()
+    }
+
+    /// Number of stored link rows (including duplicates of the edge
+    /// index, mirroring a log-style link relation).
+    pub fn link_count(&self) -> usize {
+        self.inner.read().links.len()
+    }
+
+    /// Number of stored hosts.
+    pub fn host_count(&self) -> usize {
+        self.inner.read().hosts.len()
+    }
+
+    /// Run `f` over every document row without cloning the table.
+    pub fn for_each_document<F: FnMut(&DocumentRow)>(&self, mut f: F) {
+        let inner = self.inner.read();
+        for row in inner.documents.values() {
+            f(row);
+        }
+    }
+}
+
+impl LinkSource for DocumentStore {
+    fn successors(&self, page: PageId) -> Vec<PageId> {
+        self.inner
+            .read()
+            .out_links
+            .get(&page)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    fn predecessors(&self, page: PageId) -> Vec<PageId> {
+        self.inner
+            .read()
+            .in_links
+            .get(&page)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    fn host_of(&self, page: PageId) -> HostId {
+        self.inner
+            .read()
+            .documents
+            .get(&page)
+            .map(|d| d.host)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bingo_textproc::MimeType;
+
+    fn doc(id: u64, url: &str, topic: Option<u32>) -> DocumentRow {
+        DocumentRow {
+            id,
+            url: url.to_string(),
+            host: (id % 5) as u32,
+            mime: MimeType::Html,
+            depth: 1,
+            title: format!("doc {id}"),
+            topic,
+            confidence: 0.5,
+            term_freqs: vec![(1, 2), (7, 1)],
+            size: 100,
+            fetched_at: 0,
+        }
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let s = DocumentStore::new();
+        s.insert_document(doc(1, "http://a/x", Some(3))).unwrap();
+        assert_eq!(s.document_count(), 1);
+        assert_eq!(s.document(1).unwrap().url, "http://a/x");
+        assert_eq!(s.document_by_url("http://a/x").unwrap().id, 1);
+        assert!(s.contains_url("http://a/x"));
+        assert!(!s.contains_url("http://a/y"));
+        assert_eq!(s.topic_documents(3), vec![1]);
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let s = DocumentStore::new();
+        s.insert_document(doc(1, "http://a/x", None)).unwrap();
+        assert_eq!(
+            s.insert_document(doc(1, "http://a/y", None)),
+            Err(StoreError::DuplicateKey(1))
+        );
+        let errs = s.insert_documents(vec![doc(1, "z", None), doc(2, "w", None)]);
+        assert_eq!(errs, vec![StoreError::DuplicateKey(1)]);
+        assert_eq!(s.document_count(), 2);
+    }
+
+    #[test]
+    fn topic_reassignment_moves_index() {
+        let s = DocumentStore::new();
+        s.insert_document(doc(1, "u", Some(3))).unwrap();
+        s.set_topic(1, Some(9), 0.8).unwrap();
+        assert!(s.topic_documents(3).is_empty());
+        assert_eq!(s.topic_documents(9), vec![1]);
+        assert_eq!(s.document(1).unwrap().confidence, 0.8);
+        assert_eq!(
+            s.set_topic(42, Some(1), 0.1),
+            Err(StoreError::MissingDocument(42))
+        );
+    }
+
+    #[test]
+    fn links_build_bidirectional_index() {
+        let s = DocumentStore::new();
+        for i in 1..=3 {
+            s.insert_document(doc(i, &format!("u{i}"), None)).unwrap();
+        }
+        s.insert_link(LinkRow {
+            from: 1,
+            to: 2,
+            to_url: "u2".into(),
+        });
+        s.insert_links(vec![
+            LinkRow {
+                from: 1,
+                to: 3,
+                to_url: "u3".into(),
+            },
+            LinkRow {
+                from: 2,
+                to: 3,
+                to_url: "u3".into(),
+            },
+        ]);
+        assert_eq!(s.successors(1), vec![2, 3]);
+        assert_eq!(s.predecessors(3), vec![1, 2]);
+        assert_eq!(s.link_count(), 3);
+        assert_eq!(s.host_of(2), 2);
+        assert_eq!(s.host_of(99), 0);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse_in_index() {
+        let s = DocumentStore::new();
+        s.insert_document(doc(1, "a", None)).unwrap();
+        s.insert_document(doc(2, "b", None)).unwrap();
+        for _ in 0..3 {
+            s.insert_link(LinkRow {
+                from: 1,
+                to: 2,
+                to_url: "b".into(),
+            });
+        }
+        assert_eq!(s.successors(1), vec![2]);
+        assert_eq!(s.link_count(), 3, "raw link log keeps every row");
+    }
+
+    #[test]
+    fn concurrent_writers() {
+        let s = DocumentStore::new();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        let id = t * 1000 + i;
+                        s.insert_document(doc(id, &format!("u{id}"), Some((id % 7) as u32)))
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(s.document_count(), 400);
+        let total: usize = (0..7).map(|t| s.topic_documents(t).len()).sum();
+        assert_eq!(total, 400);
+    }
+}

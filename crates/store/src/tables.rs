@@ -1,0 +1,102 @@
+//! The flat relations of the crawl database (Section 4.1: "a schema with
+//! 24 flat relations" — here the three that carry the experiments'
+//! workload: documents, links, hosts).
+
+use bingo_graph::{HostId, PageId};
+use bingo_textproc::MimeType;
+use serde::{Deserialize, Serialize};
+
+/// One crawled, analyzed, classified document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DocumentRow {
+    /// Stable page id (shared with the web graph).
+    pub id: PageId,
+    /// Canonical URL the document was fetched from.
+    pub url: String,
+    /// Host the document lives on.
+    pub host: HostId,
+    /// MIME type as served.
+    pub mime: MimeType,
+    /// Crawl depth at which the page was reached.
+    pub depth: u32,
+    /// Document title.
+    pub title: String,
+    /// Topic node the classifier assigned (None = unclassified/OTHERS).
+    pub topic: Option<u32>,
+    /// Classification confidence (signed hyperplane distance).
+    pub confidence: f32,
+    /// Bag-of-words: `(feature index, frequency)`, sorted by index.
+    pub term_freqs: Vec<(u32, u32)>,
+    /// Size in bytes of the fetched payload.
+    pub size: usize,
+    /// Virtual timestamp (ms) of the fetch.
+    pub fetched_at: u64,
+}
+
+/// One hyperlink row (log-style: duplicates allowed; the store maintains
+/// a deduplicated edge index on top).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkRow {
+    /// Source page.
+    pub from: PageId,
+    /// Target page id (deterministically derived from the URL).
+    pub to: PageId,
+    /// Raw target URL, kept for redirect bookkeeping and debugging.
+    pub to_url: String,
+}
+
+/// Crawler-visible host health (Section 4.2: hosts are tagged "slow"
+/// after failures and "bad" — excluded — after repeated failures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum HostState {
+    /// Responding normally.
+    #[default]
+    Good,
+    /// Timed out or errored at least once; retries restricted.
+    Slow,
+    /// Exceeded the retry budget; excluded for the rest of the crawl.
+    Bad,
+}
+
+/// Host metadata row.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostRow {
+    /// Host id.
+    pub id: HostId,
+    /// Hostname.
+    pub name: String,
+    /// Crawler health tag.
+    pub state: HostState,
+    /// Failures observed so far.
+    pub failures: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_row_roundtrips_through_serde() {
+        let row = DocumentRow {
+            id: 7,
+            url: "http://db.example/aries".into(),
+            host: 3,
+            mime: MimeType::Pdf,
+            depth: 2,
+            title: "ARIES".into(),
+            topic: Some(1),
+            confidence: 0.75,
+            term_freqs: vec![(0, 3), (5, 1)],
+            size: 1234,
+            fetched_at: 99,
+        };
+        let json = serde_json::to_string(&row).unwrap();
+        let back: DocumentRow = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, row);
+    }
+
+    #[test]
+    fn host_state_default_is_good() {
+        assert_eq!(HostState::default(), HostState::Good);
+    }
+}

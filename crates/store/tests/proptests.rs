@@ -1,0 +1,141 @@
+//! Property-based tests of the storage engine: index consistency under
+//! arbitrary operation sequences and lossless snapshots of arbitrary
+//! databases.
+
+use bingo_graph::LinkSource;
+use bingo_store::{persist, DocumentRow, DocumentStore, HostRow, HostState, LinkRow};
+use bingo_textproc::MimeType;
+use proptest::prelude::*;
+
+fn row_strategy() -> impl Strategy<Value = DocumentRow> {
+    (
+        0u64..60,
+        0u32..8,
+        proptest::option::of(0u32..5),
+        -1.0f32..1.0,
+        proptest::collection::vec((0u32..100, 1u32..9), 0..12),
+        0usize..5000,
+    )
+        .prop_map(|(id, host, topic, confidence, term_freqs, size)| DocumentRow {
+            id,
+            url: format!("http://h{host}.example/p{id}"),
+            host,
+            mime: MimeType::Html,
+            depth: (id % 7) as u32,
+            title: format!("t{id}"),
+            topic,
+            confidence,
+            term_freqs,
+            size,
+            fetched_at: id * 3,
+        })
+}
+
+/// An operation against the store.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(DocumentRow),
+    SetTopic(u64, Option<u32>, f32),
+    Link(u64, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        row_strategy().prop_map(Op::Insert),
+        (0u64..60, proptest::option::of(0u32..5), -1.0f32..1.0)
+            .prop_map(|(id, t, c)| Op::SetTopic(id, t, c)),
+        (0u64..60, 0u64..60).prop_map(|(a, b)| Op::Link(a, b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn topic_index_always_matches_rows(ops in proptest::collection::vec(op_strategy(), 0..80)) {
+        let store = DocumentStore::new();
+        for op in ops {
+            match op {
+                Op::Insert(row) => {
+                    let _ = store.insert_document(row);
+                }
+                Op::SetTopic(id, t, c) => {
+                    let _ = store.set_topic(id, t, c);
+                }
+                Op::Link(a, b) => {
+                    store.insert_link(LinkRow {
+                        from: a,
+                        to: b,
+                        to_url: format!("u{b}"),
+                    });
+                }
+            }
+        }
+        // Invariant: the by-topic index and the row fields agree exactly.
+        let mut by_row: std::collections::HashMap<u32, std::collections::BTreeSet<u64>> =
+            Default::default();
+        store.for_each_document(|row| {
+            if let Some(t) = row.topic {
+                by_row.entry(t).or_default().insert(row.id);
+            }
+        });
+        for t in 0..5u32 {
+            let idx: std::collections::BTreeSet<u64> =
+                store.topic_documents(t).into_iter().collect();
+            let rows = by_row.remove(&t).unwrap_or_default();
+            prop_assert_eq!(idx, rows, "topic {} index mismatch", t);
+        }
+        // Invariant: link index is symmetric.
+        for id in 0..60u64 {
+            for succ in store.successors(id) {
+                prop_assert!(store.predecessors(succ).contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn snapshots_are_lossless(
+        rows in proptest::collection::vec(row_strategy(), 0..40),
+        links in proptest::collection::vec((0u64..60, 0u64..60), 0..20),
+        hosts in proptest::collection::vec((0u32..8, 0u32..5), 0..8),
+    ) {
+        let store = DocumentStore::new();
+        let mut inserted: std::collections::BTreeSet<u64> = Default::default();
+        for row in rows {
+            if store.insert_document(row.clone()).is_ok() {
+                inserted.insert(row.id);
+            }
+        }
+        for (a, b) in links {
+            store.insert_link(LinkRow { from: a, to: b, to_url: format!("u{b}") });
+        }
+        for (id, failures) in hosts {
+            store.upsert_host(HostRow {
+                id,
+                name: format!("h{id}"),
+                state: if failures > 2 { HostState::Bad } else { HostState::Good },
+                failures,
+            });
+        }
+
+        let mut buf = Vec::new();
+        persist::write_snapshot(&store, &mut buf).unwrap();
+        let restored = persist::read_snapshot(&buf[..]).unwrap();
+
+        prop_assert_eq!(restored.document_count(), store.document_count());
+        prop_assert_eq!(restored.link_count(), store.link_count());
+        prop_assert_eq!(restored.host_count(), store.host_count());
+        for &id in &inserted {
+            prop_assert_eq!(restored.document(id), store.document(id));
+            let mut a = restored.successors(id);
+            let mut b = store.successors(id);
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+        // Second snapshot of the restored store is byte-identical.
+        let mut buf2 = Vec::new();
+        persist::write_snapshot(&restored, &mut buf2).unwrap();
+        prop_assert_eq!(buf, buf2);
+    }
+}

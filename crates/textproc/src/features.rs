@@ -1,0 +1,307 @@
+//! Feature-space construction (Section 3.4).
+//!
+//! Beyond single-term `tf*idf` vectors, BINGO! builds richer feature
+//! spaces:
+//!
+//! * **Term pairs** — co-occurrence of terms within a sliding window,
+//! * **Neighbour documents** — the most significant terms of hyperlink
+//!   predecessors/successors,
+//! * **Anchor texts** — terms from `<a>` texts of predecessors pointing at
+//!   the document,
+//!
+//! plus **combined** spaces with any subset of the above as components.
+//! "The classifier can handle the various options in a uniform manner: it
+//! does not have to know how feature vectors are constructed" — here every
+//! space produces an ordinary [`SparseVector`] over a shared `u32` feature
+//! index namespace:
+//!
+//! | bits 30..32 | component |
+//! |---|---|
+//! | 00 | single term (the [`TermId`] itself) |
+//! | 01 | term pair (hashed, see below) |
+//! | 10 | anchor-text term of a predecessor |
+//! | 11 | neighbour-document term |
+//!
+//! Term pairs use the hashing trick: the unordered pair `(a, b)` is hashed
+//! into the 30-bit pair namespace. Rare collisions merely merge two pair
+//! features, which the MI feature selection tolerates.
+
+use crate::fxhash;
+use crate::tfidf::TfIdfWeighter;
+use crate::vector::SparseVector;
+use crate::vocab::TermId;
+use crate::AnalyzedDocument;
+use serde::{Deserialize, Serialize};
+
+/// Width of the sliding window for term-pair extraction. The paper
+/// "determines only pairs within a limited word distance".
+pub const PAIR_WINDOW: usize = 5;
+
+const NAMESPACE_SHIFT: u32 = 30;
+const LOCAL_MASK: u32 = (1 << NAMESPACE_SHIFT) - 1;
+
+/// Feature namespaces within the shared u32 index space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Namespace {
+    /// Plain stemmed body term.
+    Term = 0,
+    /// Hashed unordered term pair.
+    Pair = 1,
+    /// Anchor-text term from predecessors.
+    Anchor = 2,
+    /// Significant term of neighbour documents.
+    Neighbor = 3,
+}
+
+/// Tag a local index with a namespace.
+pub fn ns_index(ns: Namespace, local: u32) -> u32 {
+    debug_assert!(local <= LOCAL_MASK);
+    ((ns as u32) << NAMESPACE_SHIFT) | (local & LOCAL_MASK)
+}
+
+/// Extract the namespace of a feature index.
+pub fn namespace_of(index: u32) -> Namespace {
+    match index >> NAMESPACE_SHIFT {
+        0 => Namespace::Term,
+        1 => Namespace::Pair,
+        2 => Namespace::Anchor,
+        _ => Namespace::Neighbor,
+    }
+}
+
+/// Hash an unordered term pair into the pair namespace.
+pub fn pair_feature(a: TermId, b: TermId) -> u32 {
+    let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+    let h = fxhash::hash_one(&(lo, hi)) as u32 & LOCAL_MASK;
+    ns_index(Namespace::Pair, h)
+}
+
+/// Which feature spaces a classifier variant uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureSpaceKind {
+    /// Standard single-term `tf*idf` vectors (Section 2.2).
+    SingleTerms,
+    /// Single terms + sliding-window term pairs.
+    TermPairs,
+    /// Single terms + anchor texts of predecessor links.
+    AnchorTexts,
+    /// Single terms + significant terms of neighbour documents.
+    NeighborTerms,
+    /// All components combined.
+    Combined,
+}
+
+impl FeatureSpaceKind {
+    /// All variants, in the order BINGO! trains its parallel classifiers.
+    pub const ALL: [FeatureSpaceKind; 5] = [
+        FeatureSpaceKind::SingleTerms,
+        FeatureSpaceKind::TermPairs,
+        FeatureSpaceKind::AnchorTexts,
+        FeatureSpaceKind::NeighborTerms,
+        FeatureSpaceKind::Combined,
+    ];
+
+    fn uses_pairs(self) -> bool {
+        matches!(self, FeatureSpaceKind::TermPairs | FeatureSpaceKind::Combined)
+    }
+
+    fn uses_anchors(self) -> bool {
+        matches!(self, FeatureSpaceKind::AnchorTexts | FeatureSpaceKind::Combined)
+    }
+
+    fn uses_neighbors(self) -> bool {
+        matches!(self, FeatureSpaceKind::NeighborTerms | FeatureSpaceKind::Combined)
+    }
+}
+
+/// The per-document ingredients from which any feature space can be built.
+///
+/// `incoming_anchor_terms` and `neighbor_terms` come from the crawler's
+/// link context (Section 3.4) and may be empty when unknown.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DocumentFeatures {
+    /// `(term, frequency)` of body stems.
+    pub term_freqs: Vec<(TermId, u32)>,
+    /// Frequencies of hashed term-pair features.
+    pub pair_freqs: Vec<(u32, u32)>,
+    /// Stems of anchor texts on links *pointing to* this document.
+    pub incoming_anchor_terms: Vec<TermId>,
+    /// Most significant stems of hyperlink neighbours.
+    pub neighbor_terms: Vec<TermId>,
+}
+
+impl DocumentFeatures {
+    /// Derive features from an analyzed document, extracting term pairs
+    /// with the sliding window. Link-context components start empty and can
+    /// be filled by the crawler via [`DocumentFeatures::add_incoming_anchor`]
+    /// and [`DocumentFeatures::add_neighbor_terms`].
+    pub fn from_document(doc: &AnalyzedDocument) -> Self {
+        DocumentFeatures {
+            term_freqs: doc.term_freqs.clone(),
+            pair_freqs: extract_pairs(&doc.terms),
+            incoming_anchor_terms: Vec::new(),
+            neighbor_terms: Vec::new(),
+        }
+    }
+
+    /// Record anchor-text terms from a predecessor's link to this document.
+    pub fn add_incoming_anchor(&mut self, terms: &[TermId]) {
+        self.incoming_anchor_terms.extend_from_slice(terms);
+    }
+
+    /// Record significant terms of a hyperlink neighbour.
+    pub fn add_neighbor_terms(&mut self, terms: &[TermId]) {
+        self.neighbor_terms.extend_from_slice(terms);
+    }
+
+    /// All feature `(index, frequency)` occurrences a given space uses,
+    /// with namespace tagging applied.
+    pub fn occurrences(&self, kind: FeatureSpaceKind) -> Vec<(u32, u32)> {
+        let mut out: Vec<(u32, u32)> = self
+            .term_freqs
+            .iter()
+            .map(|&(t, f)| (ns_index(Namespace::Term, t.0), f))
+            .collect();
+        if kind.uses_pairs() {
+            out.extend(self.pair_freqs.iter().copied());
+        }
+        if kind.uses_anchors() {
+            out.extend(count_terms(&self.incoming_anchor_terms, Namespace::Anchor));
+        }
+        if kind.uses_neighbors() {
+            out.extend(count_terms(&self.neighbor_terms, Namespace::Neighbor));
+        }
+        out
+    }
+}
+
+fn count_terms(terms: &[TermId], ns: Namespace) -> Vec<(u32, u32)> {
+    let mut m: fxhash::FxHashMap<u32, u32> = fxhash::FxHashMap::default();
+    for &t in terms {
+        *m.entry(ns_index(ns, t.0)).or_insert(0) += 1;
+    }
+    m.into_iter().collect()
+}
+
+/// Sliding-window unordered pair extraction.
+fn extract_pairs(terms: &[TermId]) -> Vec<(u32, u32)> {
+    let mut m: fxhash::FxHashMap<u32, u32> = fxhash::FxHashMap::default();
+    for (i, &a) in terms.iter().enumerate() {
+        for &b in terms.iter().skip(i + 1).take(PAIR_WINDOW - 1) {
+            if a != b {
+                *m.entry(pair_feature(a, b)).or_insert(0) += 1;
+            }
+        }
+    }
+    m.into_iter().collect()
+}
+
+/// A feature space: a kind plus the frozen idf weighter used to produce
+/// classifier-ready vectors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeatureSpace {
+    /// Which components this space includes.
+    pub kind: FeatureSpaceKind,
+    /// Frozen corpus statistics for idf weighting over feature indices.
+    pub weighter: TfIdfWeighter,
+}
+
+impl FeatureSpace {
+    /// Build the weighted, normalized feature vector of a document.
+    pub fn vector(&self, features: &DocumentFeatures) -> SparseVector {
+        let occ = features.occurrences(self.kind);
+        let pairs: Vec<(TermId, u32)> = occ.into_iter().map(|(i, f)| (TermId(i), f)).collect();
+        self.weighter.weigh(&pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tfidf::CorpusStats;
+    use crate::Vocabulary;
+
+    fn doc(text: &str, vocab: &mut Vocabulary) -> AnalyzedDocument {
+        crate::analyze_html(text, vocab)
+    }
+
+    #[test]
+    fn namespaces_round_trip() {
+        for ns in [
+            Namespace::Term,
+            Namespace::Pair,
+            Namespace::Anchor,
+            Namespace::Neighbor,
+        ] {
+            let idx = ns_index(ns, 12345);
+            assert_eq!(namespace_of(idx), ns);
+            assert_eq!(idx & LOCAL_MASK, 12345);
+        }
+    }
+
+    #[test]
+    fn pair_feature_is_symmetric() {
+        assert_eq!(
+            pair_feature(TermId(3), TermId(9)),
+            pair_feature(TermId(9), TermId(3))
+        );
+        assert_eq!(namespace_of(pair_feature(TermId(1), TermId(2))), Namespace::Pair);
+    }
+
+    #[test]
+    fn pairs_respect_window() {
+        let mut v = Vocabulary::new();
+        let terms: Vec<TermId> = (0..10).map(|i| v.intern(&format!("term{i}"))).collect();
+        let pairs = extract_pairs(&terms);
+        // Window 5 over 10 distinct terms: positions i pairs with i+1..i+4.
+        let expected: usize = (0..10).map(|i| (10 - i - 1).min(PAIR_WINDOW - 1)).sum();
+        let total: u32 = pairs.iter().map(|&(_, f)| f).sum();
+        assert_eq!(total as usize, expected);
+        // Adjacent pair present, distant pair absent.
+        let near = pair_feature(terms[0], terms[1]);
+        let far = pair_feature(terms[0], terms[9]);
+        assert!(pairs.iter().any(|&(i, _)| i == near));
+        assert!(!pairs.iter().any(|&(i, _)| i == far));
+    }
+
+    #[test]
+    fn single_terms_space_ignores_extras() {
+        let mut vocab = Vocabulary::new();
+        let d = doc("<p>alpha beta gamma</p>", &mut vocab);
+        let mut f = DocumentFeatures::from_document(&d);
+        f.add_incoming_anchor(&[vocab.intern("anchorword")]);
+        let single = f.occurrences(FeatureSpaceKind::SingleTerms);
+        assert!(single
+            .iter()
+            .all(|&(i, _)| namespace_of(i) == Namespace::Term));
+        let combined = f.occurrences(FeatureSpaceKind::Combined);
+        assert!(combined
+            .iter()
+            .any(|&(i, _)| namespace_of(i) == Namespace::Anchor));
+        assert!(combined.len() > single.len());
+    }
+
+    #[test]
+    fn feature_space_vector_is_normalized() {
+        let mut vocab = Vocabulary::new();
+        let d = doc("<p>mining data mining patterns</p>", &mut vocab);
+        let f = DocumentFeatures::from_document(&d);
+        let mut stats = CorpusStats::new();
+        stats.add_document(f.occurrences(FeatureSpaceKind::Combined).iter().map(|&(i, _)| TermId(i)));
+        let space = FeatureSpace {
+            kind: FeatureSpaceKind::Combined,
+            weighter: stats.weighter(),
+        };
+        let v = space.vector(&f);
+        assert!(!v.is_empty());
+        assert!((v.norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn identical_terms_produce_no_self_pairs() {
+        let mut v = Vocabulary::new();
+        let t = v.intern("echo");
+        let pairs = extract_pairs(&[t, t, t]);
+        assert!(pairs.is_empty());
+    }
+}

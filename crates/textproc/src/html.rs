@@ -1,0 +1,355 @@
+//! A small, forgiving HTML parser: tag stripping, title extraction, and
+//! hyperlink + anchor-text extraction (Sections 2.1-2.2).
+//!
+//! It is not a full HTML5 tree builder; it handles what a crawler needs
+//! from real-world tag soup: nested/unclosed tags, attributes with single,
+//! double or no quotes, comments, `script`/`style` content skipping, and
+//! the common character entities.
+
+/// A parsed HTML document.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HtmlDocument {
+    /// Contents of the first `<title>` element, whitespace-normalized.
+    pub title: String,
+    /// Visible text with tags removed, whitespace-normalized.
+    pub text: String,
+    /// All `<a href=...>` hyperlinks in document order.
+    pub links: Vec<Hyperlink>,
+}
+
+/// One extracted `<a>` element.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Hyperlink {
+    /// The raw `href` attribute value.
+    pub href: String,
+    /// Text between `<a>` and `</a>`, whitespace-normalized.
+    pub anchor: String,
+}
+
+/// Parse an HTML string.
+pub fn parse(input: &str) -> HtmlDocument {
+    Parser::new(input).run()
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+    text: String,
+    title: String,
+    links: Vec<Hyperlink>,
+    /// Set while inside `<title>`.
+    in_title: bool,
+    /// Anchor currently being collected (href, anchor text).
+    open_anchor: Option<(String, String)>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input,
+            pos: 0,
+            text: String::with_capacity(input.len() / 2),
+            title: String::new(),
+            links: Vec::new(),
+            in_title: false,
+            open_anchor: None,
+        }
+    }
+
+    fn run(mut self) -> HtmlDocument {
+        while self.pos < self.input.len() {
+            match self.input[self.pos..].find('<') {
+                None => {
+                    let rest = &self.input[self.pos..];
+                    self.emit_text(rest);
+                    break;
+                }
+                Some(rel) => {
+                    let text_chunk = &self.input[self.pos..self.pos + rel];
+                    self.emit_text(text_chunk);
+                    self.pos += rel;
+                    self.consume_tag();
+                }
+            }
+        }
+        if let Some((href, anchor)) = self.open_anchor.take() {
+            // Unclosed <a> at EOF: keep what we have.
+            self.links.push(Hyperlink {
+                href,
+                anchor: normalize_ws(&anchor),
+            });
+        }
+        HtmlDocument {
+            title: normalize_ws(&self.title),
+            text: normalize_ws(&self.text),
+            links: self.links,
+        }
+    }
+
+    fn emit_text(&mut self, raw: &str) {
+        if raw.is_empty() {
+            return;
+        }
+        let decoded = decode_entities(raw);
+        if self.in_title {
+            self.title.push_str(&decoded);
+            self.title.push(' ');
+        }
+        if let Some((_, anchor)) = self.open_anchor.as_mut() {
+            anchor.push_str(&decoded);
+            anchor.push(' ');
+        }
+        self.text.push_str(&decoded);
+        self.text.push(' ');
+    }
+
+    /// `self.pos` points at `<`. Consume the whole tag (or comment).
+    fn consume_tag(&mut self) {
+        let rest = &self.input[self.pos..];
+        if rest.starts_with("<!--") {
+            match rest.find("-->") {
+                Some(end) => self.pos += end + 3,
+                None => self.pos = self.input.len(),
+            }
+            return;
+        }
+        let Some(end_rel) = rest.find('>') else {
+            self.pos = self.input.len();
+            return;
+        };
+        let tag_body = &rest[1..end_rel];
+        self.pos += end_rel + 1;
+
+        let (closing, tag_body) = match tag_body.strip_prefix('/') {
+            Some(t) => (true, t),
+            None => (false, tag_body),
+        };
+        let name_end = tag_body
+            .find(|c: char| c.is_whitespace() || c == '/')
+            .unwrap_or(tag_body.len());
+        let name = tag_body[..name_end].to_ascii_lowercase();
+        let attrs = &tag_body[name_end..];
+
+        match (closing, name.as_str()) {
+            (false, "title") => self.in_title = self.title.is_empty(),
+            (true, "title") => self.in_title = false,
+            (false, "script") | (false, "style") => self.skip_raw_content(&name),
+            (false, "a") => {
+                // A nested <a> implicitly closes the previous one.
+                self.close_anchor();
+                if let Some(href) = extract_attr(attrs, "href") {
+                    self.open_anchor = Some((href, String::new()));
+                }
+            }
+            (true, "a") => self.close_anchor(),
+            _ => {}
+        }
+        // Block-level boundaries separate words.
+        if matches!(
+            name.as_str(),
+            "p" | "br" | "div" | "td" | "tr" | "li" | "h1" | "h2" | "h3" | "h4"
+        ) {
+            self.text.push(' ');
+        }
+    }
+
+    fn close_anchor(&mut self) {
+        if let Some((href, anchor)) = self.open_anchor.take() {
+            self.links.push(Hyperlink {
+                href,
+                anchor: normalize_ws(&anchor),
+            });
+        }
+    }
+
+    /// Skip everything until the matching close tag of `script`/`style`.
+    fn skip_raw_content(&mut self, name: &str) {
+        let close = format!("</{name}");
+        let hay = &self.input[self.pos..];
+        let lower = hay.to_ascii_lowercase();
+        match lower.find(&close) {
+            Some(rel) => {
+                let after = &self.input[self.pos + rel..];
+                match after.find('>') {
+                    Some(gt) => self.pos += rel + gt + 1,
+                    None => self.pos = self.input.len(),
+                }
+            }
+            None => self.pos = self.input.len(),
+        }
+    }
+}
+
+/// Extract an attribute value from a tag-attribute string, handling
+/// double-quoted, single-quoted and bare values.
+fn extract_attr(attrs: &str, wanted: &str) -> Option<String> {
+    let lower = attrs.to_ascii_lowercase();
+    let mut search_from = 0;
+    while let Some(rel) = lower[search_from..].find(wanted) {
+        let at = search_from + rel;
+        // Must be a standalone attribute name.
+        let before_ok = at == 0
+            || lower.as_bytes()[at - 1].is_ascii_whitespace()
+            || lower.as_bytes()[at - 1] == b'\'';
+        let after = at + wanted.len();
+        let tail = lower[after..].trim_start();
+        if before_ok && tail.starts_with('=') {
+            let val_start_in_lower = after + (lower[after..].len() - tail.len()) + 1;
+            let val = attrs[val_start_in_lower..].trim_start();
+            return Some(match val.as_bytes().first() {
+                Some(b'"') => val[1..].split('"').next().unwrap_or("").to_string(),
+                Some(b'\'') => val[1..].split('\'').next().unwrap_or("").to_string(),
+                _ => val
+                    .split(|c: char| c.is_whitespace())
+                    .next()
+                    .unwrap_or("")
+                    .to_string(),
+            });
+        }
+        search_from = at + wanted.len();
+    }
+    None
+}
+
+/// Decode the handful of entities that matter for text analysis.
+fn decode_entities(raw: &str) -> String {
+    if !raw.contains('&') {
+        return raw.to_string();
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let tail = &rest[amp..];
+        let (rep, len) = if tail.starts_with("&amp;") {
+            ("&", 5)
+        } else if tail.starts_with("&lt;") {
+            ("<", 4)
+        } else if tail.starts_with("&gt;") {
+            (">", 4)
+        } else if tail.starts_with("&quot;") {
+            ("\"", 6)
+        } else if tail.starts_with("&apos;") {
+            ("'", 6)
+        } else if tail.starts_with("&nbsp;") {
+            (" ", 6)
+        } else {
+            ("&", 1)
+        };
+        out.push_str(rep);
+        rest = &tail[len..];
+    }
+    out.push_str(rest);
+    out
+}
+
+fn normalize_ws(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_space = true;
+    for c in s.chars() {
+        if c.is_whitespace() {
+            if !last_space {
+                out.push(' ');
+                last_space = true;
+            }
+        } else {
+            out.push(c);
+            last_space = false;
+        }
+    }
+    if out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_tags_and_normalizes() {
+        let d = parse("<html><body><p>Hello   <b>focused</b>\ncrawling</p></body></html>");
+        assert_eq!(d.text, "Hello focused crawling");
+    }
+
+    #[test]
+    fn extracts_title() {
+        let d = parse("<head><title>ARIES  Recovery</title></head><body>x</body>");
+        assert_eq!(d.title, "ARIES Recovery");
+    }
+
+    #[test]
+    fn only_first_title_counts() {
+        let d = parse("<title>One</title><title>Two</title>");
+        assert_eq!(d.title, "One");
+    }
+
+    #[test]
+    fn extracts_links_with_anchors() {
+        let d = parse(
+            "<a href=\"http://x.org/a\">first link</a> mid \
+             <a href='http://y.org/b'>second</a> <a href=bare>third</a>",
+        );
+        assert_eq!(d.links.len(), 3);
+        assert_eq!(d.links[0].href, "http://x.org/a");
+        assert_eq!(d.links[0].anchor, "first link");
+        assert_eq!(d.links[1].href, "http://y.org/b");
+        assert_eq!(d.links[2].href, "bare");
+        assert_eq!(d.links[2].anchor, "third");
+    }
+
+    #[test]
+    fn anchor_without_href_ignored() {
+        let d = parse("<a name=\"top\">anchor</a>");
+        assert!(d.links.is_empty());
+        assert_eq!(d.text, "anchor");
+    }
+
+    #[test]
+    fn skips_script_and_style() {
+        let d = parse("<script>var x = '<a href=q>no</a>';</script><style>p{}</style>visible");
+        assert_eq!(d.text, "visible");
+        assert!(d.links.is_empty());
+    }
+
+    #[test]
+    fn skips_comments() {
+        let d = parse("before<!-- <a href=x>hidden</a> -->after");
+        assert_eq!(d.text, "before after");
+        assert!(d.links.is_empty());
+    }
+
+    #[test]
+    fn decodes_entities() {
+        let d = parse("Tom &amp; Jerry &lt;3 &quot;cartoons&quot;&nbsp;forever");
+        assert_eq!(d.text, "Tom & Jerry <3 \"cartoons\" forever");
+    }
+
+    #[test]
+    fn unclosed_anchor_at_eof() {
+        let d = parse("<a href=\"http://x/\">dangling text");
+        assert_eq!(d.links.len(), 1);
+        assert_eq!(d.links[0].anchor, "dangling text");
+    }
+
+    #[test]
+    fn nested_anchor_closes_previous() {
+        let d = parse("<a href=\"u1\">one <a href=\"u2\">two</a>");
+        assert_eq!(d.links.len(), 2);
+        assert_eq!(d.links[0].anchor, "one");
+        assert_eq!(d.links[1].anchor, "two");
+    }
+
+    #[test]
+    fn malformed_tag_no_panic() {
+        let d = parse("text < notatag and <a href=");
+        assert!(d.text.starts_with("text"));
+    }
+
+    #[test]
+    fn hreflang_is_not_href() {
+        let d = parse("<a hreflang=\"en\" href=\"real\">x</a>");
+        assert_eq!(d.links[0].href, "real");
+    }
+}

@@ -1,0 +1,173 @@
+//! Text processing substrate for the BINGO! focused crawler.
+//!
+//! This crate implements the *document analyzer* of the paper (Section 2.2)
+//! and the richer feature spaces of Section 3.4:
+//!
+//! * an HTML parser that strips tags, extracts the title, hyperlinks and
+//!   their anchor texts ([`html`]),
+//! * content handlers that convert non-HTML formats (simulated PDF, Word,
+//!   zip archives) into analyzable text ([`content`]),
+//! * a tokenizer with stopword elimination ([`tokenize`], [`stopwords`]),
+//! * the full Porter stemming algorithm ([`stem`]),
+//! * a term dictionary interning strings to dense [`TermId`]s ([`vocab`]),
+//! * sparse feature vectors with the algebra the classifier needs
+//!   ([`vector`]),
+//! * `tf*idf` weighting over a document corpus ([`tfidf`]),
+//! * feature-space construction: single terms, sliding-window term pairs,
+//!   anchor texts of predecessors, and neighbour-document terms, plus
+//!   combined spaces ([`features`]).
+
+pub mod content;
+pub mod features;
+pub mod fxhash;
+pub mod html;
+pub mod stem;
+pub mod stopwords;
+pub mod tfidf;
+pub mod tokenize;
+pub mod vector;
+pub mod vocab;
+
+pub use content::{ContentHandler, ContentRegistry, MimeType};
+pub use features::{DocumentFeatures, FeatureSpace, FeatureSpaceKind};
+pub use html::{HtmlDocument, Hyperlink};
+pub use stem::porter_stem;
+pub use tfidf::{CorpusStats, TfIdfWeighter};
+pub use tokenize::Tokenizer;
+pub use vector::SparseVector;
+pub use vocab::{TermId, Vocabulary};
+
+/// A fully analyzed document: the output of the document analyzer that the
+/// classifier, the feature selection and the local search engine consume.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AnalyzedDocument {
+    /// Document title (from `<title>` when available, else empty).
+    pub title: String,
+    /// Stemmed, stopword-free body terms in document order.
+    pub terms: Vec<TermId>,
+    /// Raw term frequencies over `terms`, sorted by term id.
+    pub term_freqs: Vec<(TermId, u32)>,
+    /// Outgoing hyperlinks with their (analyzed) anchor terms.
+    pub links: Vec<AnalyzedLink>,
+}
+
+/// A hyperlink extracted from an analyzed document.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AnalyzedLink {
+    /// Raw target as written in the `href` attribute.
+    pub href: String,
+    /// Stemmed anchor-text terms (with the extended stopword list of
+    /// Section 3.4 applied, removing phrases such as "click here").
+    pub anchor_terms: Vec<TermId>,
+}
+
+impl AnalyzedDocument {
+    /// Total number of body term occurrences.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when the document body produced no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Raw term-frequency sparse vector (unweighted).
+    pub fn tf_vector(&self) -> SparseVector {
+        SparseVector::from_pairs(
+            self.term_freqs
+                .iter()
+                .map(|&(t, f)| (t.0, f as f32))
+                .collect(),
+        )
+    }
+}
+
+/// Analyze an HTML document end to end: parse, tokenize, stem, intern.
+///
+/// This is the main entry point equivalent to the paper's document analyzer:
+/// it takes raw HTML and produces the bag-of-words representation plus the
+/// extracted link structure.
+pub fn analyze_html(html_text: &str, vocab: &mut Vocabulary) -> AnalyzedDocument {
+    let parsed = html::parse(html_text);
+    let tokenizer = Tokenizer::default();
+    let mut terms = Vec::new();
+    for token in tokenizer.tokens(&parsed.text) {
+        terms.push(vocab.intern(&porter_stem(&token)));
+    }
+    let mut freq_map: std::collections::HashMap<TermId, u32, fxhash::FxBuildHasher> =
+        std::collections::HashMap::default();
+    for &t in &terms {
+        *freq_map.entry(t).or_insert(0) += 1;
+    }
+    let mut term_freqs: Vec<(TermId, u32)> = freq_map.into_iter().collect();
+    term_freqs.sort_unstable_by_key(|&(t, _)| t);
+
+    let anchor_tokenizer = Tokenizer::for_anchor_text();
+    let links = parsed
+        .links
+        .iter()
+        .map(|l| AnalyzedLink {
+            href: l.href.clone(),
+            anchor_terms: anchor_tokenizer
+                .tokens(&l.anchor)
+                .map(|t| vocab.intern(&porter_stem(&t)))
+                .collect(),
+        })
+        .collect();
+
+    AnalyzedDocument {
+        title: parsed.title,
+        terms,
+        term_freqs,
+        links,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyze_html_end_to_end() {
+        let mut vocab = Vocabulary::new();
+        let doc = analyze_html(
+            "<html><head><title>Data Mining</title></head>\
+             <body>Mining patterns from databases. \
+             <a href=\"http://a.example/x\">clustering paper</a></body></html>",
+            &mut vocab,
+        );
+        assert_eq!(doc.title, "Data Mining");
+        let stems: Vec<&str> = doc.terms.iter().map(|&t| vocab.term(t)).collect();
+        assert!(stems.contains(&"mine"));
+        assert!(stems.contains(&"pattern"));
+        assert!(stems.contains(&"databas"));
+        assert_eq!(doc.links.len(), 1);
+        let anchors: Vec<&str> = doc.links[0]
+            .anchor_terms
+            .iter()
+            .map(|&t| vocab.term(t))
+            .collect();
+        assert!(anchors.contains(&"cluster"));
+    }
+
+    #[test]
+    fn term_freqs_are_sorted_and_consistent() {
+        let mut vocab = Vocabulary::new();
+        let doc = analyze_html("<p>alpha beta alpha gamma alpha beta</p>", &mut vocab);
+        let total: u32 = doc.term_freqs.iter().map(|&(_, f)| f).sum();
+        assert_eq!(total as usize, doc.terms.len());
+        for w in doc.term_freqs.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn empty_document() {
+        let mut vocab = Vocabulary::new();
+        let doc = analyze_html("", &mut vocab);
+        assert!(doc.is_empty());
+        assert_eq!(doc.len(), 0);
+        assert!(doc.tf_vector().is_empty());
+    }
+}

@@ -1,0 +1,419 @@
+//! The Porter stemming algorithm (M. F. Porter, 1980), as used by the
+//! paper's document analyzer (Section 2.2).
+//!
+//! The implementation follows the original five-step definition, operating
+//! on lowercase ASCII. Non-ASCII input is passed through unchanged (the
+//! synthetic corpora in this repository are ASCII).
+
+/// Stem a single lowercase token with the Porter algorithm.
+///
+/// Tokens shorter than three characters are returned unchanged, matching
+/// the original algorithm's behaviour ("words of length 1 or 2 are left
+/// alone").
+///
+/// ```
+/// use bingo_textproc::porter_stem;
+/// assert_eq!(porter_stem("mining"), "mine");
+/// assert_eq!(porter_stem("knowledge"), "knowledg");
+/// assert_eq!(porter_stem("authorities"), "author");
+/// ```
+pub fn porter_stem(word: &str) -> String {
+    if word.len() <= 2 || !word.is_ascii() {
+        return word.to_string();
+    }
+    let mut s = Stemmer {
+        b: word.as_bytes().to_vec(),
+    };
+    s.step1a();
+    s.step1b();
+    s.step1c();
+    s.step2();
+    s.step3();
+    s.step4();
+    s.step5a();
+    s.step5b();
+    // The byte buffer only ever shrinks or swaps ASCII letters, so it stays
+    // valid UTF-8.
+    String::from_utf8(s.b).expect("porter stemmer operates on ASCII")
+}
+
+struct Stemmer {
+    b: Vec<u8>,
+}
+
+impl Stemmer {
+    fn is_consonant(&self, i: usize) -> bool {
+        match self.b[i] {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => {
+                if i == 0 {
+                    true
+                } else {
+                    !self.is_consonant(i - 1)
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// The measure m of the stem `b[..=j]`: the number of VC sequences in
+    /// the form `[C](VC)^m[V]`.
+    fn measure(&self, j: usize) -> usize {
+        let mut n = 0;
+        let mut i = 0;
+        // Skip initial consonants.
+        loop {
+            if i > j {
+                return n;
+            }
+            if !self.is_consonant(i) {
+                break;
+            }
+            i += 1;
+        }
+        i += 1;
+        loop {
+            // Skip vowels.
+            loop {
+                if i > j {
+                    return n;
+                }
+                if self.is_consonant(i) {
+                    break;
+                }
+                i += 1;
+            }
+            i += 1;
+            n += 1;
+            // Skip consonants.
+            loop {
+                if i > j {
+                    return n;
+                }
+                if !self.is_consonant(i) {
+                    break;
+                }
+                i += 1;
+            }
+            i += 1;
+        }
+    }
+
+    /// True when the stem `b[..=j]` contains a vowel.
+    fn has_vowel(&self, j: usize) -> bool {
+        (0..=j).any(|i| !self.is_consonant(i))
+    }
+
+    /// True when `b[..=j]` ends with a double consonant.
+    fn double_consonant(&self, j: usize) -> bool {
+        j >= 1 && self.b[j] == self.b[j - 1] && self.is_consonant(j)
+    }
+
+    /// True when `b[..=i]` ends consonant-vowel-consonant where the final
+    /// consonant is not w, x or y ("*o" condition).
+    fn cvc(&self, i: usize) -> bool {
+        if i < 2 || !self.is_consonant(i) || self.is_consonant(i - 1) || !self.is_consonant(i - 2) {
+            return false;
+        }
+        !matches!(self.b[i], b'w' | b'x' | b'y')
+    }
+
+    fn ends_with(&self, suffix: &[u8]) -> bool {
+        self.b.len() >= suffix.len() && self.b.ends_with(suffix)
+    }
+
+    /// Length of the stem once `suffix` (known to match) is removed, as an
+    /// inclusive end index; `None` when the stem would be empty.
+    fn stem_end(&self, suffix: &[u8]) -> Option<usize> {
+        (self.b.len() - suffix.len()).checked_sub(1)
+    }
+
+    fn replace_suffix(&mut self, suffix: &[u8], replacement: &[u8]) {
+        let keep = self.b.len() - suffix.len();
+        self.b.truncate(keep);
+        self.b.extend_from_slice(replacement);
+    }
+
+    /// If the word ends with `suffix` and the remaining stem has measure
+    /// greater than `min_m`, replace it. Returns true when the suffix
+    /// matched (whether or not the measure condition held), following the
+    /// "first matching suffix wins" rule of steps 2-4.
+    fn rule(&mut self, suffix: &[u8], replacement: &[u8], min_m: usize) -> bool {
+        if !self.ends_with(suffix) {
+            return false;
+        }
+        if let Some(j) = self.stem_end(suffix) {
+            if self.measure(j) > min_m {
+                self.replace_suffix(suffix, replacement);
+            }
+        }
+        true
+    }
+
+    fn step1a(&mut self) {
+        if self.ends_with(b"sses") {
+            self.replace_suffix(b"sses", b"ss");
+        } else if self.ends_with(b"ies") {
+            self.replace_suffix(b"ies", b"i");
+        } else if self.ends_with(b"ss") {
+            // unchanged
+        } else if self.ends_with(b"s") {
+            self.replace_suffix(b"s", b"");
+        }
+    }
+
+    fn step1b(&mut self) {
+        if self.ends_with(b"eed") {
+            if let Some(j) = self.stem_end(b"eed") {
+                if self.measure(j) > 0 {
+                    self.replace_suffix(b"eed", b"ee");
+                }
+            }
+            return;
+        }
+        let fired = if self.ends_with(b"ed") {
+            match self.stem_end(b"ed") {
+                Some(j) if self.has_vowel(j) => {
+                    self.replace_suffix(b"ed", b"");
+                    true
+                }
+                _ => false,
+            }
+        } else if self.ends_with(b"ing") {
+            match self.stem_end(b"ing") {
+                Some(j) if self.has_vowel(j) => {
+                    self.replace_suffix(b"ing", b"");
+                    true
+                }
+                _ => false,
+            }
+        } else {
+            false
+        };
+        if !fired {
+            return;
+        }
+        if self.ends_with(b"at") {
+            self.replace_suffix(b"at", b"ate");
+        } else if self.ends_with(b"bl") {
+            self.replace_suffix(b"bl", b"ble");
+        } else if self.ends_with(b"iz") {
+            self.replace_suffix(b"iz", b"ize");
+        } else {
+            let j = self.b.len() - 1;
+            if self.double_consonant(j) && !matches!(self.b[j], b'l' | b's' | b'z') {
+                self.b.truncate(j);
+            } else if self.measure(j) == 1 && self.cvc(j) {
+                self.b.push(b'e');
+            }
+        }
+    }
+
+    fn step1c(&mut self) {
+        if self.ends_with(b"y") {
+            if let Some(j) = self.stem_end(b"y") {
+                if self.has_vowel(j) {
+                    let last = self.b.len() - 1;
+                    self.b[last] = b'i';
+                }
+            }
+        }
+    }
+
+    fn step2(&mut self) {
+        const RULES: &[(&[u8], &[u8])] = &[
+            (b"ational", b"ate"),
+            (b"tional", b"tion"),
+            (b"enci", b"ence"),
+            (b"anci", b"ance"),
+            (b"izer", b"ize"),
+            (b"bli", b"ble"),
+            (b"alli", b"al"),
+            (b"entli", b"ent"),
+            (b"eli", b"e"),
+            (b"ousli", b"ous"),
+            (b"ization", b"ize"),
+            (b"ation", b"ate"),
+            (b"ator", b"ate"),
+            (b"alism", b"al"),
+            (b"iveness", b"ive"),
+            (b"fulness", b"ful"),
+            (b"ousness", b"ous"),
+            (b"aliti", b"al"),
+            (b"iviti", b"ive"),
+            (b"biliti", b"ble"),
+            (b"logi", b"log"),
+        ];
+        for &(suf, rep) in RULES {
+            if self.rule(suf, rep, 0) {
+                return;
+            }
+        }
+    }
+
+    fn step3(&mut self) {
+        const RULES: &[(&[u8], &[u8])] = &[
+            (b"icate", b"ic"),
+            (b"ative", b""),
+            (b"alize", b"al"),
+            (b"iciti", b"ic"),
+            (b"ical", b"ic"),
+            (b"ful", b""),
+            (b"ness", b""),
+        ];
+        for &(suf, rep) in RULES {
+            if self.rule(suf, rep, 0) {
+                return;
+            }
+        }
+    }
+
+    fn step4(&mut self) {
+        const SUFFIXES: &[&[u8]] = &[
+            b"al", b"ance", b"ence", b"er", b"ic", b"able", b"ible", b"ant", b"ement", b"ment",
+            b"ent", b"ion", b"ou", b"ism", b"ate", b"iti", b"ous", b"ive", b"ize",
+        ];
+        for &suf in SUFFIXES {
+            if !self.ends_with(suf) {
+                continue;
+            }
+            let Some(j) = self.stem_end(suf) else {
+                return;
+            };
+            if self.measure(j) > 1 {
+                // "ion" additionally requires the stem to end in s or t.
+                if suf == b"ion" && !matches!(self.b[j], b's' | b't') {
+                    return;
+                }
+                self.replace_suffix(suf, b"");
+            }
+            return;
+        }
+    }
+
+    fn step5a(&mut self) {
+        if self.ends_with(b"e") {
+            let Some(j) = self.stem_end(b"e") else {
+                return;
+            };
+            let m = self.measure(j);
+            if m > 1 || (m == 1 && !self.cvc(j)) {
+                self.b.truncate(self.b.len() - 1);
+            }
+        }
+    }
+
+    fn step5b(&mut self) {
+        let j = self.b.len() - 1;
+        if self.b[j] == b'l' && self.double_consonant(j) && self.measure(j) > 1 {
+            self.b.truncate(j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stem(w: &str) -> String {
+        porter_stem(w)
+    }
+
+    #[test]
+    fn classic_examples() {
+        assert_eq!(stem("caresses"), "caress");
+        assert_eq!(stem("ponies"), "poni");
+        assert_eq!(stem("caress"), "caress");
+        assert_eq!(stem("cats"), "cat");
+        assert_eq!(stem("feed"), "feed");
+        assert_eq!(stem("agreed"), "agre");
+        assert_eq!(stem("plastered"), "plaster");
+        assert_eq!(stem("bled"), "bled");
+        assert_eq!(stem("motoring"), "motor");
+        assert_eq!(stem("sing"), "sing");
+        assert_eq!(stem("conflated"), "conflat");
+        assert_eq!(stem("troubled"), "troubl");
+        assert_eq!(stem("sized"), "size");
+        assert_eq!(stem("hopping"), "hop");
+        assert_eq!(stem("tanned"), "tan");
+        assert_eq!(stem("falling"), "fall");
+        assert_eq!(stem("hissing"), "hiss");
+        assert_eq!(stem("fizzed"), "fizz");
+        assert_eq!(stem("failing"), "fail");
+        assert_eq!(stem("filing"), "file");
+    }
+
+    #[test]
+    fn step2_examples() {
+        assert_eq!(stem("relational"), "relat");
+        assert_eq!(stem("conditional"), "condit");
+        assert_eq!(stem("rational"), "ration");
+        assert_eq!(stem("valenci"), "valenc");
+        assert_eq!(stem("digitizer"), "digit");
+        assert_eq!(stem("operator"), "oper");
+        assert_eq!(stem("sensitiviti"), "sensit");
+    }
+
+    #[test]
+    fn step3_step4_examples() {
+        assert_eq!(stem("triplicate"), "triplic");
+        assert_eq!(stem("formative"), "form");
+        assert_eq!(stem("formalize"), "formal");
+        assert_eq!(stem("hopefulness"), "hope");
+        assert_eq!(stem("goodness"), "good");
+        assert_eq!(stem("revival"), "reviv");
+        assert_eq!(stem("allowance"), "allow");
+        assert_eq!(stem("inference"), "infer");
+        assert_eq!(stem("adjustment"), "adjust");
+        assert_eq!(stem("adoption"), "adopt");
+        assert_eq!(stem("effective"), "effect");
+    }
+
+    #[test]
+    fn step5_examples() {
+        assert_eq!(stem("probate"), "probat");
+        assert_eq!(stem("rate"), "rate");
+        assert_eq!(stem("cease"), "ceas");
+        assert_eq!(stem("controll"), "control");
+        assert_eq!(stem("roll"), "roll");
+    }
+
+    #[test]
+    fn paper_topic_terms() {
+        // Section 2.3 of the paper lists MI-selected stems for "Data Mining".
+        assert_eq!(stem("mining"), "mine");
+        assert_eq!(stem("knowledge"), "knowledg");
+        assert_eq!(stem("patterns"), "pattern");
+        assert_eq!(stem("clustering"), "cluster");
+        assert_eq!(stem("discovery"), "discoveri");
+        assert_eq!(stem("discovering"), "discov");
+        assert_eq!(stem("databases"), "databas");
+        assert_eq!(stem("genetic"), "genet");
+    }
+
+    #[test]
+    fn short_words_unchanged() {
+        assert_eq!(stem("a"), "a");
+        assert_eq!(stem("is"), "is");
+        assert_eq!(stem("by"), "by");
+    }
+
+    #[test]
+    fn non_ascii_passthrough() {
+        assert_eq!(stem("café"), "café");
+    }
+
+    #[test]
+    fn idempotent_on_common_vocabulary() {
+        for w in [
+            "information", "retrieval", "classification", "authorities", "hyperlinks",
+            "crawling", "recovery", "transactions", "logging", "archetypes",
+        ] {
+            let once = stem(w);
+            let twice = stem(&once);
+            // Porter is not idempotent in general, but must be stable for
+            // this core vocabulary so re-analysis does not shift features.
+            assert_eq!(once, twice, "stem of {w} not stable");
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Stopword elimination (Section 2.2), with the extended list for anchor
+//! texts (Section 3.4: "it is very crucial to use an extended form of
+//! stopword elimination on anchor texts" to remove phrases such as
+//! "click here").
+
+use crate::fxhash::FxHashSet;
+use std::sync::OnceLock;
+
+/// Standard English stopword list used by the document analyzer.
+pub const BASIC_STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "as", "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",
+    "by", "can", "cannot", "could", "did", "do", "does", "doing", "down", "during", "each",
+    "few", "for", "from", "further", "had", "has", "have", "having", "he", "her", "here",
+    "hers", "herself", "him", "himself", "his", "how", "i", "if", "in", "into", "is", "it",
+    "its", "itself", "just", "me", "more", "most", "my", "myself", "no", "nor", "not", "now",
+    "of", "off", "on", "once", "only", "or", "other", "our", "ours", "ourselves", "out",
+    "over", "own", "same", "she", "should", "so", "some", "such", "than", "that", "the",
+    "their", "theirs", "them", "themselves", "then", "there", "these", "they", "this",
+    "those", "through", "to", "too", "under", "until", "up", "very", "was", "we", "were",
+    "what", "when", "where", "which", "while", "who", "whom", "why", "will", "with", "would",
+    "you", "your", "yours", "yourself", "yourselves",
+];
+
+/// Additional web-navigation stopwords applied to anchor texts only.
+pub const ANCHOR_STOPWORDS: &[&str] = &[
+    "click", "here", "link", "page", "home", "next", "previous", "prev", "back", "top",
+    "bottom", "more", "read", "readme", "goto", "go", "site", "website", "webpage", "index",
+    "main", "menu", "contents", "table", "welcome", "download", "email", "mail", "contact",
+    "last", "updated", "copyright", "disclaimer",
+];
+
+fn basic_set() -> &'static FxHashSet<&'static str> {
+    static SET: OnceLock<FxHashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| BASIC_STOPWORDS.iter().copied().collect())
+}
+
+fn anchor_set() -> &'static FxHashSet<&'static str> {
+    static SET: OnceLock<FxHashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| {
+        BASIC_STOPWORDS
+            .iter()
+            .chain(ANCHOR_STOPWORDS.iter())
+            .copied()
+            .collect()
+    })
+}
+
+/// True when `word` (lowercase) is a standard stopword.
+pub fn is_stopword(word: &str) -> bool {
+    basic_set().contains(word)
+}
+
+/// True when `word` (lowercase) is a stopword under the extended
+/// anchor-text list.
+pub fn is_anchor_stopword(word: &str) -> bool {
+    anchor_set().contains(word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stopwords() {
+        assert!(is_stopword("the"));
+        assert!(is_stopword("and"));
+        assert!(!is_stopword("database"));
+        assert!(!is_stopword("click"));
+    }
+
+    #[test]
+    fn anchor_stopwords_are_superset() {
+        assert!(is_anchor_stopword("the"));
+        assert!(is_anchor_stopword("click"));
+        assert!(is_anchor_stopword("here"));
+        assert!(!is_anchor_stopword("aries"));
+    }
+
+    #[test]
+    fn lists_have_no_duplicates() {
+        let mut seen = std::collections::HashSet::new();
+        for w in BASIC_STOPWORDS {
+            assert!(seen.insert(*w), "duplicate basic stopword {w}");
+        }
+        let mut seen = std::collections::HashSet::new();
+        for w in ANCHOR_STOPWORDS {
+            assert!(seen.insert(*w), "duplicate anchor stopword {w}");
+        }
+    }
+}

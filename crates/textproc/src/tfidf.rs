@@ -1,0 +1,157 @@
+//! `tf*idf` term weighting (Section 2.2).
+//!
+//! Term weights capture the term frequency (tf) of a stem in the document
+//! and the logarithmically dampened inverse document frequency (idf). The
+//! paper uses the crawler's local document database as the corpus
+//! approximation for idf and recomputes it lazily upon each retraining —
+//! [`CorpusStats`] is that incrementally maintained corpus view.
+
+use crate::fxhash::FxHashMap;
+use crate::vector::SparseVector;
+use crate::vocab::TermId;
+use serde::{Deserialize, Serialize};
+
+/// Incrementally maintained document-frequency statistics over the local
+/// document database.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct CorpusStats {
+    doc_count: u64,
+    doc_freq: FxHashMap<u32, u64>,
+}
+
+impl CorpusStats {
+    /// Empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one document by its distinct terms.
+    pub fn add_document<I: IntoIterator<Item = TermId>>(&mut self, distinct_terms: I) {
+        self.doc_count += 1;
+        for t in distinct_terms {
+            *self.doc_freq.entry(t.0).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of documents recorded.
+    pub fn doc_count(&self) -> u64 {
+        self.doc_count
+    }
+
+    /// Document frequency of a term.
+    pub fn doc_freq(&self, term: TermId) -> u64 {
+        self.doc_freq.get(&term.0).copied().unwrap_or(0)
+    }
+
+    /// Logarithmically dampened inverse document frequency:
+    /// `ln(1 + N / df)`. Terms never seen get the maximal idf `ln(1 + N)`.
+    pub fn idf(&self, term: TermId) -> f32 {
+        let n = self.doc_count.max(1) as f32;
+        let df = self.doc_freq(term) as f32;
+        if df == 0.0 {
+            (1.0 + n).ln()
+        } else {
+            (1.0 + n / df).ln()
+        }
+    }
+
+    /// Snapshot a weighter with the current statistics. The paper
+    /// recomputes idf "lazily upon each retraining"; freezing a weighter at
+    /// retraining time is exactly that.
+    pub fn weighter(&self) -> TfIdfWeighter {
+        TfIdfWeighter {
+            stats: self.clone(),
+        }
+    }
+}
+
+/// A frozen idf table applied to raw term-frequency vectors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TfIdfWeighter {
+    stats: CorpusStats,
+}
+
+impl TfIdfWeighter {
+    /// Weight a document given `(term, raw frequency)` pairs:
+    /// `w = (1 + ln tf) * idf`, L2-normalized.
+    pub fn weigh(&self, term_freqs: &[(TermId, u32)]) -> SparseVector {
+        let pairs = term_freqs
+            .iter()
+            .map(|&(t, f)| {
+                let tf = 1.0 + (f as f32).ln();
+                (t.0, tf * self.stats.idf(t))
+            })
+            .collect();
+        SparseVector::from_pairs(pairs).normalized()
+    }
+
+    /// The underlying corpus statistics.
+    pub fn stats(&self) -> &CorpusStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TermId {
+        TermId(i)
+    }
+
+    #[test]
+    fn idf_decreases_with_df() {
+        let mut c = CorpusStats::new();
+        for i in 0..10 {
+            let mut terms = vec![t(0)];
+            if i < 2 {
+                terms.push(t(1));
+            }
+            c.add_document(terms);
+        }
+        assert!(c.idf(t(1)) > c.idf(t(0)));
+        assert_eq!(c.doc_freq(t(0)), 10);
+        assert_eq!(c.doc_freq(t(1)), 2);
+    }
+
+    #[test]
+    fn unseen_term_gets_max_idf() {
+        let mut c = CorpusStats::new();
+        c.add_document(vec![t(0)]);
+        assert!(c.idf(t(9)) >= c.idf(t(0)));
+    }
+
+    #[test]
+    fn weigh_produces_unit_vector() {
+        let mut c = CorpusStats::new();
+        c.add_document(vec![t(0), t(1)]);
+        c.add_document(vec![t(0)]);
+        let w = c.weighter();
+        let v = w.weigh(&[(t(0), 3), (t(1), 1)]);
+        assert!((v.norm() - 1.0).abs() < 1e-6);
+        // The rarer term 1 outweighs term 0 at equal tf.
+        let v2 = w.weigh(&[(t(0), 1), (t(1), 1)]);
+        assert!(v2.get(1) > v2.get(0));
+    }
+
+    #[test]
+    fn tf_dampening_is_logarithmic() {
+        let mut c = CorpusStats::new();
+        c.add_document(vec![t(0), t(1)]);
+        let w = c.weighter();
+        let a = w.weigh(&[(t(0), 1), (t(1), 1)]);
+        let b = w.weigh(&[(t(0), 100), (t(1), 1)]);
+        // 100x the frequency must not give 100x the relative weight.
+        let ratio_a = a.get(0) / a.get(1);
+        let ratio_b = b.get(0) / b.get(1);
+        assert!(ratio_b < ratio_a * 10.0);
+        assert!(ratio_b > ratio_a);
+    }
+
+    #[test]
+    fn empty_document_weighs_empty() {
+        let c = CorpusStats::new();
+        let w = c.weighter();
+        assert!(w.weigh(&[]).is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! Term dictionary: interning stemmed terms to dense [`TermId`]s shared
+//! across the whole engine (documents, classifiers, indexes).
+
+use crate::fxhash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// A dense identifier for an interned term.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TermId(pub u32);
+
+/// Bidirectional term dictionary.
+///
+/// Interning is append-only; ids are stable for the lifetime of the
+/// vocabulary, which the store and the classifiers rely on.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Vocabulary {
+    terms: Vec<String>,
+    #[serde(skip)]
+    index: FxHashMap<String, TermId>,
+}
+
+impl Vocabulary {
+    /// Empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `term`, returning its stable id.
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.index.get(term) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push(term.to_string());
+        self.index.insert(term.to_string(), id);
+        id
+    }
+
+    /// Look up an already-interned term.
+    pub fn lookup(&self, term: &str) -> Option<TermId> {
+        self.index.get(term).copied()
+    }
+
+    /// The string for `id`. Panics on an id from another vocabulary.
+    pub fn term(&self, id: TermId) -> &str {
+        &self.terms[id.0 as usize]
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Rebuild the reverse index after deserialization (the map is skipped
+    /// during serialization because it is derivable).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), TermId(i as u32)))
+            .collect();
+    }
+
+    /// Iterate `(id, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u32), t.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("aries");
+        let b = v.intern("aries");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut v = Vocabulary::new();
+        let ids: Vec<TermId> = ["a", "b", "c"].iter().map(|t| v.intern(t)).collect();
+        assert_eq!(ids, vec![TermId(0), TermId(1), TermId(2)]);
+        assert_eq!(v.term(TermId(1)), "b");
+    }
+
+    #[test]
+    fn lookup_roundtrip() {
+        let mut v = Vocabulary::new();
+        v.intern("recovery");
+        assert_eq!(v.lookup("recovery"), Some(TermId(0)));
+        assert_eq!(v.lookup("missing"), None);
+    }
+
+    #[test]
+    fn rebuild_index_after_clearing() {
+        let mut v = Vocabulary::new();
+        v.intern("x");
+        v.intern("y");
+        let json = serde_json::to_string(&v).unwrap();
+        let mut back: Vocabulary = serde_json::from_str(&json).unwrap();
+        back.rebuild_index();
+        assert_eq!(back.lookup("y"), Some(TermId(1)));
+        assert_eq!(back.intern("x"), TermId(0));
+    }
+}

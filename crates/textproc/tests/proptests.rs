@@ -1,0 +1,167 @@
+//! Property-based tests of the text-processing substrate: the HTML
+//! parser and content handlers must survive arbitrary (including
+//! adversarial) input, and the analyzer invariants must hold on any
+//! document the web could serve.
+
+use bingo_textproc::content::{make_pdf, make_word, make_zip, ContentRegistry};
+use bingo_textproc::html;
+use bingo_textproc::stem::porter_stem;
+use bingo_textproc::tokenize::Tokenizer;
+use bingo_textproc::vector::SparseVector;
+use bingo_textproc::{analyze_html, MimeType, Vocabulary};
+use proptest::prelude::*;
+
+proptest! {
+    // ---- HTML parser fuzzing ---------------------------------------
+
+    #[test]
+    fn html_parser_never_panics(input in ".{0,400}") {
+        let doc = html::parse(&input);
+        // Whitespace normalization: no doubled spaces, no leading/
+        // trailing whitespace.
+        prop_assert!(!doc.text.contains("  "));
+        prop_assert_eq!(doc.text.trim(), doc.text.as_str());
+        for link in &doc.links {
+            prop_assert!(!link.anchor.contains("  "));
+        }
+    }
+
+    #[test]
+    fn html_parser_handles_tag_soup(
+        pieces in proptest::collection::vec(
+            prop_oneof![
+                Just("<a href=\"http://x/\">".to_string()),
+                Just("</a>".to_string()),
+                Just("<script>".to_string()),
+                Just("</script>".to_string()),
+                Just("<!--".to_string()),
+                Just("-->".to_string()),
+                Just("<title>".to_string()),
+                Just("</p".to_string()),
+                Just("&amp;".to_string()),
+                Just("&bogus;".to_string()),
+                "[a-z ]{1,12}".prop_map(|s| s),
+            ],
+            0..30,
+        )
+    ) {
+        let input: String = pieces.concat();
+        let doc = html::parse(&input);
+        // Every extracted link has a non-empty href.
+        prop_assert!(doc.links.iter().all(|l| !l.href.is_empty()));
+    }
+
+    #[test]
+    fn analyzer_counts_are_consistent(input in ".{0,300}") {
+        let mut vocab = Vocabulary::new();
+        let doc = analyze_html(&input, &mut vocab);
+        let total: u32 = doc.term_freqs.iter().map(|&(_, f)| f).sum();
+        prop_assert_eq!(total as usize, doc.terms.len());
+        // Every interned term id is resolvable.
+        for &t in &doc.terms {
+            prop_assert!((t.0 as usize) < vocab.len());
+        }
+        // term_freqs sorted strictly.
+        for w in doc.term_freqs.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    // ---- Tokenizer ----------------------------------------------------
+
+    #[test]
+    fn tokens_are_lowercase_alpha_bounded(input in ".{0,200}") {
+        let t = Tokenizer::default();
+        for tok in t.tokens(&input) {
+            prop_assert!(tok.len() >= 2 && tok.len() <= 32);
+            prop_assert!(tok.chars().all(|c| c.is_alphabetic()));
+            prop_assert_eq!(tok.to_lowercase(), tok.clone());
+        }
+    }
+
+    // ---- Stemmer under token conditions ------------------------------
+
+    #[test]
+    fn stemming_tokens_never_panics(input in "[a-zA-Zéüß ]{0,120}") {
+        let t = Tokenizer::default();
+        for tok in t.tokens(&input) {
+            let stem = porter_stem(&tok);
+            prop_assert!(!stem.is_empty());
+        }
+    }
+
+    // ---- Content handlers ---------------------------------------------
+
+    #[test]
+    fn content_registry_never_panics(payload in ".{0,300}") {
+        let reg = ContentRegistry::new();
+        for mime in [
+            MimeType::Html, MimeType::Plain, MimeType::Pdf, MimeType::Word,
+            MimeType::PowerPoint, MimeType::Zip, MimeType::Video, MimeType::Other,
+        ] {
+            let _ = reg.to_html(mime, &payload);
+        }
+    }
+
+    #[test]
+    fn envelopes_round_trip(text in "[a-zA-Z0-9 .,]{0,200}") {
+        let reg = ContentRegistry::new();
+        let pdf = reg.to_html(MimeType::Pdf, &make_pdf(&text)).unwrap();
+        prop_assert!(pdf.contains(&text));
+        let word = reg.to_html(MimeType::Word, &make_word(&text)).unwrap();
+        prop_assert!(word.contains(&text));
+        let zip = reg
+            .to_html(MimeType::Zip, &make_zip(&[&text, "second entry"]))
+            .unwrap();
+        prop_assert!(zip.contains(&text));
+        prop_assert!(zip.contains("second entry"));
+    }
+
+    // ---- Sparse vectors (crate-level remap/filter laws) ---------------
+
+    #[test]
+    fn remap_drops_and_shifts_consistently(
+        pairs in proptest::collection::vec((0u32..100, 0.1f32..5.0), 0..30),
+    ) {
+        let v = SparseVector::from_pairs(pairs);
+        // Injective shift map keeps all entries.
+        let shifted = v.remap(|i| Some(i + 1000));
+        prop_assert_eq!(shifted.nnz(), v.nnz());
+        // Drop-everything map empties.
+        let none = v.remap(|_| None);
+        prop_assert!(none.is_empty());
+        // filter == remap-with-identity-on-kept.
+        let f1 = v.filter_indices(|i| i % 2 == 0);
+        let f2 = v.remap(|i| (i % 2 == 0).then_some(i));
+        prop_assert_eq!(f1.entries(), f2.entries());
+    }
+
+    #[test]
+    fn scale_and_norm_interact_linearly(
+        pairs in proptest::collection::vec((0u32..50, -3.0f32..3.0), 1..20),
+        k in 0.1f32..4.0,
+    ) {
+        let v = SparseVector::from_pairs(pairs);
+        let mut scaled = v.clone();
+        scaled.scale(k);
+        prop_assert!((scaled.norm() - k * v.norm()).abs() < 1e-2 * (1.0 + v.norm()));
+    }
+}
+
+/// Deterministic (non-proptest) regression cases for the HTML parser
+/// found worth pinning.
+#[test]
+fn parser_pinned_edge_cases() {
+    // Unterminated comment swallows the rest.
+    let d = html::parse("visible<!-- hidden forever");
+    assert_eq!(d.text, "visible");
+    // Unterminated script likewise.
+    let d = html::parse("<script>alert(1)");
+    assert_eq!(d.text, "");
+    // Attribute value with spaces in quotes.
+    let d = html::parse("<a href=\"http://x/a b\">t</a>");
+    assert_eq!(d.links[0].href, "http://x/a b");
+    // '<' not starting a tag.
+    let d = html::parse("1 < 2 and 3 > 2");
+    assert!(d.text.starts_with("1"));
+}

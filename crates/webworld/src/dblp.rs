@@ -1,0 +1,186 @@
+//! The author directory: a synthetic stand-in for DBLP (Section 5.2).
+//!
+//! The paper evaluates portal generation against "31,582 authors with
+//! explicit homepage URLs ... sorted in descending order of their number
+//! of publications". The synthetic directory mirrors the measurement
+//! protocol: each author has a homepage and pages *underneath* it
+//! (publication lists, papers, CVs), and "a homepage counts as found if
+//! the crawl result contains a Web page whose URL has the homepage path
+//! as a prefix".
+
+use bingo_graph::PageId;
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth record of one author in the directory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AuthorInfo {
+    /// Author index (0 = most publications).
+    pub index: u32,
+    /// Synthetic name.
+    pub name: String,
+    /// Number of publications (descending in `index`).
+    pub publication_count: u32,
+    /// The homepage page id.
+    pub homepage: PageId,
+    /// URL prefix identifying the homepage and everything underneath it,
+    /// e.g. `http://cs-u3.edu/~a17/`.
+    pub homepage_prefix: String,
+    /// All pages of this author (homepage, publication list, papers).
+    pub pages: Vec<PageId>,
+}
+
+impl AuthorInfo {
+    /// The evaluation rule of Section 5.2: a URL "finds" this author when
+    /// it lies underneath the author's homepage path.
+    pub fn matches_url(&self, url: &str) -> bool {
+        url.starts_with(self.homepage_prefix.as_str())
+    }
+}
+
+/// Publication count for an author at `rank` (0-based), Zipf-shaped from
+/// `max_pubs` down to a floor of 2, matching DBLP's 258..2 spread.
+pub fn publication_count(rank: usize, max_pubs: u32) -> u32 {
+    let c = (max_pubs as f64) * ((rank + 1) as f64).powf(-0.57);
+    (c as u32).max(2)
+}
+
+/// Evaluate crawl results against the directory, reproducing the
+/// Tables 2/3 measurements.
+///
+/// * `result_urls` — crawl result URLs in descending classification
+///   confidence;
+/// * `authors` — the ground-truth directory;
+/// * `top_n_authors` — the "Top 1000 DBLP" column cutoff;
+/// * `result_cutoffs` — the "best crawl results" row cutoffs.
+///
+/// Returns, for each cutoff, `(found_in_top_n, found_total)`.
+pub fn evaluate_found_authors(
+    result_urls: &[String],
+    authors: &[AuthorInfo],
+    top_n_authors: usize,
+    result_cutoffs: &[usize],
+) -> Vec<(usize, usize, usize)> {
+    // Sort authors by publication count descending to define the top-N set.
+    let mut by_pubs: Vec<&AuthorInfo> = authors.iter().collect();
+    by_pubs.sort_by(|a, b| {
+        b.publication_count
+            .cmp(&a.publication_count)
+            .then(a.index.cmp(&b.index))
+    });
+    let top_set: std::collections::HashSet<u32> = by_pubs
+        .iter()
+        .take(top_n_authors)
+        .map(|a| a.index)
+        .collect();
+
+    // Map each result URL to the author it finds (prefix match). Authors
+    // are found once; later hits for the same author do not re-count.
+    let prefix_to_author: std::collections::HashMap<&str, u32> = authors
+        .iter()
+        .map(|a| (a.homepage_prefix.as_str(), a.index))
+        .collect();
+    let mut cutoffs_sorted: Vec<usize> = result_cutoffs.to_vec();
+    cutoffs_sorted.sort_unstable();
+    let mut found: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    let mut found_top = 0usize;
+    let mut out = Vec::new();
+    let mut next_cut = 0usize;
+
+    for (i, url) in result_urls.iter().enumerate() {
+        while next_cut < cutoffs_sorted.len() && i == cutoffs_sorted[next_cut] {
+            out.push((cutoffs_sorted[next_cut], found_top, found.len()));
+            next_cut += 1;
+        }
+        // Extract the candidate prefix "scheme://host/~name/" and look it
+        // up directly rather than scanning all authors per URL.
+        if let Some(prefix) = author_prefix_of(url) {
+            if let Some(&idx) = prefix_to_author.get(prefix.as_str()) {
+                if found.insert(idx) && top_set.contains(&idx) {
+                    found_top += 1;
+                }
+            }
+        }
+    }
+    while next_cut < cutoffs_sorted.len() {
+        let c = cutoffs_sorted[next_cut].min(result_urls.len());
+        out.push((c.max(cutoffs_sorted[next_cut]), found_top, found.len()));
+        next_cut += 1;
+    }
+    out
+}
+
+/// Extract the `http://host/~name/` prefix from a URL, when present.
+pub fn author_prefix_of(url: &str) -> Option<String> {
+    let scheme_end = url.find("://")? + 3;
+    let host_end = url[scheme_end..].find('/')? + scheme_end;
+    let path = &url[host_end + 1..];
+    if !path.starts_with('~') {
+        return None;
+    }
+    let seg_end = path.find('/')?;
+    Some(format!("{}{}/", &url[..host_end + 1], &path[..seg_end]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn author(i: u32, pubs: u32, prefix: &str) -> AuthorInfo {
+        AuthorInfo {
+            index: i,
+            name: format!("A{i}"),
+            publication_count: pubs,
+            homepage: i as u64,
+            homepage_prefix: prefix.to_string(),
+            pages: vec![i as u64],
+        }
+    }
+
+    #[test]
+    fn prefix_extraction() {
+        assert_eq!(
+            author_prefix_of("http://cs-u1.edu/~a7/paper3.pdf"),
+            Some("http://cs-u1.edu/~a7/".to_string())
+        );
+        assert_eq!(author_prefix_of("http://cs-u1.edu/p1.html"), None);
+        assert_eq!(author_prefix_of("garbage"), None);
+        assert_eq!(author_prefix_of("http://h/~a"), None, "no trailing slash");
+    }
+
+    #[test]
+    fn matches_url_prefix_rule() {
+        let a = author(0, 10, "http://h.edu/~a0/");
+        assert!(a.matches_url("http://h.edu/~a0/index.html"));
+        assert!(a.matches_url("http://h.edu/~a0/pubs/p.pdf"));
+        assert!(!a.matches_url("http://h.edu/~a01/index.html"));
+    }
+
+    #[test]
+    fn publication_counts_descend_with_floor() {
+        let counts: Vec<u32> = (0..5000).map(|r| publication_count(r, 258)).collect();
+        assert_eq!(counts[0], 258);
+        for w in counts.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert_eq!(*counts.last().unwrap(), 2);
+    }
+
+    #[test]
+    fn evaluation_counts_once_per_author() {
+        let authors = vec![
+            author(0, 100, "http://h.edu/~a0/"),
+            author(1, 50, "http://h.edu/~a1/"),
+            author(2, 2, "http://h.edu/~a2/"),
+        ];
+        let results: Vec<String> = vec![
+            "http://h.edu/~a0/p1.pdf".into(),
+            "http://h.edu/~a0/p2.pdf".into(), // same author again
+            "http://x.com/noise.html".into(),
+            "http://h.edu/~a2/index.html".into(),
+        ];
+        // top_n_authors = 2 → authors 0 and 1 are the "top"; cutoffs at 2, 4.
+        let eval = evaluate_found_authors(&results, &authors, 2, &[2, 4]);
+        assert_eq!(eval[0], (2, 1, 1), "after 2 results: a0 found, in top");
+        assert_eq!(eval[1], (4, 1, 2), "after all: a0 (top) and a2 found");
+    }
+}

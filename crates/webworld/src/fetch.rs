@@ -1,0 +1,358 @@
+//! Fetch and DNS simulation (Section 4.2 networking aspects).
+//!
+//! Every fetch returns a deterministic outcome given `(world seed, url,
+//! attempt)`: success with payload and latency, a redirect, or a failure
+//! (timeout on dead/flaky hosts, 404 on broken links). Latency models a
+//! base round trip plus size-proportional transfer time; "slow" hosts
+//! multiply it, letting the crawler's slow/bad host tagging kick in.
+
+use crate::content_gen;
+use crate::{HostBehavior, World};
+use bingo_graph::PageId;
+use bingo_textproc::fxhash;
+use bingo_textproc::MimeType;
+
+/// Simulated bandwidth: bytes transferred per virtual millisecond.
+pub const BYTES_PER_MS: u64 = 2000;
+
+/// Virtual milliseconds until a timeout is reported.
+pub const TIMEOUT_MS: u64 = 3000;
+
+/// A successful fetch.
+#[derive(Debug, Clone)]
+pub struct FetchResponse {
+    /// The page served.
+    pub page_id: PageId,
+    /// URL exactly as requested (may be an alias of the canonical URL).
+    pub url: String,
+    /// Server IP — one ingredient of the duplicate fingerprints.
+    pub ip: u32,
+    /// Served MIME type.
+    pub mime: MimeType,
+    /// Raw payload (with format envelope for non-HTML types).
+    pub payload: String,
+    /// Size in bytes as reported by the server (media files report their
+    /// true size even though the payload is not materialized).
+    pub size: u64,
+    /// Virtual milliseconds the fetch took.
+    pub latency_ms: u64,
+}
+
+/// Why a fetch failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchError {
+    /// Host did not respond within the timeout.
+    Timeout,
+    /// Host resolved but no such page.
+    NotFound,
+    /// Hostname does not exist.
+    UnknownHost,
+}
+
+/// DNS failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DnsError {
+    /// No such hostname.
+    NxDomain,
+    /// The queried DNS server timed out (transient; retry may succeed).
+    Timeout,
+}
+
+/// Outcome of one fetch attempt.
+#[derive(Debug, Clone)]
+pub enum FetchOutcome {
+    /// 200 OK.
+    Ok(FetchResponse),
+    /// 3xx redirect to `location`.
+    Redirect {
+        /// Target URL.
+        location: String,
+        /// Virtual milliseconds spent.
+        latency_ms: u64,
+    },
+    /// Failure.
+    Err {
+        /// What went wrong.
+        error: FetchError,
+        /// Virtual milliseconds spent (a timeout costs the full budget).
+        latency_ms: u64,
+    },
+}
+
+impl World {
+    /// Authoritative DNS lookup: hostname → IP with lookup latency.
+    /// Flaky hosts' DNS also fails transiently, varying with `attempt`
+    /// (the crawler's resolver resends to alternative servers).
+    pub fn dns_lookup(&self, hostname: &str, attempt: u32) -> Result<(u32, u64), DnsError> {
+        let Some(host) = self.hosts.iter().find(|h| h.name == hostname) else {
+            return Err(DnsError::NxDomain);
+        };
+        if let HostBehavior::Flaky(permille) = host.behavior {
+            let roll = fxhash::hash_one(&(self.seed, hostname, attempt, 0xD15u32)) % 1000;
+            if (roll as u16) < permille / 2 {
+                return Err(DnsError::Timeout);
+            }
+        }
+        Ok((host.ip, host.dns_latency_ms as u64))
+    }
+
+    /// Fetch a URL. `attempt` differentiates retries: a flaky host may
+    /// fail attempt 0 and serve attempt 1.
+    pub fn fetch(&self, url: &str, attempt: u32) -> FetchOutcome {
+        let Some(hostname) = host_of_url(url) else {
+            return FetchOutcome::Err {
+                error: FetchError::UnknownHost,
+                latency_ms: 1,
+            };
+        };
+        let Some(page_id) = self.resolve_url(url) else {
+            // Host may exist (404) or not (unknown host).
+            return match self.hosts.iter().find(|h| h.name == hostname) {
+                Some(h) => FetchOutcome::Err {
+                    error: FetchError::NotFound,
+                    latency_ms: h.base_latency_ms as u64,
+                },
+                None => FetchOutcome::Err {
+                    error: FetchError::UnknownHost,
+                    latency_ms: 1,
+                },
+            };
+        };
+
+        let meta = self.page(page_id);
+        let host = self.host(meta.host);
+        match host.behavior {
+            HostBehavior::Dead => {
+                return FetchOutcome::Err {
+                    error: FetchError::Timeout,
+                    latency_ms: TIMEOUT_MS,
+                }
+            }
+            HostBehavior::Flaky(permille) => {
+                let roll = fxhash::hash_one(&(self.seed, url, attempt)) % 1000;
+                if (roll as u16) < permille {
+                    return FetchOutcome::Err {
+                        error: FetchError::Timeout,
+                        latency_ms: TIMEOUT_MS,
+                    };
+                }
+            }
+            _ => {}
+        }
+
+        let slow_factor = if host.behavior == HostBehavior::Slow {
+            8
+        } else {
+            1
+        };
+
+        if let Some(target) = meta.redirect_to {
+            return FetchOutcome::Redirect {
+                location: self.url_of(target),
+                latency_ms: host.base_latency_ms as u64 * slow_factor,
+            };
+        }
+
+        // Oversized media is not materialized; the crawler aborts on the
+        // reported size/MIME before the body transfer anyway.
+        let (payload, size) = match meta.size_hint {
+            Some(s) => (String::new(), s as u64),
+            None => {
+                let p = content_gen::payload(self, page_id);
+                let len = p.len() as u64;
+                (p, len)
+            }
+        };
+        let jitter = fxhash::hash_one(&(self.seed, page_id, attempt, 0x1a7u32)) % 30;
+        let latency_ms =
+            (host.base_latency_ms as u64 + size / BYTES_PER_MS + jitter) * slow_factor;
+
+        FetchOutcome::Ok(FetchResponse {
+            page_id,
+            url: url.to_string(),
+            ip: host.ip,
+            mime: meta.mime,
+            payload,
+            size,
+            latency_ms,
+        })
+    }
+}
+
+/// Extract the hostname of an `http://host/path` URL.
+pub fn host_of_url(url: &str) -> Option<&str> {
+    let rest = url.strip_prefix("http://")?;
+    let end = rest.find('/').unwrap_or(rest.len());
+    let host = &rest[..end];
+    (!host.is_empty()).then_some(host)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::WorldConfig;
+    use crate::PageKind;
+
+    fn world() -> World {
+        WorldConfig::small_test(13).build()
+    }
+
+    #[test]
+    fn fetch_success_round_trip() {
+        let w = world();
+        let id = (0..w.page_count() as u64)
+            .find(|&id| {
+                w.page(id).kind == PageKind::Content
+                    && w.host(w.page(id).host).behavior == HostBehavior::Normal
+            })
+            .unwrap();
+        let url = w.url_of(id);
+        match w.fetch(&url, 0) {
+            FetchOutcome::Ok(resp) => {
+                assert_eq!(resp.page_id, id);
+                assert_eq!(resp.url, url);
+                assert!(resp.latency_ms > 0);
+                assert_eq!(resp.size, resp.payload.len() as u64);
+            }
+            other => panic!("expected success, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn alias_serves_same_page_same_ip_same_size() {
+        let w = world();
+        let (id, alias) = (0..w.page_count() as u64)
+            .find_map(|id| {
+                w.alias_url_of(id).map(|a| (id, a.to_string())).filter(|_| {
+                    w.host(w.page(id).host).behavior == HostBehavior::Normal
+                        && w.page(id).size_hint.is_none()
+                })
+            })
+            .unwrap();
+        let canon = match w.fetch(&w.url_of(id), 0) {
+            FetchOutcome::Ok(r) => r,
+            o => panic!("{o:?}"),
+        };
+        let dup = match w.fetch(&alias, 0) {
+            FetchOutcome::Ok(r) => r,
+            o => panic!("{o:?}"),
+        };
+        assert_eq!(canon.page_id, dup.page_id);
+        assert_eq!(canon.ip, dup.ip);
+        assert_eq!(canon.size, dup.size);
+        assert_ne!(canon.url, dup.url, "different URLs, same content");
+    }
+
+    #[test]
+    fn missing_page_404_and_unknown_host() {
+        let w = world();
+        let host = w.host(0).name.clone();
+        match w.fetch(&format!("http://{host}/definitely-missing.html"), 0) {
+            FetchOutcome::Err { error, .. } => assert_eq!(error, FetchError::NotFound),
+            o => panic!("{o:?}"),
+        }
+        match w.fetch("http://no-such-host.example/x", 0) {
+            FetchOutcome::Err { error, .. } => assert_eq!(error, FetchError::UnknownHost),
+            o => panic!("{o:?}"),
+        }
+        match w.fetch("garbage-url", 0) {
+            FetchOutcome::Err { error, .. } => assert_eq!(error, FetchError::UnknownHost),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_hosts_time_out() {
+        let w = world();
+        let dead_host = (0..w.host_count() as u32)
+            .find(|&h| w.host(h).behavior == HostBehavior::Dead)
+            .expect("small_test generates dead hosts");
+        let page = (0..w.page_count() as u64)
+            .find(|&id| w.page(id).host == dead_host)
+            .unwrap();
+        match w.fetch(&w.url_of(page), 0) {
+            FetchOutcome::Err { error, latency_ms } => {
+                assert_eq!(error, FetchError::Timeout);
+                assert_eq!(latency_ms, TIMEOUT_MS);
+            }
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn flaky_host_varies_with_attempt() {
+        let w = world();
+        let flaky_host = (0..w.host_count() as u32)
+            .find(|&h| matches!(w.host(h).behavior, HostBehavior::Flaky(_)))
+            .expect("small_test generates flaky hosts");
+        let page = (0..w.page_count() as u64)
+            .find(|&id| w.page(id).host == flaky_host && w.page(id).size_hint.is_none())
+            .unwrap();
+        let url = w.url_of(page);
+        // Over several attempts, at least one succeeds and the outcome per
+        // attempt is deterministic.
+        let outcomes: Vec<bool> = (0..20)
+            .map(|a| matches!(w.fetch(&url, a), FetchOutcome::Ok(_)))
+            .collect();
+        assert!(outcomes.iter().any(|&ok| ok));
+        let again: Vec<bool> = (0..20)
+            .map(|a| matches!(w.fetch(&url, a), FetchOutcome::Ok(_)))
+            .collect();
+        assert_eq!(outcomes, again);
+    }
+
+    #[test]
+    fn redirects_point_to_canonical() {
+        let w = world();
+        let stub = (0..w.page_count() as u64)
+            .find(|&id| {
+                w.page(id).kind == PageKind::Redirect
+                    && w.host(w.page(id).host).behavior == HostBehavior::Normal
+            })
+            .expect("redirect stubs exist");
+        match w.fetch(&w.url_of(stub), 0) {
+            FetchOutcome::Redirect { location, .. } => {
+                let target = w.page(stub).redirect_to.unwrap();
+                assert_eq!(location, w.url_of(target));
+            }
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn media_reports_size_without_payload() {
+        let w = world();
+        let media = (0..w.page_count() as u64)
+            .find(|&id| {
+                w.page(id).kind == PageKind::Media
+                    && w.host(w.page(id).host).behavior == HostBehavior::Normal
+            })
+            .unwrap();
+        match w.fetch(&w.url_of(media), 0) {
+            FetchOutcome::Ok(resp) => {
+                assert_eq!(resp.mime, MimeType::Video);
+                assert!(resp.size >= 1_000_000);
+                assert!(resp.payload.is_empty());
+            }
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn dns_lookup_behaviour() {
+        let w = world();
+        let name = w.host(0).name.clone();
+        let (ip, latency) = w.dns_lookup(&name, 0).unwrap();
+        assert_eq!(ip, w.host(0).ip);
+        assert!(latency > 0);
+        assert_eq!(w.dns_lookup("nope.invalid", 0), Err(DnsError::NxDomain));
+    }
+
+    #[test]
+    fn host_of_url_parsing() {
+        assert_eq!(host_of_url("http://a.b/c"), Some("a.b"));
+        assert_eq!(host_of_url("http://a.b"), Some("a.b"));
+        assert_eq!(host_of_url("https://a.b/c"), None, "only http simulated");
+        assert_eq!(host_of_url("http:///x"), None);
+    }
+}

@@ -1,0 +1,421 @@
+//! Scenario overlays: hand-specified named subgraphs embedded into the
+//! generated web, used for the expert-search case study of Section 5.3
+//! (Figures 4 and 5).
+
+use crate::gen::Generator;
+use crate::{PageKind, PageMeta};
+use bingo_graph::PageId;
+use bingo_textproc::content::make_pdf;
+use bingo_textproc::MimeType;
+use rand::Rng;
+
+/// One hand-authored page.
+#[derive(Debug, Clone)]
+pub struct ScenarioPage {
+    /// Name the page is registered under (lookup via
+    /// [`crate::World::named_page`]).
+    pub name: String,
+    /// Hostname (host is created when it does not exist).
+    pub host: String,
+    /// URL path.
+    pub path: String,
+    /// Served MIME type (Html or Pdf).
+    pub mime: MimeType,
+    /// Page title.
+    pub title: String,
+    /// Body text.
+    pub body: String,
+    /// Links to other scenario pages: `(target name, anchor text)`.
+    pub links: Vec<(String, String)>,
+    /// Inject `count` inbound links from random pages of `topic`.
+    pub inbound_from_topic: Option<(u32, usize)>,
+}
+
+/// A named overlay: a set of pages wired into the world.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Overlay name.
+    pub name: String,
+    /// Pages of the overlay, applied in order.
+    pub pages: Vec<ScenarioPage>,
+}
+
+/// Apply an overlay to a world under construction: create hosts and
+/// pages, render content with resolved link URLs, wire inbound links.
+pub(crate) fn apply(g: &mut Generator, spec: &ScenarioSpec) {
+    // Pass 1: create hosts and page shells, record name → id.
+    let mut ids: Vec<PageId> = Vec::with_capacity(spec.pages.len());
+    for sp in &spec.pages {
+        let host = match g.find_host(&sp.host) {
+            Some(h) => h,
+            None => g.add_host(sp.host.clone(), true),
+        };
+        let id = g.add_page(PageMeta {
+            host,
+            path: sp.path.clone(),
+            topic: None,
+            secondary_topic: None,
+            kind: PageKind::Scenario,
+            mime: sp.mime,
+            out: Vec::new(),
+            redirect_to: None,
+            author: None,
+            content_override: None,
+            extra_out_urls: Vec::new(),
+            size_hint: None,
+        });
+        g.register_name(sp.name.clone(), id);
+        ids.push(id);
+    }
+
+    // Pass 2: resolve links, render content, wire the graph.
+    for (i, sp) in spec.pages.iter().enumerate() {
+        let id = ids[i];
+        let mut link_html = String::new();
+        let mut out = Vec::new();
+        for (target_name, anchor) in &sp.links {
+            let target = spec
+                .pages
+                .iter()
+                .position(|p| &p.name == target_name)
+                .map(|j| ids[j])
+                .unwrap_or_else(|| panic!("scenario link to unknown page {target_name}"));
+            let url = page_url(g, target);
+            link_html.push_str(&format!(" <a href=\"{url}\">{anchor}</a>"));
+            out.push(target);
+        }
+        let html = format!(
+            "<html><head><title>{}</title></head><body><p>{}</p>{}</body></html>",
+            sp.title, sp.body, link_html
+        );
+        let payload = match sp.mime {
+            MimeType::Pdf => make_pdf(&html),
+            _ => html,
+        };
+        {
+            let meta = &mut g.pages_mut()[id as usize];
+            meta.content_override = Some(payload.into());
+            meta.out = out;
+        }
+        // Inbound links from random pages of a topic.
+        if let Some((topic, count)) = sp.inbound_from_topic {
+            let candidates: Vec<PageId> = g
+                .topic_pages_ref()
+                .get(topic as usize)
+                .cloned()
+                .unwrap_or_default();
+            if !candidates.is_empty() {
+                for _ in 0..count {
+                    let from = candidates[g.rng().gen_range(0..candidates.len())];
+                    let meta = &mut g.pages_mut()[from as usize];
+                    if !meta.out.contains(&id) {
+                        meta.out.push(id);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn page_url(g: &Generator, id: PageId) -> String {
+    let meta = &g.pages_ref()[id as usize];
+    format!("http://{}/{}", g.hosts_ref()[meta.host as usize].name, meta.path)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn page(
+    name: &str,
+    host: &str,
+    path: &str,
+    mime: MimeType,
+    title: &str,
+    body: &str,
+    links: &[(&str, &str)],
+    inbound: Option<(u32, usize)>,
+) -> ScenarioPage {
+    ScenarioPage {
+        name: name.to_string(),
+        host: host.to_string(),
+        path: path.to_string(),
+        mime,
+        title: title.to_string(),
+        body: body.to_string(),
+        links: links
+            .iter()
+            .map(|&(t, a)| (t.to_string(), a.to_string()))
+            .collect(),
+        inbound_from_topic: inbound,
+    }
+}
+
+/// The ARIES expert-search scenario of Section 5.3.
+///
+/// Reproduces the structure of the case study: seven seed documents about
+/// the ARIES recovery algorithm (Figure 4), a researcher's ARIES page
+/// that references papers and systems without answering the query
+/// directly, and — two tunnel hops away — the open-source systems (Shore,
+/// MiniBase, Exodus analogs) whose pages contain the "source code
+/// release" answer (Figure 5), plus the press/product decoy pages that
+/// showed up in the paper's middle ranks.
+///
+/// Topic-id convention of [`crate::gen::WorldConfig::expert`]:
+/// 0 = dbresearch, 1 = recovery, 2 = opensource.
+pub fn aries_scenario() -> ScenarioSpec {
+    let aries_pdf_body = "The ARIES recovery algorithm performs crash recovery with \
+        write ahead logging. The log records carry an LSN and recovery proceeds in an \
+        analysis pass, a redo pass repeating history, and an undo pass using compensation \
+        log records. Fine granularity locking and fuzzy checkpointing allow transaction \
+        rollback and restart after media failure. Buffer manager dirty pages are tracked \
+        in the checkpoint record. Transactions use latches and locks for concurrency.";
+
+    ScenarioSpec {
+        name: "aries".to_string(),
+        pages: vec![
+            // --- Figure 4: the seven training seeds -------------------
+            page(
+                "seed:bell-labs-slides", "bell-labs.example", "db-book/slides/aries.pdf",
+                MimeType::Pdf, "ARIES Recovery Slides",
+                aries_pdf_body, &[("mohan-page", "ARIES impact page")],
+                Some((1, 6)),
+            ),
+            page(
+                "seed:cmu-lecture", "cs-cmu.example", "class/15721/recovery-with-aries.pdf",
+                MimeType::Pdf, "Lecture: Recovery with ARIES",
+                aries_pdf_body, &[("mohan-page", "C. Mohan ARIES page")],
+                Some((1, 5)),
+            ),
+            page(
+                "seed:harvard-reading", "icg-harvard.example", "cs265/readings/mohan-1992.pdf",
+                MimeType::Pdf, "ARIES: A Transaction Recovery Method",
+                aries_pdf_body, &[("seed:brandeis-abstract", "abstract")],
+                Some((1, 4)),
+            ),
+            page(
+                "seed:brandeis-abstract", "cs-brandeis.example", "~liuba/abstracts/mohan.html",
+                MimeType::Html, "Abstract: ARIES recovery method",
+                "Abstract of the ARIES transaction recovery paper: write ahead logging, \
+                 repeating history during redo, compensation log records, fine granularity \
+                 locking and partial rollbacks using save points.",
+                &[("mohan-page", "author page"), ("seed:greenlaw-abstract", "related abstract")],
+                Some((1, 4)),
+            ),
+            page(
+                "mohan-page", "almaden.example", "u/mohan/aries_impact.html",
+                MimeType::Html, "The Impact of ARIES",
+                "This page collects the impact of the ARIES family of recovery and \
+                 locking algorithms: papers, systems, products and teaching material. \
+                 ARIES is implemented in several database systems and prototypes; follow \
+                 the references for research prototypes with publicly available code, \
+                 industrial products, press coverage and seminar talks.",
+                &[
+                    ("seed:bell-labs-slides", "course slides"),
+                    ("seed:cmu-lecture", "lecture notes"),
+                    ("seed:harvard-reading", "the 1992 TODS paper"),
+                    ("shore-home", "the Shore storage manager prototype"),
+                    ("minibase-home", "the MiniBase educational DBMS"),
+                    ("decoy:jcentral", "jCentral press release"),
+                    ("decoy:garlic", "the Garlic project"),
+                    ("decoy:clio", "the Clio project"),
+                    ("decoy:tivoli", "storage manager product platforms"),
+                ],
+                Some((1, 8)),
+            ),
+            page(
+                "seed:stanford-seminar", "db-stanford.example", "dbseminar/archive/mohan-1203.html",
+                MimeType::Html, "DB Seminar: ARIES recovery",
+                "Database seminar talk announcement on the ARIES recovery algorithm: \
+                 logging, restart recovery, media recovery, repeating history, undo and \
+                 redo passes, checkpointing in commercial systems.",
+                &[("mohan-page", "speaker homepage")],
+                Some((1, 4)),
+            ),
+            page(
+                "seed:vldb-paper", "vldb.example", "conf/1989/p337.pdf",
+                MimeType::Pdf, "VLDB 1989: Recovery and Locking",
+                aries_pdf_body, &[("mohan-page", "author")],
+                Some((0, 4)),
+            ),
+            // --- Related abstract (appears in Figure 5 mid-ranks) -----
+            page(
+                "seed:greenlaw-abstract", "cs-brandeis.example", "~liuba/abstracts/greenlaw.html",
+                MimeType::Html, "Abstract: recovery performance",
+                "Abstract on recovery performance and logging overhead in transaction \
+                 systems; discusses a prototype release and source availability.",
+                &[],
+                None,
+            ),
+            // --- The needles: Shore ----------------------------------
+            page(
+                "shore-home", "cs-wisc.example", "shore/index.html",
+                MimeType::Html, "The Shore Storage Manager",
+                "Shore is a storage manager prototype providing transactions, \
+                 B-tree indexes, logging and ARIES style recovery. The complete \
+                 source code is available; see the overview documentation for the \
+                 public domain source code release. Shore descends from the Exodus \
+                 storage manager.",
+                &[
+                    ("shore-node5", "overview: recovery and source release"),
+                    ("shore-footnode", "documentation footnotes"),
+                    ("exodus-home", "the Exodus storage manager"),
+                ],
+                Some((2, 6)),
+            ),
+            page(
+                "shore-node5", "cs-wisc.example", "shore/doc/overview/node5.html",
+                MimeType::Html, "Shore Overview: Recovery",
+                "The Shore storage manager implements the ARIES recovery algorithm \
+                 including media recovery, write ahead logging, and checkpointing. \
+                 The full source code release is in the public domain and available \
+                 for download; this open source distribution builds on unix platforms.",
+                &[("shore-home", "Shore home")],
+                None,
+            ),
+            page(
+                "shore-footnode", "cs-wisc.example", "shore/doc/overview/footnode.html",
+                MimeType::Html, "Shore Overview: Footnotes",
+                "Footnotes to the Shore overview: the source code release, logging \
+                 subsystem details, recovery and storage volumes.",
+                &[("shore-home", "Shore home")],
+                None,
+            ),
+            page(
+                "exodus-home", "cs-wisc.example", "exodus/index.html",
+                MimeType::Html, "The Exodus Storage Manager",
+                "Exodus is an extensible storage manager with transactions and \
+                 recovery; the open source code release is distributed in the \
+                 public domain. The source code release builds on unix systems.",
+                &[("shore-home", "successor project Shore")],
+                None,
+            ),
+            // --- The needles: MiniBase --------------------------------
+            page(
+                "minibase-home", "cs-wisc.example", "coral/minibase/index.html",
+                MimeType::Html, "MiniBase: an educational DBMS",
+                "MiniBase is an educational database management system with a buffer \
+                 manager, heap files, B-tree indexes and a log manager implementing \
+                 ARIES media recovery. Source code release available for courses.",
+                &[("minibase-logmgr", "log manager report")],
+                Some((2, 5)),
+            ),
+            page(
+                "minibase-logmgr", "cs-wisc.example", "coral/minibase/logmgr/report/node22.html",
+                MimeType::Html, "MiniBase Log Manager: Recovery",
+                "The MiniBase log manager report: the ARIES media recovery algorithm, \
+                 write ahead logging, and the public source code release of the log \
+                 manager and recovery modules.",
+                &[("minibase-home", "MiniBase home"), ("minibase-mirror", "mirror site")],
+                None,
+            ),
+            page(
+                "minibase-mirror", "ceid-upatras.example",
+                "courses/minibase/minibase-1.0/documentation/html/logmgr/report/node22.html",
+                MimeType::Html, "MiniBase Log Manager: Recovery (mirror)",
+                "Mirror of the MiniBase log manager report: ARIES media recovery, \
+                 write ahead logging, source code release of the recovery modules.",
+                &[("minibase-home", "MiniBase home")],
+                None,
+            ),
+            // --- Decoys that reached Figure 5 mid-ranks ---------------
+            page(
+                "decoy:jcentral", "almaden.example", "cs/jcentral_press.html",
+                MimeType::Html, "jCentral Press Release",
+                "Press release about the jCentral java search technology: product \
+                 release, software download, press coverage. No recovery content.",
+                &[],
+                Some((2, 3)),
+            ),
+            page(
+                "decoy:garlic", "almaden.example", "cs/garlic.html",
+                MimeType::Html, "The Garlic Project",
+                "Garlic is a middleware research project integrating heterogeneous \
+                 data sources; prototype software release notes and publications.",
+                &[],
+                Some((0, 3)),
+            ),
+            page(
+                "decoy:clio", "almaden.example", "cs/clio/index.html",
+                MimeType::Html, "The Clio Project",
+                "Clio is a schema mapping research prototype; the release of the \
+                 demonstration software accompanies the papers.",
+                &[],
+                Some((0, 3)),
+            ),
+            page(
+                "decoy:tivoli", "tivoli.example", "products/index/storage-mgr-platforms.html",
+                MimeType::Html, "Storage Manager: Supported Platforms",
+                "Product page for a storage manager: supported platforms, release \
+                 levels, download of client software, documentation.",
+                &[],
+                Some((2, 3)),
+            ),
+            // --- Baseline chaff: open-source portal pages -------------
+            page(
+                "chaff:binaries", "sourceforge.example", "directory/binaries.html",
+                MimeType::Html, "Open Source Binaries",
+                "Directory of open source software: binaries and libraries, public \
+                 domain downloads, release archives, package repositories for every \
+                 platform. Browse thousands of projects with source code releases.",
+                &[("chaff:libraries", "libraries index")],
+                Some((2, 8)),
+            ),
+            page(
+                "chaff:libraries", "sourceforge.example", "directory/libraries.html",
+                MimeType::Html, "Open Source Libraries",
+                "Open source libraries index: public domain code, source releases, \
+                 build instructions, binary packages, installation manuals.",
+                &[("chaff:binaries", "binaries index")],
+                Some((2, 8)),
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::gen::WorldConfig;
+    use bingo_graph::LinkSource;
+
+    #[test]
+    fn aries_scenario_builds_into_expert_world() {
+        let world = WorldConfig::expert(11).build();
+        // All named pages registered.
+        for name in [
+            "mohan-page", "shore-home", "shore-node5", "minibase-home",
+            "minibase-logmgr", "exodus-home", "seed:vldb-paper",
+        ] {
+            assert!(world.named_page(name).is_some(), "{name} missing");
+        }
+        // The tunnel structure: mohan -> shore-home -> shore-node5.
+        let mohan = world.named_page("mohan-page").unwrap();
+        let shore = world.named_page("shore-home").unwrap();
+        let node5 = world.named_page("shore-node5").unwrap();
+        assert!(world.successors(mohan).contains(&shore));
+        assert!(world.successors(shore).contains(&node5));
+        // Seeds have inbound topical links (findable by keyword search).
+        let seed = world.named_page("seed:cmu-lecture").unwrap();
+        assert!(!world.predecessors(seed).is_empty());
+    }
+
+    #[test]
+    fn scenario_pdfs_carry_envelope() {
+        let world = WorldConfig::expert(11).build();
+        let seed = world.named_page("seed:bell-labs-slides").unwrap();
+        let payload = crate::content_gen::payload(&world, seed);
+        assert!(payload.starts_with("%SIMPDF\n"));
+        assert!(payload.contains("ARIES"));
+    }
+
+    #[test]
+    fn needle_pages_contain_answer_phrase() {
+        let world = WorldConfig::expert(11).build();
+        for name in ["shore-node5", "minibase-logmgr", "exodus-home"] {
+            let id = world.named_page(name).unwrap();
+            let payload = crate::content_gen::payload(&world, id);
+            assert!(
+                payload.contains("source code release"),
+                "{name} lacks the answer phrase"
+            );
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Expert Web search: the ARIES needle-in-a-haystack query (§5.3).
+//!
+//! ```text
+//! cargo run --release --example expert_search
+//! ```
+//!
+//! Runs the full expert-search workflow — keyword bootstrap, seed
+//! selection, a 10-virtual-minute focused crawl, and cosine-ranked
+//! postprocessing — then applies one round of relevance feedback.
+
+use bingo::prelude::*;
+use bingo::search::apply_feedback;
+use std::sync::Arc;
+
+fn main() {
+    let world = Arc::new(WorldConfig::expert(7).build());
+    println!(
+        "expert world: {} pages, {} hosts (ARIES scenario embedded)",
+        world.page_count(),
+        world.host_count()
+    );
+
+    // The seven training seeds the user picked from the bootstrap query
+    // (Figure 4 of the paper).
+    let seed_names = [
+        "seed:bell-labs-slides",
+        "seed:cmu-lecture",
+        "seed:harvard-reading",
+        "seed:brandeis-abstract",
+        "mohan-page",
+        "seed:stanford-seminar",
+        "seed:vldb-paper",
+    ];
+    let mut engine = BingoEngine::new(EngineConfig::default());
+    let topic = engine.add_topic(TopicTree::ROOT, "ARIES");
+    println!("\ntraining seeds:");
+    let mut seeds = Vec::new();
+    for name in seed_names {
+        let url = world.url_of(world.named_page(name).expect("scenario page"));
+        engine.add_training_url(&world, topic, &url).expect("seed");
+        println!("  {url}");
+        seeds.push(url);
+    }
+    // Negatives from far-away categories.
+    let mut added = 0;
+    for id in 0..world.page_count() as u64 {
+        if matches!(world.true_topic(id), Some(3) | Some(4)) {
+            if engine.add_others_url(&world, &world.url_of(id)).is_ok() {
+                added += 1;
+            }
+            if added >= 40 {
+                break;
+            }
+        }
+    }
+    engine.train().expect("training");
+
+    // The 10-virtual-minute focused crawl.
+    let mut crawler = Crawler::new(
+        world.clone(),
+        CrawlConfig {
+            max_depth: 0,
+            ..CrawlConfig::default()
+        },
+        DocumentStore::new(),
+    );
+    for url in &seeds {
+        crawler.add_seed(url, Some(topic.0));
+    }
+    engine.crawl_until(&mut crawler, 120_000, 0);
+    engine.retrain(&mut crawler);
+    engine.switch_to_harvesting(&mut crawler);
+    engine.crawl_until(&mut crawler, 600_000, 0);
+    println!(
+        "\ncrawl: {} URLs visited, {} positively classified",
+        crawler.stats().visited_urls,
+        crawler.stats().positively_classified
+    );
+
+    // Postprocess: Figure 5's query.
+    let search = SearchEngine::build(crawler.store());
+    let opts = QueryOptions {
+        filter: TopicFilter::Exact(topic.0),
+        ranking: RankingScheme::Cosine,
+        top_k: 10,
+    };
+    let hits = search.query(&engine.vocab, "source code release", &opts);
+    println!("\ntop 10 for \"source code release\":");
+    for h in &hits {
+        println!("  {:.3}  {}", h.score, h.url);
+    }
+
+    // One round of relevance feedback: promote the top hit, reclassify.
+    if let Some(best) = hits.first() {
+        let report = apply_feedback(&mut engine, crawler.store(), topic, &[best.doc_id], &[]);
+        println!(
+            "\nrelevance feedback: promoted {}, reassigned {} documents",
+            report.promoted, report.reassigned
+        );
+        let hits2 = search.query(&engine.vocab, "source code release", &opts);
+        println!("top 10 after feedback:");
+        for h in &hits2 {
+            println!("  {:.3}  {}", h.score, h.url);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Information portal generation with a multi-topic tree (Figure 2).
+//!
+//! ```text
+//! cargo run --release --example portal_generation
+//! ```
+//!
+//! Builds the paper's example directory layout (competing topics at each
+//! level), trains per-node classifiers, runs a focused crawl over all
+//! topics at once, and then asks the cluster analysis to suggest
+//! subclasses for the most heterogeneous topic.
+
+use bingo::prelude::*;
+use bingo::search::suggest_subclasses;
+use bingo::webworld::gen::{TopicConfig, WorldConfig};
+use bingo::webworld::PageKind;
+use std::sync::Arc;
+
+fn main() {
+    // A web with two research communities plus noise.
+    let mut cfg = WorldConfig::small_test(2024);
+    cfg.topics = vec![
+        TopicConfig::new("dbresearch", "database_research", 120, 4),
+        TopicConfig::new("datamining", "data_mining", 120, 4),
+        TopicConfig::new("sports", "sports", 120, 4),
+        TopicConfig::new("arts", "arts", 80, 3),
+    ];
+    cfg.noise_topics = vec![2, 3];
+    let world = Arc::new(cfg.build());
+
+    // The topic tree: two competing research topics under the root
+    // (siblings provide each other's negative examples).
+    let mut engine = BingoEngine::new(EngineConfig {
+        archetype_threshold: false,
+        ..EngineConfig::default()
+    });
+    let db = engine.add_topic(TopicTree::ROOT, "database research");
+    let mining = engine.add_topic(TopicTree::ROOT, "data mining");
+    println!("topic tree:");
+    for id in engine.tree.ids() {
+        println!("  {}", engine.tree.path(id));
+    }
+
+    // Seed each topic with a few on-topic content pages ("bookmarks").
+    let mut seeds = Vec::new();
+    for (topic, true_topic) in [(db, 0u32), (mining, 1u32)] {
+        let mut count = 0;
+        for id in 0..world.page_count() as u64 {
+            if world.true_topic(id) == Some(true_topic)
+                && world.page(id).kind == PageKind::Content
+            {
+                let url = world.url_of(id);
+                if engine.add_training_url(&world, topic, &url).is_ok() {
+                    seeds.push((url, topic));
+                    count += 1;
+                }
+                if count >= 3 {
+                    break;
+                }
+            }
+        }
+    }
+    // OTHERS: sports/arts pages.
+    let mut added = 0;
+    for id in 0..world.page_count() as u64 {
+        if matches!(world.true_topic(id), Some(2) | Some(3)) {
+            if engine.add_others_url(&world, &world.url_of(id)).is_ok() {
+                added += 1;
+            }
+            if added >= 30 {
+                break;
+            }
+        }
+    }
+    engine.train().expect("training");
+
+    // Crawl both topics at once.
+    let mut crawler = Crawler::new(
+        world.clone(),
+        CrawlConfig {
+            max_depth: 0,
+            ..CrawlConfig::default()
+        },
+        DocumentStore::new(),
+    );
+    for (url, topic) in &seeds {
+        crawler.add_seed(url, Some(topic.0));
+    }
+    engine.crawl_until(&mut crawler, 200_000, 0);
+    engine.retrain(&mut crawler);
+    engine.switch_to_harvesting(&mut crawler);
+    engine.crawl_until(&mut crawler, 1_500_000, 0);
+
+    println!("\nper-topic portal contents:");
+    for (topic, name) in [(db, "database research"), (mining, "data mining")] {
+        let docs = crawler.store().topic_documents(topic.0);
+        println!("  {name}: {} documents", docs.len());
+    }
+
+    // Cluster analysis: suggest subclasses for the database topic.
+    if let Some(suggestions) =
+        suggest_subclasses(crawler.store(), &engine.vocab, db.0, 2..=4, 5)
+    {
+        println!("\nsuggested subclasses for 'database research':");
+        for (i, s) in suggestions.iter().enumerate() {
+            println!(
+                "  subclass {}: {} docs, label = {:?}",
+                i + 1,
+                s.members.len(),
+                s.label
+            );
+        }
+    }
+}

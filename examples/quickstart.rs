@@ -1,0 +1,109 @@
+//! Quickstart: a minimal single-topic focused crawl.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a small synthetic web, trains a "database research" classifier
+//! from two researcher homepages, runs a two-phase focused crawl, and
+//! prints the crawl statistics and the top results.
+
+use bingo::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // 1. A small deterministic synthetic web (the live-Web substitute).
+    let world = Arc::new(WorldConfig::small_test(42).build());
+    println!(
+        "world: {} pages on {} hosts, {} authors in the directory",
+        world.page_count(),
+        world.host_count(),
+        world.authors().len()
+    );
+
+    // 2. The topic tree: a single topic seeded from two "bookmarks" —
+    //    the homepages of the two most prolific researchers.
+    let mut engine = BingoEngine::new(EngineConfig {
+        archetype_threshold: false, // tiny seed set, as in the paper §5.2
+        ..EngineConfig::default()
+    });
+    let topic = engine.add_topic(TopicTree::ROOT, "database research");
+    let seeds: Vec<String> = world.authors()[..2]
+        .iter()
+        .map(|a| world.url_of(a.homepage))
+        .collect();
+    for url in &seeds {
+        engine.add_training_url(&world, topic, url).expect("seed");
+        println!("seed: {url}");
+    }
+
+    // 3. Negative examples for the virtual OTHERS class: far-away pages
+    //    (sports, entertainment) — the Yahoo-categories trick of §3.1.
+    let mut added = 0;
+    for id in 0..world.page_count() as u64 {
+        if matches!(world.true_topic(id), Some(2) | Some(3)) {
+            if engine.add_others_url(&world, &world.url_of(id)).is_ok() {
+                added += 1;
+            }
+            if added >= 30 {
+                break;
+            }
+        }
+    }
+    engine.train().expect("initial training");
+
+    // 4. Learning phase: sharp focus, depth-first, seed domains only.
+    let seed_hosts = seeds
+        .iter()
+        .map(|u| bingo::webworld::fetch::host_of_url(u).unwrap().to_string())
+        .collect();
+    let config = CrawlConfig {
+        allowed_hosts: Some(seed_hosts),
+        ..CrawlConfig::default()
+    };
+    let mut crawler = Crawler::new(world.clone(), config, DocumentStore::new());
+    for url in &seeds {
+        crawler.add_seed(url, Some(topic.0));
+    }
+    engine.crawl_until(&mut crawler, 120_000, 0);
+    let report = engine.retrain(&mut crawler);
+    println!(
+        "learning phase: {} pages stored, {} archetypes promoted",
+        crawler.stats().stored_pages,
+        report.promoted.iter().map(|&(_, n)| n).sum::<usize>()
+    );
+
+    // 5. Harvesting phase: soft focus, best-first, unrestricted.
+    engine.switch_to_harvesting(&mut crawler);
+    engine.crawl_until(&mut crawler, 1_500_000, 0);
+    let stats = crawler.stats();
+    println!("\ncrawl summary:");
+    println!("  visited URLs:          {}", stats.visited_urls);
+    println!("  stored pages:          {}", stats.stored_pages);
+    println!("  extracted links:       {}", stats.extracted_links);
+    println!("  positively classified: {}", stats.positively_classified);
+    println!("  visited hosts:         {}", stats.visited_hosts);
+    println!("  max crawling depth:    {}", stats.max_depth);
+    println!("  duplicates dismissed:  {}", stats.duplicates);
+    println!("  fetch errors:          {}", stats.fetch_errors);
+
+    // 6. Query the result with the local search engine.
+    let search = SearchEngine::build(crawler.store());
+    let hits = search.query(
+        &engine.vocab,
+        "transaction recovery logging",
+        &QueryOptions {
+            filter: TopicFilter::Exact(topic.0),
+            ranking: RankingScheme::Combined {
+                cosine: 1.0,
+                confidence: 0.5,
+                authority: 0.5,
+            },
+            top_k: 5,
+        },
+    );
+    println!("\ntop results for \"transaction recovery logging\":");
+    for h in hits {
+        println!("  {:.3}  {}", h.score, h.url);
+    }
+}

@@ -1,0 +1,251 @@
+//! `bingo` — command-line front end to the focused crawler.
+//!
+//! ```text
+//! bingo crawl  --out crawl.jsonl --engine engine.json [--seed N] [--authors N]
+//!              [--budget-secs N] [--topic NAME]
+//! bingo resume --out crawl.jsonl --engine engine.json [--budget-secs N] [--seed N]
+//! bingo search --out crawl.jsonl --engine engine.json --query "..." [--topic-id N]
+//!              [--rank cosine|confidence|authority|combined] [--top N]
+//! bingo suggest --out crawl.jsonl --engine engine.json --topic-id N
+//! ```
+//!
+//! `crawl` builds a portal world, trains from the top-2 author homepages,
+//! runs a two-phase focused crawl, and writes both the crawl database and
+//! the trained engine to disk. `resume` continues a saved crawl.
+//! `search` and `suggest` postprocess a saved crawl offline.
+
+use bingo::core::persist as engine_persist;
+use bingo::prelude::*;
+use bingo::search::suggest_subclasses;
+use bingo::store::persist as store_persist;
+use bingo::graph::LinkSource;
+use bingo::webworld::fetch::host_of_url;
+use std::sync::Arc;
+
+fn arg(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn arg_or(flag: &str, default: &str) -> String {
+    arg(flag).unwrap_or_else(|| default.to_string())
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bingo <crawl|resume|search|suggest> --out <crawl.jsonl> --engine <engine.json> [options]\n\
+         \n\
+         crawl   --seed N --authors N --budget-secs N --topic NAME\n\
+         resume  --budget-secs N --seed N\n\
+         search  --query \"...\" [--topic-id N] [--rank cosine|confidence|authority|combined] [--top N]\n\
+         suggest --topic-id N"
+    );
+    std::process::exit(2);
+}
+
+/// Rebuild the deterministic world a saved crawl ran against.
+fn world_for(seed: u64, authors: usize) -> Arc<World> {
+    Arc::new(WorldConfig::portal(seed, authors, 2).build())
+}
+
+fn cmd_crawl() {
+    let out = arg_or("--out", "crawl.jsonl");
+    let engine_path = arg_or("--engine", "engine.json");
+    let seed: u64 = arg_or("--seed", "2003").parse().expect("--seed");
+    let authors: usize = arg_or("--authors", "1000").parse().expect("--authors");
+    let budget_ms: u64 = arg_or("--budget-secs", "600")
+        .parse::<u64>()
+        .expect("--budget-secs")
+        * 1000;
+    let topic_name = arg_or("--topic", "database research");
+
+    eprintln!("building world (seed {seed}, {authors} authors)...");
+    let world = world_for(seed, authors);
+    eprintln!("world: {} pages on {} hosts", world.page_count(), world.host_count());
+
+    let mut engine = BingoEngine::new(EngineConfig {
+        archetype_threshold: false,
+        ..EngineConfig::default()
+    });
+    let topic = engine.add_topic(TopicTree::ROOT, &topic_name);
+    let seeds: Vec<String> = world.authors()[..2]
+        .iter()
+        .map(|a| world.url_of(a.homepage))
+        .collect();
+    for url in &seeds {
+        engine.add_training_url(&world, topic, url).expect("seed");
+        eprintln!("seed: {url}");
+    }
+    let mut added = 0;
+    for id in 0..world.page_count() as u64 {
+        if matches!(world.true_topic(id), Some(3) | Some(4) | Some(5) | Some(6)) {
+            if engine.add_others_url(&world, &world.url_of(id)).is_ok() {
+                added += 1;
+            }
+            if added >= 50 {
+                break;
+            }
+        }
+    }
+    engine.train().expect("training");
+
+    let seed_hosts = seeds
+        .iter()
+        .map(|u| host_of_url(u).unwrap().to_string())
+        .collect();
+    let mut crawler = Crawler::new(
+        world.clone(),
+        CrawlConfig {
+            allowed_hosts: Some(seed_hosts),
+            ..CrawlConfig::default()
+        },
+        DocumentStore::new(),
+    );
+    for url in &seeds {
+        crawler.add_seed(url, Some(topic.0));
+    }
+    eprintln!("learning phase...");
+    engine.crawl_until(&mut crawler, budget_ms / 5, 0);
+    engine.retrain(&mut crawler);
+    eprintln!("harvesting...");
+    engine.switch_to_harvesting(&mut crawler);
+    engine.crawl_until(&mut crawler, budget_ms, 400);
+
+    let stats = crawler.stats();
+    eprintln!(
+        "done: {} visited, {} stored, {} positively classified, {} hosts",
+        stats.visited_urls, stats.stored_pages, stats.positively_classified, stats.visited_hosts
+    );
+    store_persist::save(crawler.store(), &out).expect("write crawl db");
+    engine_persist::save_engine_to(&engine, &engine_path).expect("write engine");
+    eprintln!("crawl database: {out}\nengine: {engine_path}");
+    eprintln!("topic id for --topic-id: {}", topic.0);
+}
+
+fn cmd_resume() {
+    let out = arg_or("--out", "crawl.jsonl");
+    let engine_path = arg_or("--engine", "engine.json");
+    let seed: u64 = arg_or("--seed", "2003").parse().expect("--seed");
+    let authors: usize = arg_or("--authors", "1000").parse().expect("--authors");
+    let extra_ms: u64 = arg_or("--budget-secs", "300")
+        .parse::<u64>()
+        .expect("--budget-secs")
+        * 1000;
+
+    let world = world_for(seed, authors);
+    let store = store_persist::load(&out).expect("read crawl db");
+    let mut engine = engine_persist::load_engine_from(&engine_path).expect("read engine");
+    eprintln!(
+        "resuming: {} documents in the database, {} topics",
+        store.document_count(),
+        engine.tree.len() - 1
+    );
+
+    let mut crawler = Crawler::new(
+        world.clone(),
+        CrawlConfig::default().harvesting(),
+        store,
+    );
+    crawler.resume_from_store();
+    // Requeue the uncrawled successors of everything stored so far.
+    let mut requeued = 0;
+    for row in crawler.store().all_documents() {
+        for succ in world.successors(row.id) {
+            let url = world.url_of(succ);
+            if !crawler.store().contains_url(&url) {
+                crawler.boost_url(&url, row.topic, row.confidence.max(0.0));
+                requeued += 1;
+            }
+        }
+    }
+    eprintln!("requeued {requeued} frontier URLs");
+    let deadline = crawler.clock_ms() + extra_ms;
+    engine.crawl_until(&mut crawler, deadline, 400);
+    let stats = crawler.stats();
+    eprintln!(
+        "resumed session stored {} documents ({} total now)",
+        stats.stored_pages,
+        crawler.store().document_count()
+    );
+    store_persist::save(crawler.store(), &out).expect("write crawl db");
+    engine_persist::save_engine_to(&engine, &engine_path).expect("write engine");
+}
+
+fn cmd_search() {
+    let out = arg_or("--out", "crawl.jsonl");
+    let engine_path = arg_or("--engine", "engine.json");
+    let Some(query) = arg("--query") else { usage() };
+    let top_k: usize = arg_or("--top", "10").parse().expect("--top");
+    let ranking = match arg_or("--rank", "cosine").as_str() {
+        "cosine" => RankingScheme::Cosine,
+        "confidence" => RankingScheme::Confidence,
+        "authority" => RankingScheme::Authority,
+        "combined" => RankingScheme::Combined {
+            cosine: 1.0,
+            confidence: 0.5,
+            authority: 0.5,
+        },
+        other => {
+            eprintln!("unknown ranking {other}");
+            usage()
+        }
+    };
+    let filter = match arg("--topic-id") {
+        Some(t) => TopicFilter::Exact(t.parse().expect("--topic-id")),
+        None => TopicFilter::Any,
+    };
+
+    let store = store_persist::load(&out).expect("read crawl db");
+    let engine = engine_persist::load_engine_from(&engine_path).expect("read engine");
+    let search = SearchEngine::build(&store);
+    let hits = search.query(
+        &engine.vocab,
+        &query,
+        &QueryOptions {
+            filter,
+            ranking,
+            top_k,
+        },
+    );
+    if hits.is_empty() {
+        println!("no results for {query:?}");
+        return;
+    }
+    for h in hits {
+        println!("{:8.4}  {}  — {}", h.score, h.url, h.title);
+    }
+}
+
+fn cmd_suggest() {
+    let out = arg_or("--out", "crawl.jsonl");
+    let engine_path = arg_or("--engine", "engine.json");
+    let topic_id: u32 = arg_or("--topic-id", "1").parse().expect("--topic-id");
+    let store = store_persist::load(&out).expect("read crawl db");
+    let engine = engine_persist::load_engine_from(&engine_path).expect("read engine");
+    match suggest_subclasses(&store, &engine.vocab, topic_id, 2..=5, 5) {
+        Some(suggestions) => {
+            for (i, s) in suggestions.iter().enumerate() {
+                println!(
+                    "subclass {}: {} documents — suggested label: {}",
+                    i + 1,
+                    s.members.len(),
+                    s.label.join(", ")
+                );
+            }
+        }
+        None => println!("not enough documents in topic {topic_id} for clustering"),
+    }
+}
+
+fn main() {
+    match std::env::args().nth(1).as_deref() {
+        Some("crawl") => cmd_crawl(),
+        Some("resume") => cmd_resume(),
+        Some("search") => cmd_search(),
+        Some("suggest") => cmd_suggest(),
+        _ => usage(),
+    }
+}

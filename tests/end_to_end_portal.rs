@@ -1,0 +1,179 @@
+//! End-to-end integration: the full portal-generation workflow through
+//! the public facade — world generation, two-phase focused crawl,
+//! retraining, result storage, snapshot persistence, and local search.
+
+use bingo::prelude::*;
+use bingo::store::persist;
+use bingo::webworld::fetch::host_of_url;
+use std::sync::Arc;
+
+fn build_trained(world: &Arc<World>) -> (BingoEngine, TopicId) {
+    let mut engine = BingoEngine::new(EngineConfig {
+        archetype_threshold: false,
+        ..EngineConfig::default()
+    });
+    let topic = engine.add_topic(TopicTree::ROOT, "database research");
+    for a in &world.authors()[..2] {
+        engine
+            .add_training_url(world, topic, &world.url_of(a.homepage))
+            .unwrap();
+    }
+    let mut added = 0;
+    for id in 0..world.page_count() as u64 {
+        if matches!(world.true_topic(id), Some(2) | Some(3)) {
+            if engine.add_others_url(world, &world.url_of(id)).is_ok() {
+                added += 1;
+            }
+            if added >= 30 {
+                break;
+            }
+        }
+    }
+    engine.train().unwrap();
+    (engine, topic)
+}
+
+#[test]
+fn full_portal_workflow() {
+    let world = Arc::new(WorldConfig::small_test(1234).build());
+    let (mut engine, topic) = build_trained(&world);
+    let seeds: Vec<String> = world.authors()[..2]
+        .iter()
+        .map(|a| world.url_of(a.homepage))
+        .collect();
+
+    // Learning phase within seed domains.
+    let seed_hosts = seeds
+        .iter()
+        .map(|u| host_of_url(u).unwrap().to_string())
+        .collect();
+    let mut crawler = Crawler::new(
+        world.clone(),
+        CrawlConfig {
+            allowed_hosts: Some(seed_hosts),
+            ..CrawlConfig::default()
+        },
+        DocumentStore::new(),
+    );
+    for url in &seeds {
+        crawler.add_seed(url, Some(topic.0));
+    }
+    engine.crawl_until(&mut crawler, 150_000, 0);
+    let learning_stored = crawler.stats().stored_pages;
+    assert!(learning_stored > 5, "learning phase stored {learning_stored}");
+
+    let report = engine.retrain(&mut crawler);
+    assert!(!report.promoted.is_empty(), "no archetypes promoted");
+    assert!(report.hubs_boosted > 0, "no hubs boosted");
+
+    // Harvesting.
+    engine.switch_to_harvesting(&mut crawler);
+    engine.crawl_until(&mut crawler, 2_000_000, 300);
+    let stats = crawler.stats().clone();
+    assert!(stats.stored_pages > learning_stored * 2);
+    assert!(stats.positively_classified > 30);
+    assert!(stats.visited_hosts >= 5);
+    assert!(stats.extracted_links > stats.stored_pages);
+
+    // Focus quality: most positively classified pages are truly on topic.
+    let mut correct = 0u32;
+    let mut wrong = 0u32;
+    crawler.store().for_each_document(|row| {
+        if row.topic == Some(topic.0) {
+            match world.true_topic(row.id) {
+                Some(0) => correct += 1,
+                Some(_) => wrong += 1,
+                None => {}
+            }
+        }
+    });
+    assert!(
+        correct as f32 / (correct + wrong).max(1) as f32 > 0.7,
+        "precision too low: {correct}/{}",
+        correct + wrong
+    );
+
+    // Author recall: at least a few directory authors found.
+    let mut urls: Vec<(f32, String)> = Vec::new();
+    crawler.store().for_each_document(|row| {
+        if row.topic == Some(topic.0) {
+            urls.push((row.confidence, row.url.clone()));
+        }
+    });
+    urls.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    let ranked: Vec<String> = urls.into_iter().map(|(_, u)| u).collect();
+    let eval = bingo::webworld::dblp::evaluate_found_authors(
+        &ranked,
+        world.authors(),
+        10,
+        &[ranked.len()],
+    );
+    let (_, _, found_all) = eval[0];
+    assert!(found_all >= 5, "only {found_all} authors found");
+
+    // Snapshot persistence round trip of the crawl database.
+    let mut buf = Vec::new();
+    persist::write_snapshot(crawler.store(), &mut buf).unwrap();
+    let restored = persist::read_snapshot(&buf[..]).unwrap();
+    assert_eq!(restored.document_count(), crawler.store().document_count());
+    assert_eq!(
+        restored.topic_documents(topic.0).len(),
+        crawler.store().topic_documents(topic.0).len()
+    );
+
+    // The local search engine works over the restored database.
+    let search = SearchEngine::build(&restored);
+    let hits = search.query(
+        &engine.vocab,
+        "database transaction query",
+        &QueryOptions {
+            filter: TopicFilter::Exact(topic.0),
+            ranking: RankingScheme::Cosine,
+            top_k: 10,
+        },
+    );
+    assert!(!hits.is_empty(), "search over restored snapshot is empty");
+}
+
+#[test]
+fn harvesting_beats_learning_scope() {
+    let world = Arc::new(WorldConfig::small_test(555).build());
+    let (mut engine, topic) = build_trained(&world);
+    let seeds: Vec<String> = world.authors()[..2]
+        .iter()
+        .map(|a| world.url_of(a.homepage))
+        .collect();
+
+    // Learning-only crawl (sharp, domain-restricted) vs. full two-phase:
+    // harvesting must reach strictly more hosts.
+    let run = |harvest: bool| {
+        let (mut engine2, _t) = build_trained(&world);
+        let seed_hosts = seeds
+            .iter()
+            .map(|u| host_of_url(u).unwrap().to_string())
+            .collect();
+        let mut crawler = Crawler::new(
+            world.clone(),
+            CrawlConfig {
+                allowed_hosts: Some(seed_hosts),
+                ..CrawlConfig::default()
+            },
+            DocumentStore::new(),
+        );
+        for url in &seeds {
+            crawler.add_seed(url, Some(topic.0));
+        }
+        engine2.crawl_until(&mut crawler, 150_000, 0);
+        engine2.retrain(&mut crawler);
+        if harvest {
+            engine2.switch_to_harvesting(&mut crawler);
+            engine2.crawl_until(&mut crawler, 1_000_000, 0);
+        }
+        crawler.stats().clone()
+    };
+    let _ = &mut engine;
+    let learn_only = run(false);
+    let two_phase = run(true);
+    assert!(two_phase.visited_hosts > learn_only.visited_hosts);
+    assert!(two_phase.positively_classified > learn_only.positively_classified);
+}
