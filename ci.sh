@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# CI gate: build, test, lint.
+#
+# The workspace is fully self-contained: every external crate (rand,
+# serde, proptest, criterion, ...) is a vendored path dependency under
+# vendor/, so all commands run offline and reproduce on a network-less
+# machine. No registry access, no lockfile churn.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --offline --workspace
+
+echo "==> cargo test"
+cargo test -q --offline --workspace
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> ci.sh: all green"

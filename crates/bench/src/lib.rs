@@ -8,6 +8,7 @@
 //! | expert search | `exp_expert` | Figure 4 (training seeds), Figure 5 (top-10 postprocessing results), baseline contrast |
 //! | meta classification | `exp_meta` | §3.5 claim (precision ~80% → >90%), §2.3 feature-selection example |
 //! | focus ablations | `exp_ablation` | §3.1-3.3 design lessons |
+//! | fault scenarios | `exp_faults` | §4.2 failure handling: chaos resilience + checkpoint/resume convergence |
 //!
 //! Scaling: the synthetic web is orders of magnitude smaller than the
 //! 2002 Web and runs on a virtual clock (host latencies approximate web
@@ -17,6 +18,7 @@
 
 pub mod ablation;
 pub mod expert;
+pub mod faults_exp;
 pub mod meta_exp;
 pub mod portal;
 pub mod report;

@@ -525,7 +525,7 @@ impl BingoEngine {
     ) -> Result<(), EngineError> {
         let row = store
             .document(page_id)
-            .ok_or_else(|| EngineError::Training("document not in the crawl database"))?;
+            .ok_or(EngineError::Training("document not in the crawl database"))?;
         if self
             .tree
             .node(topic)

@@ -83,6 +83,43 @@ pub fn load_engine<R: Read>(r: R) -> Result<BingoEngine, EngineError> {
     ))
 }
 
+/// File name of the engine snapshot inside a crawl-session directory.
+pub const ENGINE_FILE: &str = "engine.json";
+
+/// Save a complete crawl session — the trained engine plus the
+/// crawler's checkpoint and document store — into `dir`. Together with
+/// [`load_session`] this is the "overnight crawl" workflow with crash
+/// tolerance: a killed harvest resumes from the last session written by
+/// this function (or by the crawler's automatic checkpoint interval,
+/// which writes the same layout minus the engine file).
+pub fn save_session<P: AsRef<std::path::Path>>(
+    engine: &BingoEngine,
+    crawler: &bingo_crawler::Crawler,
+    dir: P,
+) -> Result<(), EngineError> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir).map_err(|e| EngineError::Persist(e.to_string()))?;
+    crawler
+        .save_session(dir)
+        .map_err(|e| EngineError::Persist(e.to_string()))?;
+    save_engine_to(engine, dir.join(ENGINE_FILE))
+}
+
+/// Resume a crawl session saved by [`save_session`]: rebuilds the
+/// engine and a crawler positioned exactly where the crawl stopped.
+/// `world` and `config` must match the original crawl.
+pub fn load_session<P: AsRef<std::path::Path>>(
+    world: std::sync::Arc<bingo_webworld::World>,
+    config: bingo_crawler::CrawlConfig,
+    dir: P,
+) -> Result<(BingoEngine, bingo_crawler::Crawler), EngineError> {
+    let dir = dir.as_ref();
+    let engine = load_engine_from(dir.join(ENGINE_FILE))?;
+    let crawler = bingo_crawler::Crawler::resume_session(world, config, dir)
+        .map_err(|e| EngineError::Persist(e.to_string()))?;
+    Ok((engine, crawler))
+}
+
 /// Save to a file path.
 pub fn save_engine_to<P: AsRef<std::path::Path>>(
     engine: &BingoEngine,
@@ -181,6 +218,44 @@ mod tests {
             "magic": "nope", "version": 1, "config": serde_json::Value::Null,
         });
         assert!(load_engine(wrong.to_string().as_bytes()).is_err());
+    }
+
+    #[test]
+    fn session_round_trip_resumes_crawl() {
+        use bingo_crawler::{CrawlConfig, Crawler};
+        use bingo_store::DocumentStore;
+        use std::sync::Arc;
+
+        let (mut engine, world, _topic) = trained_engine();
+        let world = Arc::new(world);
+        let config = CrawlConfig {
+            max_depth: 0,
+            ..CrawlConfig::default()
+        };
+        let mut crawler = Crawler::new(world.clone(), config.clone(), DocumentStore::new());
+        crawler.add_seed(&world.url_of(1), None);
+        engine.crawl_until(&mut crawler, 3_000, 0);
+        let mid_stored = crawler.stats().stored_pages;
+        let mid_clock = crawler.clock_ms();
+        assert!(mid_stored > 0, "warm-up crawl stored nothing");
+
+        let dir = std::env::temp_dir().join("bingo-session-test");
+        std::fs::remove_dir_all(&dir).ok();
+        save_session(&engine, &crawler, &dir).unwrap();
+
+        let (mut engine2, mut resumed) =
+            load_session(world.clone(), config, &dir).unwrap();
+        assert_eq!(resumed.stats().stored_pages, mid_stored);
+        assert_eq!(resumed.clock_ms(), mid_clock);
+        assert_eq!(
+            resumed.store().document_count(),
+            crawler.store().document_count()
+        );
+        // Both the original and the resumed session keep crawling.
+        let more = engine2.crawl_until(&mut resumed, u64::MAX, 0);
+        assert!(more > 0, "resumed session must continue the harvest");
+        assert!(resumed.stats().stored_pages > mid_stored);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

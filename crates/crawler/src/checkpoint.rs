@@ -1,0 +1,201 @@
+//! Crawl checkpoints: the crawler's full mid-crawl state in one
+//! serializable record, so a crawl killed at any point (the paper's
+//! multi-day harvests make that a certainty, Section 4.2) resumes from
+//! the last checkpoint instead of restarting.
+//!
+//! A checkpoint captures everything [`crate::Crawler`] owns besides the
+//! world and the document store: virtual clock, statistics, frontier
+//! (including parked backoff entries), duplicate fingerprints, per-host
+//! breaker health, simulated thread/connection-slot timelines and the
+//! neighbour-term cache. All collection-backed fields are stored as
+//! sorted vectors so two checkpoints of identical state are
+//! byte-identical.
+//!
+//! Files are written atomically (temp file + rename) so a kill *during*
+//! a checkpoint write never leaves a torn file behind; the previous
+//! checkpoint survives.
+
+use crate::dedup::DedupSnapshot;
+use crate::frontier::FrontierSnapshot;
+use crate::hosts::HostHealth;
+use crate::types::CrawlStats;
+use bingo_textproc::TermId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::Path;
+
+/// Format marker of checkpoint files.
+pub const MAGIC: &str = "bingo-checkpoint";
+/// Current checkpoint format version.
+pub const VERSION: u32 = 1;
+
+/// File name of the crawler checkpoint inside a session directory.
+pub const CRAWLER_FILE: &str = "crawler.json";
+/// File name of the store snapshot inside a session directory.
+pub const STORE_FILE: &str = "store.jsonl";
+
+/// The crawler's complete mid-crawl state (everything except the world
+/// and the document store, which is snapshotted separately).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrawlCheckpoint {
+    /// Format marker ([`MAGIC`]).
+    pub magic: String,
+    /// Format version ([`VERSION`]).
+    pub version: u32,
+    /// Virtual clock at checkpoint time.
+    pub clock_ms: u64,
+    /// Crawl counters so far.
+    pub stats: CrawlStats,
+    /// Frontier queues, including parked backoff entries.
+    pub frontier: FrontierSnapshot,
+    /// Duplicate-fingerprint sets.
+    pub dedup: DedupSnapshot,
+    /// Per-host breaker health, sorted by hostname.
+    pub host_health: Vec<(String, HostHealth)>,
+    /// Hosts successfully visited, sorted.
+    pub visited_hosts: Vec<String>,
+    /// Simulated thread pool: (free-at, thread id), sorted.
+    pub threads: Vec<(u64, usize)>,
+    /// Per-host connection slots: (host, free-at per slot), sorted.
+    pub host_slots: Vec<(String, Vec<u64>)>,
+    /// Neighbour-term cache: (page id, top terms), sorted by page.
+    pub page_top_terms: Vec<(u64, Vec<TermId>)>,
+}
+
+/// Why a checkpoint could not be written or read back.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(String),
+    /// The file exists but is not a valid checkpoint.
+    Format(String),
+    /// The session's store snapshot failed to save/load.
+    Store(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Format(e) => write!(f, "bad checkpoint: {e}"),
+            CheckpointError::Store(e) => write!(f, "session store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e.to_string())
+    }
+}
+
+/// Serialize `cp` to `path` atomically: the bytes land in a sibling
+/// temp file first and replace `path` in one rename.
+pub fn save_checkpoint<P: AsRef<Path>>(
+    cp: &CrawlCheckpoint,
+    path: P,
+) -> Result<(), CheckpointError> {
+    let path = path.as_ref();
+    let json =
+        serde_json::to_string(cp).map_err(|e| CheckpointError::Format(e.to_string()))?;
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, json.as_bytes())?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Read a checkpoint back, validating magic and version.
+pub fn load_checkpoint<P: AsRef<Path>>(path: P) -> Result<CrawlCheckpoint, CheckpointError> {
+    let bytes = std::fs::read_to_string(path)?;
+    let cp: CrawlCheckpoint =
+        serde_json::from_str(&bytes).map_err(|e| CheckpointError::Format(e.to_string()))?;
+    if cp.magic != MAGIC {
+        return Err(CheckpointError::Format(format!("bad magic {:?}", cp.magic)));
+    }
+    if cp.version != VERSION {
+        return Err(CheckpointError::Format(format!(
+            "unsupported version {}",
+            cp.version
+        )));
+    }
+    Ok(cp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal() -> CrawlCheckpoint {
+        CrawlCheckpoint {
+            magic: MAGIC.to_string(),
+            version: VERSION,
+            clock_ms: 123,
+            stats: CrawlStats::default(),
+            frontier: FrontierSnapshot {
+                incoming: vec![Vec::new()],
+                outgoing: vec![Vec::new()],
+                parked: Vec::new(),
+                overflow: 0,
+            },
+            dedup: DedupSnapshot {
+                url_hashes: vec![1, 2],
+                ip_path: vec![(1, 2)],
+                ip_size: vec![(1, 100)],
+            },
+            host_health: vec![("h".into(), HostHealth::default())],
+            visited_hosts: vec!["h".into()],
+            threads: vec![(0, 0), (5, 1)],
+            host_slots: vec![("h".into(), vec![0, 7])],
+            page_top_terms: vec![(3, vec![TermId(1), TermId(9)])],
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("bingo-checkpoint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cp.json");
+        let cp = minimal();
+        save_checkpoint(&cp, &path).unwrap();
+        let loaded = load_checkpoint(&path).unwrap();
+        assert_eq!(loaded.clock_ms, 123);
+        assert_eq!(loaded.dedup.url_hashes, vec![1, 2]);
+        assert_eq!(loaded.threads, vec![(0, 0), (5, 1)]);
+        assert_eq!(loaded.page_top_terms, vec![(3, vec![TermId(1), TermId(9)])]);
+        // Saving the loaded checkpoint reproduces the same bytes.
+        let path2 = dir.join("cp2.json");
+        save_checkpoint(&loaded, &path2).unwrap();
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            std::fs::read(&path2).unwrap()
+        );
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(path2).ok();
+    }
+
+    #[test]
+    fn rejects_garbage_and_bad_magic() {
+        let dir = std::env::temp_dir().join("bingo-checkpoint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, b"not json").unwrap();
+        assert!(matches!(
+            load_checkpoint(&path),
+            Err(CheckpointError::Format(_))
+        ));
+        let mut cp = minimal();
+        cp.magic = "nope".into();
+        save_checkpoint(&cp, &path).unwrap();
+        assert!(matches!(
+            load_checkpoint(&path),
+            Err(CheckpointError::Format(_))
+        ));
+        assert!(matches!(
+            load_checkpoint(dir.join("missing.json")),
+            Err(CheckpointError::Io(_))
+        ));
+        std::fs::remove_file(path).ok();
+    }
+}

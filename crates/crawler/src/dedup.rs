@@ -53,6 +53,41 @@ impl Dedup {
     pub fn urls_marked(&self) -> usize {
         self.url_hashes.len()
     }
+
+    /// Serializable snapshot, sorted for byte-stable checkpoints.
+    pub fn snapshot(&self) -> DedupSnapshot {
+        let mut url_hashes: Vec<u64> = self.url_hashes.iter().copied().collect();
+        url_hashes.sort_unstable();
+        let mut ip_path: Vec<(u32, u64)> = self.ip_path.iter().copied().collect();
+        ip_path.sort_unstable();
+        let mut ip_size: Vec<(u32, u64)> = self.ip_size.iter().copied().collect();
+        ip_size.sort_unstable();
+        DedupSnapshot {
+            url_hashes,
+            ip_path,
+            ip_size,
+        }
+    }
+
+    /// Rebuild the filter from a snapshot.
+    pub fn restore(snap: DedupSnapshot) -> Self {
+        Dedup {
+            url_hashes: snap.url_hashes.into_iter().collect(),
+            ip_path: snap.ip_path.into_iter().collect(),
+            ip_size: snap.ip_size.into_iter().collect(),
+        }
+    }
+}
+
+/// Serialized form of the duplicate filter for crawl checkpoints.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct DedupSnapshot {
+    /// Sorted URL hashcodes.
+    pub url_hashes: Vec<u64>,
+    /// Sorted (IP, path-hash) fingerprints.
+    pub ip_path: Vec<(u32, u64)>,
+    /// Sorted (IP, filesize) fingerprints.
+    pub ip_size: Vec<(u32, u64)>,
 }
 
 /// Extract the path component of an `http://host/path` URL.
@@ -98,6 +133,24 @@ mod tests {
         let mut d = Dedup::new();
         assert!(d.mark_response(1, "/p", 100));
         assert!(d.mark_response(2, "/p", 100), "other IP is fine");
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut d = Dedup::new();
+        d.mark_url("http://a/x");
+        d.mark_url("http://a/y");
+        d.mark_response(42, "/x", 100);
+        d.mark_response(7, "/y", 200);
+        let snap = d.snapshot();
+        let r = Dedup::restore(snap.clone());
+        assert!(r.url_seen("http://a/x"));
+        assert_eq!(r.urls_marked(), 2);
+        let mut r = r;
+        assert!(!r.mark_response(42, "/x", 999), "ip+path survives");
+        assert!(!r.mark_response(42, "/other", 100), "ip+size survives");
+        // Snapshots of identical state are identical (sorted).
+        assert_eq!(format!("{:?}", Dedup::restore(snap.clone()).snapshot()), format!("{snap:?}"));
     }
 
     #[test]

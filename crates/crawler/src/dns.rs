@@ -99,7 +99,7 @@ impl CachingResolver {
         let mut total_latency = 0u64;
         let mut last_err = DnsError::Timeout;
         for server in 0..self.servers {
-            match world.dns_lookup(hostname, server) {
+            match world.dns_lookup_at(hostname, server, now) {
                 Ok((ip, latency)) => {
                     total_latency += latency;
                     self.insert(hostname, ip, now);

@@ -14,10 +14,11 @@
 //! DNS prefetching is triggered for the promising candidates.
 
 use crate::types::QueuePriority;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One queued crawl task.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QueueEntry {
     /// Target URL.
     pub url: String,
@@ -100,6 +101,10 @@ pub struct Frontier {
     outgoing: Vec<PriorityQueue>,
     incoming_cap: usize,
     outgoing_cap: usize,
+    /// URLs waiting out a retry/breaker backoff, keyed by
+    /// `(release_ms, seq)` so the earliest release pops first.
+    parked: BTreeMap<(u64, u64), QueueEntry>,
+    park_seq: u64,
     /// Links dropped due to capacity.
     pub overflow: u64,
 }
@@ -113,6 +118,8 @@ impl Frontier {
             outgoing: (0..n).map(|_| PriorityQueue::default()).collect(),
             incoming_cap,
             outgoing_cap,
+            parked: BTreeMap::new(),
+            park_seq: 0,
             overflow: 0,
         }
     }
@@ -165,19 +172,117 @@ impl Frontier {
         self.outgoing[best_slot].pop()
     }
 
-    /// Total queued URLs.
+    /// Park a URL until virtual time `release_ms` (retry backoff or an
+    /// open circuit breaker). Parked entries do not compete for pops
+    /// until released.
+    pub fn park(&mut self, entry: QueueEntry, release_ms: u64) {
+        self.parked.insert((release_ms, self.park_seq), entry);
+        self.park_seq += 1;
+    }
+
+    /// Move every parked entry whose release time has arrived back into
+    /// its outgoing queue. Returns how many were released.
+    pub fn release_due(&mut self, now_ms: u64) -> usize {
+        let mut released = 0;
+        while let Some((&(release_ms, seq), _)) = self.parked.iter().next() {
+            if release_ms > now_ms {
+                break;
+            }
+            let entry = self.parked.remove(&(release_ms, seq)).expect("just peeked");
+            self.push_outgoing(entry);
+            released += 1;
+        }
+        released
+    }
+
+    /// Earliest release time among parked entries.
+    pub fn next_release(&self) -> Option<u64> {
+        self.parked.keys().next().map(|&(t, _)| t)
+    }
+
+    /// Number of parked URLs.
+    pub fn parked_len(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Total queued URLs (including parked ones).
     pub fn len(&self) -> usize {
         self.incoming
             .iter()
             .chain(self.outgoing.iter())
             .map(PriorityQueue::len)
-            .sum()
+            .sum::<usize>()
+            + self.parked.len()
     }
 
     /// True when no URLs are queued.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Serializable snapshot. Entries are listed in pop order per queue
+    /// (priority order), parked entries in release order, so the
+    /// snapshot is byte-stable for identical frontiers.
+    pub fn snapshot(&self) -> FrontierSnapshot {
+        let drain = |q: &PriorityQueue| -> Vec<QueueEntry> {
+            q.entries.values().cloned().collect()
+        };
+        FrontierSnapshot {
+            incoming: self.incoming.iter().map(drain).collect(),
+            outgoing: self.outgoing.iter().map(drain).collect(),
+            parked: self
+                .parked
+                .iter()
+                .map(|(&(t, _), e)| (t, e.clone()))
+                .collect(),
+            overflow: self.overflow,
+        }
+    }
+
+    /// Rebuild a frontier from a snapshot.
+    pub fn restore(snap: FrontierSnapshot, incoming_cap: usize, outgoing_cap: usize) -> Self {
+        let fill = |entries: Vec<QueueEntry>, cap: usize| -> PriorityQueue {
+            let mut q = PriorityQueue::default();
+            for e in entries {
+                q.push(e, cap);
+            }
+            q
+        };
+        let mut f = Frontier {
+            incoming: snap
+                .incoming
+                .into_iter()
+                .map(|q| fill(q, incoming_cap))
+                .collect(),
+            outgoing: snap
+                .outgoing
+                .into_iter()
+                .map(|q| fill(q, outgoing_cap))
+                .collect(),
+            incoming_cap,
+            outgoing_cap,
+            parked: BTreeMap::new(),
+            park_seq: 0,
+            overflow: snap.overflow,
+        };
+        for (release_ms, entry) in snap.parked {
+            f.park(entry, release_ms);
+        }
+        f
+    }
+}
+
+/// Serialized form of a [`Frontier`] for crawl checkpoints.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrontierSnapshot {
+    /// Incoming queue contents per slot, in priority order.
+    pub incoming: Vec<Vec<QueueEntry>>,
+    /// Outgoing queue contents per slot, in priority order.
+    pub outgoing: Vec<Vec<QueueEntry>>,
+    /// Parked entries as `(release_ms, entry)` in release order.
+    pub parked: Vec<(u64, QueueEntry)>,
+    /// Overflow counter at snapshot time.
+    pub overflow: u64,
 }
 
 #[cfg(test)]
@@ -256,6 +361,50 @@ mod tests {
         let first = f.pop().unwrap();
         assert_eq!(first.priority, 9.0);
         assert_eq!(f.len(), 99);
+    }
+
+    #[test]
+    fn parked_entries_wait_for_release() {
+        let mut f = Frontier::new(1, 100, 10);
+        f.park(entry("later", 0.9, Some(0)), 500);
+        f.park(entry("soon", 0.1, Some(0)), 100);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.parked_len(), 2);
+        assert!(f.pop().is_none(), "parked URLs are not poppable");
+        assert_eq!(f.next_release(), Some(100));
+        assert_eq!(f.release_due(99), 0);
+        assert_eq!(f.release_due(100), 1);
+        assert_eq!(f.pop().unwrap().url, "soon");
+        assert_eq!(f.next_release(), Some(500));
+        assert_eq!(f.release_due(1000), 1);
+        assert_eq!(f.pop().unwrap().url, "later");
+        assert!(f.next_release().is_none());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut f = Frontier::new(2, 100, 10);
+        f.push(entry("a", 0.3, Some(0)));
+        f.push(entry("b", 0.8, Some(1)));
+        f.push_outgoing(entry("c", 0.5, None));
+        f.park(entry("p", 0.1, Some(0)), 777);
+        f.overflow = 3;
+        let snap = f.snapshot();
+        let mut r = Frontier::restore(snap, 100, 10);
+        assert_eq!(r.len(), f.len());
+        assert_eq!(r.parked_len(), 1);
+        assert_eq!(r.overflow, 3);
+        assert_eq!(r.next_release(), Some(777));
+        // Pop order is preserved across the round trip.
+        let mut orig = Vec::new();
+        while let Some(e) = f.pop() {
+            orig.push(e.url);
+        }
+        let mut rest = Vec::new();
+        while let Some(e) = r.pop() {
+            rest.push(e.url);
+        }
+        assert_eq!(orig, rest);
     }
 
     #[test]

@@ -12,8 +12,16 @@
 //!   fingerprints ([`dedup`]),
 //! * an **asynchronous-style caching DNS resolver** with LRU replacement,
 //!   TTL invalidation and alternative-server retry ([`dns`]),
-//! * **host management**: failure counting, "slow"/"bad" tagging with a
-//!   bounded retry budget, and locked domains ([`hosts`]),
+//! * **host management**: per-host circuit breakers (closed → open →
+//!   half-open with probe fetches) replacing the paper's one-way
+//!   good/slow/bad escalation, plus locked domains ([`hosts`]),
+//! * **adaptive retry**: transient failures (timeouts, 5xx bursts,
+//!   truncated bodies, DNS flaps) park the URL for an exponential
+//!   backoff with deterministic jitter on the virtual clock,
+//! * **checkpoint/resume**: the full mid-crawl state — frontier, parked
+//!   retries, breaker health, duplicate fingerprints, thread timelines —
+//!   serializes to a session directory and resumes byte-identically
+//!   ([`checkpoint`]),
 //! * URL hygiene: hostname ≤ 255 chars, URL ≤ 1000 chars, redirect chains
 //!   bounded, MIME-type and size limits per document class,
 //! * a **discrete-event executor** modelling N crawler threads over
@@ -26,6 +34,7 @@
 //! SVM classifier and drives phase switches and retraining between crawl
 //! steps.
 
+pub mod checkpoint;
 pub mod dedup;
 pub mod dns;
 pub mod frontier;
@@ -35,10 +44,13 @@ pub mod types;
 
 mod step;
 
+pub use checkpoint::{CheckpointError, CrawlCheckpoint};
 pub use dedup::Dedup;
 pub use dns::CachingResolver;
 pub use frontier::{Frontier, QueueEntry};
-pub use hosts::HostManager;
+pub use hosts::{
+    BreakerConfig, BreakerState, FailureOutcome, HostDecision, HostHealth, HostManager,
+};
 pub use step::{Crawler, StepOutcome};
 pub use types::{CrawlConfig, CrawlStats, CrawlStrategy, FocusRule, Judgment, PageContext};
 

@@ -10,19 +10,24 @@
 //! by the real latencies the simulated network reports, so wall-clock
 //! budgets ("a 90-minute crawl") are meaningful and deterministic.
 
+use crate::checkpoint::{
+    load_checkpoint, save_checkpoint, CheckpointError, CrawlCheckpoint, CRAWLER_FILE,
+    STORE_FILE,
+};
 use crate::dedup::{path_of_url, Dedup};
 use crate::dns::CachingResolver;
 use crate::frontier::{Frontier, QueueEntry};
-use crate::hosts::HostManager;
+use crate::hosts::{FailureOutcome, HostDecision, HostManager};
 use crate::types::{
     CrawlConfig, CrawlStats, CrawlStrategy, FocusRule, Judgment, PageContext, MAX_HOSTNAME_LEN,
     MAX_URL_LEN,
 };
 use crate::DocumentJudge;
 use bingo_store::{DocumentRow, DocumentStore, LinkRow};
+use bingo_textproc::fxhash;
 use bingo_textproc::{analyze_html, ContentRegistry, Vocabulary};
 use bingo_webworld::fetch::host_of_url;
-use bingo_webworld::{FetchError, FetchOutcome, World};
+use bingo_webworld::{DnsError, FetchOutcome, World};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -84,7 +89,7 @@ impl Crawler {
             .map(|tid| Reverse((0u64, tid)))
             .collect();
         Crawler {
-            hosts: HostManager::new(config.max_retries),
+            hosts: HostManager::with_config(config.breaker.clone()),
             frontier,
             threads,
             world,
@@ -135,6 +140,94 @@ impl Crawler {
         }
         self.stats.stored_pages = self.store.document_count() as u64;
         self.stats.visited_hosts = self.hosts.visited_count() as u64;
+    }
+
+    /// Snapshot the crawler's complete mid-crawl state (everything but
+    /// the world and the document store).
+    pub fn checkpoint(&self) -> CrawlCheckpoint {
+        let (host_health, visited_hosts) = self.hosts.snapshot();
+        let mut threads: Vec<(u64, usize)> =
+            self.threads.iter().map(|Reverse(t)| *t).collect();
+        threads.sort_unstable();
+        let mut host_slots: Vec<(String, Vec<u64>)> = self
+            .host_slots
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        host_slots.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut page_top_terms: Vec<(u64, Vec<bingo_textproc::TermId>)> = self
+            .page_top_terms
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        page_top_terms.sort_unstable_by_key(|e| e.0);
+        CrawlCheckpoint {
+            magic: crate::checkpoint::MAGIC.to_string(),
+            version: crate::checkpoint::VERSION,
+            clock_ms: self.clock,
+            stats: self.stats.clone(),
+            frontier: self.frontier.snapshot(),
+            dedup: self.dedup.snapshot(),
+            host_health,
+            visited_hosts,
+            threads,
+            host_slots,
+            page_top_terms,
+        }
+    }
+
+    /// Overwrite this crawler's mid-crawl state from a checkpoint. The
+    /// resolver cache is intentionally *not* part of checkpoints: it is
+    /// a pure cache and repopulates on the first fetch per host.
+    pub fn restore_checkpoint(&mut self, cp: CrawlCheckpoint) {
+        self.clock = cp.clock_ms;
+        self.stats = cp.stats;
+        self.frontier = Frontier::restore(
+            cp.frontier,
+            self.config.incoming_queue_cap,
+            self.config.outgoing_queue_cap,
+        );
+        self.dedup = Dedup::restore(cp.dedup);
+        self.hosts = HostManager::restore(
+            self.config.breaker.clone(),
+            cp.host_health,
+            cp.visited_hosts,
+        );
+        self.threads = cp.threads.into_iter().map(Reverse).collect();
+        self.host_slots = cp.host_slots.into_iter().collect();
+        self.page_top_terms = cp.page_top_terms.into_iter().collect();
+        self.resolver = CachingResolver::new();
+    }
+
+    /// Write a full crawl session — store snapshot plus crawler
+    /// checkpoint — into `dir` (created if missing). Both files are
+    /// written atomically; a kill mid-save leaves the previous session
+    /// intact.
+    pub fn save_session<P: AsRef<std::path::Path>>(&self, dir: P) -> Result<(), CheckpointError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let store_tmp = dir.join(format!("{STORE_FILE}.tmp"));
+        bingo_store::persist::save(&self.store, &store_tmp)
+            .map_err(|e| CheckpointError::Store(e.to_string()))?;
+        std::fs::rename(&store_tmp, dir.join(STORE_FILE))?;
+        save_checkpoint(&self.checkpoint(), dir.join(CRAWLER_FILE))
+    }
+
+    /// Rebuild a crawler mid-crawl from a session directory written by
+    /// [`Crawler::save_session`]. `world` and `config` must match the
+    /// original crawl for the resumed run to be meaningful.
+    pub fn resume_session<P: AsRef<std::path::Path>>(
+        world: Arc<World>,
+        config: CrawlConfig,
+        dir: P,
+    ) -> Result<Crawler, CheckpointError> {
+        let dir = dir.as_ref();
+        let store = bingo_store::persist::load(dir.join(STORE_FILE))
+            .map_err(|e| CheckpointError::Store(e.to_string()))?;
+        let cp = load_checkpoint(dir.join(CRAWLER_FILE))?;
+        let mut crawler = Crawler::new(world, config, store);
+        crawler.restore_checkpoint(cp);
+        Ok(crawler)
     }
 
     /// Queue a not-yet-seen URL with an explicit priority (used to resume
@@ -193,13 +286,24 @@ impl Crawler {
     }
 
     /// Process one URL. See the module docs for the pipeline stages.
+    ///
+    /// When every remaining URL is parked in retry/breaker backoff, the
+    /// virtual clock fast-forwards to the earliest release time — the
+    /// simulated crawler idles until work becomes available again.
     pub fn step(
         &mut self,
         judge: &mut dyn DocumentJudge,
         vocab: &mut Vocabulary,
     ) -> StepOutcome {
-        let Some(entry) = self.frontier.pop() else {
-            return StepOutcome::FrontierEmpty;
+        let entry = loop {
+            self.frontier.release_due(self.clock);
+            if let Some(e) = self.frontier.pop() {
+                break e;
+            }
+            match self.frontier.next_release() {
+                Some(t) => self.clock = self.clock.max(t),
+                None => return StepOutcome::FrontierEmpty,
+            }
         };
         // Acquire the earliest-free simulated thread...
         let Reverse((free_at, tid)) = self.threads.pop().expect("threads configured");
@@ -232,7 +336,27 @@ impl Crawler {
         }
         self.threads.push(Reverse((done, tid)));
         self.stats.elapsed_ms = self.stats.elapsed_ms.max(done);
+        if matches!(outcome, StepOutcome::Stored { .. }) {
+            self.maybe_checkpoint();
+        }
         outcome
+    }
+
+    /// Write an automatic checkpoint every `checkpoint_every_docs`
+    /// stored documents (counted *before* the increment of
+    /// `checkpoints_written`, so the persisted stats describe exactly
+    /// the checkpointed crawl state).
+    fn maybe_checkpoint(&mut self) {
+        let every = self.config.checkpoint_every_docs;
+        if every == 0 || self.stats.stored_pages == 0 || !self.stats.stored_pages.is_multiple_of(every) {
+            return;
+        }
+        let Some(dir) = self.config.checkpoint_dir.clone() else {
+            return;
+        };
+        if self.save_session(&dir).is_ok() {
+            self.stats.checkpoints_written += 1;
+        }
     }
 
     fn process(
@@ -265,23 +389,38 @@ impl Crawler {
                 return StepOutcome::Skipped("outside allowed domains");
             }
         }
-        if self.hosts.is_bad(&host) {
-            return StepOutcome::Skipped("bad host");
+        // Circuit breaker (Section 4.2 host quality, with recovery): an
+        // open breaker parks the URL until the half-open deadline instead
+        // of dropping it; the first URL past the deadline becomes the probe.
+        match self.hosts.decide(&host, now) {
+            HostDecision::Dead => return StepOutcome::Skipped("bad host"),
+            HostDecision::Defer { until_ms } => {
+                self.stats.backoff_wait_ms += until_ms.saturating_sub(now);
+                self.frontier.park(entry, until_ms);
+                return StepOutcome::Skipped("breaker open");
+            }
+            HostDecision::Probe => self.stats.breaker_probes += 1,
+            HostDecision::Proceed => {}
         }
 
         // DNS.
         match self.resolver.resolve(&self.world, &host, now) {
             Ok(res) => *cost += res.latency_ms,
-            Err(_) => {
+            Err(err) => {
                 *cost += 100;
                 self.stats.fetch_errors += 1;
-                self.hosts.record_failure(&host);
+                self.note_failure(&host, now);
+                // NxDomain is permanent; a timeout may be a DNS flap
+                // window, so the URL gets a backoff retry.
+                if err == DnsError::Timeout {
+                    self.maybe_retry(entry, now);
+                }
                 return StepOutcome::Skipped("dns failure");
             }
         }
 
         // Fetch.
-        let response = match self.world.fetch(&entry.url, entry.attempt) {
+        let response = match self.world.fetch_at(&entry.url, entry.attempt, now) {
             FetchOutcome::Redirect {
                 location,
                 latency_ms,
@@ -301,16 +440,9 @@ impl Crawler {
             FetchOutcome::Err { error, latency_ms } => {
                 *cost += latency_ms;
                 self.stats.fetch_errors += 1;
-                if error == FetchError::Timeout {
-                    self.hosts.record_failure(&host);
-                    if self.hosts.retries_left(&host) {
-                        // Retry later at reduced priority.
-                        self.frontier.push(QueueEntry {
-                            attempt: entry.attempt + 1,
-                            priority: entry.priority * 0.5,
-                            ..entry
-                        });
-                    }
+                self.note_failure(&host, now);
+                if error.is_transient() {
+                    self.maybe_retry(entry, now);
                 }
                 return StepOutcome::Skipped("fetch error");
             }
@@ -319,7 +451,22 @@ impl Crawler {
                 resp
             }
         };
-        self.hosts.record_success(&host);
+
+        // A body shorter than the advertised size means the connection
+        // broke mid-transfer: treat as a transient host failure and
+        // retry, *before* the response is fingerprinted.
+        if response.truncated {
+            self.stats.truncated_fetches += 1;
+            self.stats.wasted_bytes += response.payload.len() as u64;
+            self.stats.fetch_errors += 1;
+            self.note_failure(&host, now);
+            self.maybe_retry(entry, now);
+            return StepOutcome::Skipped("truncated body");
+        }
+
+        if self.hosts.record_success(&host) {
+            self.stats.breaker_closed += 1;
+        }
         self.stats.visited_hosts = self.hosts.visited_count() as u64;
 
         // MIME/size filter.
@@ -344,6 +491,7 @@ impl Crawler {
             Ok(h) => h,
             Err(_) => {
                 self.stats.mime_rejected += 1;
+                self.stats.wasted_bytes += response.payload.len() as u64;
                 return StepOutcome::Skipped("malformed payload");
             }
         };
@@ -416,6 +564,59 @@ impl Crawler {
             page_id: response.page_id,
             judgment,
         }
+    }
+
+    /// Record a failure against `host`'s breaker and roll the outcome
+    /// into the crawl counters.
+    fn note_failure(&mut self, host: &str, now: u64) {
+        let was_dead = self.hosts.is_bad(host);
+        match self.hosts.record_failure(host, now) {
+            FailureOutcome::Opened { .. } => self.stats.breaker_opened += 1,
+            FailureOutcome::Died if !was_dead => self.stats.hosts_dead += 1,
+            _ => {}
+        }
+    }
+
+    /// Park `entry` for an exponential-backoff retry when its per-URL
+    /// attempt budget and the host's breaker allow another try.
+    fn maybe_retry(&mut self, entry: QueueEntry, now: u64) {
+        if entry.attempt >= self.config.max_retries {
+            return;
+        }
+        let Some(host) = host_of_url(&entry.url) else {
+            return;
+        };
+        if !self.hosts.retries_left(host) {
+            return;
+        }
+        let backoff = self.retry_backoff(&entry.url, entry.attempt);
+        self.stats.retries += 1;
+        self.stats.backoff_wait_ms += backoff;
+        self.frontier.park(
+            QueueEntry {
+                attempt: entry.attempt + 1,
+                ..entry
+            },
+            now + backoff,
+        );
+    }
+
+    /// Backoff before retry `attempt` of `url`: `retry_backoff_ms <<
+    /// attempt`, capped by the breaker's ceiling, with deterministic
+    /// per-URL jitter so co-failing URLs don't retry in lockstep.
+    fn retry_backoff(&self, url: &str, attempt: u32) -> u64 {
+        let base = self
+            .config
+            .retry_backoff_ms
+            .checked_shl(attempt.min(20))
+            .unwrap_or(u64::MAX)
+            .min(self.config.breaker.max_backoff_ms)
+            .max(1);
+        let amplitude = base * self.config.breaker.jitter_permille as u64 / 1000;
+        if amplitude == 0 {
+            return base;
+        }
+        base - amplitude + fxhash::hash_one(&(url, attempt, 0x5EEDu32)) % (2 * amplitude + 1)
     }
 
     fn enqueue_links(
@@ -804,6 +1005,241 @@ mod tests {
         let all_ids: std::collections::HashSet<u64> =
             store.all_documents().iter().map(|d| d.id).collect();
         assert!(all_ids.is_superset(&first_ids));
+    }
+
+    #[test]
+    fn chaos_crawl_survives_and_exercises_breakers() {
+        // A chaos world injects 5xx bursts, outages, slow drips,
+        // truncated bodies, DNS flaps and redirect loops; the crawl must
+        // still harvest a useful fraction and the new machinery must
+        // actually fire.
+        let world = Arc::new(bingo_webworld::gen::WorldConfig::chaos(41).build());
+        assert!(!world.faults().is_empty(), "chaos preset installs faults");
+        let config = CrawlConfig {
+            max_depth: 0,
+            ..CrawlConfig::default()
+        };
+        let mut crawler = Crawler::new(world.clone(), config, DocumentStore::new());
+        crawler.add_seed(&world.url_of(1), Some(0));
+        let mut judge = accept_all();
+        let mut vocab = Vocabulary::new();
+        let stored = crawler.run_until(u64::MAX, &mut judge, &mut vocab);
+        let stats = crawler.stats();
+        assert!(stored > 20, "chaos crawl collapsed: {stored} stored");
+        assert!(stats.retries > 0, "transient faults must trigger retries");
+        assert!(stats.backoff_wait_ms > 0, "retries must wait");
+        assert!(
+            stats.breaker_opened > 0,
+            "fault bursts must trip breakers: {stats:?}"
+        );
+        assert!(
+            stats.breaker_probes > 0,
+            "open breakers must issue probes: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn truncated_bodies_are_retried_and_counted() {
+        // Deterministic corruption: every body on the seed's host is
+        // truncated for the first 10 virtual seconds. The crawler must
+        // count the waste, retry with backoff, and eventually (after the
+        // window) harvest the host's pages anyway.
+        let mut world = WorldConfig::small_test(31).build();
+        let host_id = world.page(1).host;
+        let mut plan = bingo_webworld::FaultPlan::empty();
+        plan.insert_window(
+            host_id,
+            bingo_webworld::FaultWindow {
+                start_ms: 0,
+                end_ms: 10_000,
+                kind: bingo_webworld::FaultKind::Truncate { keep_permille: 300 },
+            },
+        );
+        world.install_faults(plan);
+        let seeds: Vec<u64> = (0..world.page_count() as u64)
+            .filter(|&id| {
+                world.page(id).host == host_id
+                    && world.page(id).redirect_to.is_none()
+                    && world.page(id).size_hint.is_none()
+            })
+            .take(8)
+            .collect();
+        let world = Arc::new(world);
+        let mut crawler = Crawler::new(
+            world.clone(),
+            CrawlConfig {
+                max_depth: 0,
+                // Generous recovery budget: the window outlasts several
+                // breaker cycles.
+                breaker: crate::hosts::BreakerConfig {
+                    max_open_cycles: 10,
+                    ..Default::default()
+                },
+                ..CrawlConfig::default()
+            },
+            DocumentStore::new(),
+        );
+        for &id in &seeds {
+            crawler.add_seed(&world.url_of(id), Some(0));
+        }
+        let mut judge = accept_all();
+        let mut vocab = Vocabulary::new();
+        let stored = crawler.run_until(u64::MAX, &mut judge, &mut vocab);
+        let stats = crawler.stats();
+        assert!(stats.truncated_fetches > 0, "truncation unseen: {stats:?}");
+        assert!(stats.wasted_bytes > 0, "wasted bytes uncounted: {stats:?}");
+        assert!(stats.retries > 0, "truncated bodies must be retried");
+        assert!(stored > 0, "crawl must survive the corruption window");
+    }
+
+    #[test]
+    fn breaker_recovers_hosts_the_paper_would_abandon() {
+        // Deterministic outage: the seed's host is down for the first 3
+        // virtual seconds. The paper's escalation would tag it bad after
+        // 3 failed retrials and lose it forever; the breaker probes it
+        // after backoff and recovers the host's harvest.
+        let mut world = WorldConfig::small_test(31).build();
+        let host_id = world.page(1).host;
+        let mut plan = bingo_webworld::FaultPlan::empty();
+        plan.insert_window(
+            host_id,
+            bingo_webworld::FaultWindow {
+                start_ms: 0,
+                end_ms: 12_000,
+                kind: bingo_webworld::FaultKind::Outage,
+            },
+        );
+        world.install_faults(plan);
+        // Seed several pages of the faulty host so the breaker gets
+        // enough traffic to trip, probe and close.
+        let seeds: Vec<u64> = (0..world.page_count() as u64)
+            .filter(|&id| {
+                world.page(id).host == host_id
+                    && world.page(id).redirect_to.is_none()
+                    && world.page(id).size_hint.is_none()
+            })
+            .take(8)
+            .collect();
+        assert!(seeds.len() >= 4, "need several pages on the seed host");
+        let world = Arc::new(world);
+        let mut crawler = Crawler::new(
+            world.clone(),
+            CrawlConfig {
+                max_depth: 0,
+                breaker: crate::hosts::BreakerConfig {
+                    max_open_cycles: 10,
+                    ..Default::default()
+                },
+                ..CrawlConfig::default()
+            },
+            DocumentStore::new(),
+        );
+        for &id in &seeds {
+            crawler.add_seed(&world.url_of(id), Some(0));
+        }
+        let mut judge = accept_all();
+        let mut vocab = Vocabulary::new();
+        let stored = crawler.run_until(u64::MAX, &mut judge, &mut vocab);
+        let stats = crawler.stats();
+        assert!(stats.breaker_opened > 0, "outage must trip: {stats:?}");
+        assert!(stats.breaker_probes > 0, "no probe issued: {stats:?}");
+        assert!(
+            stats.breaker_closed > 0,
+            "no breaker ever recovered: {stats:?}"
+        );
+        assert!(stored > 0, "crawl must survive the outage");
+        assert!(
+            crawler
+                .store()
+                .all_documents()
+                .iter()
+                .any(|d| d.host == host_id),
+            "recovered host must contribute to the harvest"
+        );
+    }
+
+    #[test]
+    fn checkpoint_round_trip_preserves_crawl_state() {
+        let (mut crawler, mut vocab) = setup(38);
+        let seed_url = crawler.world().url_of(1);
+        crawler.add_seed(&seed_url, Some(0));
+        let mut judge = accept_all();
+        crawler.run_until(5_000, &mut judge, &mut vocab);
+        let cp = crawler.checkpoint();
+        // Checkpointing is a pure read: doing it twice gives identical
+        // records.
+        assert_eq!(
+            serde_json::to_string(&cp).unwrap(),
+            serde_json::to_string(&crawler.checkpoint()).unwrap()
+        );
+        // Two replicas restored from the same checkpoint (each with a
+        // deep copy of the store — DocumentStore::clone shares state)
+        // must continue *byte-identically*.
+        let replica = || {
+            let mut buf = Vec::new();
+            bingo_store::persist::write_snapshot(crawler.store(), &mut buf).unwrap();
+            let store_copy = bingo_store::persist::read_snapshot(&buf[..]).unwrap();
+            let mut r = Crawler::new(
+                crawler.world().clone(),
+                crawler.config.clone(),
+                store_copy,
+            );
+            r.restore_checkpoint(crawler.checkpoint());
+            r
+        };
+        let (mut r1, mut r2) = (replica(), replica());
+        assert_eq!(r1.clock_ms(), crawler.clock_ms());
+        assert_eq!(r1.frontier_len(), crawler.frontier_len());
+        let mut judge2 = accept_all();
+        let mut vocab1 = vocab.clone();
+        let mut vocab2 = vocab.clone();
+        let b1 = r1.run_until(u64::MAX, &mut judge2, &mut vocab1);
+        let mut judge3 = accept_all();
+        let b2 = r2.run_until(u64::MAX, &mut judge3, &mut vocab2);
+        assert_eq!(b1, b2, "same-checkpoint resumes must match");
+        assert_eq!(
+            serde_json::to_string(r1.stats()).unwrap(),
+            serde_json::to_string(r2.stats()).unwrap()
+        );
+        // The resumed crawl reaches the same harvest as the
+        // uninterrupted original (fault-free world: the page set is
+        // timing-independent; only the non-checkpointed DNS cache makes
+        // operational counters drift).
+        let a = crawler.run_until(u64::MAX, &mut judge, &mut vocab);
+        assert_eq!(crawler.stats().stored_pages, r1.stats().stored_pages);
+        let ids = |c: &Crawler| -> Vec<u64> {
+            let mut v: Vec<u64> = c.store().all_documents().iter().map(|d| d.id).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(ids(&crawler), ids(&r1), "harvest sets must match");
+        assert_eq!(a, b1, "stored counts after resume must match");
+    }
+
+    #[test]
+    fn auto_checkpoint_writes_sessions() {
+        let dir = std::env::temp_dir().join("bingo-auto-checkpoint-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let world = Arc::new(WorldConfig::small_test(39).build());
+        let config = CrawlConfig {
+            max_depth: 0,
+            checkpoint_every_docs: 10,
+            checkpoint_dir: Some(dir.clone()),
+            ..CrawlConfig::default()
+        };
+        let mut crawler = Crawler::new(world.clone(), config.clone(), DocumentStore::new());
+        crawler.add_seed(&world.url_of(1), Some(0));
+        let mut judge = accept_all();
+        let mut vocab = Vocabulary::new();
+        crawler.run_until(u64::MAX, &mut judge, &mut vocab);
+        assert!(crawler.stats().checkpoints_written > 0);
+        assert!(dir.join("crawler.json").exists());
+        assert!(dir.join("store.jsonl").exists());
+        // The session loads back into a working crawler.
+        let resumed = Crawler::resume_session(world, config, &dir).unwrap();
+        assert!(resumed.store().document_count() > 0);
+        assert!(resumed.clock_ms() > 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Crawl configuration, statistics and shared types.
 
+use crate::hosts::BreakerConfig;
 use bingo_textproc::fxhash::FxHashSet;
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 
 /// Maximum accepted hostname length (RFC 1738; Section 4.2).
 pub const MAX_HOSTNAME_LEN: usize = 255;
@@ -67,6 +69,18 @@ pub struct CrawlConfig {
     /// Maximum simultaneous connections per host (paper testbed: 2).
     /// A fetch whose host has no free connection slot waits for one.
     pub per_host_connections: usize,
+    /// Per-host circuit-breaker tuning (replaces the paper's one-way
+    /// good → slow → bad escalation with recovery; see [`crate::hosts`]).
+    pub breaker: BreakerConfig,
+    /// Base delay for per-URL retry backoff after a transient failure.
+    /// Retry `n` waits `retry_backoff_ms << n` (capped by the breaker's
+    /// `max_backoff_ms`) plus deterministic jitter, on the virtual clock.
+    pub retry_backoff_ms: u64,
+    /// Write a crawl checkpoint every N stored documents (0 = never).
+    pub checkpoint_every_docs: u64,
+    /// Directory checkpoints are written into; required when
+    /// `checkpoint_every_docs > 0`.
+    pub checkpoint_dir: Option<PathBuf>,
 }
 
 impl Default for CrawlConfig {
@@ -86,6 +100,10 @@ impl Default for CrawlConfig {
             locked_hosts: FxHashSet::default(),
             processing_cost_ms: 5,
             per_host_connections: 2,
+            breaker: BreakerConfig::default(),
+            retry_backoff_ms: 250,
+            checkpoint_every_docs: 0,
+            checkpoint_dir: None,
         }
     }
 }
@@ -197,6 +215,25 @@ pub struct CrawlStats {
     pub queue_overflow: u64,
     /// Virtual time elapsed (ms).
     pub elapsed_ms: u64,
+    /// Fetches re-attempted after a transient failure (backoff retries).
+    pub retries: u64,
+    /// Total virtual ms URLs spent parked in retry/breaker backoff.
+    pub backoff_wait_ms: u64,
+    /// Payload bytes fetched but discarded (truncated or unparseable
+    /// bodies, abandoned redirect chains).
+    pub wasted_bytes: u64,
+    /// Responses whose body was shorter than the advertised size.
+    pub truncated_fetches: u64,
+    /// Circuit breakers tripped open.
+    pub breaker_opened: u64,
+    /// Half-open probe fetches issued.
+    pub breaker_probes: u64,
+    /// Breakers closed again by a successful probe.
+    pub breaker_closed: u64,
+    /// Hosts excluded for the rest of the crawl (breaker exhausted).
+    pub hosts_dead: u64,
+    /// Crawl checkpoints written.
+    pub checkpoints_written: u64,
 }
 
 #[cfg(test)]

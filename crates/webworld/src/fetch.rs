@@ -7,8 +7,9 @@
 //! multiply it, letting the crawler's slow/bad host tagging kick in.
 
 use crate::content_gen;
-use crate::{HostBehavior, World};
-use bingo_graph::PageId;
+use crate::faults::FaultKind;
+use crate::{HostBehavior, HostMeta, World};
+use bingo_graph::{HostId, PageId};
 use bingo_textproc::fxhash;
 use bingo_textproc::MimeType;
 
@@ -36,6 +37,10 @@ pub struct FetchResponse {
     pub size: u64,
     /// Virtual milliseconds the fetch took.
     pub latency_ms: u64,
+    /// True when the delivered payload is shorter than the advertised
+    /// `size` (a truncation fault): the client can detect the mismatch
+    /// and treat the fetch as failed.
+    pub truncated: bool,
 }
 
 /// Why a fetch failed.
@@ -47,6 +52,17 @@ pub enum FetchError {
     NotFound,
     /// Hostname does not exist.
     UnknownHost,
+    /// Server answered with a 5xx status (transient server-side failure;
+    /// a later retry may succeed).
+    ServerError(u16),
+}
+
+impl FetchError {
+    /// True for failures worth retrying later (the server may recover);
+    /// 404 and unknown hosts are permanent.
+    pub fn is_transient(self) -> bool {
+        matches!(self, FetchError::Timeout | FetchError::ServerError(_))
+    }
 }
 
 /// DNS failure modes.
@@ -79,14 +95,37 @@ pub enum FetchOutcome {
     },
 }
 
+/// Path prefix of synthetic redirect-loop chain URLs (see
+/// [`FaultKind::RedirectLoop`]).
+const LOOP_PREFIX: &str = "__loop/";
+
 impl World {
     /// Authoritative DNS lookup: hostname → IP with lookup latency.
     /// Flaky hosts' DNS also fails transiently, varying with `attempt`
     /// (the crawler's resolver resends to alternative servers).
     pub fn dns_lookup(&self, hostname: &str, attempt: u32) -> Result<(u32, u64), DnsError> {
-        let Some(host) = self.hosts.iter().find(|h| h.name == hostname) else {
+        self.dns_lookup_at(hostname, attempt, 0)
+    }
+
+    /// DNS lookup at virtual time `now_ms`: during a scripted
+    /// [`FaultKind::DnsFlap`] window the authoritative servers time out
+    /// on every attempt (cached resolutions are unaffected — the cache
+    /// lives in the crawler's resolver).
+    pub fn dns_lookup_at(
+        &self,
+        hostname: &str,
+        attempt: u32,
+        now_ms: u64,
+    ) -> Result<(u32, u64), DnsError> {
+        let Some((host_id, host)) = self.find_host(hostname) else {
             return Err(DnsError::NxDomain);
         };
+        if matches!(
+            self.faults.active(host_id, now_ms).map(|w| w.kind),
+            Some(FaultKind::DnsFlap)
+        ) {
+            return Err(DnsError::Timeout);
+        }
         if let HostBehavior::Flaky(permille) = host.behavior {
             let roll = fxhash::hash_one(&(self.seed, hostname, attempt, 0xD15u32)) % 1000;
             if (roll as u16) < permille / 2 {
@@ -97,18 +136,56 @@ impl World {
     }
 
     /// Fetch a URL. `attempt` differentiates retries: a flaky host may
-    /// fail attempt 0 and serve attempt 1.
+    /// fail attempt 0 and serve attempt 1. Equivalent to
+    /// [`World::fetch_at`] at virtual time 0 (fault-free unless a window
+    /// starts at 0).
     pub fn fetch(&self, url: &str, attempt: u32) -> FetchOutcome {
+        self.fetch_at(url, attempt, 0)
+    }
+
+    /// Fetch a URL at virtual time `now_ms`, applying any fault window
+    /// scripted for the host at that instant on top of the host's static
+    /// behaviour.
+    pub fn fetch_at(&self, url: &str, attempt: u32, now_ms: u64) -> FetchOutcome {
         let Some(hostname) = host_of_url(url) else {
             return FetchOutcome::Err {
                 error: FetchError::UnknownHost,
                 latency_ms: 1,
             };
         };
+
+        // Synthetic redirect-loop chain URLs exist only while the loop
+        // window is active; they are not part of the page index.
+        if let Some((host_id, host)) = self.find_host(hostname) {
+            if let Some(hop) = parse_loop_url(url) {
+                let active_loop = matches!(
+                    self.faults.active(host_id, now_ms).map(|w| w.kind),
+                    Some(FaultKind::RedirectLoop)
+                );
+                return if active_loop {
+                    FetchOutcome::Redirect {
+                        location: format!(
+                            "http://{}/{}{}/{}",
+                            host.name,
+                            LOOP_PREFIX,
+                            hop.0 + 1,
+                            hop.1
+                        ),
+                        latency_ms: host.base_latency_ms as u64,
+                    }
+                } else {
+                    FetchOutcome::Err {
+                        error: FetchError::NotFound,
+                        latency_ms: host.base_latency_ms as u64,
+                    }
+                };
+            }
+        }
+
         let Some(page_id) = self.resolve_url(url) else {
             // Host may exist (404) or not (unknown host).
-            return match self.hosts.iter().find(|h| h.name == hostname) {
-                Some(h) => FetchOutcome::Err {
+            return match self.find_host(hostname) {
+                Some((_, h)) => FetchOutcome::Err {
                     error: FetchError::NotFound,
                     latency_ms: h.base_latency_ms as u64,
                 },
@@ -140,6 +217,33 @@ impl World {
             _ => {}
         }
 
+        // Scripted fault window, if one is active right now.
+        let fault = self.faults.active(meta.host, now_ms).map(|w| w.kind);
+        match fault {
+            Some(FaultKind::Outage) => {
+                return FetchOutcome::Err {
+                    error: FetchError::Timeout,
+                    latency_ms: TIMEOUT_MS,
+                }
+            }
+            Some(FaultKind::ErrorBurst { status }) => {
+                return FetchOutcome::Err {
+                    error: FetchError::ServerError(status),
+                    latency_ms: host.base_latency_ms as u64,
+                }
+            }
+            Some(FaultKind::RedirectLoop) => {
+                return FetchOutcome::Redirect {
+                    location: format!(
+                        "http://{}/{}1/{}",
+                        host.name, LOOP_PREFIX, meta.path
+                    ),
+                    latency_ms: host.base_latency_ms as u64,
+                }
+            }
+            _ => {}
+        }
+
         let slow_factor = if host.behavior == HostBehavior::Slow {
             8
         } else {
@@ -155,7 +259,7 @@ impl World {
 
         // Oversized media is not materialized; the crawler aborts on the
         // reported size/MIME before the body transfer anyway.
-        let (payload, size) = match meta.size_hint {
+        let (mut payload, size) = match meta.size_hint {
             Some(s) => (String::new(), s as u64),
             None => {
                 let p = content_gen::payload(self, page_id);
@@ -164,8 +268,34 @@ impl World {
             }
         };
         let jitter = fxhash::hash_one(&(self.seed, page_id, attempt, 0x1a7u32)) % 30;
-        let latency_ms =
+        let mut latency_ms =
             (host.base_latency_ms as u64 + size / BYTES_PER_MS + jitter) * slow_factor;
+
+        // Degraded-but-responding fault modes.
+        let mut truncated = false;
+        match fault {
+            Some(FaultKind::SlowDrip { factor }) => {
+                latency_ms *= factor.max(1) as u64;
+                if latency_ms > TIMEOUT_MS {
+                    // The drip is slower than the client's patience: the
+                    // partial transfer is abandoned at the timeout.
+                    return FetchOutcome::Err {
+                        error: FetchError::Timeout,
+                        latency_ms: TIMEOUT_MS,
+                    };
+                }
+            }
+            Some(FaultKind::Truncate { keep_permille }) => {
+                let keep = payload.len() * keep_permille.min(999) as usize / 1000;
+                let cut = (0..=keep).rev().find(|&i| payload.is_char_boundary(i));
+                payload.truncate(cut.unwrap_or(0));
+                truncated = true;
+            }
+            Some(FaultKind::Garble) => {
+                payload = garble(&payload, self.seed ^ page_id);
+            }
+            _ => {}
+        }
 
         FetchOutcome::Ok(FetchResponse {
             page_id,
@@ -175,8 +305,41 @@ impl World {
             payload,
             size,
             latency_ms,
+            truncated,
         })
     }
+
+    fn find_host(&self, name: &str) -> Option<(HostId, &HostMeta)> {
+        self.hosts
+            .iter()
+            .position(|h| h.name == name)
+            .map(|i| (i as HostId, &self.hosts[i]))
+    }
+}
+
+/// Parse `http://host/__loop/{k}/{path}` into `(k, path)`.
+fn parse_loop_url(url: &str) -> Option<(u32, &str)> {
+    let rest = url.strip_prefix("http://")?;
+    let slash = rest.find('/')?;
+    let chain = rest[slash + 1..].strip_prefix(LOOP_PREFIX)?;
+    let (hop, path) = chain.split_once('/')?;
+    Some((hop.parse().ok()?, path))
+}
+
+/// Deterministically corrupt a payload: rotate ASCII letters by a
+/// seed-derived shift. Markup, format envelopes and words all turn to
+/// mush while the text stays valid UTF-8 (the downstream parsers see
+/// garbage, exactly like bit-rot through a broken proxy).
+fn garble(payload: &str, salt: u64) -> String {
+    let shift = (fxhash::hash_one(&(salt, 0x6a4bu32)) % 25 + 1) as u8;
+    payload
+        .chars()
+        .map(|c| match c {
+            'a'..='z' => (b'a' + (c as u8 - b'a' + shift) % 26) as char,
+            'A'..='Z' => (b'A' + (c as u8 - b'A' + shift) % 26) as char,
+            _ => c,
+        })
+        .collect()
 }
 
 /// Extract the hostname of an `http://host/path` URL.
@@ -346,6 +509,135 @@ mod tests {
         assert_eq!(ip, w.host(0).ip);
         assert!(latency > 0);
         assert_eq!(w.dns_lookup("nope.invalid", 0), Err(DnsError::NxDomain));
+    }
+
+    #[test]
+    fn fault_windows_shape_fetch_outcomes() {
+        use crate::faults::{FaultKind, FaultPlan, FaultWindow};
+        let mut w = world();
+        let id = (0..w.page_count() as u64)
+            .find(|&id| {
+                w.page(id).kind == PageKind::Content
+                    && w.page(id).mime == MimeType::Html
+                    && w.host(w.page(id).host).behavior == HostBehavior::Normal
+            })
+            .unwrap();
+        let host = w.page(id).host;
+        let url = w.url_of(id);
+        let clean = match w.fetch_at(&url, 0, 0) {
+            FetchOutcome::Ok(r) => r,
+            o => panic!("{o:?}"),
+        };
+
+        let mut plan = FaultPlan::empty();
+        for (start, kind) in [
+            (1_000, FaultKind::Outage),
+            (2_000, FaultKind::ErrorBurst { status: 503 }),
+            (3_000, FaultKind::Truncate { keep_permille: 400 }),
+            (4_000, FaultKind::Garble),
+            (5_000, FaultKind::SlowDrip { factor: 1000 }),
+            (6_000, FaultKind::DnsFlap),
+            (7_000, FaultKind::RedirectLoop),
+        ] {
+            plan.insert_window(
+                host,
+                FaultWindow {
+                    start_ms: start,
+                    end_ms: start + 500,
+                    kind,
+                },
+            );
+        }
+        w.install_faults(plan);
+
+        // Outside every window the fetch is byte-identical to clean.
+        match w.fetch_at(&url, 0, 500) {
+            FetchOutcome::Ok(r) => {
+                assert_eq!(r.payload, clean.payload);
+                assert!(!r.truncated);
+            }
+            o => panic!("{o:?}"),
+        }
+        // Outage: timeout at full budget.
+        match w.fetch_at(&url, 0, 1_100) {
+            FetchOutcome::Err { error, latency_ms } => {
+                assert_eq!(error, FetchError::Timeout);
+                assert_eq!(latency_ms, TIMEOUT_MS);
+            }
+            o => panic!("{o:?}"),
+        }
+        // Error burst: 5xx, transient.
+        match w.fetch_at(&url, 0, 2_100) {
+            FetchOutcome::Err { error, .. } => {
+                assert_eq!(error, FetchError::ServerError(503));
+                assert!(error.is_transient());
+            }
+            o => panic!("{o:?}"),
+        }
+        // Truncation: short payload, full advertised size, flagged.
+        match w.fetch_at(&url, 0, 3_100) {
+            FetchOutcome::Ok(r) => {
+                assert!(r.truncated);
+                assert!(r.payload.len() < clean.payload.len());
+                assert_eq!(r.size, clean.size, "full size still advertised");
+            }
+            o => panic!("{o:?}"),
+        }
+        // Garbling: same length, different bytes, not flagged.
+        match w.fetch_at(&url, 0, 4_100) {
+            FetchOutcome::Ok(r) => {
+                assert!(!r.truncated);
+                assert_eq!(r.payload.len(), clean.payload.len());
+                assert_ne!(r.payload, clean.payload);
+            }
+            o => panic!("{o:?}"),
+        }
+        // Extreme slow-drip: abandoned at the timeout.
+        match w.fetch_at(&url, 0, 5_100) {
+            FetchOutcome::Err { error, latency_ms } => {
+                assert_eq!(error, FetchError::Timeout);
+                assert_eq!(latency_ms, TIMEOUT_MS);
+            }
+            o => panic!("{o:?}"),
+        }
+        // DNS flap: lookups fail during the window, recover after.
+        let host_name = w.host(host).name.clone();
+        assert_eq!(
+            w.dns_lookup_at(&host_name, 0, 6_100),
+            Err(DnsError::Timeout)
+        );
+        assert!(w.dns_lookup_at(&host_name, 0, 6_600).is_ok());
+        // Redirect loop: every hop yields a fresh synthetic URL.
+        let first = match w.fetch_at(&url, 0, 7_100) {
+            FetchOutcome::Redirect { location, .. } => location,
+            o => panic!("{o:?}"),
+        };
+        assert!(first.contains("/__loop/1/"));
+        let second = match w.fetch_at(&first, 0, 7_200) {
+            FetchOutcome::Redirect { location, .. } => location,
+            o => panic!("{o:?}"),
+        };
+        assert!(second.contains("/__loop/2/"));
+        assert_ne!(first, second);
+        // After the window the synthetic chain URLs 404.
+        match w.fetch_at(&first, 0, 8_000) {
+            FetchOutcome::Err { error, .. } => assert_eq!(error, FetchError::NotFound),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn chaos_preset_installs_fault_plan() {
+        let w = WorldConfig::chaos(13).build();
+        assert!(!w.faults().is_empty());
+        assert!(w.faults().faulty_hosts() >= w.host_count() / 3);
+        // Same seed, same script.
+        let v = WorldConfig::chaos(13).build();
+        for h in 0..w.host_count() as u32 {
+            assert_eq!(w.faults().windows_for(h), v.faults().windows_for(h));
+        }
+        // The plain preset stays fault-free.
+        assert!(world().faults().is_empty());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! Generation is fully deterministic given [`WorldConfig::seed`].
 
 use crate::dblp::{publication_count, AuthorInfo};
+use crate::faults::{FaultPlan, FaultProfile, FaultWindow};
 use crate::lexicon;
 use crate::scenario::ScenarioSpec;
 use crate::{HostBehavior, HostMeta, PageKind, PageMeta, TopicInfo, World};
@@ -100,6 +101,10 @@ pub struct WorldConfig {
     /// is symmetric). Unrelated topics never mix — a sports page does
     /// not cite recovery algorithms.
     pub related_topics: Vec<(u32, u32)>,
+    /// Seeded fault script over the generated hosts ([`crate::faults`]).
+    /// `None` (all presets) keeps the world fault-free; chaos tests set
+    /// a profile or call [`World::install_faults`] after generation.
+    pub fault_profile: Option<FaultProfile>,
 }
 
 impl WorldConfig {
@@ -133,6 +138,18 @@ impl WorldConfig {
             latency_scale: 1,
             topic_blend: 0.25,
             related_topics: vec![(0, 1)],
+            fault_profile: None,
+        }
+    }
+
+    /// The small-test world with an aggressive fault script layered on:
+    /// same graph and content as [`WorldConfig::small_test`], but most
+    /// hosts suffer scripted outages, error bursts, slow drips,
+    /// truncation, garbling, DNS flaps and redirect loops.
+    pub fn chaos(seed: u64) -> Self {
+        WorldConfig {
+            fault_profile: Some(FaultProfile::chaos()),
+            ..WorldConfig::small_test(seed)
         }
     }
 
@@ -171,6 +188,7 @@ impl WorldConfig {
             latency_scale: 10,
             topic_blend: 0.25,
             related_topics: vec![(0, 1), (0, 2), (1, 2)],
+            fault_profile: None,
         }
     }
 
@@ -204,6 +222,7 @@ impl WorldConfig {
             // not each other — the scenario's needle pages are the rare
             // bridge between the two communities.
             related_topics: vec![(0, 1), (0, 2)],
+            fault_profile: None,
         }
     }
 
@@ -230,6 +249,9 @@ pub(crate) struct Generator {
     /// Weighted link targets per topic: (page, weight, cumulative).
     authors: Vec<AuthorInfo>,
     named: FxHashMap<String, PageId>,
+    /// Hand-authored fault windows from scenario overlays, merged into
+    /// the generated fault plan at finish time.
+    scenario_faults: Vec<(HostId, FaultWindow)>,
 }
 
 impl Generator {
@@ -246,6 +268,7 @@ impl Generator {
             topic_pages: Vec::new(),
             authors: Vec::new(),
             named: FxHashMap::default(),
+            scenario_faults: Vec::new(),
             cfg,
         }
     }
@@ -749,6 +772,17 @@ impl Generator {
             }
         }
 
+        // Fault script: seeded plan (when configured) plus any scenario
+        // overlays. Generated *after* all hosts exist so the script
+        // covers scenario-added hosts too.
+        let mut faults = match &self.cfg.fault_profile {
+            Some(profile) => FaultPlan::generate(self.cfg.seed, self.hosts.len(), profile),
+            None => FaultPlan::empty(),
+        };
+        for (host, window) in self.scenario_faults.drain(..) {
+            faults.insert_window(host, window);
+        }
+
         World {
             seed: self.cfg.seed,
             pages: self.pages,
@@ -759,6 +793,7 @@ impl Generator {
             in_links,
             authors: self.authors,
             named: self.named,
+            faults,
         }
     }
 
@@ -793,6 +828,10 @@ impl Generator {
 
     pub(crate) fn register_name(&mut self, name: String, page: PageId) {
         self.named.insert(name, page);
+    }
+
+    pub(crate) fn add_scenario_fault(&mut self, host: HostId, window: FaultWindow) {
+        self.scenario_faults.push((host, window));
     }
 
     pub(crate) fn find_host(&self, name: &str) -> Option<HostId> {

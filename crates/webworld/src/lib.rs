@@ -26,12 +26,14 @@
 
 pub mod content_gen;
 pub mod dblp;
+pub mod faults;
 pub mod fetch;
 pub mod gen;
 pub mod lexicon;
 pub mod scenario;
 
 pub use dblp::AuthorInfo;
+pub use faults::{FaultKind, FaultPlan, FaultProfile, FaultWindow};
 pub use fetch::{DnsError, FetchError, FetchOutcome, FetchResponse};
 
 use bingo_graph::{HostId, LinkSource, PageId};
@@ -147,6 +149,8 @@ pub struct World {
     pub(crate) authors: Vec<AuthorInfo>,
     /// Scenario page names → ids.
     pub(crate) named: FxHashMap<String, PageId>,
+    /// Scripted fault windows (empty unless configured; see [`faults`]).
+    pub(crate) faults: FaultPlan,
 }
 
 impl World {
@@ -214,6 +218,17 @@ impl World {
     /// World seed (content generation is a pure function of seed and id).
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The fault script of this world (empty for fault-free worlds).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Replace the fault script. Tests and experiments use this to run
+    /// the *same* world with and without chaos.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.faults = plan;
     }
 }
 

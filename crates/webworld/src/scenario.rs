@@ -2,6 +2,7 @@
 //! generated web, used for the expert-search case study of Section 5.3
 //! (Figures 4 and 5).
 
+use crate::faults::FaultWindow;
 use crate::gen::Generator;
 use crate::{PageKind, PageMeta};
 use bingo_graph::PageId;
@@ -38,6 +39,10 @@ pub struct ScenarioSpec {
     pub name: String,
     /// Pages of the overlay, applied in order.
     pub pages: Vec<ScenarioPage>,
+    /// Hand-authored fault windows: `(hostname, window)`. The host must
+    /// exist after the overlay's pages are applied (base-world hosts
+    /// qualify too). Merged into the world's fault plan.
+    pub host_faults: Vec<(String, FaultWindow)>,
 }
 
 /// Apply an overlay to a world under construction: create hosts and
@@ -114,6 +119,14 @@ pub(crate) fn apply(g: &mut Generator, spec: &ScenarioSpec) {
                 }
             }
         }
+    }
+
+    // Pass 3: hand-authored fault windows on named hosts.
+    for (host_name, window) in &spec.host_faults {
+        let host = g
+            .find_host(host_name)
+            .unwrap_or_else(|| panic!("scenario fault on unknown host {host_name}"));
+        g.add_scenario_fault(host, *window);
     }
 }
 
@@ -367,6 +380,7 @@ pub fn aries_scenario() -> ScenarioSpec {
                 Some((2, 8)),
             ),
         ],
+        host_faults: Vec::new(),
     }
 }
 

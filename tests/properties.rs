@@ -161,6 +161,37 @@ proptest! {
         prop_assert!(f.len() <= 25 + 5, "len {}", f.len());
     }
 
+    #[test]
+    fn frontier_priority_is_total_order_under_ties(
+        // Few distinct priorities → many ties; the pop order must still
+        // be deterministic (a total order, not a partial one).
+        priorities in proptest::collection::vec(0u8..4, 1..50),
+    ) {
+        let build = || {
+            let mut f = Frontier::new(1, 1000, 100);
+            for (i, &p) in priorities.iter().enumerate() {
+                let mut e = QueueEntry::seed(&format!("http://h/p{i}"), Some(0));
+                e.priority = p as f32;
+                f.push(e);
+            }
+            f
+        };
+        let drain = |mut f: Frontier| {
+            let mut urls = Vec::new();
+            let mut last = f32::INFINITY;
+            while let Some(e) = f.pop() {
+                prop_assert!(e.priority <= last + 1e-4, "order violated");
+                last = e.priority;
+                urls.push(e.url);
+            }
+            Ok(urls)
+        };
+        let a = drain(build())?;
+        let b = drain(build())?;
+        prop_assert_eq!(a.len(), priorities.len());
+        prop_assert_eq!(a, b);
+    }
+
     // ---- Dedup ---------------------------------------------------------
 
     #[test]
@@ -170,6 +201,70 @@ proptest! {
         for u in &urls {
             let fresh = d.mark_url(u);
             prop_assert_eq!(fresh, first.insert(u.clone()));
+        }
+    }
+
+    #[test]
+    fn dedup_signatures_stable_under_path_alias_permutation(
+        responses in proptest::collection::vec(
+            (0u32..5, "/[a-z]{1,8}", 50u64..60), 1..30),
+        rot in 0usize..30,
+    ) {
+        // The same set of (IP, path, size) responses — e.g. path aliases
+        // of one another — produces identical fingerprint state no
+        // matter the order the crawler encounters them in.
+        let mark_all = |order: &[(u32, String, u64)]| {
+            let mut d = Dedup::new();
+            for (ip, path, size) in order {
+                d.mark_response(*ip, path, *size);
+            }
+            d.snapshot()
+        };
+        let forward = mark_all(&responses);
+        let mut permuted = responses.clone();
+        let rot = rot % permuted.len();
+        permuted.rotate_left(rot);
+        permuted.reverse();
+        let backward = mark_all(&permuted);
+        prop_assert_eq!(format!("{forward:?}"), format!("{backward:?}"));
+    }
+
+    // ---- Circuit breaker ------------------------------------------------
+
+    #[test]
+    fn breaker_never_closes_without_successful_probe(
+        ops in proptest::collection::vec((0u8..3, 1u64..2000), 1..80),
+    ) {
+        use bingo::crawler::hosts::{BreakerConfig, BreakerState, HostManager};
+        let mut m = HostManager::with_config(BreakerConfig {
+            failure_threshold: 2,
+            base_backoff_ms: 100,
+            max_backoff_ms: 1000,
+            jitter_permille: 250,
+            max_open_cycles: 3,
+        });
+        let mut now = 0u64;
+        for &(op, dt) in &ops {
+            now += dt;
+            let before = m.breaker_state("h");
+            match op {
+                0 => { m.record_failure("h", now); }
+                1 => { m.record_success("h"); }
+                _ => { m.decide("h", now); }
+            }
+            let after = m.breaker_state("h");
+            // The only path back to Closed is a successful probe from
+            // HalfOpen: an Open breaker can never jump straight to
+            // Closed, and nothing resurrects a Dead host.
+            if matches!(before, BreakerState::Open { .. }) {
+                prop_assert_ne!(after, BreakerState::Closed);
+            }
+            if before == BreakerState::Dead {
+                prop_assert_eq!(after, BreakerState::Dead);
+            }
+            if before == BreakerState::HalfOpen && after == BreakerState::Closed {
+                prop_assert_eq!(op, 1);
+            }
         }
     }
 

@@ -1,0 +1,716 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Implements the strategy combinators and macros this workspace's
+//! property tests use: numeric range strategies, regex-subset string
+//! strategies, `Just`, `any::<T>()`, tuples, `collection::vec`,
+//! `option::of`, `prop_oneof!`, `.prop_map(..)`, and the `proptest!` /
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest: no shrinking (a failing case reports
+//! its inputs via the assertion message and its case seed), and input
+//! generation is deterministic per test name, so failures reproduce
+//! exactly across runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+/// RNG handed to strategies (deterministic per test and case).
+pub type TestRng = StdRng;
+
+/// How a test case ended short of success.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the property is violated.
+    Fail(String),
+    /// The generated inputs don't satisfy a `prop_assume!` precondition.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Build a rejection with the given message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Runner configuration (the `with_cases` subset).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Successful cases required per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Drives one `proptest!`-generated test.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+}
+
+impl TestRunner {
+    /// Runner for the named test.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        TestRunner { config, name }
+    }
+
+    /// Run cases until `config.cases` succeed; panic on the first
+    /// failure. Rejected cases (via `prop_assume!`) are retried, with a
+    /// bounded attempt budget so a never-satisfied assumption cannot
+    /// loop forever.
+    pub fn run_cases<F>(&mut self, body: &mut F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let name_seed = fnv1a(self.name.as_bytes());
+        let max_attempts = (self.config.cases as u64) * 10 + 100;
+        let mut successes = 0u32;
+        let mut rejects = 0u64;
+        for attempt in 0..max_attempts {
+            if successes >= self.config.cases {
+                return;
+            }
+            let mut rng = StdRng::seed_from_u64(
+                name_seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            match body(&mut rng) {
+                Ok(()) => successes += 1,
+                Err(TestCaseError::Reject(_)) => rejects += 1,
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "proptest failure in `{}` (case attempt {attempt}): {msg}",
+                    self.name
+                ),
+            }
+        }
+        if successes == 0 && rejects > 0 {
+            panic!(
+                "proptest `{}`: every generated input was rejected by prop_assume!",
+                self.name
+            );
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---- Strategy core --------------------------------------------------
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased strategy (`prop_oneof!` arms, heterogeneous storage).
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between type-erased arms (built by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from at least one arm.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.arms.len());
+        self.arms[idx].sample(rng)
+    }
+}
+
+// Numeric ranges are strategies over their element type.
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! range_incl_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_incl_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($($s:ident),+);+ $(;)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.sample(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!(
+    A;
+    A, B;
+    A, B, C;
+    A, B, C, D;
+    A, B, C, D, E;
+    A, B, C, D, E, F;
+);
+
+// ---- any::<T>() -----------------------------------------------------
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen_bool(0.5)
+    }
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen_range(-1.0e9f64..1.0e9)
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen_range(-1.0e9f32..1.0e9)
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+// ---- string strategies (regex subset) -------------------------------
+
+/// `&str` regex patterns are strategies producing matching `String`s.
+///
+/// Supported subset (everything the workspace's tests use): literal
+/// characters, `.`, `[...]` classes with ranges, and `{m}` / `{m,n}`
+/// repetition.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self)
+            .unwrap_or_else(|e| panic!("unsupported regex pattern {self:?}: {e}"));
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = if atom.min == atom.max {
+                atom.min
+            } else {
+                rng.gen_range(atom.min..=atom.max)
+            };
+            for _ in 0..count {
+                out.push(atom.chars[rng.gen_range(0..atom.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+// '.' matches any printable ASCII character here (real proptest draws
+// from all of char; ASCII keeps failure output readable and is enough
+// for the text-processing properties under test).
+fn dot_chars() -> Vec<char> {
+    (0x20u8..0x7f).map(|b| b as char).collect()
+}
+
+fn parse_pattern(pattern: &str) -> Result<Vec<Atom>, String> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let set = match c {
+            '.' => dot_chars(),
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let item = chars.next().ok_or("unterminated class")?;
+                    match item {
+                        ']' => break,
+                        '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                            let hi = chars.next().unwrap();
+                            let lo = prev.take().unwrap();
+                            if lo as u32 > hi as u32 {
+                                return Err(format!("bad range {lo}-{hi}"));
+                            }
+                            // `lo` itself is already in the set.
+                            for code in (lo as u32 + 1)..=(hi as u32) {
+                                if let Some(ch) = char::from_u32(code) {
+                                    set.push(ch);
+                                }
+                            }
+                        }
+                        other => {
+                            set.push(other);
+                            prev = Some(other);
+                        }
+                    }
+                }
+                if set.is_empty() {
+                    return Err("empty character class".to_string());
+                }
+                set
+            }
+            '\\' => vec![chars.next().ok_or("trailing backslash")?],
+            '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '^' | '$' => {
+                return Err(format!("unsupported regex metacharacter '{c}'"));
+            }
+            literal => vec![literal],
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                let d = chars.next().ok_or("unterminated repetition")?;
+                if d == '}' {
+                    break;
+                }
+                spec.push(d);
+            }
+            if let Some((lo, hi)) = spec.split_once(',') {
+                let lo: usize = lo.trim().parse().map_err(|_| "bad repetition")?;
+                let hi: usize = hi.trim().parse().map_err(|_| "bad repetition")?;
+                (lo, hi)
+            } else {
+                let n: usize = spec.trim().parse().map_err(|_| "bad repetition")?;
+                (n, n)
+            }
+        } else {
+            (1, 1)
+        };
+        if min > max {
+            return Err("repetition min exceeds max".to_string());
+        }
+        atoms.push(Atom {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    Ok(atoms)
+}
+
+// ---- collection / option modules ------------------------------------
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Element-count bounds for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end.max(r.start + 1),
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_exclusive: r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.min..self.size.max_exclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Option<V>`: `None` about a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Output of [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+// ---- macros ---------------------------------------------------------
+
+/// Define property tests: optional `#![proptest_config(..)]`, then
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Internal: expand each test item of a [`proptest!`] block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; ) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __runner = $crate::TestRunner::new(__config, stringify!($name));
+            __runner.run_cases(&mut |__rng: &mut $crate::TestRng|
+                -> ::std::result::Result<(), $crate::TestCaseError> {
+                $(let $arg = $crate::Strategy::sample(&($strat), __rng);)*
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+}
+
+/// Assert a condition inside `proptest!`, failing the case (not
+/// panicking directly) so the runner can report the case seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert two values are equal inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __l = $left;
+        let __r = $right;
+        $crate::prop_assert!(__l == __r, $($fmt)+);
+    }};
+}
+
+/// Assert two values differ inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        $crate::prop_assert!(
+            __l != __r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l
+        );
+    }};
+}
+
+/// Discard the current case unless a precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        use rand::SeedableRng;
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[a-z]{1,20}", &mut rng);
+            assert!((1..=20).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = Strategy::sample(&".{0,40}", &mut rng);
+            assert!(t.len() <= 40);
+            let u = Strategy::sample(&"[a-zA-Z0-9 .,]{0,10}", &mut rng);
+            assert!(u
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == ' ' || c == '.' || c == ','));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_lengths_respect_bounds(
+            xs in crate::collection::vec(0u32..10, 2..5),
+            flag in any::<bool>(),
+            opt in crate::option::of(0u32..3),
+            word in "[ab]{2,4}",
+        ) {
+            prop_assert!((2..5).contains(&xs.len()));
+            prop_assert!(xs.iter().all(|&x| x < 10));
+            let _ = flag;
+            if let Some(v) = opt {
+                prop_assert!(v < 3);
+            }
+            prop_assert!((2..=4).contains(&word.len()));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            v in prop_oneof![
+                (0u32..5).prop_map(|n| n * 2),
+                Just(99u32),
+            ],
+        ) {
+            prop_assert!(v == 99 || v < 10);
+            prop_assert_eq!(v % 2 == 0, v != 99);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest failure")]
+    fn failing_property_panics() {
+        let mut runner =
+            crate::TestRunner::new(ProptestConfig::with_cases(8), "always_fails");
+        runner.run_cases(&mut |_rng| Err(TestCaseError::fail("nope")));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use rand::SeedableRng;
+        let sample = || {
+            let mut rng = crate::TestRng::seed_from_u64(42);
+            let strat = crate::collection::vec((0u32..100, "[a-z]{1,5}"), 1..10);
+            Strategy::sample(&strat, &mut rng)
+        };
+        assert_eq!(sample(), sample());
+    }
+}

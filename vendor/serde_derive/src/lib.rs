@@ -1,0 +1,524 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls for the vendored `serde`
+//! crate's value-tree traits. The input item is parsed directly from the
+//! `proc_macro` token stream (no syn/quote available offline) and the
+//! impl is emitted as source text.
+//!
+//! Supported shapes — exactly what this workspace derives:
+//! - structs with named fields (`#[serde(skip)]` honored: omitted on
+//!   serialize, `Default::default()` on deserialize),
+//! - newtype and tuple structs (newtype is transparent, tuples are
+//!   arrays),
+//! - enums with unit, newtype, tuple, and struct variants, externally
+//!   tagged (`"Variant"` / `{"Variant": ...}`).
+//!
+//! Generics and non-`skip` serde attributes are rejected with a
+//! `compile_error!` so misuse fails loudly instead of silently.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => match mode {
+            Mode::Ser => gen_serialize(&item),
+            Mode::De => gen_deserialize(&item),
+        },
+        Err(msg) => format!("::std::compile_error!({msg:?});"),
+    };
+    code.parse()
+        .unwrap_or_else(|e| panic!("vendored serde_derive produced invalid code: {e}"))
+}
+
+// ---- item model -----------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<bool>), // per-field skip flags
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+// ---- token cursor ---------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            toks: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.bump() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Consume leading attributes; report whether `#[serde(skip)]` was
+    /// among them. Non-`skip` serde attributes are an error.
+    fn skip_attrs(&mut self) -> Result<bool, String> {
+        let mut skip = false;
+        loop {
+            let is_attr = matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#');
+            if !is_attr {
+                return Ok(skip);
+            }
+            self.pos += 1;
+            let group = match self.bump() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => return Err(format!("malformed attribute: {other:?}")),
+            };
+            let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+            let is_serde =
+                matches!(toks.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+            if !is_serde {
+                continue; // doc comments, #[default], other derives' helpers
+            }
+            let inner = match toks.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+                _ => return Err("malformed #[serde(...)] attribute".to_string()),
+            };
+            for tok in inner {
+                match &tok {
+                    TokenTree::Ident(id) if id.to_string() == "skip" => skip = true,
+                    TokenTree::Punct(p) if p.as_char() == ',' => {}
+                    other => {
+                        return Err(format!(
+                            "vendored serde_derive only supports #[serde(skip)], found {other}"
+                        ))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consume an optional `pub` / `pub(...)` visibility.
+    fn skip_vis(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            self.pos += 1;
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// Consume type (or expression) tokens up to a top-level `,`,
+    /// tracking `<`/`>` nesting so generic arguments don't end the field.
+    fn skip_until_comma(&mut self) {
+        let mut angle = 0i32;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+// ---- parsing --------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attrs()?;
+    c.skip_vis();
+    let keyword = c.expect_ident()?;
+    let name = c.expect_ident()?;
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generics (type {name})"
+        ));
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Kind::NamedStruct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let skips = parse_tuple_fields(g.stream())?;
+                Kind::TupleStruct(skips)
+            }
+            _ => return Err(format!("unsupported struct shape for {name}")),
+        },
+        "enum" => match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err(format!("malformed enum {name}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Item { name, kind })
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let skip = c.skip_attrs()?;
+        if c.at_end() {
+            break;
+        }
+        c.skip_vis();
+        let name = c.expect_ident()?;
+        if !c.eat_punct(':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        c.skip_until_comma();
+        c.eat_punct(',');
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Result<Vec<bool>, String> {
+    let mut c = Cursor::new(stream);
+    let mut skips = Vec::new();
+    while !c.at_end() {
+        let skip = c.skip_attrs()?;
+        if c.at_end() {
+            break;
+        }
+        c.skip_vis();
+        c.skip_until_comma();
+        c.eat_punct(',');
+        skips.push(skip);
+    }
+    Ok(skips)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.skip_attrs()?;
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident()?;
+        let kind = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = parse_tuple_fields(g.stream())?.len();
+                c.pos += 1;
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                c.pos += 1;
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if c.eat_punct('=') {
+            c.skip_until_comma(); // explicit discriminant
+        }
+        c.eat_punct(',');
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---- codegen: Serialize --------------------------------------------
+
+const VALUE: &str = "::serde::Value";
+const TO_VALUE: &str = "::serde::Serialize::to_value";
+const FROM_VALUE: &str = "::serde::Deserialize::from_value";
+
+fn entries_literal(pairs: &[(String, String)]) -> String {
+    // Typed binding so an empty entry list still infers.
+    let mut out = String::from(
+        "{ let __entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::from([",
+    );
+    for (key, value_expr) in pairs {
+        out.push_str(&format!(
+            "(::std::string::String::from({key:?}), {value_expr}),"
+        ));
+    }
+    out.push_str(&format!("]); {VALUE}::Object(__entries) }}"));
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let pairs: Vec<(String, String)> = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| (f.name.clone(), format!("{TO_VALUE}(&self.{})", f.name)))
+                .collect();
+            entries_literal(&pairs)
+        }
+        Kind::TupleStruct(skips) => {
+            let live: Vec<usize> = (0..skips.len()).filter(|&i| !skips[i]).collect();
+            if live.len() == 1 {
+                format!("{TO_VALUE}(&self.{})", live[0])
+            } else {
+                let items: Vec<String> = live
+                    .iter()
+                    .map(|i| format!("{TO_VALUE}(&self.{i})"))
+                    .collect();
+                format!(
+                    "{VALUE}::Array(::std::vec::Vec::from([{}]))",
+                    items.join(",")
+                )
+            }
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => {VALUE}::Str(::std::string::String::from({vname:?})),"
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let inner = if *arity == 1 {
+                            format!("{TO_VALUE}(__f0)")
+                        } else {
+                            let items: Vec<String> =
+                                binds.iter().map(|b| format!("{TO_VALUE}({b})")).collect();
+                            format!(
+                                "{VALUE}::Array(::std::vec::Vec::from([{}]))",
+                                items.join(",")
+                            )
+                        };
+                        let entry =
+                            entries_literal(&[(vname.clone(), inner)]);
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {entry},",
+                            binds.join(",")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let pairs: Vec<(String, String)> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| (f.name.clone(), format!("{TO_VALUE}({})", f.name)))
+                            .collect();
+                        let inner = entries_literal(&pairs);
+                        let entry = entries_literal(&[(vname.clone(), inner)]);
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {entry},",
+                            binds.join(",")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+// ---- codegen: Deserialize ------------------------------------------
+
+fn named_field_init(fields: &[Field], source: &str, context: &str) -> String {
+    let mut init = String::new();
+    for f in fields {
+        let fname = &f.name;
+        if f.skip {
+            init.push_str(&format!(
+                "{fname}: ::std::default::Default::default(),"
+            ));
+        } else {
+            let missing = format!("missing field `{fname}` in {context}");
+            init.push_str(&format!(
+                "{fname}: match {source}.get({fname:?}) {{\
+                 ::std::option::Option::Some(__x) => {FROM_VALUE}(__x)?,\
+                 ::std::option::Option::None => return ::std::result::Result::Err(\
+                 ::serde::Error::custom({missing:?})),\
+                 }},"
+            ));
+        }
+    }
+    init
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let init = named_field_init(fields, "__v", name);
+            format!("::std::result::Result::Ok({name} {{ {init} }})")
+        }
+        Kind::TupleStruct(skips) => {
+            if skips.len() == 1 && !skips[0] {
+                format!("::std::result::Result::Ok({name}({FROM_VALUE}(__v)?))")
+            } else {
+                let live_count = skips.iter().filter(|&&s| !s).count();
+                let err = format!("expected {live_count}-element array for {name}");
+                let mut init = String::new();
+                let mut idx = 0usize;
+                for skip in skips {
+                    if *skip {
+                        init.push_str("::std::default::Default::default(),");
+                    } else {
+                        init.push_str(&format!("{FROM_VALUE}(&__items[{idx}])?,"));
+                        idx += 1;
+                    }
+                }
+                format!(
+                    "{{ let __items = __v.as_array().ok_or_else(|| ::serde::Error::custom({err:?}))?;\
+                     if __items.len() != {live_count} {{\
+                     return ::std::result::Result::Err(::serde::Error::custom({err:?})); }}\
+                     ::std::result::Result::Ok({name}({init})) }}"
+                )
+            }
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}),"
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let expr = if *arity == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{vname}({FROM_VALUE}(__inner)?))"
+                            )
+                        } else {
+                            let err = format!(
+                                "expected {arity}-element array for {name}::{vname}"
+                            );
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| format!("{FROM_VALUE}(&__items[{i}])?"))
+                                .collect();
+                            format!(
+                                "{{ let __items = __inner.as_array().ok_or_else(|| \
+                                 ::serde::Error::custom({err:?}))?;\
+                                 if __items.len() != {arity} {{\
+                                 return ::std::result::Result::Err(::serde::Error::custom({err:?})); }}\
+                                 ::std::result::Result::Ok({name}::{vname}({})) }}",
+                                items.join(",")
+                            )
+                        };
+                        data_arms.push_str(&format!("{vname:?} => {expr},"));
+                    }
+                    VariantKind::Named(fields) => {
+                        let init = named_field_init(
+                            fields,
+                            "__inner",
+                            &format!("{name}::{vname}"),
+                        );
+                        data_arms.push_str(&format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname} {{ {init} }}),"
+                        ));
+                    }
+                }
+            }
+            let unknown_unit =
+                format!("unknown variant `{{}}` of {name}");
+            let unknown_data =
+                format!("unknown variant `{{}}` of {name}");
+            let expected =
+                format!("expected string or single-entry object for enum {name}");
+            format!(
+                "if let ::std::option::Option::Some(__name) = __v.as_str() {{\
+                 return match __name {{ {unit_arms} __other => ::std::result::Result::Err(\
+                 ::serde::Error::custom(::std::format!({unknown_unit:?}, __other))), }};\
+                 }}\
+                 if let ::std::option::Option::Some((__key, __inner)) = __v.as_single_entry() {{\
+                 return match __key {{ {data_arms} __other => ::std::result::Result::Err(\
+                 ::serde::Error::custom(::std::format!({unknown_data:?}, __other))), }};\
+                 }}\
+                 ::std::result::Result::Err(::serde::Error::custom({expected:?}))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,205 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! A thin JSON text front-end over the vendored `serde` crate's value
+//! tree: `to_string`/`to_string_pretty`/`to_writer`, `from_str`/
+//! `from_reader`, the [`json!`] macro, and a re-exported [`Value`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io;
+
+pub use serde::Value;
+
+/// Error produced by JSON serialization or parsing.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serialize `value` to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_value().write_compact(&mut out);
+    Ok(out)
+}
+
+/// Serialize `value` to pretty-printed JSON text (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_value().write_pretty(&mut out, 0);
+    Ok(out)
+}
+
+/// Serialize `value` as compact JSON into `writer`.
+pub fn to_writer<W: io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let text = to_string(value)?;
+    writer.write_all(text.as_bytes())?;
+    Ok(())
+}
+
+/// Deserialize a `T` from a complete JSON document.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let value = Value::parse_json(input)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Deserialize a `T` from a reader holding one JSON document.
+pub fn from_reader<R: io::Read, T: Deserialize>(mut reader: R) -> Result<T, Error> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf)?;
+    from_str(&buf)
+}
+
+/// Convert any serializable value into a [`Value`] (used by [`json!`]).
+#[doc(hidden)]
+pub fn __to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Build a [`Value`] from JSON-like syntax: objects, arrays, `null`,
+/// and arbitrary serializable Rust expressions as leaves.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut __arr: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::from([]);
+        $crate::json_elems!(__arr; $($tt)*);
+        $crate::Value::Array(__arr)
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __obj: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+            ::std::vec::Vec::from([]);
+        $crate::json_entries!(__obj; $($tt)*);
+        $crate::Value::Object(__obj)
+    }};
+    ($other:expr) => { $crate::__to_value(&$other) };
+}
+
+/// Internal: munch `"key": value` pairs of a [`json!`] object.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_entries {
+    ($obj:ident; ) => {};
+    ($obj:ident; $key:tt : null $(, $($rest:tt)*)?) => {
+        $obj.push(($key.to_string(), $crate::Value::Null));
+        $crate::json_entries!($obj; $($($rest)*)?);
+    };
+    ($obj:ident; $key:tt : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $obj.push(($key.to_string(), $crate::json!({ $($inner)* })));
+        $crate::json_entries!($obj; $($($rest)*)?);
+    };
+    ($obj:ident; $key:tt : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $obj.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+        $crate::json_entries!($obj; $($($rest)*)?);
+    };
+    ($obj:ident; $key:tt : $value:expr , $($rest:tt)*) => {
+        $obj.push(($key.to_string(), $crate::__to_value(&$value)));
+        $crate::json_entries!($obj; $($rest)*);
+    };
+    ($obj:ident; $key:tt : $value:expr) => {
+        $obj.push(($key.to_string(), $crate::__to_value(&$value)));
+    };
+}
+
+/// Internal: munch the elements of a [`json!`] array.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_elems {
+    ($arr:ident; ) => {};
+    ($arr:ident; null $(, $($rest:tt)*)?) => {
+        $arr.push($crate::Value::Null);
+        $crate::json_elems!($arr; $($($rest)*)?);
+    };
+    ($arr:ident; { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $arr.push($crate::json!({ $($inner)* }));
+        $crate::json_elems!($arr; $($($rest)*)?);
+    };
+    ($arr:ident; [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $arr.push($crate::json!([ $($inner)* ]));
+        $crate::json_elems!($arr; $($($rest)*)?);
+    };
+    ($arr:ident; $value:expr , $($rest:tt)*) => {
+        $arr.push($crate::__to_value(&$value));
+        $crate::json_elems!($arr; $($rest)*);
+    };
+    ($arr:ident; $value:expr) => {
+        $arr.push($crate::__to_value(&$value));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let rows = vec![vec!["a".to_string()], vec!["b".to_string()]];
+        let v = json!({
+            "name": "x",
+            "count": 3u64,
+            "nested": { "pi": 3.5, "none": null },
+            "rows": rows,
+            "list": [1u32, 2u32, { "deep": true }],
+        });
+        let text = v.to_string();
+        assert!(text.contains("\"count\":3"));
+        assert!(text.contains("\"pi\":3.5"));
+        assert!(text.contains("\"none\":null"));
+        assert!(text.contains("\"deep\":true"));
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn string_round_trip() {
+        let v = json!({ "msg": "line1\nline2 \"quoted\" ümlaut" });
+        let back: Value = from_str(&v.to_string()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_parses_back() {
+        let v = json!({ "a": [1u8, 2u8], "b": { "c": false } });
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn from_str_rejects_garbage() {
+        assert!(from_str::<Value>("not json").is_err());
+        assert!(from_str::<Value>("{\"a\":1} trailing").is_err());
+    }
+}
