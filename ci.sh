@@ -1,21 +1,58 @@
 #!/usr/bin/env sh
-# CI gate: build, test, lint.
+# CI gate: format, build, test, lint, bench regression.
 #
 # The workspace is fully self-contained: every external crate (rand,
 # serde, proptest, criterion, ...) is a vendored path dependency under
 # vendor/, so all commands run offline and reproduce on a network-less
 # machine. No registry access, no lockfile churn.
+#
+# BENCH_GATE_MODE controls the final step: "full" (default) runs the
+# baseline-sized scenarios, "smoke" the reduced CI sizes, "skip"
+# disables the bench gate (e.g. on heavily loaded shared runners).
 set -eu
 
 cd "$(dirname "$0")"
 
-echo "==> cargo build --release"
-cargo build --release --offline --workspace
+BENCH_GATE_MODE="${BENCH_GATE_MODE:-full}"
+STEP_TIMINGS=""
 
-echo "==> cargo test"
-cargo test -q --offline --workspace
+# step NAME CMD... — announce, run, and time one CI step.
+step() {
+    name="$1"
+    shift
+    echo "==> $name"
+    start=$(date +%s)
+    "$@"
+    end=$(date +%s)
+    STEP_TIMINGS="${STEP_TIMINGS}${name}: $((end - start))s\n"
+}
 
-echo "==> cargo clippy -D warnings"
-cargo clippy --offline --workspace --all-targets -- -D warnings
+step "cargo fmt --check" cargo fmt --all -- --check
+
+step "cargo build --release" cargo build --release --offline --workspace
+
+step "cargo test" cargo test -q --offline --workspace
+
+step "cargo clippy -D warnings" \
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+
+case "$BENCH_GATE_MODE" in
+full)
+    step "bench_gate (full)" \
+        cargo run --release --offline -p bingo-bench --bin bench_gate
+    ;;
+smoke)
+    step "bench_gate (smoke)" \
+        cargo run --release --offline -p bingo-bench --bin bench_gate -- --smoke
+    ;;
+skip)
+    echo "==> bench_gate skipped (BENCH_GATE_MODE=skip)"
+    ;;
+*)
+    echo "error: unknown BENCH_GATE_MODE '$BENCH_GATE_MODE' (full|smoke|skip)" >&2
+    exit 2
+    ;;
+esac
 
 echo "==> ci.sh: all green"
+printf "%b" "$STEP_TIMINGS" | sed 's/^/    /'

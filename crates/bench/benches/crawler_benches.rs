@@ -18,7 +18,8 @@ fn bench_frontier(c: &mut Criterion) {
         b.iter(|| {
             let mut f = Frontier::new(4, 25_000, 1000);
             for i in 0..N {
-                let mut e = QueueEntry::seed(&format!("http://h{}/p{i}", i % 97), Some((i % 4) as u32));
+                let mut e =
+                    QueueEntry::seed(&format!("http://h{}/p{i}", i % 97), Some((i % 4) as u32));
                 e.priority = (i % 997) as f32 / 997.0;
                 f.push(e);
             }
@@ -34,7 +35,9 @@ fn bench_frontier(c: &mut Criterion) {
 
 fn bench_dedup(c: &mut Criterion) {
     const N: u64 = 10_000;
-    let urls: Vec<String> = (0..N).map(|i| format!("http://host{}/page{i}.html", i % 113)).collect();
+    let urls: Vec<String> = (0..N)
+        .map(|i| format!("http://host{}/page{i}.html", i % 113))
+        .collect();
     let mut group = c.benchmark_group("dedup");
     group.throughput(Throughput::Elements(N * 2));
     group.bench_function("fingerprints_10k", |b| {
@@ -90,11 +93,11 @@ fn bench_crawl_steps(c: &mut Criterion) {
             );
             crawler.add_seed(&world.url_of(1), Some(0));
             let mut vocab = Vocabulary::new();
-            let mut judge = |_d: &bingo_textproc::AnalyzedDocument,
-                             _c: &bingo_crawler::PageContext| Judgment {
-                topic: Some(0),
-                confidence: 1.0,
-            };
+            let mut judge =
+                |_d: &bingo_textproc::AnalyzedDocument, _c: &bingo_crawler::PageContext| Judgment {
+                    topic: Some(0),
+                    confidence: 1.0,
+                };
             let stored = crawler.run_until(u64::MAX, &mut judge, &mut vocab);
             black_box(stored)
         })

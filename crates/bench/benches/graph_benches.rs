@@ -58,5 +58,10 @@ fn bench_link_queries(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_hits, bench_base_set_expansion, bench_link_queries);
+criterion_group!(
+    benches,
+    bench_hits,
+    bench_base_set_expansion,
+    bench_link_queries
+);
 criterion_main!(benches);

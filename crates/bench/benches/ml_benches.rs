@@ -74,7 +74,10 @@ fn bench_feature_selection(c: &mut Criterion) {
             .iter()
             .map(|(v, p)| {
                 (
-                    v.entries().iter().map(|&(f, w)| (f, (w * 10.0) as u32 + 1)).collect(),
+                    v.entries()
+                        .iter()
+                        .map(|&(f, w)| (f, (w * 10.0) as u32 + 1))
+                        .collect(),
                     *p,
                 )
             })

@@ -26,7 +26,9 @@ fn row(id: u64) -> DocumentRow {
         title: format!("doc {id}"),
         topic: Some((id % 5) as u32),
         confidence: 0.5,
-        term_freqs: (0..40u32).map(|t| (t * 7 + (id as u32 % 13), 1 + t % 4)).collect(),
+        term_freqs: (0..40u32)
+            .map(|t| (t * 7 + (id as u32 % 13), 1 + t % 4))
+            .collect(),
         size: 2048,
         fetched_at: id,
     }
@@ -139,13 +141,8 @@ fn bench_full_pipeline(c: &mut Criterion) {
             |b, &threads| {
                 b.iter(|| {
                     let store = DocumentStore::new();
-                    let report = run_pipeline(
-                        Arc::clone(&world),
-                        store,
-                        urls.clone(),
-                        threads,
-                        256,
-                    );
+                    let report =
+                        run_pipeline(Arc::clone(&world), store, urls.clone(), threads, 256);
                     black_box(report.documents)
                 })
             },

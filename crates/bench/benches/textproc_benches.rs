@@ -35,8 +35,16 @@ fn bench_analyze_html(c: &mut Criterion) {
 
 fn bench_porter(c: &mut Criterion) {
     let words = [
-        "classification", "relational", "authorities", "hyperlinks", "crawling",
-        "recovery", "transactions", "generalization", "effectiveness", "probabilistic",
+        "classification",
+        "relational",
+        "authorities",
+        "hyperlinks",
+        "crawling",
+        "recovery",
+        "transactions",
+        "generalization",
+        "effectiveness",
+        "probabilistic",
     ];
     c.bench_function("porter_stem_10_words", |b| {
         b.iter(|| {

@@ -228,8 +228,12 @@ pub fn run_threshold_drift(seed: u64, threshold: bool) -> DriftResult {
     use bingo_webworld::gen::WorldConfig as WC;
     let world = Arc::new(WC::expert(seed).build());
     let seed_names = [
-        "seed:bell-labs-slides", "seed:cmu-lecture", "seed:harvard-reading",
-        "seed:brandeis-abstract", "mohan-page", "seed:stanford-seminar",
+        "seed:bell-labs-slides",
+        "seed:cmu-lecture",
+        "seed:harvard-reading",
+        "seed:brandeis-abstract",
+        "mohan-page",
+        "seed:stanford-seminar",
         "seed:vldb-paper",
     ];
     let mut engine = BingoEngine::new(EngineConfig {

@@ -1,0 +1,188 @@
+//! The CI bench-regression gate.
+//!
+//! ```text
+//! cargo run --release -p bingo-bench --bin bench_gate [-- FLAGS]
+//!
+//!   --smoke     run the reduced smoke sizes (fast CI runs)
+//!   --update    re-record BENCH_crawl.json / BENCH_classify.json
+//!               (runs both smoke and full sizes)
+//!   --out DIR   artifact directory (default target/bench_gate)
+//! ```
+//!
+//! Each scenario runs twice; the deterministic telemetry (metrics
+//! snapshot + event log) of the two runs must match byte for byte.
+//! Reports are then compared against the checked-in baselines with
+//! per-metric tolerances. Exit code 0 = pass, 1 = regression or
+//! determinism failure, 2 = usage/setup error.
+
+use bingo_bench::gate::{
+    baseline_file, calibrate_cpu_ms, check_determinism, compare_reports, default_out_dir,
+    load_baseline, run_classify_scenario, run_crawl_scenario, write_run_artifacts, GateMode,
+    MetricSpec, ScenarioRun, CLASSIFY_SPECS, CRAWL_SPECS,
+};
+use serde_json::{json, Value};
+use std::path::{Path, PathBuf};
+
+struct Scenario {
+    name: &'static str,
+    specs: &'static [MetricSpec],
+    run: fn(GateMode) -> ScenarioRun,
+}
+
+const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "crawl",
+        specs: CRAWL_SPECS,
+        run: run_crawl_scenario,
+    },
+    Scenario {
+        name: "classify",
+        specs: CLASSIFY_SPECS,
+        run: run_classify_scenario,
+    },
+];
+
+fn main() {
+    let mut smoke = false;
+    let mut update = false;
+    let mut out_dir = default_out_dir();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--update" => update = true,
+            "--out" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory argument");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_gate [--smoke] [--update] [--out DIR]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let calib_ms = calibrate_cpu_ms();
+    eprintln!("cpu calibration: {calib_ms:.1} ms");
+    let modes: &[GateMode] = if update {
+        &[GateMode::Smoke, GateMode::Full]
+    } else if smoke {
+        &[GateMode::Smoke]
+    } else {
+        &[GateMode::Full]
+    };
+
+    let mut failures: Vec<String> = Vec::new();
+    for scenario in SCENARIOS {
+        let mut sections: Vec<(GateMode, Value)> = Vec::new();
+        for &mode in modes {
+            eprintln!(
+                "running {}.{} (twice, for determinism) ...",
+                scenario.name,
+                mode.key()
+            );
+            let started = std::time::Instant::now();
+            let first = (scenario.run)(mode);
+            let second = (scenario.run)(mode);
+            eprintln!(
+                "  {}.{}: {:.1}s wall for both runs",
+                scenario.name,
+                mode.key(),
+                started.elapsed().as_secs_f64()
+            );
+            failures.extend(check_determinism(
+                &format!("{}.{}", scenario.name, mode.key()),
+                &first.evidence,
+                &second.evidence,
+            ));
+            if let Err(e) = write_run_artifacts(&out_dir, scenario.name, mode, &first) {
+                eprintln!(
+                    "warning: could not write artifacts to {}: {e}",
+                    out_dir.display()
+                );
+            }
+            sections.push((mode, first.report));
+        }
+
+        if update {
+            let mut entries = vec![("calibration_ms".to_string(), json!(calib_ms))];
+            for (mode, report) in &sections {
+                entries.push((mode.key().to_string(), report.clone()));
+            }
+            let doc = Value::Object(entries);
+            let path = baseline_file(scenario.name);
+            match serde_json::to_string_pretty(&doc) {
+                Ok(text) => {
+                    if let Err(e) = std::fs::write(&path, text + "\n") {
+                        eprintln!("error: could not write baseline {path}: {e}");
+                        std::process::exit(2);
+                    }
+                    eprintln!("baseline recorded: {path}");
+                }
+                Err(e) => {
+                    eprintln!("error: could not serialize baseline {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+            continue;
+        }
+
+        let Some(baseline) = load_baseline(Path::new("."), scenario.name) else {
+            failures.push(format!(
+                "{}: baseline {} missing or unreadable (record with --update)",
+                scenario.name,
+                baseline_file(scenario.name)
+            ));
+            continue;
+        };
+        let base_calib = baseline
+            .get("calibration_ms")
+            .and_then(Value::as_f64)
+            .unwrap_or(calib_ms);
+        // < 1 means this machine is slower than the baseline recorder.
+        let calib_scale = (base_calib / calib_ms).clamp(0.05, 20.0);
+        for (mode, report) in &sections {
+            let label = format!("{}.{}", scenario.name, mode.key());
+            let Some(section) = baseline.get(mode.key()) else {
+                failures.push(format!(
+                    "{label}: baseline has no \"{}\" section (re-record with --update)",
+                    mode.key()
+                ));
+                continue;
+            };
+            failures.extend(compare_reports(
+                &label,
+                section,
+                report,
+                scenario.specs,
+                calib_scale,
+            ));
+        }
+    }
+
+    if update {
+        eprintln!("baselines updated; artifacts in {}", out_dir.display());
+        if !failures.is_empty() {
+            eprintln!("\nDETERMINISM FAILURES (baselines NOT trustworthy):");
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if failures.is_empty() {
+        eprintln!("bench gate: PASS ({} scenario(s))", SCENARIOS.len());
+    } else {
+        eprintln!("bench gate: FAIL");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

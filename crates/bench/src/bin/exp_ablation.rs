@@ -57,7 +57,12 @@ fn main() {
     for threshold in [true, false] {
         let d = run_threshold_drift(2003, threshold);
         drift_rows.push(vec![
-            if d.threshold { "threshold enforced" } else { "threshold disabled" }.to_string(),
+            if d.threshold {
+                "threshold enforced"
+            } else {
+                "threshold disabled"
+            }
+            .to_string(),
             d.classified.to_string(),
             d.on_topic.to_string(),
             d.drifted.to_string(),
@@ -68,7 +73,12 @@ fn main() {
         "{}",
         table(
             "Topic drift via unguarded archetypes (ARIES crawl, §3.2)",
-            &["Archetype selection", "Classified", "On recovery", "Drifted to open-source"],
+            &[
+                "Archetype selection",
+                "Classified",
+                "On recovery",
+                "Drifted to open-source"
+            ],
             &drift_rows,
         )
     );
@@ -82,12 +92,5 @@ fn main() {
         "rows": rows,
         "drift": drift_rows,
     });
-    if std::fs::write(
-        "experiments_ablation.json",
-        serde_json::to_string_pretty(&json).unwrap(),
-    )
-    .is_ok()
-    {
-        eprintln!("json report written to experiments_ablation.json");
-    }
+    bingo_bench::report::write_json_report("experiments_ablation.json", &json);
 }

@@ -13,7 +13,11 @@ use bingo_bench::report::count;
 
 fn main() {
     let cfg = ExpertExperimentConfig::default();
-    eprintln!("expert-search experiment: seed {}, crawl budget {}s virtual", cfg.seed, cfg.crawl_ms / 1000);
+    eprintln!(
+        "expert-search experiment: seed {}, crawl budget {}s virtual",
+        cfg.seed,
+        cfg.crawl_ms / 1000
+    );
     let started = std::time::Instant::now();
     let out = run(&cfg);
     eprintln!("completed in {:.1}s wall", started.elapsed().as_secs_f64());
@@ -63,8 +67,5 @@ fn main() {
         "needles_in_focused_top10": out.needles_in_focused_top10,
         "needles_in_baseline_top10": out.needles_in_baseline_top10,
     });
-    let path = "experiments_expert.json";
-    if std::fs::write(path, serde_json::to_string_pretty(&json).unwrap()).is_ok() {
-        eprintln!("json report written to {path}");
-    }
+    bingo_bench::report::write_json_report("experiments_expert.json", &json);
 }

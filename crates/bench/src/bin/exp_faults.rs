@@ -88,8 +88,5 @@ fn main() {
         "config": { "seed": cfg.seed, "checkpoint_every_docs": cfg.checkpoint_every_docs },
         "outcome": out,
     });
-    let path = "experiments_faults.json";
-    if std::fs::write(path, serde_json::to_string_pretty(&json).unwrap()).is_ok() {
-        eprintln!("json report written to {path}");
-    }
+    bingo_bench::report::write_json_report("experiments_faults.json", &json);
 }

@@ -54,14 +54,7 @@ fn main() {
                 "recall": r.recall, "accepted": r.accepted,
             })).collect::<Vec<_>>(),
         });
-        if std::fs::write(
-            "experiments_meta.json",
-            serde_json::to_string_pretty(&json).unwrap(),
-        )
-        .is_ok()
-        {
-            eprintln!("json report written to experiments_meta.json");
-        }
+        bingo_bench::report::write_json_report("experiments_meta.json", &json);
     }
 
     eprintln!("feature-selection example...");

@@ -87,8 +87,16 @@ fn main() {
     let s1 = &out.t1.stats;
     let s2 = &out.t2.stats;
     let rows = vec![
-        vec!["Visited URLs".into(), count(s1.visited_urls), count(s2.visited_urls)],
-        vec!["Stored pages".into(), count(s1.stored_pages), count(s2.stored_pages)],
+        vec![
+            "Visited URLs".into(),
+            count(s1.visited_urls),
+            count(s2.visited_urls),
+        ],
+        vec![
+            "Stored pages".into(),
+            count(s1.stored_pages),
+            count(s2.stored_pages),
+        ],
         vec![
             "Extracted links".into(),
             count(s1.extracted_links),
@@ -99,7 +107,11 @@ fn main() {
             count(s1.positively_classified),
             count(s2.positively_classified),
         ],
-        vec!["Visited hosts".into(), count(s1.visited_hosts), count(s2.visited_hosts)],
+        vec![
+            "Visited hosts".into(),
+            count(s1.visited_hosts),
+            count(s2.visited_hosts),
+        ],
         vec![
             "Max crawling depth".into(),
             s1.max_depth.to_string(),
@@ -110,7 +122,11 @@ fn main() {
             count(s1.duplicates),
             count(s2.duplicates),
         ],
-        vec!["Fetch errors".into(), count(s1.fetch_errors), count(s2.fetch_errors)],
+        vec![
+            "Fetch errors".into(),
+            count(s1.fetch_errors),
+            count(s2.fetch_errors),
+        ],
     ];
     print!(
         "{}",
@@ -140,8 +156,5 @@ fn main() {
         "t1": { "stats": s1, "evaluation": out.t1.evaluation },
         "t2": { "stats": s2, "evaluation": out.t2.evaluation },
     });
-    let path = "experiments_portal.json";
-    if std::fs::write(path, serde_json::to_string_pretty(&json).unwrap()).is_ok() {
-        eprintln!("json report written to {path}");
-    }
+    bingo_bench::report::write_json_report("experiments_portal.json", &json);
 }

@@ -235,9 +235,18 @@ pub fn run(cfg: &ExpertExperimentConfig) -> ExpertOutcome {
             }
         });
         eprintln!("run(): classified-ARIES by true topic: {by_topic:?}");
-        for d in engine.tree.node(topic).training.iter().filter(|d| d.archetype) {
-            eprintln!("run(): archetype {} true={:?}", d.url,
-                world.resolve_url(&d.url).and_then(|p| world.true_topic(p)));
+        for d in engine
+            .tree
+            .node(topic)
+            .training
+            .iter()
+            .filter(|d| d.archetype)
+        {
+            eprintln!(
+                "run(): archetype {} true={:?}",
+                d.url,
+                world.resolve_url(&d.url).and_then(|p| world.true_topic(p))
+            );
         }
     }
 
@@ -285,4 +294,3 @@ mod tests {
         );
     }
 }
-

@@ -148,9 +148,8 @@ pub fn run(cfg: &FaultsConfig) -> FaultsOutcome {
         doomed.stats().stored_pages
         // Dropped here: everything after the last checkpoint is lost.
     };
-    let mut resumed =
-        Crawler::resume_session(chaos_world.clone(), base, &cfg.session_dir)
-            .expect("resume from checkpoint");
+    let mut resumed = Crawler::resume_session(chaos_world.clone(), base, &cfg.session_dir)
+        .expect("resume from checkpoint");
     let (mut resumed_summary, resumed_ids) = crawl_to_end(&mut resumed);
     resumed_summary.label = "chaos-resumed".into();
     std::fs::remove_dir_all(&cfg.session_dir).ok();

@@ -1,0 +1,564 @@
+//! The deterministic bench-regression gate.
+//!
+//! Two fixed macro scenarios run with a scenario-wide telemetry
+//! registry:
+//!
+//! * **crawl** — a seeded portal crawl (learning → retrain → harvesting)
+//!   followed by an index build and a fixed query set,
+//! * **classify** — a three-topic training + held-out evaluation
+//!   measuring macro-F1.
+//!
+//! Each scenario runs **twice**: the deterministic metrics snapshot and
+//! the event log of both runs must be byte-identical, or the gate fails
+//! — that is the executable form of the determinism contract in
+//! `crates/obs`. Results are compared against checked-in baselines
+//! (`BENCH_crawl.json`, `BENCH_classify.json`) with per-metric
+//! tolerances:
+//!
+//! * deterministic metrics (virtual throughput, harvest ratio, stored
+//!   pages, macro-F1) gate tightly — they cannot flake, only change when
+//!   the code changes behavior;
+//! * wall-clock throughput gates loosely (gross-regression backstop)
+//!   and is scaled by a CPU calibration ratio so baselines recorded on
+//!   one machine remain meaningful on another: both runs time the same
+//!   fixed pure-CPU workload, and the expected wall throughput scales by
+//!   the ratio of calibration times.
+
+use bingo_core::{BingoEngine, EngineConfig, EngineTelemetry, TopicId, TopicTree};
+use bingo_crawler::{CrawlConfig, CrawlTelemetry, Crawler};
+use bingo_obs::{EventLog, Registry, WallTimer};
+use bingo_search::{QueryOptions, SearchEngine, SearchMetrics};
+use bingo_store::DocumentStore;
+use bingo_textproc::porter_stem;
+use bingo_webworld::fetch::host_of_url;
+use bingo_webworld::gen::WorldConfig;
+use bingo_webworld::{PageKind, World};
+use serde_json::{json, Value};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// World seed shared by both scenarios (same-seed runs must agree).
+pub const GATE_SEED: u64 = 4242;
+
+/// Gate mode: the full scenario sizes or the fast CI smoke sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateMode {
+    /// Full sizes — the numbers the baselines are recorded at.
+    Full,
+    /// Reduced sizes for quick CI smoke runs.
+    Smoke,
+}
+
+impl GateMode {
+    /// Section key in the baseline files.
+    pub fn key(self) -> &'static str {
+        match self {
+            GateMode::Full => "full",
+            GateMode::Smoke => "smoke",
+        }
+    }
+}
+
+/// Byte-comparable telemetry of one scenario run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeterminismEvidence {
+    /// Deterministic metrics snapshot, pretty JSON.
+    pub snapshot_json: String,
+    /// Event log, JSONL.
+    pub events_jsonl: String,
+}
+
+/// One scenario run: the metrics report plus its determinism evidence.
+#[derive(Debug, Clone)]
+pub struct ScenarioRun {
+    /// Metric values for baseline comparison.
+    pub report: Value,
+    /// Telemetry that must replay byte-identically.
+    pub evidence: DeterminismEvidence,
+}
+
+/// Time a fixed pure-CPU workload (stemming a generated word list) in
+/// milliseconds. The ratio of two calibration times approximates the
+/// single-core speed ratio of two machines, and scales wall-throughput
+/// expectations.
+pub fn calibrate_cpu_ms() -> f64 {
+    let timer = WallTimer::start();
+    let mut acc = 0usize;
+    for round in 0..40u32 {
+        for i in 0..2500u32 {
+            let word = format!("calibrat{}ional{}izers", round, i);
+            acc += porter_stem(&word).len();
+        }
+    }
+    // Defeat dead-code elimination.
+    std::hint::black_box(acc);
+    timer.elapsed_us() as f64 / 1000.0
+}
+
+fn held_out(world: &World, topic: u32, skip: usize, take: usize) -> Vec<u64> {
+    (0..world.page_count() as u64)
+        .filter(|&id| {
+            world.true_topic(id) == Some(topic) && world.page(id).kind == PageKind::Content
+        })
+        .skip(skip)
+        .take(take)
+        .collect()
+}
+
+/// Run the crawl scenario once.
+pub fn run_crawl_scenario(mode: GateMode) -> ScenarioRun {
+    let (authors, noise_scale, learning_ms, harvest_ms) = match mode {
+        GateMode::Full => (300usize, 2usize, 60_000u64, 400_000u64),
+        GateMode::Smoke => (120, 1, 30_000, 150_000),
+    };
+    let total_wall = WallTimer::start();
+    let world = Arc::new(WorldConfig::portal(GATE_SEED, authors, noise_scale).build());
+    let registry = Arc::new(Registry::new());
+    let events = Arc::new(EventLog::default());
+
+    // Engine: one topic seeded from the two most prolific authors.
+    let mut engine = BingoEngine::new(EngineConfig {
+        archetype_threshold: false,
+        ..EngineConfig::default()
+    });
+    engine.set_telemetry(EngineTelemetry::new(registry.clone(), events.clone()));
+    let topic = engine.add_topic(TopicTree::ROOT, "database research");
+    let seeds: Vec<String> = world.authors()[..2]
+        .iter()
+        .map(|a| world.url_of(a.homepage))
+        .collect();
+    for url in &seeds {
+        engine
+            .add_training_url(&world, topic, url)
+            .unwrap_or_else(|e| panic!("seed {url}: {e}"));
+    }
+    crate::populate_others(&mut engine, &world, &[3, 4, 5, 6], 30);
+    engine.train().expect("initial training");
+
+    // Learning phase: sharp focus inside the seed domains.
+    let seed_hosts = seeds
+        .iter()
+        .map(|u| host_of_url(u).unwrap().to_string())
+        .collect();
+    let learn_config = CrawlConfig {
+        allowed_hosts: Some(seed_hosts),
+        ..CrawlConfig::default()
+    };
+    let mut crawler = Crawler::new(world.clone(), learn_config, DocumentStore::new());
+    crawler.set_telemetry(CrawlTelemetry::new(registry.clone(), events.clone()));
+    for url in &seeds {
+        crawler.add_seed(url, Some(topic.0));
+    }
+    let learn_wall = WallTimer::start();
+    engine.crawl_until(&mut crawler, learning_ms, 0);
+    engine.retrain(&mut crawler);
+    let learn_wall_ms = learn_wall.elapsed_us() as f64 / 1000.0;
+
+    // Harvesting phase: soft focus, best-first, periodic retraining.
+    engine.switch_to_harvesting(&mut crawler);
+    let harvest_wall = WallTimer::start();
+    engine.crawl_until(&mut crawler, harvest_ms, 400);
+    let harvest_wall_ms = harvest_wall.elapsed_us() as f64 / 1000.0;
+
+    // Index build + fixed query set.
+    let search_metrics = SearchMetrics::new(registry.clone());
+    let index_wall = WallTimer::start();
+    let search = SearchEngine::build_instrumented(crawler.store(), Some(search_metrics));
+    let index_wall_ms = index_wall.elapsed_us() as f64 / 1000.0;
+    let mut query_hits = 0u64;
+    let query_wall = WallTimer::start();
+    for q in [
+        "database transaction recovery",
+        "data mining",
+        "index structures",
+    ] {
+        query_hits += search
+            .query(&engine.vocab, q, &QueryOptions::default())
+            .len() as u64;
+    }
+    let query_wall_us = query_wall.elapsed_us();
+
+    let stats = crawler.stats().clone();
+    let virtual_ms = crawler.clock_ms().max(1);
+    let wall_ms = (total_wall.elapsed_us() as f64 / 1000.0).max(0.001);
+    let harvest_ratio = stats.stored_pages as f64 / stats.visited_urls.max(1) as f64;
+    let report = json!({
+        "scenario": "crawl",
+        "virtual_ms": virtual_ms,
+        "visited_urls": stats.visited_urls,
+        "stored_pages": stats.stored_pages,
+        "positively_classified": stats.positively_classified,
+        "harvest_ratio": harvest_ratio,
+        "urls_per_virtual_sec": stats.visited_urls as f64 * 1000.0 / virtual_ms as f64,
+        "urls_per_wall_sec": stats.visited_urls as f64 * 1000.0 / wall_ms,
+        "wall_ms": wall_ms,
+        "stages": {
+            "learning": { "virtual_ms": learning_ms, "wall_ms": learn_wall_ms },
+            "harvest": {
+                "virtual_ms": virtual_ms.saturating_sub(learning_ms),
+                "wall_ms": harvest_wall_ms,
+            },
+            "index_build": { "wall_ms": index_wall_ms },
+            "queries": { "wall_us": query_wall_us, "hits": query_hits },
+        },
+    });
+    ScenarioRun {
+        report,
+        evidence: DeterminismEvidence {
+            snapshot_json: registry.snapshot().deterministic().to_json(),
+            events_jsonl: events.to_jsonl(),
+        },
+    }
+}
+
+/// Run the classify scenario once: three topics, held-out evaluation,
+/// macro-F1.
+pub fn run_classify_scenario(mode: GateMode) -> ScenarioRun {
+    let (train_n, eval_n) = match mode {
+        GateMode::Full => (12usize, 60usize),
+        GateMode::Smoke => (8, 25),
+    };
+    let world = WorldConfig::portal(GATE_SEED, 200, 1).build();
+    let registry = Arc::new(Registry::new());
+    let events = Arc::new(EventLog::default());
+    let mut engine = BingoEngine::new(EngineConfig::default());
+    engine.set_telemetry(EngineTelemetry::new(registry.clone(), events.clone()));
+
+    // One engine topic per synthetic true topic 0/1/2.
+    let names = ["database research", "data mining", "web ir"];
+    let mut topics: Vec<(TopicId, u32)> = Vec::new();
+    for (true_topic, name) in names.iter().enumerate() {
+        let t = engine.add_topic(TopicTree::ROOT, name);
+        topics.push((t, true_topic as u32));
+    }
+    for &(topic, true_topic) in &topics {
+        for id in held_out(&world, true_topic, 0, train_n) {
+            engine
+                .add_training_url(&world, topic, &world.url_of(id))
+                .expect("training page");
+        }
+    }
+    crate::populate_others(&mut engine, &world, &[3, 4], 20);
+    let train_wall = WallTimer::start();
+    engine.train().expect("training");
+    let train_wall_ms = train_wall.elapsed_us() as f64 / 1000.0;
+
+    // Held-out evaluation: macro-F1 over the three topics.
+    let mut per_class: Vec<(usize, usize, usize)> = vec![(0, 0, 0); topics.len()]; // (tp, fp, fn)
+    let mut evaluated = 0usize;
+    let classify_wall = WallTimer::start();
+    for (class_idx, &(_, true_topic)) in topics.iter().enumerate() {
+        for id in held_out(&world, true_topic, train_n, eval_n) {
+            let Ok((_, _, features)) = engine.analyze_url(&world, &world.url_of(id)) else {
+                continue;
+            };
+            evaluated += 1;
+            let judgment = engine.classify(&features);
+            let predicted = judgment
+                .topic
+                .and_then(|t| topics.iter().position(|&(tid, _)| tid.0 == t));
+            match predicted {
+                Some(p) if p == class_idx => per_class[class_idx].0 += 1,
+                Some(p) => {
+                    per_class[p].1 += 1;
+                    per_class[class_idx].2 += 1;
+                }
+                None => per_class[class_idx].2 += 1,
+            }
+        }
+    }
+    let classify_wall_ms = (classify_wall.elapsed_us() as f64 / 1000.0).max(0.001);
+
+    let f1s: Vec<f64> = per_class
+        .iter()
+        .map(|&(tp, fp, fn_)| {
+            let p = tp as f64 / (tp + fp).max(1) as f64;
+            let r = tp as f64 / (tp + fn_).max(1) as f64;
+            if p + r > 0.0 {
+                2.0 * p * r / (p + r)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let macro_f1 = f1s.iter().sum::<f64>() / f1s.len().max(1) as f64;
+    let report = json!({
+        "scenario": "classify",
+        "evaluated": evaluated,
+        "macro_f1": macro_f1,
+        "per_class_f1": f1s,
+        "docs_per_wall_sec": evaluated as f64 * 1000.0 / classify_wall_ms,
+        "stages": {
+            "train": { "wall_ms": train_wall_ms },
+            "classify": { "wall_ms": classify_wall_ms },
+        },
+    });
+    ScenarioRun {
+        report,
+        evidence: DeterminismEvidence {
+            snapshot_json: registry.snapshot().deterministic().to_json(),
+            events_jsonl: events.to_jsonl(),
+        },
+    }
+}
+
+/// How one metric of a scenario report is gated.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricSpec {
+    /// Dot path into the report (`stages.train.wall_ms`).
+    pub path: &'static str,
+    /// `true`: regression = value below baseline; `false`: above.
+    pub higher_is_better: bool,
+    /// Relative tolerance before the gate fails.
+    pub rel_tol: f64,
+    /// Wall-clock metric: expectation is scaled by the CPU calibration
+    /// ratio and the tolerance is a gross-regression backstop.
+    pub wall: bool,
+}
+
+/// Gated metrics of the crawl scenario.
+pub const CRAWL_SPECS: &[MetricSpec] = &[
+    MetricSpec {
+        path: "urls_per_virtual_sec",
+        higher_is_better: true,
+        rel_tol: 0.10,
+        wall: false,
+    },
+    MetricSpec {
+        path: "harvest_ratio",
+        higher_is_better: true,
+        rel_tol: 0.10,
+        wall: false,
+    },
+    MetricSpec {
+        path: "stored_pages",
+        higher_is_better: true,
+        rel_tol: 0.10,
+        wall: false,
+    },
+    MetricSpec {
+        path: "urls_per_wall_sec",
+        higher_is_better: true,
+        rel_tol: 0.50,
+        wall: true,
+    },
+];
+
+/// Gated metrics of the classify scenario.
+pub const CLASSIFY_SPECS: &[MetricSpec] = &[
+    MetricSpec {
+        path: "macro_f1",
+        higher_is_better: true,
+        rel_tol: 0.05,
+        wall: false,
+    },
+    MetricSpec {
+        path: "docs_per_wall_sec",
+        higher_is_better: true,
+        rel_tol: 0.50,
+        wall: true,
+    },
+];
+
+/// Resolve a dot path inside a JSON value.
+pub fn json_path<'v>(value: &'v Value, path: &str) -> Option<&'v Value> {
+    let mut cur = value;
+    for seg in path.split('.') {
+        cur = cur.get(seg)?;
+    }
+    Some(cur)
+}
+
+/// Compare a current report against a baseline section. `calib_scale`
+/// is `baseline_calibration_ms / current_calibration_ms` — values < 1
+/// mean this machine is slower, so wall expectations shrink. Returns
+/// human-readable failure lines (empty = pass).
+pub fn compare_reports(
+    scenario: &str,
+    baseline: &Value,
+    current: &Value,
+    specs: &[MetricSpec],
+    calib_scale: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for spec in specs {
+        let Some(base) = json_path(baseline, spec.path).and_then(Value::as_f64) else {
+            failures.push(format!(
+                "{scenario}.{}: missing from baseline (re-record with --update)",
+                spec.path
+            ));
+            continue;
+        };
+        let Some(cur) = json_path(current, spec.path).and_then(Value::as_f64) else {
+            failures.push(format!(
+                "{scenario}.{}: missing from current run",
+                spec.path
+            ));
+            continue;
+        };
+        let expected = if spec.wall { base * calib_scale } else { base };
+        let (ok, bound) = if spec.higher_is_better {
+            let bound = expected * (1.0 - spec.rel_tol);
+            (cur >= bound, bound)
+        } else {
+            let bound = expected * (1.0 + spec.rel_tol);
+            (cur <= bound, bound)
+        };
+        if !ok {
+            failures.push(format!(
+                "{scenario}.{}: {cur:.4} vs baseline {base:.4} (expected {} {bound:.4}{})",
+                spec.path,
+                if spec.higher_is_better { ">=" } else { "<=" },
+                if spec.wall {
+                    format!(", calibration-scaled x{calib_scale:.3}")
+                } else {
+                    String::new()
+                },
+            ));
+        }
+    }
+    failures
+}
+
+/// Check that two same-seed runs produced byte-identical telemetry.
+/// Returns failure lines (empty = deterministic).
+pub fn check_determinism(
+    scenario: &str,
+    a: &DeterminismEvidence,
+    b: &DeterminismEvidence,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    if a.snapshot_json != b.snapshot_json {
+        failures.push(format!(
+            "{scenario}: deterministic metrics snapshots differ between same-seed runs"
+        ));
+    }
+    if a.events_jsonl != b.events_jsonl {
+        failures.push(format!(
+            "{scenario}: event logs differ between same-seed runs"
+        ));
+    }
+    failures
+}
+
+/// Baseline file name of a scenario.
+pub fn baseline_file(scenario: &str) -> String {
+    format!("BENCH_{scenario}.json")
+}
+
+/// Load a baseline file; `None` when missing or unreadable.
+pub fn load_baseline(dir: &Path, scenario: &str) -> Option<Value> {
+    let text = std::fs::read_to_string(dir.join(baseline_file(scenario))).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+/// Artifacts of one gated scenario+mode: report, evidence files.
+pub fn write_run_artifacts(
+    out_dir: &Path,
+    scenario: &str,
+    mode: GateMode,
+    run: &ScenarioRun,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(out_dir)?;
+    let stem = format!("{scenario}.{}", mode.key());
+    std::fs::write(
+        out_dir.join(format!("{stem}.report.json")),
+        serde_json::to_string_pretty(&run.report).expect("report serializes"),
+    )?;
+    std::fs::write(
+        out_dir.join(format!("{stem}.metrics.json")),
+        &run.evidence.snapshot_json,
+    )?;
+    std::fs::write(
+        out_dir.join(format!("{stem}.events.jsonl")),
+        &run.evidence.events_jsonl,
+    )?;
+    Ok(())
+}
+
+/// Default artifact directory for gate runs.
+pub fn default_out_dir() -> PathBuf {
+    PathBuf::from("target/bench_gate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_path_traverses() {
+        let v = json!({"a": {"b": {"c": 3}}});
+        assert_eq!(json_path(&v, "a.b.c").and_then(Value::as_u64), Some(3));
+        assert!(json_path(&v, "a.x").is_none());
+    }
+
+    #[test]
+    fn compare_flags_regressions_within_tolerance() {
+        let base = json!({"tput": 100.0, "wall_tput": 50.0});
+        let specs = [
+            MetricSpec {
+                path: "tput",
+                higher_is_better: true,
+                rel_tol: 0.10,
+                wall: false,
+            },
+            MetricSpec {
+                path: "wall_tput",
+                higher_is_better: true,
+                rel_tol: 0.50,
+                wall: true,
+            },
+        ];
+        // Within tolerance: pass.
+        let ok = json!({"tput": 91.0, "wall_tput": 40.0});
+        assert!(compare_reports("s", &base, &ok, &specs, 1.0).is_empty());
+        // 11% virtual-throughput drop: fail.
+        let slow = json!({"tput": 89.0, "wall_tput": 50.0});
+        let fails = compare_reports("s", &base, &slow, &specs, 1.0);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("tput"));
+        // A slower machine (calibration scale 0.5) halves the wall
+        // expectation: 20 ≥ 50·0.5·0.5 passes.
+        let other_machine = json!({"tput": 100.0, "wall_tput": 20.0});
+        assert!(compare_reports("s", &base, &other_machine, &specs, 0.5).is_empty());
+        // Missing metric is a failure, not a silent pass.
+        let missing = json!({"tput": 100.0});
+        assert_eq!(compare_reports("s", &base, &missing, &specs, 1.0).len(), 1);
+    }
+
+    #[test]
+    fn determinism_check_compares_bytes() {
+        let a = DeterminismEvidence {
+            snapshot_json: "{}".into(),
+            events_jsonl: "".into(),
+        };
+        let mut b = a.clone();
+        assert!(check_determinism("s", &a, &b).is_empty());
+        b.events_jsonl = "x\n".into();
+        assert_eq!(check_determinism("s", &a, &b).len(), 1);
+    }
+
+    #[test]
+    fn calibration_is_positive() {
+        assert!(calibrate_cpu_ms() > 0.0);
+    }
+
+    /// End-to-end: the smoke classify scenario runs, is deterministic
+    /// across two runs, and produces a usable report.
+    #[test]
+    fn classify_scenario_is_deterministic_and_scored() {
+        let a = run_classify_scenario(GateMode::Smoke);
+        let b = run_classify_scenario(GateMode::Smoke);
+        assert!(check_determinism("classify", &a.evidence, &b.evidence).is_empty());
+        let f1 = json_path(&a.report, "macro_f1")
+            .and_then(Value::as_f64)
+            .unwrap();
+        assert!(f1 > 0.5, "macro-F1 collapsed: {f1}");
+        assert!(
+            json_path(&a.report, "evaluated")
+                .and_then(Value::as_u64)
+                .unwrap()
+                > 30
+        );
+    }
+}

@@ -19,6 +19,7 @@
 pub mod ablation;
 pub mod expert;
 pub mod faults_exp;
+pub mod gate;
 pub mod meta_exp;
 pub mod portal;
 pub mod report;

@@ -283,10 +283,10 @@ mod tests {
         let stems = run_feature_example(11, 12);
         assert!(!stems.is_empty());
         let expected = ["mine", "knowledg", "pattern", "cluster", "olap", "dataset"];
-        let hits = expected.iter().filter(|w| stems.iter().any(|s| s == *w)).count();
-        assert!(
-            hits >= 3,
-            "expected mining stems in top-12, got {stems:?}"
-        );
+        let hits = expected
+            .iter()
+            .filter(|w| stems.iter().any(|s| s == *w))
+            .count();
+        assert!(hits >= 3, "expected mining stems in top-12, got {stems:?}");
     }
 }

@@ -50,8 +50,8 @@ impl Default for PortalExperimentConfig {
             seed: 2003,
             authors: 5000,
             noise_scale: 4,
-            t1_ms: 540_000,    // 9 virtual minutes  ≙ 90 paper-minutes
-            t2_ms: 4_320_000,  // 72 virtual minutes ≙ 12 paper-hours
+            t1_ms: 540_000,   // 9 virtual minutes  ≙ 90 paper-minutes
+            t2_ms: 4_320_000, // 72 virtual minutes ≙ 12 paper-hours
             learning_ms: 120_000,
             top_authors: 500,
             result_cutoffs: vec![500, 2500],

@@ -1,5 +1,23 @@
 //! Plain-text table rendering for experiment reports, mirroring the
-//! layout of the paper's tables.
+//! layout of the paper's tables, plus the shared JSON report writer used
+//! by every experiment binary.
+
+/// Write a pretty-printed JSON report to `path` and announce it on
+/// stderr. Returns whether the write succeeded (experiment binaries
+/// treat an unwritable report as non-fatal: the console output already
+/// carries the numbers).
+pub fn write_json_report(path: &str, value: &serde_json::Value) -> bool {
+    let written = serde_json::to_string_pretty(value)
+        .ok()
+        .and_then(|text| std::fs::write(path, text).ok())
+        .is_some();
+    if written {
+        eprintln!("json report written to {path}");
+    } else {
+        eprintln!("warning: could not write json report to {path}");
+    }
+    written
+}
 
 /// Render a table with a header row and aligned columns.
 pub fn table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {

@@ -3,15 +3,17 @@
 //! (Sections 2.6, 3.1-3.3).
 
 use crate::model::{features_from_term_freqs, ModelConfig, TopicModel};
+use crate::telemetry::EngineTelemetry;
 use crate::topic::{TopicId, TopicTree, TrainingDoc};
 use bingo_crawler::{Crawler, DocumentJudge, Judgment, PageContext, StepOutcome};
 use bingo_graph::{expand_base_set, Hits, LinkSource};
 use bingo_ml::meta::MetaPolicy;
+use bingo_obs::{Event, WallTimer};
 use bingo_textproc::fxhash::FxHashMap;
 use bingo_textproc::tfidf::CorpusStats;
 use bingo_textproc::vocab::TermId;
 use bingo_textproc::{
-    analyze_html, AnalyzedDocument, ContentRegistry, DocumentFeatures, FeatureSpaceKind,
+    analyze_html_metered, AnalyzedDocument, ContentRegistry, DocumentFeatures, FeatureSpaceKind,
     Vocabulary,
 };
 use bingo_webworld::{FetchOutcome, World};
@@ -135,6 +137,7 @@ pub struct BingoEngine {
     phase: Phase,
     candidates: FxHashMap<u32, Vec<Candidate>>,
     registry: ContentRegistry,
+    obs: EngineTelemetry,
 }
 
 impl BingoEngine {
@@ -149,7 +152,19 @@ impl BingoEngine {
             phase: Phase::Learning,
             candidates: FxHashMap::default(),
             registry: ContentRegistry::new(),
+            obs: EngineTelemetry::default(),
         }
+    }
+
+    /// Route this engine's metrics and events into a shared telemetry
+    /// namespace.
+    pub fn set_telemetry(&mut self, obs: EngineTelemetry) {
+        self.obs = obs;
+    }
+
+    /// The engine's metric handles and event log.
+    pub fn telemetry(&self) -> &EngineTelemetry {
+        &self.obs
     }
 
     /// Current phase.
@@ -190,7 +205,7 @@ impl BingoEngine {
             .registry
             .to_html(response.mime, &response.payload)
             .map_err(|_| EngineError::Content(url.to_string()))?;
-        let doc = analyze_html(&html, &mut self.vocab);
+        let doc = analyze_html_metered(&html, &mut self.vocab, &self.obs.textproc);
         let features = DocumentFeatures::from_document(&doc);
         self.record_corpus(&features);
         Ok((response.page_id, doc.title, features))
@@ -199,7 +214,7 @@ impl BingoEngine {
     /// Analyze a raw HTML string into features (virtual training
     /// documents, e.g. a query turned into a document for expert search).
     pub fn analyze_virtual(&mut self, html: &str) -> DocumentFeatures {
-        let doc = analyze_html(html, &mut self.vocab);
+        let doc = analyze_html_metered(html, &mut self.vocab, &self.obs.textproc);
         let features = DocumentFeatures::from_document(&doc);
         self.record_corpus(&features);
         features
@@ -260,6 +275,7 @@ impl BingoEngine {
     /// subtree's training docs; negatives are the competing siblings'
     /// docs plus the OTHERS class.
     pub fn train(&mut self) -> Result<(), EngineError> {
+        let timer = WallTimer::start();
         let ids: Vec<TopicId> = self.tree.topic_ids().collect();
         let mut new_models = FxHashMap::default();
         for id in ids {
@@ -296,6 +312,14 @@ impl BingoEngine {
         if new_models.is_empty() {
             return Err(EngineError::Training("no topic could be trained"));
         }
+        self.obs.train_rounds.inc();
+        self.obs.train_models.set(new_models.len() as i64);
+        let features: usize = new_models
+            .values()
+            .map(|m| m.spaces.iter().map(|s| s.selector.len()).sum::<usize>())
+            .sum();
+        self.obs.train_features.set(features as i64);
+        timer.observe_ms(&self.obs.train_wall_ms);
         self.models = new_models;
         Ok(())
     }
@@ -308,13 +332,15 @@ impl BingoEngine {
             Phase::Learning => self.config.meta_learning,
             Phase::Harvesting => self.config.meta_harvesting,
         };
-        classify_impl(
+        let judgment = classify_impl(
             &self.tree,
             &self.models,
             features,
             policy,
             self.config.single_classifier,
-        )
+        );
+        self.obs.record_judgment(&judgment);
+        judgment
     }
 
     /// Mean training confidence of a topic (the archetype threshold).
@@ -372,6 +398,7 @@ impl BingoEngine {
             corpus,
             models,
             candidates,
+            obs,
             ..
         } = self;
         let mut judge = EngineJudge {
@@ -379,6 +406,7 @@ impl BingoEngine {
             models,
             corpus,
             candidates,
+            obs,
             policy,
             single_classifier: config.single_classifier,
             pool_cap: config.candidate_pool,
@@ -402,8 +430,7 @@ impl BingoEngine {
             let mut authority_candidates: Vec<(u64, f64)> = Vec::new();
             if !base.is_empty() {
                 let world = crawler.world().clone();
-                let nodes =
-                    expand_base_set(world.as_ref(), &base, self.config.max_predecessors);
+                let nodes = expand_base_set(world.as_ref(), &base, self.config.max_predecessors);
                 let hits = Hits::default().run(world.as_ref(), &nodes);
                 authority_candidates = hits.top_authorities(self.config.n_auth);
                 hub_candidates = hits.top_hubs(self.config.hub_boost);
@@ -506,6 +533,15 @@ impl BingoEngine {
         // Retrain with the extended basis (feature selection reruns
         // inside model training).
         let _ = self.train();
+        self.obs.retrain_rounds.inc();
+        let promoted_total: usize = report.promoted.iter().map(|&(_, n)| n).sum();
+        self.obs.promoted.add(promoted_total as u64);
+        self.obs.hubs_boosted.add(report.hubs_boosted as u64);
+        self.obs.events.emit(
+            Event::at(crawler.clock_ms(), "engine.retrain")
+                .with("hubs_boosted", report.hubs_boosted)
+                .with("promoted", promoted_total),
+        );
         report
     }
 
@@ -573,6 +609,9 @@ impl BingoEngine {
     pub fn switch_to_harvesting(&mut self, crawler: &mut Crawler) {
         self.phase = Phase::Harvesting;
         crawler.config = crawler.config.harvesting();
+        self.obs
+            .events
+            .emit(Event::at(crawler.clock_ms(), "engine.phase.harvesting"));
     }
 
     /// Snapshot of all trained models (persistence support).
@@ -601,6 +640,7 @@ impl BingoEngine {
             phase,
             candidates: FxHashMap::default(),
             registry: ContentRegistry::new(),
+            obs: EngineTelemetry::default(),
         }
     }
 
@@ -621,6 +661,7 @@ struct EngineJudge<'a> {
     models: &'a FxHashMap<u32, TopicModel>,
     corpus: &'a mut CorpusStats,
     candidates: &'a mut FxHashMap<u32, Vec<Candidate>>,
+    obs: &'a EngineTelemetry,
     policy: MetaPolicy,
     single_classifier: bool,
     pool_cap: usize,
@@ -644,6 +685,7 @@ impl DocumentJudge for EngineJudge<'_> {
             self.policy,
             self.single_classifier,
         );
+        self.obs.record_judgment(&judgment);
         if let Some(t) = judgment.topic {
             let pool = self.candidates.entry(t).or_default();
             pool.push(Candidate {

@@ -51,10 +51,12 @@
 pub mod engine;
 pub mod model;
 pub mod persist;
+pub mod telemetry;
 pub mod topic;
 
 pub use engine::{BingoEngine, Candidate, EngineConfig, EngineError, Phase, RetrainReport};
 pub use model::{ModelConfig, SpaceModel, TopicModel};
+pub use telemetry::EngineTelemetry;
 pub use topic::{TopicId, TopicNode, TopicTree, TrainingDoc};
 
 #[cfg(test)]
@@ -116,7 +118,12 @@ mod tests {
             .unwrap();
         let (_, _, f) = engine.analyze_url(&world, &world.url_of(db_page)).unwrap();
         let j = engine.classify(&f);
-        assert_eq!(j.topic, Some(topic.0), "db page rejected ({})", j.confidence);
+        assert_eq!(
+            j.topic,
+            Some(topic.0),
+            "db page rejected ({})",
+            j.confidence
+        );
         // ...and a sports page should not.
         // Sports pages may sit on dead/flaky hosts; take the first one
         // that actually fetches.
@@ -173,11 +180,7 @@ mod tests {
     fn full_two_phase_crawl_focuses() {
         let world = Arc::new(WorldConfig::small_test(52).build());
         let (mut engine, topic) = trained_engine(&world);
-        let mut crawler = Crawler::new(
-            world.clone(),
-            CrawlConfig::default(),
-            DocumentStore::new(),
-        );
+        let mut crawler = Crawler::new(world.clone(), CrawlConfig::default(), DocumentStore::new());
         for a in &world.authors()[..2] {
             crawler.add_seed(&world.url_of(a.homepage), Some(topic.0));
         }
@@ -217,11 +220,7 @@ mod tests {
         let world = Arc::new(WorldConfig::small_test(51).build());
         let (mut engine, topic) = trained_engine(&world);
         engine.config.archetype_threshold = true;
-        let mut crawler = Crawler::new(
-            world.clone(),
-            CrawlConfig::default(),
-            DocumentStore::new(),
-        );
+        let mut crawler = Crawler::new(world.clone(), CrawlConfig::default(), DocumentStore::new());
         for a in &world.authors()[..2] {
             crawler.add_seed(&world.url_of(a.homepage), Some(topic.0));
         }
@@ -261,11 +260,7 @@ mod tests {
     fn manual_archetype_promotion_with_trimming() {
         let world = Arc::new(WorldConfig::small_test(51).build());
         let (mut engine, topic) = trained_engine(&world);
-        let mut crawler = Crawler::new(
-            world.clone(),
-            CrawlConfig::default(),
-            DocumentStore::new(),
-        );
+        let mut crawler = Crawler::new(world.clone(), CrawlConfig::default(), DocumentStore::new());
         for a in &world.authors()[..2] {
             crawler.add_seed(&world.url_of(a.homepage), Some(topic.0));
         }
@@ -273,7 +268,14 @@ mod tests {
         let stored = crawler.store().all_documents();
         let candidate = stored
             .iter()
-            .find(|r| !engine.tree.node(topic).training.iter().any(|d| d.page_id == r.id))
+            .find(|r| {
+                !engine
+                    .tree
+                    .node(topic)
+                    .training
+                    .iter()
+                    .any(|d| d.page_id == r.id)
+            })
             .expect("some non-training document");
 
         let before = engine.tree.node(topic).training.len();
@@ -292,7 +294,12 @@ mod tests {
             .iter()
             .find(|r| {
                 r.id != candidate.id
-                    && !engine.tree.node(topic).training.iter().any(|d| d.page_id == r.id)
+                    && !engine
+                        .tree
+                        .node(topic)
+                        .training
+                        .iter()
+                        .any(|d| d.page_id == r.id)
             })
             .unwrap();
         engine
@@ -327,11 +334,7 @@ mod tests {
         engine.config.n_auth = 1;
         engine.config.n_conf = 1;
         assert!(!engine.ready_for_harvesting());
-        let mut crawler = Crawler::new(
-            world.clone(),
-            CrawlConfig::default(),
-            DocumentStore::new(),
-        );
+        let mut crawler = Crawler::new(world.clone(), CrawlConfig::default(), DocumentStore::new());
         for a in &world.authors()[..2] {
             crawler.add_seed(&world.url_of(a.homepage), Some(1));
         }
@@ -340,4 +343,3 @@ mod tests {
         assert!(engine.ready_for_harvesting());
     }
 }
-

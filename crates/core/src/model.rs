@@ -134,8 +134,8 @@ impl TopicModel {
         // Balance the box constraints for the (typically tiny) positive
         // side.
         let mut svm_cfg = config.svm;
-        svm_cfg.positive_cost_factor = (negatives.len() as f32 / positives.len() as f32)
-            .clamp(1.0, 50.0);
+        svm_cfg.positive_cost_factor =
+            (negatives.len() as f32 / positives.len() as f32).clamp(1.0, 50.0);
         let trainer = LinearSvm::new(svm_cfg);
 
         let mut spaces = Vec::with_capacity(config.spaces.len());
@@ -161,8 +161,7 @@ impl TopicModel {
                 .map(|o| (o, true))
                 .chain(neg_occ.iter().map(|o| (o, false)))
             {
-                let pairs: Vec<(TermId, u32)> =
-                    occ.iter().map(|&(i, f)| (TermId(i), f)).collect();
+                let pairs: Vec<(TermId, u32)> = occ.iter().map(|&(i, f)| (TermId(i), f)).collect();
                 let mut v = selector.project(&weighter.weigh(&pairs));
                 let coverage = v.norm();
                 if coverage > 0.0 {
@@ -333,10 +332,7 @@ pub fn choose_feature_count(
             continue;
         };
         let score = model.spaces[model.best_space].xi_precision();
-        let better = best
-            .as_ref()
-            .map(|&(_, _, s)| score > s)
-            .unwrap_or(true);
+        let better = best.as_ref().map(|&(_, _, s)| score > s).unwrap_or(true);
         if better {
             best = Some((count, model, score));
         }
@@ -350,10 +346,7 @@ pub fn choose_feature_count(
 /// empty).
 pub fn features_from_term_freqs(term_freqs: &[(u32, u32)]) -> DocumentFeatures {
     DocumentFeatures {
-        term_freqs: term_freqs
-            .iter()
-            .map(|&(t, f)| (TermId(t), f))
-            .collect(),
+        term_freqs: term_freqs.iter().map(|&(t, f)| (TermId(t), f)).collect(),
         pair_freqs: Vec::new(),
         incoming_anchor_terms: Vec::new(),
         neighbor_terms: Vec::new(),
@@ -477,7 +470,11 @@ mod tests {
             .iter()
             .filter(|f| nb.score(&super::nb_vector(f)) >= 0.0)
             .count();
-        assert!(nb_accepts * 2 >= pos.len(), "NB accepts {nb_accepts}/{}", pos.len());
+        assert!(
+            nb_accepts * 2 >= pos.len(),
+            "NB accepts {nb_accepts}/{}",
+            pos.len()
+        );
         for f in &pos {
             assert!(model.decide(f, MetaPolicy::Majority, false).0);
         }
@@ -492,14 +489,9 @@ mod tests {
         let (corpus, pos, neg) = corpus_and_docs();
         let p: Vec<&DocumentFeatures> = pos.iter().collect();
         let n: Vec<&DocumentFeatures> = neg.iter().collect();
-        let (count, model) = choose_feature_count(
-            &p,
-            &n,
-            &corpus,
-            &ModelConfig::default(),
-            &[5, 50, 500],
-        )
-        .expect("some candidate trains");
+        let (count, model) =
+            choose_feature_count(&p, &n, &corpus, &ModelConfig::default(), &[5, 50, 500])
+                .expect("some candidate trains");
         assert!([5usize, 50, 500].contains(&count));
         // The returned model is trained with that size.
         assert!(model.spaces[0].selector.len() <= count);

@@ -43,8 +43,7 @@ pub fn save_engine<W: Write>(engine: &BingoEngine, w: W) -> Result<(), EngineErr
         corpus: engine.corpus().clone(),
         models: engine.models_snapshot(),
     };
-    serde_json::to_writer(w, &snapshot)
-        .map_err(|e| EngineError::Persist(e.to_string()))
+    serde_json::to_writer(w, &snapshot).map_err(|e| EngineError::Persist(e.to_string()))
 }
 
 /// Restore an engine from a snapshot. Derived lookup structures
@@ -243,8 +242,7 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         save_session(&engine, &crawler, &dir).unwrap();
 
-        let (mut engine2, mut resumed) =
-            load_session(world.clone(), config, &dir).unwrap();
+        let (mut engine2, mut resumed) = load_session(world.clone(), config, &dir).unwrap();
         assert_eq!(resumed.stats().stored_pages, mid_stored);
         assert_eq!(resumed.clock_ms(), mid_clock);
         assert_eq!(

@@ -98,8 +98,7 @@ pub fn save_checkpoint<P: AsRef<Path>>(
     path: P,
 ) -> Result<(), CheckpointError> {
     let path = path.as_ref();
-    let json =
-        serde_json::to_string(cp).map_err(|e| CheckpointError::Format(e.to_string()))?;
+    let json = serde_json::to_string(cp).map_err(|e| CheckpointError::Format(e.to_string()))?;
     let tmp = path.with_extension("tmp");
     std::fs::write(&tmp, json.as_bytes())?;
     std::fs::rename(&tmp, path)?;

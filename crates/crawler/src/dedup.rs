@@ -150,7 +150,10 @@ mod tests {
         assert!(!r.mark_response(42, "/x", 999), "ip+path survives");
         assert!(!r.mark_response(42, "/other", 100), "ip+size survives");
         // Snapshots of identical state are identical (sorted).
-        assert_eq!(format!("{:?}", Dedup::restore(snap.clone()).snapshot()), format!("{snap:?}"));
+        assert_eq!(
+            format!("{:?}", Dedup::restore(snap.clone()).snapshot()),
+            format!("{snap:?}")
+        );
     }
 
     #[test]

@@ -135,13 +135,8 @@ impl CachingResolver {
             }
             self.order.push_back(hostname.to_string());
         }
-        self.cache.insert(
-            hostname.to_string(),
-            CacheEntry {
-                ip,
-                stored_at: now,
-            },
-        );
+        self.cache
+            .insert(hostname.to_string(), CacheEntry { ip, stored_at: now });
     }
 
     /// Number of cached entries.

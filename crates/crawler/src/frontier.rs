@@ -224,9 +224,8 @@ impl Frontier {
     /// (priority order), parked entries in release order, so the
     /// snapshot is byte-stable for identical frontiers.
     pub fn snapshot(&self) -> FrontierSnapshot {
-        let drain = |q: &PriorityQueue| -> Vec<QueueEntry> {
-            q.entries.values().cloned().collect()
-        };
+        let drain =
+            |q: &PriorityQueue| -> Vec<QueueEntry> { q.entries.values().cloned().collect() };
         FrontierSnapshot {
             incoming: self.incoming.iter().map(drain).collect(),
             outgoing: self.outgoing.iter().map(drain).collect(),

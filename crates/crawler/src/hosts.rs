@@ -296,12 +296,7 @@ impl HostManager {
         }
     }
 
-    fn trip(
-        h: &mut HostHealth,
-        host: &str,
-        now_ms: u64,
-        config: &BreakerConfig,
-    ) -> FailureOutcome {
+    fn trip(h: &mut HostHealth, host: &str, now_ms: u64, config: &BreakerConfig) -> FailureOutcome {
         if h.open_cycles >= config.max_open_cycles {
             h.state = BreakerState::Dead;
             return FailureOutcome::Died;

@@ -39,6 +39,7 @@ pub mod dedup;
 pub mod dns;
 pub mod frontier;
 pub mod hosts;
+pub mod telemetry;
 pub mod threaded;
 pub mod types;
 
@@ -52,6 +53,7 @@ pub use hosts::{
     BreakerConfig, BreakerState, FailureOutcome, HostDecision, HostHealth, HostManager,
 };
 pub use step::{Crawler, StepOutcome};
+pub use telemetry::CrawlTelemetry;
 pub use types::{CrawlConfig, CrawlStats, CrawlStrategy, FocusRule, Judgment, PageContext};
 
 use bingo_textproc::AnalyzedDocument;

@@ -11,21 +11,22 @@
 //! budgets ("a 90-minute crawl") are meaningful and deterministic.
 
 use crate::checkpoint::{
-    load_checkpoint, save_checkpoint, CheckpointError, CrawlCheckpoint, CRAWLER_FILE,
-    STORE_FILE,
+    load_checkpoint, save_checkpoint, CheckpointError, CrawlCheckpoint, CRAWLER_FILE, STORE_FILE,
 };
 use crate::dedup::{path_of_url, Dedup};
 use crate::dns::CachingResolver;
 use crate::frontier::{Frontier, QueueEntry};
 use crate::hosts::{FailureOutcome, HostDecision, HostManager};
+use crate::telemetry::CrawlTelemetry;
 use crate::types::{
     CrawlConfig, CrawlStats, CrawlStrategy, FocusRule, Judgment, PageContext, MAX_HOSTNAME_LEN,
     MAX_URL_LEN,
 };
 use crate::DocumentJudge;
+use bingo_obs::{Event, WallTimer};
 use bingo_store::{DocumentRow, DocumentStore, LinkRow};
 use bingo_textproc::fxhash;
-use bingo_textproc::{analyze_html, ContentRegistry, Vocabulary};
+use bingo_textproc::{analyze_html_metered, ContentRegistry, Vocabulary};
 use bingo_webworld::fetch::host_of_url;
 use bingo_webworld::{DnsError, FetchOutcome, World};
 use std::cmp::Reverse;
@@ -71,6 +72,9 @@ pub struct Crawler {
     /// neighbour-document feature space of its successors (Section 3.4).
     page_top_terms: bingo_textproc::fxhash::FxHashMap<u64, Vec<bingo_textproc::TermId>>,
     clock: u64,
+    /// Metric handles; intentionally not part of checkpoints (telemetry
+    /// describes a run, not the crawl state).
+    telemetry: CrawlTelemetry,
 }
 
 /// How many of a predecessor's terms feed the neighbour feature space.
@@ -80,11 +84,7 @@ impl Crawler {
     /// New crawler over `world` writing into `store`.
     pub fn new(world: Arc<World>, config: CrawlConfig, store: DocumentStore) -> Self {
         let topics = world.topics().len();
-        let frontier = Frontier::new(
-            topics,
-            config.incoming_queue_cap,
-            config.outgoing_queue_cap,
-        );
+        let frontier = Frontier::new(topics, config.incoming_queue_cap, config.outgoing_queue_cap);
         let threads = (0..config.threads.max(1))
             .map(|tid| Reverse((0u64, tid)))
             .collect();
@@ -102,13 +102,26 @@ impl Crawler {
             host_slots: bingo_textproc::fxhash::FxHashMap::default(),
             page_top_terms: bingo_textproc::fxhash::FxHashMap::default(),
             clock: 0,
+            telemetry: CrawlTelemetry::default(),
         }
+    }
+
+    /// Route this crawler's metrics and events into a shared telemetry
+    /// namespace (e.g. one registry covering crawl + engine + index).
+    pub fn set_telemetry(&mut self, telemetry: CrawlTelemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The crawler's metric handles and event log.
+    pub fn telemetry(&self) -> &CrawlTelemetry {
+        &self.telemetry
     }
 
     /// Seed the crawl with a URL for a topic.
     pub fn add_seed(&mut self, url: &str, topic: Option<u32>) {
         if self.dedup.mark_url(url) {
             self.frontier.push_outgoing(QueueEntry::seed(url, topic));
+            self.telemetry.frontier_push.inc();
         }
     }
 
@@ -146,8 +159,7 @@ impl Crawler {
     /// the world and the document store).
     pub fn checkpoint(&self) -> CrawlCheckpoint {
         let (host_health, visited_hosts) = self.hosts.snapshot();
-        let mut threads: Vec<(u64, usize)> =
-            self.threads.iter().map(|Reverse(t)| *t).collect();
+        let mut threads: Vec<(u64, usize)> = self.threads.iter().map(|Reverse(t)| *t).collect();
         threads.sort_unstable();
         let mut host_slots: Vec<(String, Vec<u64>)> = self
             .host_slots
@@ -238,6 +250,7 @@ impl Crawler {
                 priority,
                 ..QueueEntry::seed(url, topic)
             });
+            self.telemetry.frontier_push.inc();
         }
     }
 
@@ -290,14 +303,11 @@ impl Crawler {
     /// When every remaining URL is parked in retry/breaker backoff, the
     /// virtual clock fast-forwards to the earliest release time — the
     /// simulated crawler idles until work becomes available again.
-    pub fn step(
-        &mut self,
-        judge: &mut dyn DocumentJudge,
-        vocab: &mut Vocabulary,
-    ) -> StepOutcome {
+    pub fn step(&mut self, judge: &mut dyn DocumentJudge, vocab: &mut Vocabulary) -> StepOutcome {
         let entry = loop {
             self.frontier.release_due(self.clock);
             if let Some(e) = self.frontier.pop() {
+                self.telemetry.frontier_pop.inc();
                 break e;
             }
             match self.frontier.next_release() {
@@ -336,6 +346,9 @@ impl Crawler {
         }
         self.threads.push(Reverse((done, tid)));
         self.stats.elapsed_ms = self.stats.elapsed_ms.max(done);
+        self.telemetry
+            .frontier_depth
+            .set(self.frontier.len() as i64);
         if matches!(outcome, StepOutcome::Stored { .. }) {
             self.maybe_checkpoint();
         }
@@ -348,14 +361,31 @@ impl Crawler {
     /// the checkpointed crawl state).
     fn maybe_checkpoint(&mut self) {
         let every = self.config.checkpoint_every_docs;
-        if every == 0 || self.stats.stored_pages == 0 || !self.stats.stored_pages.is_multiple_of(every) {
+        if every == 0
+            || self.stats.stored_pages == 0
+            || !self.stats.stored_pages.is_multiple_of(every)
+        {
             return;
         }
         let Some(dir) = self.config.checkpoint_dir.clone() else {
             return;
         };
+        let timer = WallTimer::start();
         if self.save_session(&dir).is_ok() {
             self.stats.checkpoints_written += 1;
+            timer.observe_ms(&self.telemetry.checkpoint_wall_ms);
+            self.telemetry.checkpoints.inc();
+            let bytes = [CRAWLER_FILE, STORE_FILE]
+                .iter()
+                .filter_map(|f| std::fs::metadata(dir.join(f)).ok())
+                .map(|m| m.len())
+                .sum::<u64>();
+            self.telemetry.checkpoint_bytes.observe(bytes);
+            self.telemetry.events.emit(
+                Event::at(self.clock, "crawl.checkpoint.write")
+                    .with("bytes", bytes)
+                    .with("docs", self.stats.stored_pages),
+            );
         }
     }
 
@@ -397,9 +427,13 @@ impl Crawler {
             HostDecision::Defer { until_ms } => {
                 self.stats.backoff_wait_ms += until_ms.saturating_sub(now);
                 self.frontier.park(entry, until_ms);
+                self.telemetry.frontier_park.inc();
                 return StepOutcome::Skipped("breaker open");
             }
-            HostDecision::Probe => self.stats.breaker_probes += 1,
+            HostDecision::Probe => {
+                self.stats.breaker_probes += 1;
+                self.telemetry.breaker_probes.inc();
+            }
             HostDecision::Proceed => {}
         }
 
@@ -409,6 +443,7 @@ impl Crawler {
             Err(err) => {
                 *cost += 100;
                 self.stats.fetch_errors += 1;
+                self.telemetry.fetch_err.inc();
                 self.note_failure(&host, now);
                 // NxDomain is permanent; a timeout may be a DNS flap
                 // window, so the URL gets a backoff retry.
@@ -427,19 +462,21 @@ impl Crawler {
             } => {
                 *cost += latency_ms;
                 self.stats.redirects += 1;
-                if entry.redirects < self.config.max_redirects && self.dedup.mark_url(&location)
-                {
+                self.telemetry.fetch_redirect.inc();
+                if entry.redirects < self.config.max_redirects && self.dedup.mark_url(&location) {
                     self.frontier.push_outgoing(QueueEntry {
                         url: location,
                         redirects: entry.redirects + 1,
                         ..entry
                     });
+                    self.telemetry.frontier_push.inc();
                 }
                 return StepOutcome::Skipped("redirect");
             }
             FetchOutcome::Err { error, latency_ms } => {
                 *cost += latency_ms;
                 self.stats.fetch_errors += 1;
+                self.telemetry.fetch_err.inc();
                 self.note_failure(&host, now);
                 if error.is_transient() {
                     self.maybe_retry(entry, now);
@@ -459,13 +496,21 @@ impl Crawler {
             self.stats.truncated_fetches += 1;
             self.stats.wasted_bytes += response.payload.len() as u64;
             self.stats.fetch_errors += 1;
+            self.telemetry.fetch_truncated.inc();
+            self.telemetry.fetch_err.inc();
             self.note_failure(&host, now);
             self.maybe_retry(entry, now);
             return StepOutcome::Skipped("truncated body");
         }
 
+        self.telemetry.fetch_ok.inc();
+        self.telemetry.fetch_latency_ms.observe(response.latency_ms);
         if self.hosts.record_success(&host) {
             self.stats.breaker_closed += 1;
+            self.telemetry.breaker_closed.inc();
+            self.telemetry
+                .events
+                .emit(Event::at(now, "crawl.breaker.close").with("host", &host));
         }
         self.stats.visited_hosts = self.hosts.visited_count() as u64;
 
@@ -495,7 +540,7 @@ impl Crawler {
                 return StepOutcome::Skipped("malformed payload");
             }
         };
-        let doc = analyze_html(&html, vocab);
+        let doc = analyze_html_metered(&html, vocab, &self.telemetry.textproc);
 
         // Classify. The enqueuing predecessor's most significant terms
         // feed the neighbour-document feature space.
@@ -537,11 +582,7 @@ impl Crawler {
             title: doc.title.clone(),
             topic: judgment.topic,
             confidence: judgment.confidence,
-            term_freqs: doc
-                .term_freqs
-                .iter()
-                .map(|&(t, f)| (t.0, f))
-                .collect(),
+            term_freqs: doc.term_freqs.iter().map(|&(t, f)| (t.0, f)).collect(),
             size: response.size as usize,
             fetched_at: now,
         };
@@ -552,6 +593,7 @@ impl Crawler {
             return StepOutcome::Skipped("already stored");
         }
         self.stats.stored_pages += 1;
+        self.telemetry.stored.inc();
         if judgment.topic.is_some() {
             self.stats.positively_classified += 1;
         }
@@ -571,8 +613,22 @@ impl Crawler {
     fn note_failure(&mut self, host: &str, now: u64) {
         let was_dead = self.hosts.is_bad(host);
         match self.hosts.record_failure(host, now) {
-            FailureOutcome::Opened { .. } => self.stats.breaker_opened += 1,
-            FailureOutcome::Died if !was_dead => self.stats.hosts_dead += 1,
+            FailureOutcome::Opened { until_ms } => {
+                self.stats.breaker_opened += 1;
+                self.telemetry.breaker_opened.inc();
+                self.telemetry.events.emit(
+                    Event::at(now, "crawl.breaker.open")
+                        .with("host", host)
+                        .with("until_ms", until_ms),
+                );
+            }
+            FailureOutcome::Died if !was_dead => {
+                self.stats.hosts_dead += 1;
+                self.telemetry.breaker_dead.inc();
+                self.telemetry
+                    .events
+                    .emit(Event::at(now, "crawl.breaker.dead").with("host", host));
+            }
             _ => {}
         }
     }
@@ -592,6 +648,9 @@ impl Crawler {
         let backoff = self.retry_backoff(&entry.url, entry.attempt);
         self.stats.retries += 1;
         self.stats.backoff_wait_ms += backoff;
+        self.telemetry.retries.inc();
+        self.telemetry.retry_backoff_ms.observe(backoff);
+        self.telemetry.frontier_park.inc();
         self.frontier.park(
             QueueEntry {
                 attempt: entry.attempt + 1,
@@ -636,9 +695,7 @@ impl Crawler {
             // Sharp: the document must be classified into the same topic
             // it was queued for (seeds with src_topic None accept any
             // positive classification).
-            (FocusRule::Sharp, Some(t)) => {
-                entry.src_topic.is_none() || entry.src_topic == Some(t)
-            }
+            (FocusRule::Sharp, Some(t)) => entry.src_topic.is_none() || entry.src_topic == Some(t),
             // Soft: any topic of interest counts.
             (FocusRule::Soft, Some(_)) => true,
             (_, None) => false,
@@ -678,9 +735,7 @@ impl Crawler {
                 self.stats.url_rejected += 1;
                 continue;
             };
-            if link_host.len() > MAX_HOSTNAME_LEN
-                || self.config.locked_hosts.contains(link_host)
-            {
+            if link_host.len() > MAX_HOSTNAME_LEN || self.config.locked_hosts.contains(link_host) {
                 self.stats.url_rejected += 1;
                 continue;
             }
@@ -720,6 +775,7 @@ impl Crawler {
                 redirects: 0,
                 attempt: 0,
             });
+            self.telemetry.frontier_push.inc();
         }
         self.stats.queue_overflow = self.frontier.overflow;
     }
@@ -790,7 +846,10 @@ mod tests {
             stored_rejecting < stored_accepting / 2,
             "tunnelling bound violated: rejecting={stored_rejecting} accepting={stored_accepting}"
         );
-        assert!(stored_rejecting > 0, "tunnelling must still pass welcome pages");
+        assert!(
+            stored_rejecting > 0,
+            "tunnelling must still pass welcome pages"
+        );
     }
 
     #[test]
@@ -991,10 +1050,13 @@ mod tests {
         // ...but seeding an uncrawled page continues the crawl without
         // duplicate-key errors.
         let fresh = (0..world.page_count() as u64)
-            .find(|id| !first_ids.contains(id) && world.page(*id).redirect_to.is_none()
-                && world.page(*id).size_hint.is_none()
-                && world.host(world.page(*id).host).behavior
-                    == bingo_webworld::HostBehavior::Normal)
+            .find(|id| {
+                !first_ids.contains(id)
+                    && world.page(*id).redirect_to.is_none()
+                    && world.page(*id).size_hint.is_none()
+                    && world.host(world.page(*id).host).behavior
+                        == bingo_webworld::HostBehavior::Normal
+            })
             .unwrap();
         resumed.add_seed(&world.url_of(fresh), Some(0));
         let mut judge = accept_all();
@@ -1179,11 +1241,7 @@ mod tests {
             let mut buf = Vec::new();
             bingo_store::persist::write_snapshot(crawler.store(), &mut buf).unwrap();
             let store_copy = bingo_store::persist::read_snapshot(&buf[..]).unwrap();
-            let mut r = Crawler::new(
-                crawler.world().clone(),
-                crawler.config.clone(),
-                store_copy,
-            );
+            let mut r = Crawler::new(crawler.world().clone(), crawler.config.clone(), store_copy);
             r.restore_checkpoint(crawler.checkpoint());
             r
         };

@@ -8,7 +8,7 @@
 //! slept — the measurement targets the processing and storage pipeline,
 //! which is what the paper's §4.1 throughput number is about).
 
-use bingo_store::{BulkLoader, DocumentStore, DocumentRow};
+use bingo_store::{BulkLoader, DocumentRow, DocumentStore};
 use bingo_textproc::{analyze_html, ContentRegistry, Vocabulary};
 use bingo_webworld::{FetchOutcome, World};
 use crossbeam::channel;

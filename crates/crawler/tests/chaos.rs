@@ -18,7 +18,10 @@ fn accept_all() -> impl FnMut(&AnalyzedDocument, &PageContext) -> Judgment {
 
 fn chaos_crawler(seed: u64, config: CrawlConfig) -> Crawler {
     let world = Arc::new(WorldConfig::chaos(seed).build());
-    assert!(!world.faults().is_empty(), "chaos world must install faults");
+    assert!(
+        !world.faults().is_empty(),
+        "chaos world must install faults"
+    );
     let mut crawler = Crawler::new(world.clone(), config, DocumentStore::new());
     crawler.add_seed(&world.url_of(1), Some(0));
     crawler
@@ -43,10 +46,7 @@ fn run_to_end(crawler: &mut Crawler) -> (String, Vec<u64>) {
         .map(|d| d.id)
         .collect();
     ids.sort_unstable();
-    (
-        serde_json::to_string(crawler.stats()).unwrap(),
-        ids,
-    )
+    (serde_json::to_string(crawler.stats()).unwrap(), ids)
 }
 
 #[test]
@@ -79,8 +79,7 @@ fn killed_at_half_budget_resumes_to_same_harvest_ratio() {
     let mut reference = chaos_crawler(seed, base_config());
     let (_, ref_ids) = run_to_end(&mut reference);
     let budget = reference.stats().stored_pages;
-    let ref_ratio =
-        reference.stats().stored_pages as f64 / reference.stats().visited_urls as f64;
+    let ref_ratio = reference.stats().stored_pages as f64 / reference.stats().visited_urls as f64;
     assert!(budget > 40, "reference harvest too small: {budget}");
 
     // Same scenario with automatic checkpoints every 10 documents;
@@ -101,7 +100,10 @@ fn killed_at_half_budget_resumes_to_same_harvest_ratio() {
                 panic!("frontier drained before 50%");
             }
         }
-        assert!(doomed.stats().checkpoints_written > 0, "no checkpoint written");
+        assert!(
+            doomed.stats().checkpoints_written > 0,
+            "no checkpoint written"
+        );
         // Killed here: state after the last checkpoint is lost.
     }
 
@@ -117,8 +119,7 @@ fn killed_at_half_budget_resumes_to_same_harvest_ratio() {
             checkpoint_dir: None,
             ..ckpt_config.clone()
         };
-        let mut crawler =
-            Crawler::resume_session(world.clone(), resume_config, &dir).unwrap();
+        let mut crawler = Crawler::resume_session(world.clone(), resume_config, &dir).unwrap();
         assert!(
             crawler.stats().stored_pages >= budget / 2 - 10,
             "checkpoint missing recent progress"
@@ -143,7 +144,10 @@ fn killed_at_half_budget_resumes_to_same_harvest_ratio() {
         drift * 100.0
     );
     // The resumed harvest covers essentially the same documents.
-    let overlap = ids_1.iter().filter(|id| ref_ids.binary_search(id).is_ok()).count();
+    let overlap = ids_1
+        .iter()
+        .filter(|id| ref_ids.binary_search(id).is_ok())
+        .count();
     assert!(
         overlap as f64 >= 0.98 * ref_ids.len() as f64,
         "resumed harvest lost documents: {overlap}/{}",

@@ -84,8 +84,7 @@ pub fn pagerank<S: LinkSource + ?Sized>(
             iterations: 0,
         };
     }
-    let index: FxHashMap<PageId, usize> =
-        nodes.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+    let index: FxHashMap<PageId, usize> = nodes.iter().enumerate().map(|(i, &p)| (p, i)).collect();
     // Induced adjacency (deduplicated).
     let out: Vec<Vec<usize>> = nodes
         .iter()
@@ -122,11 +121,7 @@ pub fn pagerank<S: LinkSource + ?Sized>(
         for v in next.iter_mut() {
             *v += dangling_share;
         }
-        let delta: f64 = scores
-            .iter()
-            .zip(&next)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let delta: f64 = scores.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
         scores = next;
         if delta < config.epsilon {
             break;

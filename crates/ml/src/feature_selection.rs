@@ -89,10 +89,8 @@ impl FeatureSelection {
         let mut ranked: Vec<(u32, f32)> = candidates
             .into_iter()
             .map(|(feature, _)| {
-                let p_joint =
-                    df_topic.get(&feature).copied().unwrap_or(0) as f64 / n_docs as f64;
-                let p_feature =
-                    df_total.get(&feature).copied().unwrap_or(0) as f64 / n_docs as f64;
+                let p_joint = df_topic.get(&feature).copied().unwrap_or(0) as f64 / n_docs as f64;
+                let p_feature = df_total.get(&feature).copied().unwrap_or(0) as f64 / n_docs as f64;
                 let mi = if p_joint > 0.0 && p_feature > 0.0 && p_topic > 0.0 {
                     p_joint * (p_joint / (p_feature * p_topic)).ln()
                 } else {
@@ -254,7 +252,9 @@ mod tests {
     fn empty_corpus_selects_nothing() {
         let sel = FeatureSelection::default().select(&[]);
         assert!(sel.is_empty());
-        assert!(sel.project(&SparseVector::from_pairs(vec![(0, 1.0)])).is_empty());
+        assert!(sel
+            .project(&SparseVector::from_pairs(vec![(0, 1.0)]))
+            .is_empty());
     }
 
     #[test]

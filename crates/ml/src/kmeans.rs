@@ -161,8 +161,7 @@ impl KMeans {
                 if m.is_empty() {
                     continue; // keep the old centroid for an empty cluster
                 }
-                centroids[c] =
-                    SparseVector::from_pairs(m.into_iter().collect()).normalized();
+                centroids[c] = SparseVector::from_pairs(m.into_iter().collect()).normalized();
             }
         }
 

@@ -155,13 +155,18 @@ mod tests {
 
     #[test]
     fn unanimous_requires_agreement() {
-        let all_yes = MetaClassifier::new(members(&[1.0, 2.0, 0.5], &[1.0; 3]), MetaPolicy::Unanimous);
+        let all_yes =
+            MetaClassifier::new(members(&[1.0, 2.0, 0.5], &[1.0; 3]), MetaPolicy::Unanimous);
         assert_eq!(all_yes.evaluate(&x()), MetaOutcome::Positive);
 
-        let split = MetaClassifier::new(members(&[1.0, 1.0, -1.0], &[1.0; 3]), MetaPolicy::Unanimous);
+        let split =
+            MetaClassifier::new(members(&[1.0, 1.0, -1.0], &[1.0; 3]), MetaPolicy::Unanimous);
         assert_eq!(split.evaluate(&x()), MetaOutcome::Abstain);
 
-        let all_no = MetaClassifier::new(members(&[-1.0, -1.0, -2.0], &[1.0; 3]), MetaPolicy::Unanimous);
+        let all_no = MetaClassifier::new(
+            members(&[-1.0, -1.0, -2.0], &[1.0; 3]),
+            MetaPolicy::Unanimous,
+        );
         assert_eq!(all_no.evaluate(&x()), MetaOutcome::Negative);
     }
 

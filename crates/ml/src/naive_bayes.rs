@@ -72,8 +72,7 @@ impl NaiveBayes {
             let p_neg = (count_neg.get(&f).copied().unwrap_or(0.0) + alpha) / (total_neg + v);
             log_odds.insert(f, (p_pos / p_neg).ln() as f32);
         }
-        let default_log_odds =
-            ((alpha / (total_pos + v)) / (alpha / (total_neg + v))).ln() as f32;
+        let default_log_odds = ((alpha / (total_pos + v)) / (alpha / (total_neg + v))).ln() as f32;
 
         Some(NaiveBayes {
             log_prior_pos: (n_pos as f32 / data.len() as f32).ln(),

@@ -1,0 +1,178 @@
+//! Structured event log keyed to the virtual clock.
+//!
+//! Events record the *rare, interesting* state transitions of a run —
+//! breaker trips, checkpoint writes, retraining rounds, phase switches —
+//! not per-document traffic (that is what histograms are for). Fields
+//! are stored as a sorted map of canonical strings, so a log serializes
+//! to byte-identical JSONL across same-seed runs.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One structured event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Virtual-clock timestamp (ms).
+    pub t_ms: u64,
+    /// Emission sequence number, unique within one log.
+    pub seq: u64,
+    /// Event kind, dot-namespaced (`crawl.breaker.open`).
+    pub kind: String,
+    /// Sorted key → canonical-string-value fields.
+    pub fields: BTreeMap<String, String>,
+}
+
+impl Event {
+    /// New event at virtual time `t_ms` (the sequence number is assigned
+    /// by the log at emission).
+    pub fn at(t_ms: u64, kind: &str) -> Self {
+        Event {
+            t_ms,
+            seq: 0,
+            kind: kind.to_string(),
+            fields: BTreeMap::new(),
+        }
+    }
+
+    /// Attach a field (any `Display` value, canonicalized to a string).
+    pub fn with(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+        self.fields.insert(key.to_string(), value.to_string());
+        self
+    }
+}
+
+struct Inner {
+    events: Vec<Event>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// A bounded in-memory event log. When the capacity is reached further
+/// events are counted as dropped rather than silently lost — the drop
+/// count is part of the telemetry.
+pub struct EventLog {
+    inner: Mutex<Inner>,
+    cap: usize,
+}
+
+/// Default capacity: plenty for the rare-transition discipline above.
+pub const DEFAULT_EVENT_CAP: usize = 65_536;
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::with_capacity(DEFAULT_EVENT_CAP)
+    }
+}
+
+impl EventLog {
+    /// New log retaining at most `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventLog {
+            inner: Mutex::new(Inner {
+                events: Vec::new(),
+                next_seq: 0,
+                dropped: 0,
+            }),
+            cap,
+        }
+    }
+
+    /// Append an event, assigning the next sequence number.
+    pub fn emit(&self, mut event: Event) {
+        let mut inner = self.inner.lock();
+        event.seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.events.len() < self.cap {
+            inner.events.push(event);
+        } else {
+            inner.dropped += 1;
+        }
+    }
+
+    /// Events recorded so far (clone; the log keeps accepting).
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.lock().events.clone()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events dropped after the capacity was reached.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Serialize to JSONL: one compact JSON object per line, in emission
+    /// order. Byte-identical across same-seed runs.
+    pub fn to_jsonl(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        for e in &inner.events {
+            out.push_str(&serde_json::to_string(e).expect("event serializes"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the JSONL rendering to a file.
+    pub fn write_jsonl<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_get_sequence_numbers_and_sorted_fields() {
+        let log = EventLog::default();
+        log.emit(
+            Event::at(10, "crawl.breaker.open")
+                .with("host", "h9")
+                .with("cycle", 2),
+        );
+        log.emit(Event::at(25, "crawl.checkpoint.write").with("docs", 100));
+        let events = log.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        let keys: Vec<&String> = events[0].fields.keys().collect();
+        assert_eq!(keys, ["cycle", "host"], "fields iterate sorted");
+    }
+
+    #[test]
+    fn jsonl_is_byte_stable() {
+        let build = || {
+            let log = EventLog::default();
+            log.emit(Event::at(5, "a").with("z", 1).with("a", "x"));
+            log.emit(Event::at(9, "b"));
+            log.to_jsonl()
+        };
+        let j = build();
+        assert_eq!(j, build());
+        assert_eq!(j.lines().count(), 2);
+        // Round-trip.
+        let first: Event = serde_json::from_str(j.lines().next().unwrap()).unwrap();
+        assert_eq!(first.t_ms, 5);
+        assert_eq!(first.fields["a"], "x");
+    }
+
+    #[test]
+    fn capacity_counts_drops() {
+        let log = EventLog::with_capacity(2);
+        for i in 0..5 {
+            log.emit(Event::at(i, "e"));
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+    }
+}

@@ -1,0 +1,233 @@
+//! Fixed log-scale histograms.
+//!
+//! Values are `u64` (virtual milliseconds, byte counts, micro-units of
+//! scaled floats). Buckets are powers of two: bucket 0 holds the value
+//! 0, bucket `i` (1 ≤ i < [`OVERFLOW_BUCKET`]) holds values in
+//! `[2^(i-1), 2^i)`, and the last bucket absorbs everything at or above
+//! `2^(OVERFLOW_BUCKET-1)`. The layout is fixed at compile time — no
+//! rebucketing, no allocation on the observe path, and identical
+//! snapshots for identical observation multisets regardless of order.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: zero bucket + 40 power-of-two buckets + overflow.
+pub const BUCKET_COUNT: usize = 42;
+/// Index of the overflow bucket (values ≥ 2^40, ≈ 35 years in ms).
+pub const OVERFLOW_BUCKET: usize = BUCKET_COUNT - 1;
+
+/// A lock-free log-scale histogram. All mutation is relaxed atomic
+/// increments; aggregation across threads is order-independent.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index of a value under the fixed log-2 layout.
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(OVERFLOW_BUCKET)
+    }
+}
+
+/// Inclusive upper bound of a bucket (`u64::MAX` for the overflow
+/// bucket) — the `le` field of snapshot entries.
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ if i >= OVERFLOW_BUCKET => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        let h = Histogram::default();
+        h.min.store(u64::MAX, Ordering::Relaxed);
+        h
+    }
+
+    /// Record one value.
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Immutable snapshot (only non-empty buckets are materialized).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push(BucketCount {
+                    le: bucket_upper_bound(i),
+                    n,
+                });
+            }
+        }
+        HistogramSnapshot {
+            count,
+            sum: self.sum(),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// One non-empty bucket of a snapshot: `n` observations ≤ `le`
+/// (and greater than the previous bucket's bound).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Inclusive upper bound of the bucket.
+    pub le: u64,
+    /// Observations that landed in the bucket.
+    pub n: u64,
+}
+
+/// Frozen histogram state, deterministic for identical observation
+/// multisets.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets in ascending `le` order.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (0 when empty).
+    /// Coarse by construction — log-scale buckets bound the answer
+    /// within a factor of two.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for b in &self.buckets {
+            seen += b.n;
+            if seen >= target.max(1) {
+                return b.le;
+            }
+        }
+        self.buckets.last().map(|b| b.le).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), OVERFLOW_BUCKET);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(11), 2047);
+        assert_eq!(bucket_upper_bound(OVERFLOW_BUCKET), u64::MAX);
+        // Every value's bucket bound is consistent: v ≤ le(bucket_of(v)).
+        for v in [0u64, 1, 2, 5, 100, 4096, 1 << 39, 1 << 45] {
+            assert!(v <= bucket_upper_bound(bucket_of(v)), "v={v}");
+        }
+    }
+
+    #[test]
+    fn observations_aggregate_order_independently() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let values = [0u64, 1, 7, 7, 900, 1024, 1 << 41];
+        for v in values {
+            a.observe(v);
+        }
+        for v in values.iter().rev() {
+            b.observe(*v);
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+        let s = a.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, values.iter().sum::<u64>());
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1 << 41);
+    }
+
+    #[test]
+    fn quantile_and_mean() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert!((s.mean() - 50.5).abs() < 1e-9);
+        // p50 of 1..=100 lands in the [32,63] bucket.
+        assert_eq!(s.quantile(0.5), 63);
+        assert_eq!(s.quantile(1.0), 127);
+        assert_eq!(HistogramSnapshot::default_empty().quantile(0.5), 0);
+    }
+
+    impl HistogramSnapshot {
+        fn default_empty() -> Self {
+            Histogram::new().snapshot()
+        }
+    }
+}

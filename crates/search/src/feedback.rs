@@ -142,9 +142,27 @@ mod tests {
         let store = DocumentStore::new();
         // Misassigned sports doc and two good recovery docs.
         let rows = vec![
-            doc_row(&mut engine, 1, Some(topic.0), 0.1, "football stadium game season ticket"),
-            doc_row(&mut engine, 2, Some(topic.0), 0.6, "aries recovery logging redo undo"),
-            doc_row(&mut engine, 3, None, -0.1, "recovery checkpoint transactions logging aries"),
+            doc_row(
+                &mut engine,
+                1,
+                Some(topic.0),
+                0.1,
+                "football stadium game season ticket",
+            ),
+            doc_row(
+                &mut engine,
+                2,
+                Some(topic.0),
+                0.6,
+                "aries recovery logging redo undo",
+            ),
+            doc_row(
+                &mut engine,
+                3,
+                None,
+                -0.1,
+                "recovery checkpoint transactions logging aries",
+            ),
         ];
         for r in rows {
             store.insert_document(r).unwrap();

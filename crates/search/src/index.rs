@@ -120,8 +120,14 @@ mod tests {
         let (store, vocab) = sample_store();
         let idx = InvertedIndex::build(&store);
         // "recovery" (3 docs) must have lower idf than "football" (1 doc).
-        let recov = vocab.lookup(&bingo_textproc::porter_stem("recovery")).unwrap().0;
-        let foot = vocab.lookup(&bingo_textproc::porter_stem("football")).unwrap().0;
+        let recov = vocab
+            .lookup(&bingo_textproc::porter_stem("recovery"))
+            .unwrap()
+            .0;
+        let foot = vocab
+            .lookup(&bingo_textproc::porter_stem("football"))
+            .unwrap()
+            .0;
         assert!(idx.idf(foot) > idx.idf(recov));
         assert_eq!(idx.idf(9_999_999), 0.0);
     }

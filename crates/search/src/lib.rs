@@ -17,13 +17,16 @@
 pub mod cluster;
 pub mod feedback;
 pub mod index;
+pub mod metrics;
 pub mod rank;
 
 pub use cluster::{suggest_subclasses, SubclassSuggestion};
 pub use feedback::apply_feedback;
 pub use index::InvertedIndex;
+pub use metrics::SearchMetrics;
 pub use rank::{RankingScheme, SearchHit, TopicFilter};
 
+use bingo_obs::WallTimer;
 use bingo_store::DocumentStore;
 use bingo_textproc::Vocabulary;
 
@@ -31,6 +34,7 @@ use bingo_textproc::Vocabulary;
 pub struct SearchEngine {
     store: DocumentStore,
     index: InvertedIndex,
+    metrics: Option<SearchMetrics>,
 }
 
 /// Query options.
@@ -67,9 +71,23 @@ impl Default for QueryOptions {
 impl SearchEngine {
     /// Build the index over a crawl database.
     pub fn build(store: &DocumentStore) -> Self {
+        SearchEngine::build_instrumented(store, None)
+    }
+
+    /// Build the index, optionally recording index size and build cost
+    /// (and, later, query volume/latency) into `metrics`.
+    pub fn build_instrumented(store: &DocumentStore, metrics: Option<SearchMetrics>) -> Self {
+        let timer = WallTimer::start();
+        let index = InvertedIndex::build(store);
+        if let Some(m) = &metrics {
+            timer.observe_ms(&m.index_build_wall_ms);
+            m.index_docs.set(index.doc_count() as i64);
+            m.index_terms.set(index.term_count() as i64);
+        }
         SearchEngine {
             store: store.clone(),
-            index: InvertedIndex::build(store),
+            index,
+            metrics,
         }
     }
 
@@ -87,15 +105,22 @@ impl SearchEngine {
     /// stemmed with the crawl's shared vocabulary; unknown terms are
     /// ignored.
     pub fn query(&self, vocab: &Vocabulary, text: &str, opts: &QueryOptions) -> Vec<SearchHit> {
+        let timer = WallTimer::start();
         let query_terms = index::analyze_query(vocab, text);
-        rank::rank(
+        let hits = rank::rank(
             &self.store,
             &self.index,
             &query_terms,
             &opts.filter,
             opts.ranking,
             opts.top_k,
-        )
+        );
+        if let Some(m) = &self.metrics {
+            m.queries.inc();
+            m.hits_per_query.observe(hits.len() as u64);
+            timer.observe_us(&m.query_wall_us);
+        }
+        hits
     }
 }
 
@@ -111,10 +136,34 @@ mod tests {
         let mut vocab = Vocabulary::new();
         let store = DocumentStore::new();
         let texts: [(u64, u32, Option<u32>, f32, &str); 5] = [
-            (1, 1, Some(1), 0.9, "aries recovery algorithm source code release logging"),
-            (2, 2, Some(1), 0.7, "aries logging recovery checkpoint undo redo"),
-            (3, 3, Some(1), 0.2, "recovery manager buffer transactions release"),
-            (4, 4, Some(2), 0.8, "football season championship team players"),
+            (
+                1,
+                1,
+                Some(1),
+                0.9,
+                "aries recovery algorithm source code release logging",
+            ),
+            (
+                2,
+                2,
+                Some(1),
+                0.7,
+                "aries logging recovery checkpoint undo redo",
+            ),
+            (
+                3,
+                3,
+                Some(1),
+                0.2,
+                "recovery manager buffer transactions release",
+            ),
+            (
+                4,
+                4,
+                Some(2),
+                0.8,
+                "football season championship team players",
+            ),
             (5, 5, Some(2), 0.5, "basketball game score stadium release"),
         ];
         for (id, host, topic, conf, text) in texts {

@@ -215,7 +215,14 @@ mod tests {
         let (store, vocab) = sample_store();
         let index = InvertedIndex::build(&store);
         let q = analyze_query(&vocab, "aries");
-        let hits = rank(&store, &index, &q, &TopicFilter::Any, RankingScheme::Cosine, 10);
+        let hits = rank(
+            &store,
+            &index,
+            &q,
+            &TopicFilter::Any,
+            RankingScheme::Cosine,
+            10,
+        );
         assert_eq!(hits.len(), 2);
         assert!(hits[0].cosine >= hits[1].cosine);
     }
@@ -224,7 +231,15 @@ mod tests {
     fn empty_query_empty_result() {
         let (store, _vocab) = sample_store();
         let index = InvertedIndex::build(&store);
-        assert!(rank(&store, &index, &[], &TopicFilter::Any, RankingScheme::Cosine, 10).is_empty());
+        assert!(rank(
+            &store,
+            &index,
+            &[],
+            &TopicFilter::Any,
+            RankingScheme::Cosine,
+            10
+        )
+        .is_empty());
     }
 
     #[test]
@@ -244,7 +259,14 @@ mod tests {
             },
             10,
         );
-        let plain = rank(&store, &index, &q, &TopicFilter::Exact(1), RankingScheme::Cosine, 10);
+        let plain = rank(
+            &store,
+            &index,
+            &q,
+            &TopicFilter::Exact(1),
+            RankingScheme::Cosine,
+            10,
+        );
         let a: Vec<u64> = cosine_only.iter().map(|h| h.doc_id).collect();
         let b: Vec<u64> = plain.iter().map(|h| h.doc_id).collect();
         assert_eq!(a, b);
@@ -264,7 +286,14 @@ mod tests {
         let ids: std::collections::HashSet<u64> = hits.iter().map(|h| h.doc_id).collect();
         assert!(ids.contains(&1) && ids.contains(&5));
         // Exact on topic 2 excludes topic-1 docs.
-        let exact = rank(&store, &index, &q, &TopicFilter::Exact(2), RankingScheme::Cosine, 10);
+        let exact = rank(
+            &store,
+            &index,
+            &q,
+            &TopicFilter::Exact(2),
+            RankingScheme::Cosine,
+            10,
+        );
         assert!(exact.iter().all(|h| h.doc_id == 5));
     }
 
@@ -291,7 +320,10 @@ mod tests {
         assert!(TopicFilter::Exact(3).accepts(Some(3), 0.0));
         assert!(!TopicFilter::Exact(3).accepts(Some(4), 9.0));
         assert!(!TopicFilter::Exact(3).accepts(None, 9.0));
-        let v = TopicFilter::Vague { topics: vec![1, 2], min_confidence: 0.2 };
+        let v = TopicFilter::Vague {
+            topics: vec![1, 2],
+            min_confidence: 0.2,
+        };
         assert!(v.accepts(Some(1), -5.0));
         assert!(!v.accepts(Some(3), 5.0));
         assert!(v.accepts(None, 0.3), "confident unassigned doc passes");

@@ -91,7 +91,12 @@ impl Inner {
         self.links.push(link);
     }
 
-    fn set_topic(&mut self, id: PageId, topic: Option<u32>, confidence: f32) -> Result<(), StoreError> {
+    fn set_topic(
+        &mut self,
+        id: PageId,
+        topic: Option<u32>,
+        confidence: f32,
+    ) -> Result<(), StoreError> {
         let row = self
             .documents
             .get_mut(&id)
@@ -174,7 +179,12 @@ impl DocumentStore {
 
     /// Update the topic assignment and classification confidence of a
     /// stored document (re-classification during retraining).
-    pub fn set_topic(&self, id: PageId, topic: Option<u32>, confidence: f32) -> Result<(), StoreError> {
+    pub fn set_topic(
+        &self,
+        id: PageId,
+        topic: Option<u32>,
+        confidence: f32,
+    ) -> Result<(), StoreError> {
         self.inner.write().set_topic(id, topic, confidence)
     }
 

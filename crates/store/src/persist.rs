@@ -87,8 +87,7 @@ pub fn read_snapshot<R: Read>(r: R) -> Result<DocumentStore, StoreError> {
             .map_err(|e| perr(e.to_string()))
     };
     for _ in 0..header.documents {
-        let row: DocumentRow =
-            serde_json::from_str(&next()?).map_err(|e| perr(e.to_string()))?;
+        let row: DocumentRow = serde_json::from_str(&next()?).map_err(|e| perr(e.to_string()))?;
         store
             .insert_document(row)
             .map_err(|e| perr(e.to_string()))?;

@@ -16,19 +16,21 @@ fn row_strategy() -> impl Strategy<Value = DocumentRow> {
         proptest::collection::vec((0u32..100, 1u32..9), 0..12),
         0usize..5000,
     )
-        .prop_map(|(id, host, topic, confidence, term_freqs, size)| DocumentRow {
-            id,
-            url: format!("http://h{host}.example/p{id}"),
-            host,
-            mime: MimeType::Html,
-            depth: (id % 7) as u32,
-            title: format!("t{id}"),
-            topic,
-            confidence,
-            term_freqs,
-            size,
-            fetched_at: id * 3,
-        })
+        .prop_map(
+            |(id, host, topic, confidence, term_freqs, size)| DocumentRow {
+                id,
+                url: format!("http://h{host}.example/p{id}"),
+                host,
+                mime: MimeType::Html,
+                depth: (id % 7) as u32,
+                title: format!("t{id}"),
+                topic,
+                confidence,
+                term_freqs,
+                size,
+                fetched_at: id * 3,
+            },
+        )
 }
 
 /// An operation against the store.

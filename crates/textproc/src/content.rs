@@ -110,9 +110,18 @@ impl Default for ContentRegistry {
             handlers: vec![
                 Box::new(HtmlHandler),
                 Box::new(PlainTextHandler),
-                Box::new(EnvelopeHandler { mime: MimeType::Pdf, magic: "%SIMPDF\n" }),
-                Box::new(EnvelopeHandler { mime: MimeType::Word, magic: "%SIMDOC\n" }),
-                Box::new(EnvelopeHandler { mime: MimeType::PowerPoint, magic: "%SIMPPT\n" }),
+                Box::new(EnvelopeHandler {
+                    mime: MimeType::Pdf,
+                    magic: "%SIMPDF\n",
+                }),
+                Box::new(EnvelopeHandler {
+                    mime: MimeType::Word,
+                    magic: "%SIMDOC\n",
+                }),
+                Box::new(EnvelopeHandler {
+                    mime: MimeType::PowerPoint,
+                    magic: "%SIMPPT\n",
+                }),
                 Box::new(ZipHandler),
             ],
         }

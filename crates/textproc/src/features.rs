@@ -102,15 +102,24 @@ impl FeatureSpaceKind {
     ];
 
     fn uses_pairs(self) -> bool {
-        matches!(self, FeatureSpaceKind::TermPairs | FeatureSpaceKind::Combined)
+        matches!(
+            self,
+            FeatureSpaceKind::TermPairs | FeatureSpaceKind::Combined
+        )
     }
 
     fn uses_anchors(self) -> bool {
-        matches!(self, FeatureSpaceKind::AnchorTexts | FeatureSpaceKind::Combined)
+        matches!(
+            self,
+            FeatureSpaceKind::AnchorTexts | FeatureSpaceKind::Combined
+        )
     }
 
     fn uses_neighbors(self) -> bool {
-        matches!(self, FeatureSpaceKind::NeighborTerms | FeatureSpaceKind::Combined)
+        matches!(
+            self,
+            FeatureSpaceKind::NeighborTerms | FeatureSpaceKind::Combined
+        )
     }
 }
 
@@ -245,7 +254,10 @@ mod tests {
             pair_feature(TermId(3), TermId(9)),
             pair_feature(TermId(9), TermId(3))
         );
-        assert_eq!(namespace_of(pair_feature(TermId(1), TermId(2))), Namespace::Pair);
+        assert_eq!(
+            namespace_of(pair_feature(TermId(1), TermId(2))),
+            Namespace::Pair
+        );
     }
 
     #[test]
@@ -287,7 +299,11 @@ mod tests {
         let d = doc("<p>mining data mining patterns</p>", &mut vocab);
         let f = DocumentFeatures::from_document(&d);
         let mut stats = CorpusStats::new();
-        stats.add_document(f.occurrences(FeatureSpaceKind::Combined).iter().map(|&(i, _)| TermId(i)));
+        stats.add_document(
+            f.occurrences(FeatureSpaceKind::Combined)
+                .iter()
+                .map(|&(i, _)| TermId(i)),
+        );
         let space = FeatureSpace {
             kind: FeatureSpaceKind::Combined,
             weighter: stats.weighter(),

@@ -21,6 +21,7 @@ pub mod content;
 pub mod features;
 pub mod fxhash;
 pub mod html;
+pub mod metrics;
 pub mod stem;
 pub mod stopwords;
 pub mod tfidf;
@@ -31,6 +32,7 @@ pub mod vocab;
 pub use content::{ContentHandler, ContentRegistry, MimeType};
 pub use features::{DocumentFeatures, FeatureSpace, FeatureSpaceKind};
 pub use html::{HtmlDocument, Hyperlink};
+pub use metrics::{analyze_html_metered, TextprocMetrics};
 pub use stem::porter_stem;
 pub use tfidf::{CorpusStats, TfIdfWeighter};
 pub use tokenize::Tokenizer;

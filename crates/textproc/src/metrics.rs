@@ -1,0 +1,96 @@
+//! Text-processing metrics: document analysis volume and cost.
+//!
+//! Term, token and link counts derive from document contents and are
+//! deterministic; the per-document analysis cost is wall time and lands
+//! in a volatile histogram.
+
+use crate::{analyze_html, AnalyzedDocument, Vocabulary};
+use bingo_obs::{Counter, Gauge, Histogram, Registry, WallTimer};
+use std::sync::Arc;
+
+/// Metric handles for HTML analysis. Cloning shares the underlying
+/// registry and atomics.
+#[derive(Clone)]
+pub struct TextprocMetrics {
+    /// The registry the handles live in.
+    pub registry: Arc<Registry>,
+    /// Documents analyzed.
+    pub docs: Counter,
+    /// Stemmed, stopword-free terms produced.
+    pub terms: Counter,
+    /// Hyperlinks extracted.
+    pub links: Counter,
+    /// Terms per document.
+    pub terms_per_doc: Arc<Histogram>,
+    /// Current vocabulary size.
+    pub vocab_size: Gauge,
+    /// Wall-clock cost per analyzed document, microseconds (volatile).
+    pub analyze_wall_us: Arc<Histogram>,
+}
+
+impl TextprocMetrics {
+    /// Register all text-processing metrics in `registry`.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        TextprocMetrics {
+            docs: registry.counter("textproc.docs"),
+            terms: registry.counter("textproc.terms"),
+            links: registry.counter("textproc.links"),
+            terms_per_doc: registry.histogram("textproc.terms_per_doc"),
+            vocab_size: registry.gauge("textproc.vocab_size"),
+            analyze_wall_us: registry.wall_histogram("textproc.analyze.wall_us"),
+            registry,
+        }
+    }
+
+    /// Roll one analyzed document into the counters.
+    pub fn record(&self, doc: &AnalyzedDocument, vocab: &Vocabulary) {
+        self.docs.inc();
+        self.terms.add(doc.terms.len() as u64);
+        self.links.add(doc.links.len() as u64);
+        self.terms_per_doc.observe(doc.terms.len() as u64);
+        self.vocab_size.set(vocab.len() as i64);
+    }
+}
+
+/// [`analyze_html`] plus metrics: volume counters and the wall-clock
+/// analysis cost.
+pub fn analyze_html_metered(
+    html_text: &str,
+    vocab: &mut Vocabulary,
+    metrics: &TextprocMetrics,
+) -> AnalyzedDocument {
+    let timer = WallTimer::start();
+    let doc = analyze_html(html_text, vocab);
+    timer.observe_us(&metrics.analyze_wall_us);
+    metrics.record(&doc, vocab);
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metered_analysis_counts_volume() {
+        let reg = Arc::new(Registry::new());
+        let m = TextprocMetrics::new(reg.clone());
+        let mut vocab = Vocabulary::new();
+        let doc = analyze_html_metered(
+            "<html><title>t</title><body>crawling spiders crawling \
+             <a href=\"http://h/x\">focused crawling</a></body></html>",
+            &mut vocab,
+            &m,
+        );
+        assert!(!doc.terms.is_empty());
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["textproc.docs"], 1);
+        assert_eq!(snap.counters["textproc.terms"], doc.terms.len() as u64);
+        assert_eq!(snap.counters["textproc.links"], 1);
+        assert!(snap.gauges["textproc.vocab_size"] > 0);
+        assert!(snap.volatile.contains("textproc.analyze.wall_us"));
+        // Deterministic view drops only the wall metric.
+        let det = snap.deterministic();
+        assert!(det.counters.contains_key("textproc.docs"));
+        assert!(!det.histograms.contains_key("textproc.analyze.wall_us"));
+    }
+}

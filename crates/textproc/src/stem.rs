@@ -406,8 +406,16 @@ mod tests {
     #[test]
     fn idempotent_on_common_vocabulary() {
         for w in [
-            "information", "retrieval", "classification", "authorities", "hyperlinks",
-            "crawling", "recovery", "transactions", "logging", "archetypes",
+            "information",
+            "retrieval",
+            "classification",
+            "authorities",
+            "hyperlinks",
+            "crawling",
+            "recovery",
+            "transactions",
+            "logging",
+            "archetypes",
         ] {
             let once = stem(w);
             let twice = stem(&once);

@@ -8,26 +8,170 @@ use std::sync::OnceLock;
 
 /// Standard English stopword list used by the document analyzer.
 pub const BASIC_STOPWORDS: &[&str] = &[
-    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
-    "as", "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",
-    "by", "can", "cannot", "could", "did", "do", "does", "doing", "down", "during", "each",
-    "few", "for", "from", "further", "had", "has", "have", "having", "he", "her", "here",
-    "hers", "herself", "him", "himself", "his", "how", "i", "if", "in", "into", "is", "it",
-    "its", "itself", "just", "me", "more", "most", "my", "myself", "no", "nor", "not", "now",
-    "of", "off", "on", "once", "only", "or", "other", "our", "ours", "ourselves", "out",
-    "over", "own", "same", "she", "should", "so", "some", "such", "than", "that", "the",
-    "their", "theirs", "them", "themselves", "then", "there", "these", "they", "this",
-    "those", "through", "to", "too", "under", "until", "up", "very", "was", "we", "were",
-    "what", "when", "where", "which", "while", "who", "whom", "why", "will", "with", "would",
-    "you", "your", "yours", "yourself", "yourselves",
+    "a",
+    "about",
+    "above",
+    "after",
+    "again",
+    "against",
+    "all",
+    "am",
+    "an",
+    "and",
+    "any",
+    "are",
+    "as",
+    "at",
+    "be",
+    "because",
+    "been",
+    "before",
+    "being",
+    "below",
+    "between",
+    "both",
+    "but",
+    "by",
+    "can",
+    "cannot",
+    "could",
+    "did",
+    "do",
+    "does",
+    "doing",
+    "down",
+    "during",
+    "each",
+    "few",
+    "for",
+    "from",
+    "further",
+    "had",
+    "has",
+    "have",
+    "having",
+    "he",
+    "her",
+    "here",
+    "hers",
+    "herself",
+    "him",
+    "himself",
+    "his",
+    "how",
+    "i",
+    "if",
+    "in",
+    "into",
+    "is",
+    "it",
+    "its",
+    "itself",
+    "just",
+    "me",
+    "more",
+    "most",
+    "my",
+    "myself",
+    "no",
+    "nor",
+    "not",
+    "now",
+    "of",
+    "off",
+    "on",
+    "once",
+    "only",
+    "or",
+    "other",
+    "our",
+    "ours",
+    "ourselves",
+    "out",
+    "over",
+    "own",
+    "same",
+    "she",
+    "should",
+    "so",
+    "some",
+    "such",
+    "than",
+    "that",
+    "the",
+    "their",
+    "theirs",
+    "them",
+    "themselves",
+    "then",
+    "there",
+    "these",
+    "they",
+    "this",
+    "those",
+    "through",
+    "to",
+    "too",
+    "under",
+    "until",
+    "up",
+    "very",
+    "was",
+    "we",
+    "were",
+    "what",
+    "when",
+    "where",
+    "which",
+    "while",
+    "who",
+    "whom",
+    "why",
+    "will",
+    "with",
+    "would",
+    "you",
+    "your",
+    "yours",
+    "yourself",
+    "yourselves",
 ];
 
 /// Additional web-navigation stopwords applied to anchor texts only.
 pub const ANCHOR_STOPWORDS: &[&str] = &[
-    "click", "here", "link", "page", "home", "next", "previous", "prev", "back", "top",
-    "bottom", "more", "read", "readme", "goto", "go", "site", "website", "webpage", "index",
-    "main", "menu", "contents", "table", "welcome", "download", "email", "mail", "contact",
-    "last", "updated", "copyright", "disclaimer",
+    "click",
+    "here",
+    "link",
+    "page",
+    "home",
+    "next",
+    "previous",
+    "prev",
+    "back",
+    "top",
+    "bottom",
+    "more",
+    "read",
+    "readme",
+    "goto",
+    "go",
+    "site",
+    "website",
+    "webpage",
+    "index",
+    "main",
+    "menu",
+    "contents",
+    "table",
+    "welcome",
+    "download",
+    "email",
+    "mail",
+    "contact",
+    "last",
+    "updated",
+    "copyright",
+    "disclaimer",
 ];
 
 fn basic_set() -> &'static FxHashSet<&'static str> {

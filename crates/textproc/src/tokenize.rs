@@ -11,12 +11,10 @@ const MAX_TOKEN_LEN: usize = 32;
 /// A configurable tokenizer. The default configuration matches the paper's
 /// analyzer (basic stopwords); [`Tokenizer::for_anchor_text`] applies the
 /// extended anchor stopword list of Section 3.4.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Tokenizer {
     anchor_mode: bool,
 }
-
 
 impl Tokenizer {
     /// Tokenizer with the extended stopword list for anchor texts.

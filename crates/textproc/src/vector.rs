@@ -84,11 +84,7 @@ impl SparseVector {
 
     /// Euclidean (L2) norm.
     pub fn norm(&self) -> f32 {
-        self.entries
-            .iter()
-            .map(|&(_, w)| w * w)
-            .sum::<f32>()
-            .sqrt()
+        self.entries.iter().map(|&(_, w)| w * w).sum::<f32>().sqrt()
     }
 
     /// L1 norm.

@@ -115,7 +115,12 @@ fn content_text(world: &World, id: PageId, rng: &mut SmallRng) -> (String, Strin
         if i > 0 {
             body.push(' ');
         }
-        body.push_str(&sample_word_blended(world, meta.topic, meta.secondary_topic, rng));
+        body.push_str(&sample_word_blended(
+            world,
+            meta.topic,
+            meta.secondary_topic,
+            rng,
+        ));
     }
     (title, body)
 }
@@ -197,9 +202,8 @@ fn render_links(world: &World, id: PageId, rng: &mut SmallRng) -> String {
 
 fn anchor_text(world: &World, target: PageId, rng: &mut SmallRng) -> String {
     if rng.gen_bool(0.15) {
-        return ["click here", "more", "link", "home page", "next page"]
-            [rng.gen_range(0..5)]
-        .to_string();
+        return ["click here", "more", "link", "home page", "next page"][rng.gen_range(0..5)]
+            .to_string();
     }
     let meta = world.page(target);
     match meta.kind {
@@ -207,10 +211,7 @@ fn anchor_text(world: &World, target: PageId, rng: &mut SmallRng) -> String {
             let a = &world.authors()[meta.author.unwrap() as usize];
             a.name.clone()
         }
-        PageKind::AuthorPub => format!(
-            "{} paper",
-            sample_word(world, meta.topic, rng)
-        ),
+        PageKind::AuthorPub => format!("{} paper", sample_word(world, meta.topic, rng)),
         PageKind::Welcome => world.host(meta.host).name.clone(),
         _ => format!(
             "{} {}",
@@ -238,9 +239,7 @@ mod tests {
         let world = WorldConfig::small_test(4).build();
         // Find a database-research content page and check lexicon presence.
         let id = (0..world.page_count() as u64)
-            .find(|&id| {
-                world.page(id).topic == Some(0) && world.page(id).kind == PageKind::Content
-            })
+            .find(|&id| world.page(id).topic == Some(0) && world.page(id).kind == PageKind::Content)
             .unwrap();
         let p = payload(&world, id);
         let hits = lexicon::DATABASE_RESEARCH
@@ -262,8 +261,7 @@ mod tests {
     #[test]
     fn zip_pages_are_archives_with_entries() {
         let world = WorldConfig::small_test(4).build();
-        let id = (0..world.page_count() as u64)
-            .find(|&id| world.page(id).mime == MimeType::Zip);
+        let id = (0..world.page_count() as u64).find(|&id| world.page(id).mime == MimeType::Zip);
         // Zip pages are rare (3%); tolerate absence in a tiny world by
         // scanning a second seed.
         let (world, id) = match id {

@@ -182,10 +182,7 @@ impl FaultPlan {
 
     /// The fault active on `host` at `now_ms`, if any.
     pub fn active(&self, host: HostId, now_ms: u64) -> Option<&FaultWindow> {
-        self.windows
-            .get(&host)?
-            .iter()
-            .find(|w| w.contains(now_ms))
+        self.windows.get(&host)?.iter().find(|w| w.contains(now_ms))
     }
 
     /// The full script of a host (empty for healthy hosts).

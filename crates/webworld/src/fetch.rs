@@ -234,10 +234,7 @@ impl World {
             }
             Some(FaultKind::RedirectLoop) => {
                 return FetchOutcome::Redirect {
-                    location: format!(
-                        "http://{}/{}1/{}",
-                        host.name, LOOP_PREFIX, meta.path
-                    ),
+                    location: format!("http://{}/{}1/{}", host.name, LOOP_PREFIX, meta.path),
                     latency_ms: host.base_latency_ms as u64,
                 }
             }

@@ -377,7 +377,11 @@ impl Generator {
             } else if is_pdf {
                 (PageKind::Content, MimeType::Pdf, format!("papers/p{k}.pdf"))
             } else if is_zip {
-                (PageKind::Content, MimeType::Zip, format!("proceedings/v{k}.zip"))
+                (
+                    PageKind::Content,
+                    MimeType::Zip,
+                    format!("proceedings/v{k}.zip"),
+                )
             } else {
                 (PageKind::Content, MimeType::Html, format!("p{k}.html"))
             };
@@ -571,22 +575,20 @@ impl Generator {
                 PageKind::Content => {
                     // Navigation: own welcome + one sibling.
                     out.push(self.host_welcome[meta.host as usize]);
-                    if let Some(&sib) = self.host_pages[meta.host as usize]
-                        .get(self.rng.gen_range(0..self.host_pages[meta.host as usize].len()))
-                    {
+                    if let Some(&sib) = self.host_pages[meta.host as usize].get(
+                        self.rng
+                            .gen_range(0..self.host_pages[meta.host as usize].len()),
+                    ) {
                         if sib != id {
                             out.push(sib);
                         }
                     }
                     // Cross links with topical locality.
-                    let n = 1 + self
-                        .rng
-                        .gen_range(0..(self.cfg.avg_out_links * 2).max(2));
+                    let n = 1 + self.rng.gen_range(0..(self.cfg.avg_out_links * 2).max(2));
                     for _ in 0..n {
-                        let target = if let (Some(topic), true) = (
-                            meta.topic,
-                            self.rng.gen_bool(self.cfg.p_intra_topic),
-                        ) {
+                        let target = if let (Some(topic), true) =
+                            (meta.topic, self.rng.gen_bool(self.cfg.p_intra_topic))
+                        {
                             self.sample_from_table(&tables[topic as usize])
                         } else {
                             Some(self.rng.gen_range(0..all_pages))
@@ -757,7 +759,10 @@ impl Generator {
         let mut url_index: FxHashMap<String, PageId> = FxHashMap::default();
         for id in 0..n {
             let meta = &self.pages[id as usize];
-            let url = format!("http://{}/{}", self.hosts[meta.host as usize].name, meta.path);
+            let url = format!(
+                "http://{}/{}",
+                self.hosts[meta.host as usize].name, meta.path
+            );
             url_index.insert(url, id);
         }
         for (&id, alias) in &aliases {

@@ -132,7 +132,11 @@ pub(crate) fn apply(g: &mut Generator, spec: &ScenarioSpec) {
 
 fn page_url(g: &Generator, id: PageId) -> String {
     let meta = &g.pages_ref()[id as usize];
-    format!("http://{}/{}", g.hosts_ref()[meta.host as usize].name, meta.path)
+    format!(
+        "http://{}/{}",
+        g.hosts_ref()[meta.host as usize].name,
+        meta.path
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -186,35 +190,56 @@ pub fn aries_scenario() -> ScenarioSpec {
         pages: vec![
             // --- Figure 4: the seven training seeds -------------------
             page(
-                "seed:bell-labs-slides", "bell-labs.example", "db-book/slides/aries.pdf",
-                MimeType::Pdf, "ARIES Recovery Slides",
-                aries_pdf_body, &[("mohan-page", "ARIES impact page")],
+                "seed:bell-labs-slides",
+                "bell-labs.example",
+                "db-book/slides/aries.pdf",
+                MimeType::Pdf,
+                "ARIES Recovery Slides",
+                aries_pdf_body,
+                &[("mohan-page", "ARIES impact page")],
                 Some((1, 6)),
             ),
             page(
-                "seed:cmu-lecture", "cs-cmu.example", "class/15721/recovery-with-aries.pdf",
-                MimeType::Pdf, "Lecture: Recovery with ARIES",
-                aries_pdf_body, &[("mohan-page", "C. Mohan ARIES page")],
+                "seed:cmu-lecture",
+                "cs-cmu.example",
+                "class/15721/recovery-with-aries.pdf",
+                MimeType::Pdf,
+                "Lecture: Recovery with ARIES",
+                aries_pdf_body,
+                &[("mohan-page", "C. Mohan ARIES page")],
                 Some((1, 5)),
             ),
             page(
-                "seed:harvard-reading", "icg-harvard.example", "cs265/readings/mohan-1992.pdf",
-                MimeType::Pdf, "ARIES: A Transaction Recovery Method",
-                aries_pdf_body, &[("seed:brandeis-abstract", "abstract")],
+                "seed:harvard-reading",
+                "icg-harvard.example",
+                "cs265/readings/mohan-1992.pdf",
+                MimeType::Pdf,
+                "ARIES: A Transaction Recovery Method",
+                aries_pdf_body,
+                &[("seed:brandeis-abstract", "abstract")],
                 Some((1, 4)),
             ),
             page(
-                "seed:brandeis-abstract", "cs-brandeis.example", "~liuba/abstracts/mohan.html",
-                MimeType::Html, "Abstract: ARIES recovery method",
+                "seed:brandeis-abstract",
+                "cs-brandeis.example",
+                "~liuba/abstracts/mohan.html",
+                MimeType::Html,
+                "Abstract: ARIES recovery method",
                 "Abstract of the ARIES transaction recovery paper: write ahead logging, \
                  repeating history during redo, compensation log records, fine granularity \
                  locking and partial rollbacks using save points.",
-                &[("mohan-page", "author page"), ("seed:greenlaw-abstract", "related abstract")],
+                &[
+                    ("mohan-page", "author page"),
+                    ("seed:greenlaw-abstract", "related abstract"),
+                ],
                 Some((1, 4)),
             ),
             page(
-                "mohan-page", "almaden.example", "u/mohan/aries_impact.html",
-                MimeType::Html, "The Impact of ARIES",
+                "mohan-page",
+                "almaden.example",
+                "u/mohan/aries_impact.html",
+                MimeType::Html,
+                "The Impact of ARIES",
                 "This page collects the impact of the ARIES family of recovery and \
                  locking algorithms: papers, systems, products and teaching material. \
                  ARIES is implemented in several database systems and prototypes; follow \
@@ -234,8 +259,11 @@ pub fn aries_scenario() -> ScenarioSpec {
                 Some((1, 8)),
             ),
             page(
-                "seed:stanford-seminar", "db-stanford.example", "dbseminar/archive/mohan-1203.html",
-                MimeType::Html, "DB Seminar: ARIES recovery",
+                "seed:stanford-seminar",
+                "db-stanford.example",
+                "dbseminar/archive/mohan-1203.html",
+                MimeType::Html,
+                "DB Seminar: ARIES recovery",
                 "Database seminar talk announcement on the ARIES recovery algorithm: \
                  logging, restart recovery, media recovery, repeating history, undo and \
                  redo passes, checkpointing in commercial systems.",
@@ -243,15 +271,22 @@ pub fn aries_scenario() -> ScenarioSpec {
                 Some((1, 4)),
             ),
             page(
-                "seed:vldb-paper", "vldb.example", "conf/1989/p337.pdf",
-                MimeType::Pdf, "VLDB 1989: Recovery and Locking",
-                aries_pdf_body, &[("mohan-page", "author")],
+                "seed:vldb-paper",
+                "vldb.example",
+                "conf/1989/p337.pdf",
+                MimeType::Pdf,
+                "VLDB 1989: Recovery and Locking",
+                aries_pdf_body,
+                &[("mohan-page", "author")],
                 Some((0, 4)),
             ),
             // --- Related abstract (appears in Figure 5 mid-ranks) -----
             page(
-                "seed:greenlaw-abstract", "cs-brandeis.example", "~liuba/abstracts/greenlaw.html",
-                MimeType::Html, "Abstract: recovery performance",
+                "seed:greenlaw-abstract",
+                "cs-brandeis.example",
+                "~liuba/abstracts/greenlaw.html",
+                MimeType::Html,
+                "Abstract: recovery performance",
                 "Abstract on recovery performance and logging overhead in transaction \
                  systems; discusses a prototype release and source availability.",
                 &[],
@@ -259,8 +294,11 @@ pub fn aries_scenario() -> ScenarioSpec {
             ),
             // --- The needles: Shore ----------------------------------
             page(
-                "shore-home", "cs-wisc.example", "shore/index.html",
-                MimeType::Html, "The Shore Storage Manager",
+                "shore-home",
+                "cs-wisc.example",
+                "shore/index.html",
+                MimeType::Html,
+                "The Shore Storage Manager",
                 "Shore is a storage manager prototype providing transactions, \
                  B-tree indexes, logging and ARIES style recovery. The complete \
                  source code is available; see the overview documentation for the \
@@ -274,8 +312,11 @@ pub fn aries_scenario() -> ScenarioSpec {
                 Some((2, 6)),
             ),
             page(
-                "shore-node5", "cs-wisc.example", "shore/doc/overview/node5.html",
-                MimeType::Html, "Shore Overview: Recovery",
+                "shore-node5",
+                "cs-wisc.example",
+                "shore/doc/overview/node5.html",
+                MimeType::Html,
+                "Shore Overview: Recovery",
                 "The Shore storage manager implements the ARIES recovery algorithm \
                  including media recovery, write ahead logging, and checkpointing. \
                  The full source code release is in the public domain and available \
@@ -284,16 +325,22 @@ pub fn aries_scenario() -> ScenarioSpec {
                 None,
             ),
             page(
-                "shore-footnode", "cs-wisc.example", "shore/doc/overview/footnode.html",
-                MimeType::Html, "Shore Overview: Footnotes",
+                "shore-footnode",
+                "cs-wisc.example",
+                "shore/doc/overview/footnode.html",
+                MimeType::Html,
+                "Shore Overview: Footnotes",
                 "Footnotes to the Shore overview: the source code release, logging \
                  subsystem details, recovery and storage volumes.",
                 &[("shore-home", "Shore home")],
                 None,
             ),
             page(
-                "exodus-home", "cs-wisc.example", "exodus/index.html",
-                MimeType::Html, "The Exodus Storage Manager",
+                "exodus-home",
+                "cs-wisc.example",
+                "exodus/index.html",
+                MimeType::Html,
+                "The Exodus Storage Manager",
                 "Exodus is an extensible storage manager with transactions and \
                  recovery; the open source code release is distributed in the \
                  public domain. The source code release builds on unix systems.",
@@ -302,8 +349,11 @@ pub fn aries_scenario() -> ScenarioSpec {
             ),
             // --- The needles: MiniBase --------------------------------
             page(
-                "minibase-home", "cs-wisc.example", "coral/minibase/index.html",
-                MimeType::Html, "MiniBase: an educational DBMS",
+                "minibase-home",
+                "cs-wisc.example",
+                "coral/minibase/index.html",
+                MimeType::Html,
+                "MiniBase: an educational DBMS",
                 "MiniBase is an educational database management system with a buffer \
                  manager, heap files, B-tree indexes and a log manager implementing \
                  ARIES media recovery. Source code release available for courses.",
@@ -311,18 +361,26 @@ pub fn aries_scenario() -> ScenarioSpec {
                 Some((2, 5)),
             ),
             page(
-                "minibase-logmgr", "cs-wisc.example", "coral/minibase/logmgr/report/node22.html",
-                MimeType::Html, "MiniBase Log Manager: Recovery",
+                "minibase-logmgr",
+                "cs-wisc.example",
+                "coral/minibase/logmgr/report/node22.html",
+                MimeType::Html,
+                "MiniBase Log Manager: Recovery",
                 "The MiniBase log manager report: the ARIES media recovery algorithm, \
                  write ahead logging, and the public source code release of the log \
                  manager and recovery modules.",
-                &[("minibase-home", "MiniBase home"), ("minibase-mirror", "mirror site")],
+                &[
+                    ("minibase-home", "MiniBase home"),
+                    ("minibase-mirror", "mirror site"),
+                ],
                 None,
             ),
             page(
-                "minibase-mirror", "ceid-upatras.example",
+                "minibase-mirror",
+                "ceid-upatras.example",
                 "courses/minibase/minibase-1.0/documentation/html/logmgr/report/node22.html",
-                MimeType::Html, "MiniBase Log Manager: Recovery (mirror)",
+                MimeType::Html,
+                "MiniBase Log Manager: Recovery (mirror)",
                 "Mirror of the MiniBase log manager report: ARIES media recovery, \
                  write ahead logging, source code release of the recovery modules.",
                 &[("minibase-home", "MiniBase home")],
@@ -330,32 +388,44 @@ pub fn aries_scenario() -> ScenarioSpec {
             ),
             // --- Decoys that reached Figure 5 mid-ranks ---------------
             page(
-                "decoy:jcentral", "almaden.example", "cs/jcentral_press.html",
-                MimeType::Html, "jCentral Press Release",
+                "decoy:jcentral",
+                "almaden.example",
+                "cs/jcentral_press.html",
+                MimeType::Html,
+                "jCentral Press Release",
                 "Press release about the jCentral java search technology: product \
                  release, software download, press coverage. No recovery content.",
                 &[],
                 Some((2, 3)),
             ),
             page(
-                "decoy:garlic", "almaden.example", "cs/garlic.html",
-                MimeType::Html, "The Garlic Project",
+                "decoy:garlic",
+                "almaden.example",
+                "cs/garlic.html",
+                MimeType::Html,
+                "The Garlic Project",
                 "Garlic is a middleware research project integrating heterogeneous \
                  data sources; prototype software release notes and publications.",
                 &[],
                 Some((0, 3)),
             ),
             page(
-                "decoy:clio", "almaden.example", "cs/clio/index.html",
-                MimeType::Html, "The Clio Project",
+                "decoy:clio",
+                "almaden.example",
+                "cs/clio/index.html",
+                MimeType::Html,
+                "The Clio Project",
                 "Clio is a schema mapping research prototype; the release of the \
                  demonstration software accompanies the papers.",
                 &[],
                 Some((0, 3)),
             ),
             page(
-                "decoy:tivoli", "tivoli.example", "products/index/storage-mgr-platforms.html",
-                MimeType::Html, "Storage Manager: Supported Platforms",
+                "decoy:tivoli",
+                "tivoli.example",
+                "products/index/storage-mgr-platforms.html",
+                MimeType::Html,
+                "Storage Manager: Supported Platforms",
                 "Product page for a storage manager: supported platforms, release \
                  levels, download of client software, documentation.",
                 &[],
@@ -363,8 +433,11 @@ pub fn aries_scenario() -> ScenarioSpec {
             ),
             // --- Baseline chaff: open-source portal pages -------------
             page(
-                "chaff:binaries", "sourceforge.example", "directory/binaries.html",
-                MimeType::Html, "Open Source Binaries",
+                "chaff:binaries",
+                "sourceforge.example",
+                "directory/binaries.html",
+                MimeType::Html,
+                "Open Source Binaries",
                 "Directory of open source software: binaries and libraries, public \
                  domain downloads, release archives, package repositories for every \
                  platform. Browse thousands of projects with source code releases.",
@@ -372,8 +445,11 @@ pub fn aries_scenario() -> ScenarioSpec {
                 Some((2, 8)),
             ),
             page(
-                "chaff:libraries", "sourceforge.example", "directory/libraries.html",
-                MimeType::Html, "Open Source Libraries",
+                "chaff:libraries",
+                "sourceforge.example",
+                "directory/libraries.html",
+                MimeType::Html,
+                "Open Source Libraries",
                 "Open source libraries index: public domain code, source releases, \
                  build instructions, binary packages, installation manuals.",
                 &[("chaff:binaries", "binaries index")],
@@ -386,7 +462,7 @@ pub fn aries_scenario() -> ScenarioSpec {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::gen::WorldConfig;
     use bingo_graph::LinkSource;
 
@@ -395,8 +471,13 @@ mod tests {
         let world = WorldConfig::expert(11).build();
         // All named pages registered.
         for name in [
-            "mohan-page", "shore-home", "shore-node5", "minibase-home",
-            "minibase-logmgr", "exodus-home", "seed:vldb-paper",
+            "mohan-page",
+            "shore-home",
+            "shore-node5",
+            "minibase-home",
+            "minibase-logmgr",
+            "exodus-home",
+            "seed:vldb-paper",
         ] {
             assert!(world.named_page(name).is_some(), "{name} missing");
         }

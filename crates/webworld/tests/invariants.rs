@@ -82,8 +82,8 @@ fn rendered_links_resolve_or_are_intentional_traps() {
         let parsed = bingo_textproc::html::parse(&html);
         for link in &parsed.links {
             let resolvable = world.resolve_url(&link.href).is_some();
-            let trap = link.href.len() > 1000
-                || meta.extra_out_urls.iter().any(|u| u == &link.href);
+            let trap =
+                link.href.len() > 1000 || meta.extra_out_urls.iter().any(|u| u == &link.href);
             assert!(
                 resolvable || trap,
                 "page {id} renders unresolvable non-trap link {}",
@@ -113,7 +113,10 @@ fn fetch_is_total_over_all_pages() {
                 assert_eq!(x.size, y.size);
                 assert_eq!(x.payload, y.payload);
             }
-            (FetchOutcome::Redirect { location: l1, .. }, FetchOutcome::Redirect { location: l2, .. }) => {
+            (
+                FetchOutcome::Redirect { location: l1, .. },
+                FetchOutcome::Redirect { location: l2, .. },
+            ) => {
                 assert_eq!(l1, l2);
             }
             (FetchOutcome::Err { error: e1, .. }, FetchOutcome::Err { error: e2, .. }) => {
@@ -122,8 +125,7 @@ fn fetch_is_total_over_all_pages() {
             _ => panic!("nondeterministic outcome for {url}"),
         }
         if world.page(id).redirect_to.is_some() {
-            let healthy =
-                world.host(world.page(id).host).behavior == HostBehavior::Normal;
+            let healthy = world.host(world.page(id).host).behavior == HostBehavior::Normal;
             if healthy {
                 assert!(matches!(a, FetchOutcome::Redirect { .. }));
             }

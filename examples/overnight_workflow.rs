@@ -65,7 +65,11 @@ fn main() {
 
     store_persist::save(crawler.store(), &db_path).expect("save crawl db");
     engine_persist::save_engine_to(&engine, &engine_path).expect("save engine");
-    println!("persisted to {} and {}", db_path.display(), engine_path.display());
+    println!(
+        "persisted to {} and {}",
+        db_path.display(),
+        engine_path.display()
+    );
     drop(crawler);
     drop(engine);
 

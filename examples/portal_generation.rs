@@ -45,8 +45,7 @@ fn main() {
     for (topic, true_topic) in [(db, 0u32), (mining, 1u32)] {
         let mut count = 0;
         for id in 0..world.page_count() as u64 {
-            if world.true_topic(id) == Some(true_topic)
-                && world.page(id).kind == PageKind::Content
+            if world.true_topic(id) == Some(true_topic) && world.page(id).kind == PageKind::Content
             {
                 let url = world.url_of(id);
                 if engine.add_training_url(&world, topic, &url).is_ok() {
@@ -97,9 +96,7 @@ fn main() {
     }
 
     // Cluster analysis: suggest subclasses for the database topic.
-    if let Some(suggestions) =
-        suggest_subclasses(crawler.store(), &engine.vocab, db.0, 2..=4, 5)
-    {
+    if let Some(suggestions) = suggest_subclasses(crawler.store(), &engine.vocab, db.0, 2..=4, 5) {
         println!("\nsuggested subclasses for 'database research':");
         for (i, s) in suggestions.iter().enumerate() {
             println!(

@@ -15,10 +15,10 @@
 //! `search` and `suggest` postprocess a saved crawl offline.
 
 use bingo::core::persist as engine_persist;
+use bingo::graph::LinkSource;
 use bingo::prelude::*;
 use bingo::search::suggest_subclasses;
 use bingo::store::persist as store_persist;
-use bingo::graph::LinkSource;
 use bingo::webworld::fetch::host_of_url;
 use std::sync::Arc;
 
@@ -51,6 +51,15 @@ fn world_for(seed: u64, authors: usize) -> Arc<World> {
     Arc::new(WorldConfig::portal(seed, authors, 2).build())
 }
 
+/// Unwrap a fallible load/save, or exit with a clean one-line error —
+/// a corrupt or missing database is an operator problem, not a crash.
+fn or_exit<T, E: std::fmt::Display>(result: Result<T, E>, what: &str) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("error: {what}: {e}");
+        std::process::exit(1);
+    })
+}
+
 fn cmd_crawl() {
     let out = arg_or("--out", "crawl.jsonl");
     let engine_path = arg_or("--engine", "engine.json");
@@ -64,7 +73,11 @@ fn cmd_crawl() {
 
     eprintln!("building world (seed {seed}, {authors} authors)...");
     let world = world_for(seed, authors);
-    eprintln!("world: {} pages on {} hosts", world.page_count(), world.host_count());
+    eprintln!(
+        "world: {} pages on {} hosts",
+        world.page_count(),
+        world.host_count()
+    );
 
     let mut engine = BingoEngine::new(EngineConfig {
         archetype_threshold: false,
@@ -119,8 +132,14 @@ fn cmd_crawl() {
         "done: {} visited, {} stored, {} positively classified, {} hosts",
         stats.visited_urls, stats.stored_pages, stats.positively_classified, stats.visited_hosts
     );
-    store_persist::save(crawler.store(), &out).expect("write crawl db");
-    engine_persist::save_engine_to(&engine, &engine_path).expect("write engine");
+    or_exit(
+        store_persist::save(crawler.store(), &out),
+        "cannot write crawl db",
+    );
+    or_exit(
+        engine_persist::save_engine_to(&engine, &engine_path),
+        "cannot write engine",
+    );
     eprintln!("crawl database: {out}\nengine: {engine_path}");
     eprintln!("topic id for --topic-id: {}", topic.0);
 }
@@ -136,19 +155,18 @@ fn cmd_resume() {
         * 1000;
 
     let world = world_for(seed, authors);
-    let store = store_persist::load(&out).expect("read crawl db");
-    let mut engine = engine_persist::load_engine_from(&engine_path).expect("read engine");
+    let store = or_exit(store_persist::load(&out), "cannot read crawl db");
+    let mut engine = or_exit(
+        engine_persist::load_engine_from(&engine_path),
+        "cannot read engine",
+    );
     eprintln!(
         "resuming: {} documents in the database, {} topics",
         store.document_count(),
         engine.tree.len() - 1
     );
 
-    let mut crawler = Crawler::new(
-        world.clone(),
-        CrawlConfig::default().harvesting(),
-        store,
-    );
+    let mut crawler = Crawler::new(world.clone(), CrawlConfig::default().harvesting(), store);
     crawler.resume_from_store();
     // Requeue the uncrawled successors of everything stored so far.
     let mut requeued = 0;
@@ -170,8 +188,14 @@ fn cmd_resume() {
         stats.stored_pages,
         crawler.store().document_count()
     );
-    store_persist::save(crawler.store(), &out).expect("write crawl db");
-    engine_persist::save_engine_to(&engine, &engine_path).expect("write engine");
+    or_exit(
+        store_persist::save(crawler.store(), &out),
+        "cannot write crawl db",
+    );
+    or_exit(
+        engine_persist::save_engine_to(&engine, &engine_path),
+        "cannot write engine",
+    );
 }
 
 fn cmd_search() {
@@ -198,8 +222,11 @@ fn cmd_search() {
         None => TopicFilter::Any,
     };
 
-    let store = store_persist::load(&out).expect("read crawl db");
-    let engine = engine_persist::load_engine_from(&engine_path).expect("read engine");
+    let store = or_exit(store_persist::load(&out), "cannot read crawl db");
+    let engine = or_exit(
+        engine_persist::load_engine_from(&engine_path),
+        "cannot read engine",
+    );
     let search = SearchEngine::build(&store);
     let hits = search.query(
         &engine.vocab,
@@ -223,8 +250,11 @@ fn cmd_suggest() {
     let out = arg_or("--out", "crawl.jsonl");
     let engine_path = arg_or("--engine", "engine.json");
     let topic_id: u32 = arg_or("--topic-id", "1").parse().expect("--topic-id");
-    let store = store_persist::load(&out).expect("read crawl db");
-    let engine = engine_persist::load_engine_from(&engine_path).expect("read engine");
+    let store = or_exit(store_persist::load(&out), "cannot read crawl db");
+    let engine = or_exit(
+        engine_persist::load_engine_from(&engine_path),
+        "cannot read engine",
+    );
     match suggest_subclasses(&store, &engine.vocab, topic_id, 2..=5, 5) {
         Some(suggestions) => {
             for (i, s) in suggestions.iter().enumerate() {

@@ -60,7 +60,10 @@ fn full_portal_workflow() {
     }
     engine.crawl_until(&mut crawler, 150_000, 0);
     let learning_stored = crawler.stats().stored_pages;
-    assert!(learning_stored > 5, "learning phase stored {learning_stored}");
+    assert!(
+        learning_stored > 5,
+        "learning phase stored {learning_stored}"
+    );
 
     let report = engine.retrain(&mut crawler);
     assert!(!report.promoted.is_empty(), "no archetypes promoted");

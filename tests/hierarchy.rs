@@ -79,12 +79,7 @@ fn descends_to_the_correct_leaf() {
     };
 
     // Held-out pages of each world topic must land in the right node.
-    let expectations = [
-        (0u32, algebra),
-        (1, stochastics),
-        (2, agri),
-        (3, arts),
-    ];
+    let expectations = [(0u32, algebra), (1, stochastics), (2, agri), (3, arts)];
     for (world_topic, expected) in expectations {
         let mut correct = 0;
         let mut total = 0;
@@ -161,8 +156,7 @@ fn blended_math_pages_stay_inside_mathematics() {
 #[test]
 fn crawl_with_hierarchical_tree_populates_leaves() {
     let world = math_world(987);
-    let (mut engine, [_math, _agri, _arts, algebra, stochastics]) =
-        train_figure2_engine(&world);
+    let (mut engine, [_math, _agri, _arts, algebra, stochastics]) = train_figure2_engine(&world);
 
     let mut crawler = Crawler::new(
         world.clone(),

@@ -12,8 +12,7 @@ use bingo::textproc::SparseVector;
 use proptest::prelude::*;
 
 fn sparse_vec() -> impl Strategy<Value = SparseVector> {
-    proptest::collection::vec((0u32..500, -10.0f32..10.0), 0..40)
-        .prop_map(SparseVector::from_pairs)
+    proptest::collection::vec((0u32..500, -10.0f32..10.0), 0..40).prop_map(SparseVector::from_pairs)
 }
 
 proptest! {

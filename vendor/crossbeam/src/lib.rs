@@ -120,11 +120,7 @@ pub mod channel {
                 if state.senders == 0 {
                     return Err(RecvError);
                 }
-                state = self
-                    .0
-                    .ready
-                    .wait(state)
-                    .unwrap_or_else(|e| e.into_inner());
+                state = self.0.ready.wait(state).unwrap_or_else(|e| e.into_inner());
             }
         }
 

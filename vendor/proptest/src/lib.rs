@@ -88,9 +88,8 @@ impl TestRunner {
             if successes >= self.config.cases {
                 return;
             }
-            let mut rng = StdRng::seed_from_u64(
-                name_seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            );
+            let mut rng =
+                StdRng::seed_from_u64(name_seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
             match body(&mut rng) {
                 Ok(()) => successes += 1,
                 Err(TestCaseError::Reject(_)) => rejects += 1,
@@ -614,9 +613,7 @@ macro_rules! prop_assert_ne {
 macro_rules! prop_assume {
     ($cond:expr) => {
         if !($cond) {
-            return ::std::result::Result::Err($crate::TestCaseError::reject(
-                stringify!($cond),
-            ));
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
         }
     };
 }
@@ -698,8 +695,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "proptest failure")]
     fn failing_property_panics() {
-        let mut runner =
-            crate::TestRunner::new(ProptestConfig::with_cases(8), "always_fails");
+        let mut runner = crate::TestRunner::new(ProptestConfig::with_cases(8), "always_fails");
         runner.run_cases(&mut |_rng| Err(TestCaseError::fail("nope")));
     }
 

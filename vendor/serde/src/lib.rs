@@ -17,7 +17,7 @@
 //! sorted key order and sets in sorted element order, so snapshot files
 //! are byte-identical across runs.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::hash::{BuildHasher, Hash};
 
@@ -337,10 +337,7 @@ impl<'a> Parser<'a> {
             self.pos += kw.len();
             Ok(())
         } else {
-            Err(Error::custom(format!(
-                "invalid token at byte {}",
-                self.pos
-            )))
+            Err(Error::custom(format!("invalid token at byte {}", self.pos)))
         }
     }
 
@@ -844,6 +841,55 @@ where
     }
 }
 
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Key order is already sorted; JSON keys are the MapKey encoding,
+        // which is order-preserving for strings (the only keys the
+        // workspace uses with BTreeMap).
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for BTreeMap<K, V>
+where
+    K: MapKey + Ord,
+    V: Deserialize,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, got {v}")))?;
+        let mut map = BTreeMap::new();
+        for (k, item) in entries {
+            map.insert(K::from_key(k)?, V::from_value(item)?);
+        }
+        Ok(map)
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, got {v}")))?;
+        let mut set = BTreeSet::new();
+        for item in items {
+            set.insert(T::from_value(item)?);
+        }
+        Ok(set)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -897,10 +943,7 @@ mod tests {
         m.insert(1, 3);
         let v = m.to_value();
         // Sorted key order for deterministic output.
-        assert_eq!(
-            v.to_string(),
-            "{\"1\":3,\"7\":18446744073709551615}"
-        );
+        assert_eq!(v.to_string(), "{\"1\":3,\"7\":18446744073709551615}");
         let back: HashMap<u32, u64> = Deserialize::from_value(&v).unwrap();
         assert_eq!(back, m);
 

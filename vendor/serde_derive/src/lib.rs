@@ -360,16 +360,11 @@ fn gen_serialize(item: &Item) -> String {
                                 items.join(",")
                             )
                         };
-                        let entry =
-                            entries_literal(&[(vname.clone(), inner)]);
-                        arms.push_str(&format!(
-                            "{name}::{vname}({}) => {entry},",
-                            binds.join(",")
-                        ));
+                        let entry = entries_literal(&[(vname.clone(), inner)]);
+                        arms.push_str(&format!("{name}::{vname}({}) => {entry},", binds.join(",")));
                     }
                     VariantKind::Named(fields) => {
-                        let binds: Vec<String> =
-                            fields.iter().map(|f| f.name.clone()).collect();
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
                         let pairs: Vec<(String, String)> = fields
                             .iter()
                             .filter(|f| !f.skip)
@@ -401,9 +396,7 @@ fn named_field_init(fields: &[Field], source: &str, context: &str) -> String {
     for f in fields {
         let fname = &f.name;
         if f.skip {
-            init.push_str(&format!(
-                "{fname}: ::std::default::Default::default(),"
-            ));
+            init.push_str(&format!("{fname}: ::std::default::Default::default(),"));
         } else {
             let missing = format!("missing field `{fname}` in {context}");
             init.push_str(&format!(
@@ -466,9 +459,7 @@ fn gen_deserialize(item: &Item) -> String {
                                 "::std::result::Result::Ok({name}::{vname}({FROM_VALUE}(__inner)?))"
                             )
                         } else {
-                            let err = format!(
-                                "expected {arity}-element array for {name}::{vname}"
-                            );
+                            let err = format!("expected {arity}-element array for {name}::{vname}");
                             let items: Vec<String> = (0..*arity)
                                 .map(|i| format!("{FROM_VALUE}(&__items[{i}])?"))
                                 .collect();
@@ -484,23 +475,16 @@ fn gen_deserialize(item: &Item) -> String {
                         data_arms.push_str(&format!("{vname:?} => {expr},"));
                     }
                     VariantKind::Named(fields) => {
-                        let init = named_field_init(
-                            fields,
-                            "__inner",
-                            &format!("{name}::{vname}"),
-                        );
+                        let init = named_field_init(fields, "__inner", &format!("{name}::{vname}"));
                         data_arms.push_str(&format!(
                             "{vname:?} => ::std::result::Result::Ok({name}::{vname} {{ {init} }}),"
                         ));
                     }
                 }
             }
-            let unknown_unit =
-                format!("unknown variant `{{}}` of {name}");
-            let unknown_data =
-                format!("unknown variant `{{}}` of {name}");
-            let expected =
-                format!("expected string or single-entry object for enum {name}");
+            let unknown_unit = format!("unknown variant `{{}}` of {name}");
+            let unknown_data = format!("unknown variant `{{}}` of {name}");
+            let expected = format!("expected string or single-entry object for enum {name}");
             format!(
                 "if let ::std::option::Option::Some(__name) = __v.as_str() {{\
                  return match __name {{ {unit_arms} __other => ::std::result::Result::Err(\
