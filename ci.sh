@@ -36,6 +36,9 @@ step "cargo test" cargo test -q --offline --workspace
 step "cargo clippy -D warnings" \
     cargo clippy --offline --workspace --all-targets -- -D warnings
 
+step "cargo doc -D warnings" \
+    env RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
+
 case "$BENCH_GATE_MODE" in
 full)
     step "bench_gate (full)" \

@@ -7,9 +7,10 @@
 //! fetch→convert→analyze→bulk-load pipeline (documents per minute is
 //! printed by the pipeline benchmark's throughput estimate).
 
-use bingo_crawler::threaded::run_pipeline;
+use bingo_crawler::threaded::{run_pipeline, PipelineOptions};
+use bingo_crawler::{CrawlTelemetry, Judgment};
 use bingo_store::{BulkLoader, DocumentRow, DocumentStore};
-use bingo_textproc::MimeType;
+use bingo_textproc::{MimeType, SharedVocabulary};
 use bingo_webworld::gen::WorldConfig;
 use bingo_webworld::World;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -128,6 +129,16 @@ fn healthy_urls(world: &World, n: usize) -> Vec<String> {
         .collect()
 }
 
+fn no_judge(
+    _doc: &bingo_textproc::AnalyzedDocument,
+    _ctx: &bingo_crawler::PageContext,
+) -> Judgment {
+    Judgment {
+        topic: None,
+        confidence: 0.0,
+    }
+}
+
 fn bench_full_pipeline(c: &mut Criterion) {
     let world = Arc::new(WorldConfig::small_test(8).build());
     let urls = healthy_urls(&world, 400);
@@ -141,8 +152,17 @@ fn bench_full_pipeline(c: &mut Criterion) {
             |b, &threads| {
                 b.iter(|| {
                     let store = DocumentStore::new();
-                    let report =
-                        run_pipeline(Arc::clone(&world), store, urls.clone(), threads, 256);
+                    let vocab = SharedVocabulary::new();
+                    let telemetry = CrawlTelemetry::default();
+                    let report = run_pipeline(
+                        Arc::clone(&world),
+                        store,
+                        urls.iter().map(|u| (u.clone(), None)).collect(),
+                        &vocab,
+                        &no_judge,
+                        &telemetry,
+                        &PipelineOptions::flat(threads, 256),
+                    );
                     black_box(report.documents)
                 })
             },

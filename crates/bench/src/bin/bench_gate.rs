@@ -3,10 +3,12 @@
 //! ```text
 //! cargo run --release -p bingo-bench --bin bench_gate [-- FLAGS]
 //!
-//!   --smoke     run the reduced smoke sizes (fast CI runs)
-//!   --update    re-record BENCH_crawl.json / BENCH_classify.json
-//!               (runs both smoke and full sizes)
-//!   --out DIR   artifact directory (default target/bench_gate)
+//!   --smoke          run the reduced smoke sizes (fast CI runs)
+//!   --update         re-record BENCH_crawl.json / BENCH_classify.json /
+//!                    BENCH_pipeline.json (runs both smoke and full sizes)
+//!   --only SCENARIO  run a single scenario (crawl | classify | pipeline);
+//!                    repeatable
+//!   --out DIR        artifact directory (default target/bench_gate)
 //! ```
 //!
 //! Each scenario runs twice; the deterministic telemetry (metrics
@@ -17,8 +19,9 @@
 
 use bingo_bench::gate::{
     baseline_file, calibrate_cpu_ms, check_determinism, compare_reports, default_out_dir,
-    load_baseline, run_classify_scenario, run_crawl_scenario, write_run_artifacts, GateMode,
-    MetricSpec, ScenarioRun, CLASSIFY_SPECS, CRAWL_SPECS,
+    load_baseline, run_classify_scenario, run_crawl_scenario, run_pipeline_scenario,
+    write_run_artifacts, GateMode, MetricSpec, ScenarioRun, CLASSIFY_SPECS, CRAWL_SPECS,
+    PIPELINE_SPECS,
 };
 use serde_json::{json, Value};
 use std::path::{Path, PathBuf};
@@ -40,17 +43,41 @@ const SCENARIOS: &[Scenario] = &[
         specs: CLASSIFY_SPECS,
         run: run_classify_scenario,
     },
+    Scenario {
+        name: "pipeline",
+        specs: PIPELINE_SPECS,
+        run: run_pipeline_scenario,
+    },
 ];
 
 fn main() {
     let mut smoke = false;
     let mut update = false;
+    let mut only: Vec<String> = Vec::new();
     let mut out_dir = default_out_dir();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--update" => update = true,
+            "--only" => match args.next() {
+                Some(name) if SCENARIOS.iter().any(|s| s.name == name) => only.push(name),
+                Some(name) => {
+                    eprintln!(
+                        "--only: unknown scenario {name:?} (expected one of: {})",
+                        SCENARIOS
+                            .iter()
+                            .map(|s| s.name)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!("--only requires a scenario name");
+                    std::process::exit(2);
+                }
+            },
             "--out" => match args.next() {
                 Some(dir) => out_dir = PathBuf::from(dir),
                 None => {
@@ -60,7 +87,7 @@ fn main() {
             },
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: bench_gate [--smoke] [--update] [--out DIR]");
+                eprintln!("usage: bench_gate [--smoke] [--update] [--only SCENARIO] [--out DIR]");
                 std::process::exit(2);
             }
         }
@@ -76,8 +103,13 @@ fn main() {
         &[GateMode::Full]
     };
 
+    let selected: Vec<&Scenario> = SCENARIOS
+        .iter()
+        .filter(|s| only.is_empty() || only.iter().any(|n| n == s.name))
+        .collect();
+
     let mut failures: Vec<String> = Vec::new();
-    for scenario in SCENARIOS {
+    for scenario in &selected {
         let mut sections: Vec<(GateMode, Value)> = Vec::new();
         for &mode in modes {
             eprintln!(
@@ -177,7 +209,7 @@ fn main() {
     }
 
     if failures.is_empty() {
-        eprintln!("bench gate: PASS ({} scenario(s))", SCENARIOS.len());
+        eprintln!("bench gate: PASS ({} scenario(s))", selected.len());
     } else {
         eprintln!("bench gate: FAIL");
         for f in &failures {

@@ -1,19 +1,25 @@
 //! The deterministic bench-regression gate.
 //!
-//! Two fixed macro scenarios run with a scenario-wide telemetry
+//! Three fixed macro scenarios run with a scenario-wide telemetry
 //! registry:
 //!
 //! * **crawl** — a seeded portal crawl (learning → retrain → harvesting)
 //!   followed by an index build and a fixed query set,
 //! * **classify** — a three-topic training + held-out evaluation
-//!   measuring macro-F1.
+//!   measuring macro-F1,
+//! * **pipeline** — a fixed URL set pushed through the staged batch
+//!   pipeline (fetch → convert → analyze → classify → bulk-load) by the
+//!   real-thread executor, classification on: the single-thread leg is
+//!   the determinism evidence and gates document/link/classification
+//!   counts tightly, the multi-thread leg gates wall throughput
+//!   loosely.
 //!
 //! Each scenario runs **twice**: the deterministic metrics snapshot and
 //! the event log of both runs must be byte-identical, or the gate fails
 //! — that is the executable form of the determinism contract in
 //! `crates/obs`. Results are compared against checked-in baselines
-//! (`BENCH_crawl.json`, `BENCH_classify.json`) with per-metric
-//! tolerances:
+//! (`BENCH_crawl.json`, `BENCH_classify.json`, `BENCH_pipeline.json`)
+//! with per-metric tolerances:
 //!
 //! * deterministic metrics (virtual throughput, harvest ratio, stored
 //!   pages, macro-F1) gate tightly — they cannot flake, only change when
@@ -25,19 +31,19 @@
 //!   the ratio of calibration times.
 
 use bingo_core::{BingoEngine, EngineConfig, EngineTelemetry, TopicId, TopicTree};
-use bingo_crawler::{CrawlConfig, CrawlTelemetry, Crawler};
+use bingo_crawler::{run_pipeline, CrawlConfig, CrawlTelemetry, Crawler, PipelineOptions};
 use bingo_obs::{EventLog, Registry, WallTimer};
 use bingo_search::{QueryOptions, SearchEngine, SearchMetrics};
 use bingo_store::DocumentStore;
-use bingo_textproc::porter_stem;
+use bingo_textproc::{porter_stem, SharedVocabulary};
 use bingo_webworld::fetch::host_of_url;
 use bingo_webworld::gen::WorldConfig;
-use bingo_webworld::{PageKind, World};
+use bingo_webworld::{HostBehavior, PageKind, World};
 use serde_json::{json, Value};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-/// World seed shared by both scenarios (same-seed runs must agree).
+/// World seed shared by every scenario (same-seed runs must agree).
 pub const GATE_SEED: u64 = 4242;
 
 /// Gate mode: the full scenario sizes or the fast CI smoke sizes.
@@ -302,6 +308,121 @@ pub fn run_classify_scenario(mode: GateMode) -> ScenarioRun {
     }
 }
 
+/// Run the pipeline scenario once: a fixed healthy URL set pushed
+/// through the staged batch pipeline by the real-thread executor with
+/// the engine's batch classifier judging every document.
+///
+/// Two legs share one trained engine and URL list:
+///
+/// * **single-thread** — runs against the scenario registry; its
+///   deterministic telemetry is the determinism evidence and its
+///   document/classification/link-row counts gate tightly (they can
+///   only change when pipeline behavior changes),
+/// * **multi-thread** — runs against a throwaway registry (batch
+///   partitioning across workers is scheduling-dependent, so its
+///   histograms may not replay); only its wall-clock throughput is
+///   gated, loosely.
+pub fn run_pipeline_scenario(mode: GateMode) -> ScenarioRun {
+    let (authors, noise_scale, train_n, urls_n, threads) = match mode {
+        GateMode::Full => (300usize, 2usize, 12usize, 800usize, 8usize),
+        GateMode::Smoke => (120, 1, 8, 300, 4),
+    };
+    let world = Arc::new(WorldConfig::portal(GATE_SEED, authors, noise_scale).build());
+
+    // Three-topic engine, trained exactly like the classify scenario.
+    let mut engine = BingoEngine::new(EngineConfig::default());
+    let names = ["database research", "data mining", "web ir"];
+    let mut topics: Vec<(TopicId, u32)> = Vec::new();
+    for (true_topic, name) in names.iter().enumerate() {
+        let t = engine.add_topic(TopicTree::ROOT, name);
+        topics.push((t, true_topic as u32));
+    }
+    for &(topic, true_topic) in &topics {
+        for id in held_out(&world, true_topic, 0, train_n) {
+            engine
+                .add_training_url(&world, topic, &world.url_of(id))
+                .expect("training page");
+        }
+    }
+    crate::populate_others(&mut engine, &world, &[3, 4], 20);
+    engine.train().expect("training");
+
+    // Fixed work list: the first N pages that fetch cleanly (no
+    // truncation, redirects or scripted host faults).
+    let urls: Vec<(String, Option<u32>)> = (0..world.page_count() as u64)
+        .filter(|&id| {
+            let page = world.page(id);
+            page.size_hint.is_none()
+                && page.redirect_to.is_none()
+                && world.host(page.host).behavior == HostBehavior::Normal
+        })
+        .take(urls_n)
+        .map(|id| (world.url_of(id), None))
+        .collect();
+
+    // Single-thread leg: deterministic counters + evidence.
+    let registry = Arc::new(Registry::new());
+    let events = Arc::new(EventLog::default());
+    engine.set_telemetry(EngineTelemetry::new(registry.clone(), events.clone()));
+    let telemetry = CrawlTelemetry::new(registry.clone(), events.clone());
+    let det_store = DocumentStore::new();
+    let det_vocab = SharedVocabulary::seeded(&engine.vocab);
+    let single_wall = WallTimer::start();
+    let det_report = {
+        let judge = engine.batch_classifier();
+        run_pipeline(
+            Arc::clone(&world),
+            det_store.clone(),
+            urls.clone(),
+            &det_vocab,
+            &judge,
+            &telemetry,
+            &PipelineOptions::flat(1, 64),
+        )
+    };
+    let single_wall_ms = (single_wall.elapsed_us() as f64 / 1000.0).max(0.001);
+    let evidence = DeterminismEvidence {
+        snapshot_json: registry.snapshot().deterministic().to_json(),
+        events_jsonl: events.to_jsonl(),
+    };
+
+    // Multi-thread leg: wall throughput only, telemetry discarded.
+    engine.set_telemetry(EngineTelemetry::default());
+    let mt_store = DocumentStore::new();
+    let mt_vocab = SharedVocabulary::seeded(&engine.vocab);
+    let mt_wall = WallTimer::start();
+    let mt_report = {
+        let judge = engine.batch_classifier();
+        run_pipeline(
+            Arc::clone(&world),
+            mt_store,
+            urls.clone(),
+            &mt_vocab,
+            &judge,
+            &CrawlTelemetry::default(),
+            &PipelineOptions::flat(threads, 64),
+        )
+    };
+    let mt_wall_ms = (mt_wall.elapsed_us() as f64 / 1000.0).max(0.001);
+
+    let report = json!({
+        "scenario": "pipeline",
+        "urls": urls.len(),
+        "documents": det_report.documents,
+        "positively_classified": det_report.stats.positively_classified,
+        "link_rows": det_store.link_count(),
+        "threads": threads,
+        "mt_documents": mt_report.documents,
+        "docs_per_minute_1t": det_report.docs_per_minute,
+        "docs_per_minute": mt_report.docs_per_minute,
+        "stages": {
+            "single_thread": { "wall_ms": single_wall_ms },
+            "multi_thread": { "wall_ms": mt_wall_ms },
+        },
+    });
+    ScenarioRun { report, evidence }
+}
+
 /// How one metric of a scenario report is gated.
 #[derive(Debug, Clone, Copy)]
 pub struct MetricSpec {
@@ -354,6 +475,36 @@ pub const CLASSIFY_SPECS: &[MetricSpec] = &[
     },
     MetricSpec {
         path: "docs_per_wall_sec",
+        higher_is_better: true,
+        rel_tol: 0.50,
+        wall: true,
+    },
+];
+
+/// Gated metrics of the pipeline scenario. Counts come from the
+/// single-thread leg (deterministic); wall throughput from the
+/// multi-thread leg.
+pub const PIPELINE_SPECS: &[MetricSpec] = &[
+    MetricSpec {
+        path: "documents",
+        higher_is_better: true,
+        rel_tol: 0.02,
+        wall: false,
+    },
+    MetricSpec {
+        path: "positively_classified",
+        higher_is_better: true,
+        rel_tol: 0.05,
+        wall: false,
+    },
+    MetricSpec {
+        path: "link_rows",
+        higher_is_better: true,
+        rel_tol: 0.05,
+        wall: false,
+    },
+    MetricSpec {
+        path: "docs_per_minute",
         higher_is_better: true,
         rel_tol: 0.50,
         wall: true,
@@ -541,6 +692,33 @@ mod tests {
     #[test]
     fn calibration_is_positive() {
         assert!(calibrate_cpu_ms() > 0.0);
+    }
+
+    /// End-to-end: the smoke pipeline scenario runs, its single-thread
+    /// leg replays byte-identically, and the counters are non-trivial.
+    #[test]
+    fn pipeline_scenario_is_deterministic_and_counts_documents() {
+        let a = run_pipeline_scenario(GateMode::Smoke);
+        let b = run_pipeline_scenario(GateMode::Smoke);
+        assert!(check_determinism("pipeline", &a.evidence, &b.evidence).is_empty());
+        let docs = json_path(&a.report, "documents")
+            .and_then(Value::as_u64)
+            .unwrap();
+        assert!(docs >= 100, "pipeline stored too few documents: {docs}");
+        assert!(
+            json_path(&a.report, "positively_classified")
+                .and_then(Value::as_u64)
+                .unwrap()
+                > 0,
+            "classification never fired"
+        );
+        assert!(
+            json_path(&a.report, "link_rows")
+                .and_then(Value::as_u64)
+                .unwrap()
+                > 0,
+            "no link rows emitted"
+        );
     }
 
     /// End-to-end: the smoke classify scenario runs, is deterministic

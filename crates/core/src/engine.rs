@@ -343,6 +343,24 @@ impl BingoEngine {
         judgment
     }
 
+    /// A read-only, `Sync` classification handle over the trained
+    /// models, using the meta policy of the current phase. Worker
+    /// threads of the batch document pipeline share one of these to
+    /// classify concurrently while the engine itself stays untouched.
+    pub fn batch_classifier(&self) -> TopicClassifier<'_> {
+        let policy = match self.phase {
+            Phase::Learning => self.config.meta_learning,
+            Phase::Harvesting => self.config.meta_harvesting,
+        };
+        TopicClassifier {
+            tree: &self.tree,
+            models: &self.models,
+            obs: &self.obs,
+            policy,
+            single_classifier: self.config.single_classifier,
+        }
+    }
+
     /// Mean training confidence of a topic (the archetype threshold).
     pub fn mean_training_confidence(&self, topic: TopicId) -> f32 {
         self.models
@@ -650,6 +668,130 @@ impl BingoEngine {
             .get(&topic.0)
             .map(|v| v.as_slice())
             .unwrap_or(&[])
+    }
+}
+
+/// A shareable, read-only view of the engine's trained classifier:
+/// topic tree, per-topic models, meta policy and telemetry, nothing
+/// mutable. `Sync`, so the real-thread document pipeline can classify
+/// on every worker against one handle. Obtain one via
+/// [`BingoEngine::batch_classifier`].
+///
+/// Unlike the crawl-time `EngineJudge` this handle performs *no*
+/// corpus or archetype-candidate bookkeeping — it is the harvesting
+/// fast path, where throughput matters and retraining is off.
+#[derive(Clone, Copy)]
+pub struct TopicClassifier<'a> {
+    tree: &'a TopicTree,
+    models: &'a FxHashMap<u32, TopicModel>,
+    obs: &'a EngineTelemetry,
+    policy: MetaPolicy,
+    single_classifier: bool,
+}
+
+impl TopicClassifier<'_> {
+    /// Classify one document; identical to [`BingoEngine::classify`].
+    pub fn classify(&self, features: &DocumentFeatures) -> Judgment {
+        let judgment = classify_impl(
+            self.tree,
+            self.models,
+            features,
+            self.policy,
+            self.single_classifier,
+        );
+        self.obs.record_judgment(&judgment);
+        judgment
+    }
+
+    /// Classify a batch with one level-synchronous top-down descent:
+    /// documents are grouped by their current tree node and each
+    /// competing child model is evaluated once per group via
+    /// [`TopicModel::decide_batch`], amortizing model dispatch and
+    /// per-space setup across the batch. Per document the decisions and
+    /// confidences are exactly those of [`classify`](Self::classify).
+    pub fn classify_batch(&self, features: &[DocumentFeatures]) -> Vec<Judgment> {
+        let n = features.len();
+        let mut assigned: Vec<Option<TopicId>> = vec![None; n];
+        let mut confidence = vec![f32::MIN; n];
+        let mut groups: Vec<(TopicId, Vec<usize>)> = vec![(TopicTree::ROOT, (0..n).collect())];
+        while !groups.is_empty() {
+            let mut descend: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
+            for (node, idxs) in groups {
+                let children = &self.tree.node(node).children;
+                if children.is_empty() {
+                    continue;
+                }
+                let docs: Vec<&DocumentFeatures> = idxs.iter().map(|&i| &features[i]).collect();
+                let mut best: Vec<Option<(TopicId, f32)>> = vec![None; idxs.len()];
+                let mut best_rejected = vec![f32::MIN; idxs.len()];
+                for &child in children {
+                    let Some(model) = self.models.get(&child.0) else {
+                        continue;
+                    };
+                    let decisions = model.decide_batch(&docs, self.policy, self.single_classifier);
+                    for (k, (accept, conf)) in decisions.into_iter().enumerate() {
+                        if accept {
+                            if best[k].map(|(_, c)| conf > c).unwrap_or(true) {
+                                best[k] = Some((child, conf));
+                            }
+                        } else {
+                            best_rejected[k] = best_rejected[k].max(conf);
+                        }
+                    }
+                }
+                for (k, &i) in idxs.iter().enumerate() {
+                    match best[k] {
+                        Some((child, conf)) => {
+                            assigned[i] = Some(child);
+                            confidence[i] = conf;
+                            descend.entry(child.0).or_default().push(i);
+                        }
+                        None => {
+                            if assigned[i].is_none() {
+                                confidence[i] = if best_rejected[k] == f32::MIN {
+                                    -1.0
+                                } else {
+                                    best_rejected[k]
+                                };
+                            }
+                        }
+                    }
+                }
+            }
+            groups = descend.into_iter().map(|(t, v)| (TopicId(t), v)).collect();
+            groups.sort_unstable_by_key(|&(t, _)| t.0);
+        }
+        assigned
+            .into_iter()
+            .zip(confidence)
+            .map(|(topic, confidence)| {
+                let judgment = Judgment {
+                    topic: topic.map(|t| t.0),
+                    confidence,
+                };
+                self.obs.record_judgment(&judgment);
+                judgment
+            })
+            .collect()
+    }
+}
+
+/// The classify stage of the real-thread document pipeline: build the
+/// multi-space features (document + incoming anchors + neighbour terms)
+/// for a whole batch and run one level-synchronous hierarchical descent.
+impl bingo_crawler::BatchJudge for TopicClassifier<'_> {
+    fn judge_batch(&self, docs: &[AnalyzedDocument], ctxs: &[PageContext]) -> Vec<Judgment> {
+        let features: Vec<DocumentFeatures> = docs
+            .iter()
+            .zip(ctxs)
+            .map(|(doc, ctx)| {
+                let mut f = DocumentFeatures::from_document(doc);
+                f.add_incoming_anchor(&ctx.anchor_terms);
+                f.add_neighbor_terms(&ctx.neighbor_terms);
+                f
+            })
+            .collect();
+        self.classify_batch(&features)
     }
 }
 

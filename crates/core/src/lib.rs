@@ -54,7 +54,9 @@ pub mod persist;
 pub mod telemetry;
 pub mod topic;
 
-pub use engine::{BingoEngine, Candidate, EngineConfig, EngineError, Phase, RetrainReport};
+pub use engine::{
+    BingoEngine, Candidate, EngineConfig, EngineError, Phase, RetrainReport, TopicClassifier,
+};
 pub use model::{ModelConfig, SpaceModel, TopicModel};
 pub use telemetry::EngineTelemetry;
 pub use topic::{TopicId, TopicNode, TopicTree, TrainingDoc};
@@ -141,6 +143,57 @@ mod tests {
             .expect("a fetchable sports page");
         let j = engine.classify(&f);
         assert_eq!(j.topic, None, "sports page accepted ({})", j.confidence);
+    }
+
+    #[test]
+    fn batch_classifier_matches_sequential_classify() {
+        let world = Arc::new(WorldConfig::small_test(53).build());
+        let (mut engine, _) = trained_engine(&world);
+        // A mixed bag of fetchable content pages from every topic.
+        let mut features = Vec::new();
+        for id in 0..world.page_count() as u64 {
+            if world.page(id).kind == bingo_webworld::PageKind::Content {
+                if let Ok((_, _, f)) = engine.analyze_url(&world, &world.url_of(id)) {
+                    features.push(f);
+                }
+            }
+            if features.len() >= 40 {
+                break;
+            }
+        }
+        assert!(features.len() >= 20, "world too small for the test");
+
+        let classifier = engine.batch_classifier();
+        fn assert_sync<T: Sync>(_: &T) {}
+        assert_sync(&classifier);
+
+        let batch = classifier.classify_batch(&features);
+        let mut accepted = 0;
+        for (f, got) in features.iter().zip(&batch) {
+            let want = classifier.classify(f);
+            assert_eq!(got.topic, want.topic);
+            assert_eq!(got.confidence, want.confidence);
+            accepted += usize::from(got.topic.is_some());
+        }
+        assert!(accepted > 0, "batch accepted nothing — test is vacuous");
+        assert!(accepted < batch.len(), "batch rejected nothing");
+
+        // Shared across worker threads the handle gives the same answers.
+        let threaded: Vec<bingo_crawler::Judgment> = std::thread::scope(|scope| {
+            let handles: Vec<_> = features
+                .chunks(7)
+                .map(|chunk| scope.spawn(move || classifier.classify_batch(chunk)))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(threaded.len(), batch.len());
+        for (a, b) in threaded.iter().zip(&batch) {
+            assert_eq!(a.topic, b.topic);
+            assert_eq!(a.confidence, b.confidence);
+        }
     }
 
     #[test]

@@ -288,6 +288,70 @@ impl TopicModel {
         }
     }
 
+    /// Batched [`decide`](Self::decide): evaluates each feature space
+    /// once per batch, amortizing the space/model dispatch that
+    /// per-document calls repeat. The per-document arithmetic — vector
+    /// construction, vote and confidence accumulation in space order —
+    /// is exactly that of `decide`, so the two agree bit-for-bit.
+    pub fn decide_batch(
+        &self,
+        docs: &[&DocumentFeatures],
+        policy: MetaPolicy,
+        single_classifier: bool,
+    ) -> Vec<(bool, f32)> {
+        if single_classifier {
+            let space = &self.spaces[self.best_space];
+            let vectors: Vec<SparseVector> = docs.iter().map(|f| space.vector(f)).collect();
+            return space
+                .svm
+                .confidence_batch(&vectors)
+                .into_iter()
+                .map(|conf| (conf >= 0.0, conf))
+                .collect();
+        }
+        let h = (self.spaces.len() + usize::from(self.naive_bayes.is_some())) as f32;
+        let t1 = match policy {
+            MetaPolicy::Unanimous => h - 0.5,
+            MetaPolicy::Majority | MetaPolicy::WeightedAverage => 0.0,
+        };
+        let mut vote_sum = vec![0.0f32; docs.len()];
+        let mut conf_sum = vec![0.0f32; docs.len()];
+        for space in &self.spaces {
+            let w = match policy {
+                MetaPolicy::WeightedAverage => space.xi_precision().max(0.01),
+                _ => 1.0,
+            };
+            let vectors: Vec<SparseVector> = docs.iter().map(|f| space.vector(f)).collect();
+            for (i, conf) in space.svm.confidence_batch(&vectors).into_iter().enumerate() {
+                conf_sum[i] += conf;
+                vote_sum[i] += w * if conf >= 0.0 { 1.0 } else { -1.0 };
+            }
+        }
+        if let Some((nb, weight)) = &self.naive_bayes {
+            let w = match policy {
+                MetaPolicy::WeightedAverage => weight.max(0.01),
+                _ => 1.0,
+            };
+            for (i, features) in docs.iter().enumerate() {
+                let conf = nb.score(&nb_vector(features));
+                conf_sum[i] += conf;
+                vote_sum[i] += w * if conf >= 0.0 { 1.0 } else { -1.0 };
+            }
+        }
+        vote_sum
+            .into_iter()
+            .zip(conf_sum)
+            .map(|(votes, confs)| {
+                let mean_conf = confs / h;
+                if votes > t1 {
+                    (true, mean_conf.max(0.0))
+                } else {
+                    (false, mean_conf.min(-f32::EPSILON))
+                }
+            })
+            .collect()
+    }
+
     /// Confidence only (signed), under the given policy.
     pub fn confidence(
         &self,
@@ -396,6 +460,24 @@ mod tests {
         let n: Vec<&DocumentFeatures> = neg.iter().collect();
         let model = TopicModel::train(&p, &n, &corpus, &ModelConfig::default()).unwrap();
         (model, pos, neg)
+    }
+
+    #[test]
+    fn decide_batch_matches_per_document_decide() {
+        let (model, pos, neg) = train();
+        let all: Vec<&DocumentFeatures> = pos.iter().chain(neg.iter()).collect();
+        for policy in [
+            MetaPolicy::Unanimous,
+            MetaPolicy::Majority,
+            MetaPolicy::WeightedAverage,
+        ] {
+            for single in [false, true] {
+                let batch = model.decide_batch(&all, policy, single);
+                for (f, got) in all.iter().zip(&batch) {
+                    assert_eq!(*got, model.decide(f, policy, single));
+                }
+            }
+        }
     }
 
     #[test]

@@ -24,10 +24,13 @@
 //!   ([`checkpoint`]),
 //! * URL hygiene: hostname ≤ 255 chars, URL ≤ 1000 chars, redirect chains
 //!   bounded, MIME-type and size limits per document class,
+//! * a **staged, batch-oriented document pipeline** — fetch →
+//!   content-convert → analyze → classify → bulk-load — shared by both
+//!   executors ([`pipeline`]),
 //! * a **discrete-event executor** modelling N crawler threads over
 //!   virtual time, deterministic and snapshot-friendly ([`Crawler`]), and
-//!   a real-thread executor for raw throughput measurements
-//!   ([`threaded`]).
+//!   a real-thread executor that pulls batches through the same pipeline
+//!   for raw throughput measurements ([`threaded`]).
 //!
 //! Classification is pluggable through the [`DocumentJudge`] trait; the
 //! BINGO! engine (crate `bingo-core`) implements it with the hierarchical
@@ -39,6 +42,7 @@ pub mod dedup;
 pub mod dns;
 pub mod frontier;
 pub mod hosts;
+pub mod pipeline;
 pub mod telemetry;
 pub mod threaded;
 pub mod types;
@@ -52,8 +56,10 @@ pub use frontier::{Frontier, QueueEntry};
 pub use hosts::{
     BreakerConfig, BreakerState, FailureOutcome, HostDecision, HostHealth, HostManager,
 };
+pub use pipeline::{process_batch, BatchJudge, DocOutcome, FetchedDoc, PipelineMetrics};
 pub use step::{Crawler, StepOutcome};
 pub use telemetry::CrawlTelemetry;
+pub use threaded::{run_pipeline, PipelineOptions, ThroughputReport};
 pub use types::{CrawlConfig, CrawlStats, CrawlStrategy, FocusRule, Judgment, PageContext};
 
 use bingo_textproc::AnalyzedDocument;

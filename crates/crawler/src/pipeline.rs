@@ -1,0 +1,563 @@
+//! The staged, batch-oriented document pipeline (Section 4.1).
+//!
+//! Both crawl executors drive their documents through the same stages —
+//!
+//! ```text
+//! fetch → content-convert → analyze → classify → bulk-load
+//! ```
+//!
+//! — so fetch-to-store behavior is defined once. The discrete-event
+//! [`crate::Crawler`] is a frontier/focus *policy* layer: it decides
+//! which URL is processed when (virtual clock, politeness slots,
+//! breakers, retries) and hands singleton batches to
+//! [`process_batch`]. The real-thread executor
+//! ([`crate::threaded::run_pipeline`]) runs N workers that pull whole
+//! batches through the identical stages for raw throughput.
+//!
+//! Stages operate on batches of [`FetchedDoc`]s. Executor-specific
+//! policy enters through two callbacks: the response-fingerprint test
+//! (the deterministic executor owns a plain [`crate::Dedup`], the
+//! threaded one shares it behind a mutex) and the judge (a stateful
+//! [`crate::DocumentJudge`] or a `Sync` [`BatchJudge`]). Everything
+//! else — MIME/size admission, HTML conversion, analysis, document and
+//! link rows, bulk loading — is shared code below.
+//!
+//! Link rows are emitted for **every resolvable out-link of a stored
+//! document** (order-independent), not just for links that survived the
+//! frontier's enqueue filters. This makes the stored link graph a
+//! property of the document set rather than of the crawl schedule, so
+//! the two executors agree on it; the HITS link analysis only gets a
+//! denser, more faithful graph out of this.
+
+use crate::types::{Judgment, PageContext};
+use bingo_obs::{Counter, Gauge, Histogram, Registry, WallTimer};
+use bingo_store::{BulkLoader, DocumentRow, LinkRow, StoreError};
+use bingo_textproc::fxhash::{FxHashMap, FxHashSet};
+use bingo_textproc::{
+    analyze_html_metered, AnalyzedDocument, ContentRegistry, Interner, TermId, TextprocMetrics,
+};
+use bingo_webworld::fetch::FetchResponse;
+use bingo_webworld::World;
+use std::sync::Arc;
+
+/// How many of a page's terms feed the neighbour-document feature space
+/// of its successors (Section 3.4).
+pub const NEIGHBOR_TERMS_KEPT: usize = 8;
+
+/// A successfully fetched document entering the processing stages,
+/// together with the crawl context the frontier policy attached to it.
+#[derive(Debug, Clone)]
+pub struct FetchedDoc {
+    /// The simulated HTTP response.
+    pub response: FetchResponse,
+    /// Crawl depth the URL was fetched at.
+    pub depth: u32,
+    /// Topic of the enqueuing parent, if any.
+    pub src_topic: Option<u32>,
+    /// Anchor terms of the enqueuing link.
+    pub anchor_terms: Vec<TermId>,
+    /// Top terms of the enqueuing predecessor (neighbour feature space).
+    pub neighbor_terms: Vec<TermId>,
+    /// Timestamp recorded as `fetched_at`: virtual ms on the
+    /// deterministic executor, run-relative wall ms on the threaded one.
+    pub fetched_at: u64,
+}
+
+/// What the pipeline did with one fetched document.
+#[derive(Debug, Clone)]
+pub enum DocOutcome {
+    /// Dropped by the MIME-type/size filter.
+    MimeFiltered,
+    /// An IP+path or IP+size fingerprint matched a previous response.
+    DuplicateContent,
+    /// Content conversion failed; the payload bytes were wasted.
+    Malformed {
+        /// Payload bytes fetched for nothing.
+        wasted_bytes: u64,
+    },
+    /// Analyzed, judged and stored (document row + link rows).
+    Stored {
+        /// Page id of the stored document.
+        page_id: u64,
+        /// The analyzed document (the policy layer feeds successors
+        /// from it: top terms, link enqueueing).
+        doc: AnalyzedDocument,
+        /// The classifier's verdict.
+        judgment: Judgment,
+    },
+    /// Analyzed and judged, but the id was already in the store (the
+    /// same page re-fetched through another alias or redirect chain).
+    AlreadyStored {
+        /// Page id that collided.
+        page_id: u64,
+        /// The analyzed document (still useful to the policy layer).
+        doc: AnalyzedDocument,
+        /// The classifier's verdict (judged before the collision was
+        /// known, exactly like the per-document executor).
+        judgment: Judgment,
+    },
+}
+
+/// A thread-shareable batch classifier: the classify stage of the
+/// real-thread executor. The BINGO! engine implements it with the
+/// hierarchical SVM classifier (`bingo_core::TopicClassifier`).
+pub trait BatchJudge: Sync {
+    /// Judge a batch of analyzed documents with their crawl contexts.
+    /// Must return exactly one judgment per document.
+    fn judge_batch(&self, docs: &[AnalyzedDocument], ctxs: &[PageContext]) -> Vec<Judgment>;
+}
+
+impl<F> BatchJudge for F
+where
+    F: Fn(&AnalyzedDocument, &PageContext) -> Judgment + Sync,
+{
+    fn judge_batch(&self, docs: &[AnalyzedDocument], ctxs: &[PageContext]) -> Vec<Judgment> {
+        docs.iter().zip(ctxs).map(|(d, c)| self(d, c)).collect()
+    }
+}
+
+/// Per-stage pipeline metrics: document counts in and out of each
+/// stage, batch sizes, queue depth, and wall-clock stage latencies
+/// (volatile). Cloning shares the underlying atomics.
+#[derive(Clone)]
+pub struct PipelineMetrics {
+    /// Documents entering the pipeline (successful fetches).
+    pub fetched: Counter,
+    /// Documents dropped by the MIME/size filter.
+    pub mime_rejected: Counter,
+    /// Documents dropped as response-fingerprint duplicates.
+    pub duplicates: Counter,
+    /// Documents converted to canonical HTML.
+    pub converted: Counter,
+    /// Documents whose conversion failed.
+    pub malformed: Counter,
+    /// Documents analyzed.
+    pub analyzed: Counter,
+    /// Documents classified.
+    pub classified: Counter,
+    /// Documents bulk-loaded into the store.
+    pub loaded: Counter,
+    /// Documents rejected at load time (id already stored).
+    pub load_duplicates: Counter,
+    /// Link rows emitted.
+    pub link_rows: Counter,
+    /// Batches processed.
+    pub batches: Counter,
+    /// Documents per batch.
+    pub batch_docs: Arc<Histogram>,
+    /// URLs waiting ahead of the pipeline (frontier or level queue).
+    pub queue_depth: Gauge,
+    /// Wall-clock cost of the convert stage per batch, µs (volatile).
+    pub convert_wall_us: Arc<Histogram>,
+    /// Wall-clock cost of the analyze stage per batch, µs (volatile).
+    pub analyze_wall_us: Arc<Histogram>,
+    /// Wall-clock cost of the classify stage per batch, µs (volatile).
+    pub classify_wall_us: Arc<Histogram>,
+    /// Wall-clock cost of the bulk-load stage per batch, µs (volatile).
+    pub load_wall_us: Arc<Histogram>,
+}
+
+impl PipelineMetrics {
+    /// Register all pipeline metrics in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        PipelineMetrics {
+            fetched: registry.counter("pipeline.fetch.docs"),
+            mime_rejected: registry.counter("pipeline.fetch.mime_rejected"),
+            duplicates: registry.counter("pipeline.fetch.duplicates"),
+            converted: registry.counter("pipeline.convert.docs"),
+            malformed: registry.counter("pipeline.convert.malformed"),
+            analyzed: registry.counter("pipeline.analyze.docs"),
+            classified: registry.counter("pipeline.classify.docs"),
+            loaded: registry.counter("pipeline.load.docs"),
+            load_duplicates: registry.counter("pipeline.load.duplicates"),
+            link_rows: registry.counter("pipeline.load.link_rows"),
+            batches: registry.counter("pipeline.batches"),
+            batch_docs: registry.histogram("pipeline.batch.docs"),
+            queue_depth: registry.gauge("pipeline.queue.depth"),
+            convert_wall_us: registry.wall_histogram("pipeline.convert.wall_us"),
+            analyze_wall_us: registry.wall_histogram("pipeline.analyze.wall_us"),
+            classify_wall_us: registry.wall_histogram("pipeline.classify.wall_us"),
+            load_wall_us: registry.wall_histogram("pipeline.load.wall_us"),
+        }
+    }
+}
+
+/// The MIME-type/size admission filter (Section 4.2 "document type
+/// management").
+pub fn admit(registry: &ContentRegistry, response: &FetchResponse) -> bool {
+    registry.can_handle(response.mime) && response.size <= response.mime.max_size() as u64
+}
+
+/// The crawl context handed to the judge for one fetched document.
+pub fn page_context(fetched: &FetchedDoc) -> PageContext {
+    PageContext {
+        page_id: fetched.response.page_id,
+        url: fetched.response.url.clone(),
+        depth: fetched.depth,
+        src_topic: fetched.src_topic,
+        anchor_terms: fetched.anchor_terms.clone(),
+        neighbor_terms: fetched.neighbor_terms.clone(),
+        fetched_at: fetched.fetched_at,
+    }
+}
+
+/// The most significant terms of an analyzed document (by frequency,
+/// ties by term id): what the neighbour feature space of its successors
+/// sees.
+pub fn top_terms(doc: &AnalyzedDocument) -> Vec<TermId> {
+    let mut by_freq: Vec<(TermId, u32)> = doc.term_freqs.clone();
+    by_freq.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    by_freq
+        .into_iter()
+        .take(NEIGHBOR_TERMS_KEPT)
+        .map(|(t, _)| t)
+        .collect()
+}
+
+/// Build the store row of one analyzed, judged document.
+pub fn document_row(
+    world: &World,
+    fetched: &FetchedDoc,
+    doc: &AnalyzedDocument,
+    judgment: &Judgment,
+) -> DocumentRow {
+    DocumentRow {
+        id: fetched.response.page_id,
+        url: fetched.response.url.clone(),
+        host: world.page(fetched.response.page_id).host,
+        mime: fetched.response.mime,
+        depth: fetched.depth,
+        title: doc.title.clone(),
+        topic: judgment.topic,
+        confidence: judgment.confidence,
+        term_freqs: doc.term_freqs.iter().map(|&(t, f)| (t.0, f)).collect(),
+        size: fetched.response.size as usize,
+        fetched_at: fetched.fetched_at,
+    }
+}
+
+/// Link rows of a stored document: every out-link that resolves to a
+/// page of the world, in document order.
+pub fn link_rows(world: &World, page_id: u64, doc: &AnalyzedDocument) -> Vec<LinkRow> {
+    doc.links
+        .iter()
+        .filter_map(|link| {
+            world.resolve_url(&link.href).map(|to| LinkRow {
+                from: page_id,
+                to,
+                to_url: link.href.clone(),
+            })
+        })
+        .collect()
+}
+
+/// Drive one batch of fetched documents through convert → analyze →
+/// classify → bulk-load. Returns one [`DocOutcome`] per input document,
+/// in input order.
+///
+/// `mark_response` is the executor's response-fingerprint policy
+/// (stages 2+3 of [`crate::Dedup`]); it runs between the MIME filter
+/// and conversion, exactly where the per-document executor always ran
+/// it. `judge` classifies the surviving documents in one call.
+#[allow(clippy::too_many_arguments)]
+pub fn process_batch<I: Interner + ?Sized>(
+    world: &World,
+    registry: &ContentRegistry,
+    vocab: &mut I,
+    loader: &mut BulkLoader,
+    batch: Vec<FetchedDoc>,
+    mut mark_response: impl FnMut(&FetchResponse) -> bool,
+    judge: impl FnOnce(&[AnalyzedDocument], &[PageContext]) -> Vec<Judgment>,
+    textproc: &TextprocMetrics,
+    metrics: &PipelineMetrics,
+) -> Vec<DocOutcome> {
+    metrics.batches.inc();
+    metrics.batch_docs.observe(batch.len() as u64);
+    metrics.fetched.add(batch.len() as u64);
+    let mut outcomes: Vec<Option<DocOutcome>> = batch.iter().map(|_| None).collect();
+
+    // Stage: admit (MIME/size), fingerprint, convert.
+    let timer = WallTimer::start();
+    let mut slots: Vec<usize> = Vec::with_capacity(batch.len());
+    let mut fetched: Vec<FetchedDoc> = Vec::with_capacity(batch.len());
+    let mut htmls: Vec<String> = Vec::with_capacity(batch.len());
+    for (i, item) in batch.into_iter().enumerate() {
+        if !admit(registry, &item.response) {
+            metrics.mime_rejected.inc();
+            outcomes[i] = Some(DocOutcome::MimeFiltered);
+            continue;
+        }
+        if !mark_response(&item.response) {
+            metrics.duplicates.inc();
+            outcomes[i] = Some(DocOutcome::DuplicateContent);
+            continue;
+        }
+        match registry.to_html(item.response.mime, &item.response.payload) {
+            Ok(html) => {
+                metrics.converted.inc();
+                slots.push(i);
+                htmls.push(html);
+                fetched.push(item);
+            }
+            Err(_) => {
+                metrics.malformed.inc();
+                outcomes[i] = Some(DocOutcome::Malformed {
+                    wasted_bytes: item.response.payload.len() as u64,
+                });
+            }
+        }
+    }
+    timer.observe_us(&metrics.convert_wall_us);
+
+    // Stage: analyze.
+    let timer = WallTimer::start();
+    let docs: Vec<AnalyzedDocument> = htmls
+        .iter()
+        .map(|html| analyze_html_metered(html, vocab, textproc))
+        .collect();
+    metrics.analyzed.add(docs.len() as u64);
+    timer.observe_us(&metrics.analyze_wall_us);
+
+    // Stage: classify.
+    let timer = WallTimer::start();
+    let ctxs: Vec<PageContext> = fetched.iter().map(page_context).collect();
+    let judgments = judge(&docs, &ctxs);
+    assert_eq!(
+        judgments.len(),
+        docs.len(),
+        "judge must return one judgment per document"
+    );
+    metrics.classified.add(docs.len() as u64);
+    timer.observe_us(&metrics.classify_wall_us);
+
+    // Stage: bulk-load. Documents flush in one batch; the store reports
+    // id collisions back as errors, which decide which documents emit
+    // link rows (a duplicate stores neither row nor links).
+    let timer = WallTimer::start();
+    for ((item, doc), judgment) in fetched.iter().zip(&docs).zip(&judgments) {
+        loader.add_document(document_row(world, item, doc, judgment));
+    }
+    loader.flush();
+    let mut dup_errors: FxHashMap<u64, usize> = FxHashMap::default();
+    for err in loader.take_errors() {
+        if let StoreError::DuplicateKey(id) = err {
+            *dup_errors.entry(id).or_insert(0) += 1;
+        }
+    }
+    // Within one batch the first occurrence of an id stores unless the
+    // id was already in the store; every later occurrence is the
+    // duplicate the errors describe.
+    let mut occurrences: FxHashMap<u64, usize> = FxHashMap::default();
+    for item in &fetched {
+        *occurrences.entry(item.response.page_id).or_insert(0) += 1;
+    }
+    let mut first_seen: FxHashSet<u64> = FxHashSet::default();
+    let mut links_emitted = 0u64;
+    for ((slot, item), (doc, judgment)) in slots
+        .iter()
+        .zip(&fetched)
+        .zip(docs.into_iter().zip(judgments))
+    {
+        let id = item.response.page_id;
+        let stored =
+            first_seen.insert(id) && dup_errors.get(&id).copied().unwrap_or(0) < occurrences[&id];
+        if stored {
+            for link in link_rows(world, id, &doc) {
+                links_emitted += 1;
+                loader.add_link(link);
+            }
+            metrics.loaded.inc();
+            outcomes[*slot] = Some(DocOutcome::Stored {
+                page_id: id,
+                doc,
+                judgment,
+            });
+        } else {
+            metrics.load_duplicates.inc();
+            outcomes[*slot] = Some(DocOutcome::AlreadyStored {
+                page_id: id,
+                doc,
+                judgment,
+            });
+        }
+    }
+    loader.flush();
+    metrics.link_rows.add(links_emitted);
+    timer.observe_us(&metrics.load_wall_us);
+
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("every document has an outcome"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bingo_store::DocumentStore;
+    use bingo_textproc::Vocabulary;
+    use bingo_webworld::gen::WorldConfig;
+    use bingo_webworld::FetchOutcome;
+
+    fn fetch_ok(world: &World, id: u64) -> Option<FetchedDoc> {
+        match world.fetch(&world.url_of(id), 0) {
+            FetchOutcome::Ok(response) => Some(FetchedDoc {
+                response,
+                depth: 1,
+                src_topic: None,
+                anchor_terms: Vec::new(),
+                neighbor_terms: Vec::new(),
+                fetched_at: 7,
+            }),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn batch_stores_documents_and_all_resolvable_links() {
+        let world = WorldConfig::small_test(61).build();
+        let store = DocumentStore::new();
+        let mut loader = BulkLoader::with_batch_size(store.clone(), 4);
+        let registry = Arc::new(Registry::new());
+        let metrics = PipelineMetrics::new(&registry);
+        let textproc = TextprocMetrics::new(registry.clone());
+        let content = ContentRegistry::new();
+        let mut vocab = Vocabulary::new();
+
+        let batch: Vec<FetchedDoc> = (0..30u64).filter_map(|id| fetch_ok(&world, id)).collect();
+        assert!(batch.len() >= 5, "world too hostile for the test");
+        let n = batch.len();
+        let expected_links: usize = batch
+            .iter()
+            .map(|f| {
+                let html = content
+                    .to_html(f.response.mime, &f.response.payload)
+                    .unwrap();
+                let doc = bingo_textproc::analyze_html(&html, &mut Vocabulary::new());
+                link_rows(&world, f.response.page_id, &doc).len()
+            })
+            .sum();
+
+        let outcomes = process_batch(
+            &world,
+            &content,
+            &mut vocab,
+            &mut loader,
+            batch,
+            |_| true,
+            |docs, ctxs| {
+                docs.iter()
+                    .zip(ctxs)
+                    .map(|(_, c)| Judgment {
+                        topic: Some(0),
+                        confidence: c.depth as f32,
+                    })
+                    .collect()
+            },
+            &textproc,
+            &metrics,
+        );
+        assert_eq!(outcomes.len(), n);
+        let stored = outcomes
+            .iter()
+            .filter(|o| matches!(o, DocOutcome::Stored { .. }))
+            .count();
+        assert_eq!(stored, n, "healthy fetches all store");
+        assert_eq!(store.document_count(), n);
+        assert_eq!(store.link_count(), expected_links);
+        store.for_each_document(|row| {
+            assert_eq!(row.depth, 1);
+            assert_eq!(row.fetched_at, 7);
+            assert_eq!(row.topic, Some(0));
+        });
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["pipeline.load.docs"], n as u64);
+        assert_eq!(snap.counters["pipeline.batches"], 1);
+        assert_eq!(
+            snap.counters["pipeline.load.link_rows"],
+            expected_links as u64
+        );
+    }
+
+    #[test]
+    fn batch_outcomes_keep_input_order_and_classify_duplicates() {
+        let world = WorldConfig::small_test(62).build();
+        let store = DocumentStore::new();
+        let mut loader = BulkLoader::with_batch_size(store.clone(), 256);
+        let registry = Arc::new(Registry::new());
+        let metrics = PipelineMetrics::new(&registry);
+        let textproc = TextprocMetrics::new(registry.clone());
+        let content = ContentRegistry::new();
+        let mut vocab = Vocabulary::new();
+
+        let a = fetch_ok(&world, 1).unwrap();
+        let b = fetch_ok(&world, 2).unwrap();
+        // The same page twice in one batch: the second occurrence must
+        // come back `AlreadyStored`, not `Stored`.
+        let batch = vec![a.clone(), b, a];
+        let outcomes = process_batch(
+            &world,
+            &content,
+            &mut vocab,
+            &mut loader,
+            batch,
+            |_| true,
+            |docs, ctxs| {
+                docs.iter()
+                    .zip(ctxs)
+                    .map(|_| Judgment {
+                        topic: None,
+                        confidence: -0.5,
+                    })
+                    .collect()
+            },
+            &textproc,
+            &metrics,
+        );
+        assert!(matches!(
+            &outcomes[0],
+            DocOutcome::Stored { page_id: 1, .. }
+        ));
+        assert!(matches!(
+            &outcomes[1],
+            DocOutcome::Stored { page_id: 2, .. }
+        ));
+        assert!(
+            matches!(&outcomes[2], DocOutcome::AlreadyStored { page_id: 1, judgment, .. }
+                if judgment.confidence == -0.5)
+        );
+        assert_eq!(store.document_count(), 2);
+        assert_eq!(registry.snapshot().counters["pipeline.load.duplicates"], 1);
+    }
+
+    #[test]
+    fn fingerprint_duplicates_skip_conversion() {
+        let world = WorldConfig::small_test(63).build();
+        let store = DocumentStore::new();
+        let mut loader = BulkLoader::new(store.clone());
+        let registry = Arc::new(Registry::new());
+        let metrics = PipelineMetrics::new(&registry);
+        let textproc = TextprocMetrics::new(registry.clone());
+        let content = ContentRegistry::new();
+        let mut vocab = Vocabulary::new();
+
+        let batch = vec![fetch_ok(&world, 1).unwrap()];
+        let outcomes = process_batch(
+            &world,
+            &content,
+            &mut vocab,
+            &mut loader,
+            batch,
+            |_| false, // every response is a known fingerprint
+            |docs, _| {
+                assert!(docs.is_empty(), "nothing reaches the judge");
+                Vec::new()
+            },
+            &textproc,
+            &metrics,
+        );
+        assert!(matches!(outcomes[0], DocOutcome::DuplicateContent));
+        assert_eq!(store.document_count(), 0);
+        assert_eq!(registry.snapshot().counters["pipeline.fetch.duplicates"], 1);
+    }
+}

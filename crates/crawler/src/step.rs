@@ -3,12 +3,16 @@
 //!
 //! Each [`Crawler::step`] call processes one URL end to end on the
 //! earliest-free simulated thread: frontier pop → hygiene guards → DNS →
-//! fetch (with redirect/timeout handling) → MIME/size filter → duplicate
+//! fetch (with redirect/timeout handling), then the shared document
+//! pipeline ([`crate::pipeline`]) — MIME/size filter → duplicate
 //! fingerprints → content conversion → document analysis →
-//! classification via the pluggable [`DocumentJudge`] → storage → link
-//! extraction and focusing-rule-driven enqueueing. Virtual time advances
-//! by the real latencies the simulated network reports, so wall-clock
-//! budgets ("a 90-minute crawl") are meaningful and deterministic.
+//! classification via the pluggable [`DocumentJudge`] → bulk-load — and
+//! finally link extraction and focusing-rule-driven enqueueing. This
+//! module is the frontier/focus *policy* layer; all fetch-to-store
+//! document handling lives in the pipeline, shared with the
+//! real-thread executor. Virtual time advances by the real latencies
+//! the simulated network reports, so wall-clock budgets ("a 90-minute
+//! crawl") are meaningful and deterministic.
 
 use crate::checkpoint::{
     load_checkpoint, save_checkpoint, CheckpointError, CrawlCheckpoint, CRAWLER_FILE, STORE_FILE,
@@ -17,16 +21,16 @@ use crate::dedup::{path_of_url, Dedup};
 use crate::dns::CachingResolver;
 use crate::frontier::{Frontier, QueueEntry};
 use crate::hosts::{FailureOutcome, HostDecision, HostManager};
+use crate::pipeline::{process_batch, top_terms, DocOutcome, FetchedDoc, NEIGHBOR_TERMS_KEPT};
 use crate::telemetry::CrawlTelemetry;
 use crate::types::{
-    CrawlConfig, CrawlStats, CrawlStrategy, FocusRule, Judgment, PageContext, MAX_HOSTNAME_LEN,
-    MAX_URL_LEN,
+    CrawlConfig, CrawlStats, CrawlStrategy, FocusRule, Judgment, MAX_HOSTNAME_LEN, MAX_URL_LEN,
 };
 use crate::DocumentJudge;
 use bingo_obs::{Event, WallTimer};
-use bingo_store::{DocumentRow, DocumentStore, LinkRow};
+use bingo_store::{BulkLoader, BulkLoaderObs, DocumentStore};
 use bingo_textproc::fxhash;
-use bingo_textproc::{analyze_html_metered, ContentRegistry, Vocabulary};
+use bingo_textproc::{ContentRegistry, Vocabulary};
 use bingo_webworld::fetch::host_of_url;
 use bingo_webworld::{DnsError, FetchOutcome, World};
 use std::cmp::Reverse;
@@ -61,6 +65,10 @@ pub struct Crawler {
     hosts: HostManager,
     registry: ContentRegistry,
     store: DocumentStore,
+    /// Batched writer over `store` (batch size 1: the discrete-event
+    /// executor stores one document per step, and the store must be
+    /// current whenever the engine reads it between steps).
+    loader: BulkLoader,
     stats: CrawlStats,
     /// Min-heap of (free-at, thread id).
     threads: BinaryHeap<Reverse<(u64, usize)>>,
@@ -77,9 +85,6 @@ pub struct Crawler {
     telemetry: CrawlTelemetry,
 }
 
-/// How many of a predecessor's terms feed the neighbour feature space.
-const NEIGHBOR_TERMS_KEPT: usize = 8;
-
 impl Crawler {
     /// New crawler over `world` writing into `store`.
     pub fn new(world: Arc<World>, config: CrawlConfig, store: DocumentStore) -> Self {
@@ -88,6 +93,8 @@ impl Crawler {
         let threads = (0..config.threads.max(1))
             .map(|tid| Reverse((0u64, tid)))
             .collect();
+        let telemetry = CrawlTelemetry::default();
+        let loader = Self::make_loader(&store, &telemetry);
         Crawler {
             hosts: HostManager::with_config(config.breaker.clone()),
             frontier,
@@ -98,17 +105,28 @@ impl Crawler {
             resolver: CachingResolver::new(),
             registry: ContentRegistry::new(),
             store,
+            loader,
             stats: CrawlStats::default(),
             host_slots: bingo_textproc::fxhash::FxHashMap::default(),
             page_top_terms: bingo_textproc::fxhash::FxHashMap::default(),
             clock: 0,
-            telemetry: CrawlTelemetry::default(),
+            telemetry,
         }
+    }
+
+    /// The pipeline's store writer: batch size 1 (flush per step) with
+    /// flush errors surfaced through the telemetry registry.
+    fn make_loader(store: &DocumentStore, telemetry: &CrawlTelemetry) -> BulkLoader {
+        BulkLoader::with_batch_size(store.clone(), 1).with_observer(BulkLoaderObs::new(
+            &telemetry.registry,
+            telemetry.events.clone(),
+        ))
     }
 
     /// Route this crawler's metrics and events into a shared telemetry
     /// namespace (e.g. one registry covering crawl + engine + index).
     pub fn set_telemetry(&mut self, telemetry: CrawlTelemetry) {
+        self.loader = Self::make_loader(&self.store, &telemetry);
         self.telemetry = telemetry;
     }
 
@@ -349,6 +367,10 @@ impl Crawler {
         self.telemetry
             .frontier_depth
             .set(self.frontier.len() as i64);
+        self.telemetry
+            .pipeline
+            .queue_depth
+            .set(self.frontier.len() as i64);
         if matches!(outcome, StepOutcome::Stored { .. }) {
             self.maybe_checkpoint();
         }
@@ -514,97 +536,80 @@ impl Crawler {
         }
         self.stats.visited_hosts = self.hosts.visited_count() as u64;
 
-        // MIME/size filter.
-        if !self.registry.can_handle(response.mime)
-            || response.size > response.mime.max_size() as u64
-        {
-            self.stats.mime_rejected += 1;
-            return StepOutcome::Skipped("mime/size filter");
-        }
-
-        // Duplicate fingerprints (IP+path, IP+filesize).
-        if !self
-            .dedup
-            .mark_response(response.ip, path_of_url(&response.url), response.size)
-        {
-            self.stats.duplicates += 1;
-            return StepOutcome::Skipped("duplicate content");
-        }
-
-        // Convert and analyze.
-        let html = match self.registry.to_html(response.mime, &response.payload) {
-            Ok(h) => h,
-            Err(_) => {
-                self.stats.mime_rejected += 1;
-                self.stats.wasted_bytes += response.payload.len() as u64;
-                return StepOutcome::Skipped("malformed payload");
-            }
-        };
-        let doc = analyze_html_metered(&html, vocab, &self.telemetry.textproc);
-
-        // Classify. The enqueuing predecessor's most significant terms
-        // feed the neighbour-document feature space.
-        let neighbor_terms = self
-            .page_top_terms
-            .get(&entry.src_page)
-            .cloned()
-            .unwrap_or_default();
-        let ctx = PageContext {
-            page_id: response.page_id,
-            url: response.url.clone(),
+        // The shared document pipeline takes over from here: MIME/size
+        // filter → duplicate fingerprints → conversion → analysis →
+        // classification → bulk-load. The discrete-event executor
+        // processes one URL per step, so the batch is a singleton.
+        let fetched = FetchedDoc {
             depth: entry.depth,
             src_topic: entry.src_topic,
             anchor_terms: entry.anchor_terms.clone(),
-            neighbor_terms,
+            neighbor_terms: self
+                .page_top_terms
+                .get(&entry.src_page)
+                .cloned()
+                .unwrap_or_default(),
             fetched_at: now,
+            response,
         };
-        let judgment = judge.judge(&doc, &ctx);
+        let dedup = &mut self.dedup;
+        let outcome = process_batch(
+            &self.world,
+            &self.registry,
+            vocab,
+            &mut self.loader,
+            vec![fetched],
+            |resp| dedup.mark_response(resp.ip, path_of_url(&resp.url), resp.size),
+            |docs, ctxs| {
+                docs.iter()
+                    .zip(ctxs)
+                    .map(|(d, c)| judge.judge(d, c))
+                    .collect()
+            },
+            &self.telemetry.textproc,
+            &self.telemetry.pipeline,
+        )
+        .pop()
+        .expect("one outcome per document");
 
-        // Remember this page's top terms for its successors.
-        let mut by_freq: Vec<(bingo_textproc::TermId, u32)> = doc.term_freqs.clone();
-        by_freq.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        self.page_top_terms.insert(
-            response.page_id,
-            by_freq
-                .into_iter()
-                .take(NEIGHBOR_TERMS_KEPT)
-                .map(|(t, _)| t)
-                .collect(),
-        );
-
-        // Store.
-        let row = DocumentRow {
-            id: response.page_id,
-            url: response.url.clone(),
-            host: self.world.page(response.page_id).host,
-            mime: response.mime,
-            depth: entry.depth,
-            title: doc.title.clone(),
-            topic: judgment.topic,
-            confidence: judgment.confidence,
-            term_freqs: doc.term_freqs.iter().map(|&(t, f)| (t.0, f)).collect(),
-            size: response.size as usize,
-            fetched_at: now,
-        };
-        let duplicate_id = self.store.insert_document(row).is_err();
-        if duplicate_id {
-            // Same page re-fetched through another alias/redirect chain.
-            self.stats.duplicates += 1;
-            return StepOutcome::Skipped("already stored");
-        }
-        self.stats.stored_pages += 1;
-        self.telemetry.stored.inc();
-        if judgment.topic.is_some() {
-            self.stats.positively_classified += 1;
-        }
-
-        // Link extraction and enqueueing under the focusing rule.
-        self.stats.extracted_links += doc.links.len() as u64;
-        self.enqueue_links(&entry, &judgment, &doc, response.page_id);
-
-        StepOutcome::Stored {
-            page_id: response.page_id,
-            judgment,
+        match outcome {
+            DocOutcome::MimeFiltered => {
+                self.stats.mime_rejected += 1;
+                StepOutcome::Skipped("mime/size filter")
+            }
+            DocOutcome::DuplicateContent => {
+                self.stats.duplicates += 1;
+                StepOutcome::Skipped("duplicate content")
+            }
+            DocOutcome::Malformed { wasted_bytes } => {
+                self.stats.mime_rejected += 1;
+                self.stats.wasted_bytes += wasted_bytes;
+                StepOutcome::Skipped("malformed payload")
+            }
+            DocOutcome::AlreadyStored { page_id, doc, .. } => {
+                // Same page re-fetched through another alias/redirect
+                // chain; its terms still feed successors' features.
+                self.page_top_terms.insert(page_id, top_terms(&doc));
+                self.stats.duplicates += 1;
+                StepOutcome::Skipped("already stored")
+            }
+            DocOutcome::Stored {
+                page_id,
+                doc,
+                judgment,
+            } => {
+                // Remember this page's top terms for its successors.
+                self.page_top_terms.insert(page_id, top_terms(&doc));
+                self.stats.stored_pages += 1;
+                self.telemetry.stored.inc();
+                if judgment.topic.is_some() {
+                    self.stats.positively_classified += 1;
+                }
+                // Link extraction and enqueueing under the focusing rule.
+                self.stats.extracted_links += doc.links.len() as u64;
+                self.enqueue_links(&entry, &judgment, &doc, page_id);
+                StepOutcome::Stored { page_id, judgment }
+            }
         }
     }
 
@@ -751,19 +756,13 @@ impl Crawler {
                 continue; // already queued or visited
             }
             // Depth-first learning gives deeper URLs higher priority;
-            // best-first harvesting orders by confidence.
+            // best-first harvesting orders by confidence. (Link rows are
+            // emitted by the pipeline's load stage, independent of these
+            // enqueue filters.)
             let priority = match self.config.strategy {
                 CrawlStrategy::DepthFirst => child_depth as f32 * 10.0 + base_priority,
                 CrawlStrategy::BestFirst => base_priority,
             };
-            // Record the link row for the link analysis.
-            if let Some(to_id) = self.world.resolve_url(url) {
-                self.store.insert_link(LinkRow {
-                    from: page_id,
-                    to: to_id,
-                    to_url: url.clone(),
-                });
-            }
             self.frontier.push(QueueEntry {
                 url: url.clone(),
                 priority,
@@ -784,6 +783,7 @@ impl Crawler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::types::PageContext;
     use bingo_textproc::AnalyzedDocument;
     use bingo_webworld::gen::WorldConfig;
 

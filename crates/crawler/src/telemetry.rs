@@ -10,6 +10,7 @@
 //! rare transitions (breaker state changes, checkpoint writes), so logs
 //! stay small and byte-identical across same-seed runs.
 
+use crate::pipeline::PipelineMetrics;
 use bingo_obs::{Counter, EventLog, Gauge, Histogram, Registry};
 use bingo_textproc::TextprocMetrics;
 use std::sync::Arc;
@@ -63,6 +64,9 @@ pub struct CrawlTelemetry {
     pub checkpoint_wall_ms: Arc<Histogram>,
     /// Document-analysis metrics (tokenize/vectorize volume and cost).
     pub textproc: TextprocMetrics,
+    /// Per-stage document-pipeline metrics (queue depths, batch sizes,
+    /// stage latencies).
+    pub pipeline: PipelineMetrics,
 }
 
 impl CrawlTelemetry {
@@ -90,6 +94,7 @@ impl CrawlTelemetry {
             checkpoint_bytes: registry.histogram("crawl.checkpoint.bytes"),
             checkpoint_wall_ms: registry.wall_histogram("crawl.checkpoint.wall_ms"),
             textproc: TextprocMetrics::new(registry.clone()),
+            pipeline: PipelineMetrics::new(&registry),
             registry,
             events,
         }

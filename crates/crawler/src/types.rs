@@ -236,6 +236,37 @@ pub struct CrawlStats {
     pub checkpoints_written: u64,
 }
 
+impl CrawlStats {
+    /// Fold another set of counters into this one: sums everywhere,
+    /// except the high-water marks (`max_depth`, `elapsed_ms`), which
+    /// take the maximum. Used by the real-thread executor to aggregate
+    /// per-worker counters.
+    pub fn merge(&mut self, other: &CrawlStats) {
+        self.visited_urls += other.visited_urls;
+        self.stored_pages += other.stored_pages;
+        self.extracted_links += other.extracted_links;
+        self.positively_classified += other.positively_classified;
+        self.visited_hosts += other.visited_hosts;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.duplicates += other.duplicates;
+        self.fetch_errors += other.fetch_errors;
+        self.redirects += other.redirects;
+        self.mime_rejected += other.mime_rejected;
+        self.url_rejected += other.url_rejected;
+        self.queue_overflow += other.queue_overflow;
+        self.elapsed_ms = self.elapsed_ms.max(other.elapsed_ms);
+        self.retries += other.retries;
+        self.backoff_wait_ms += other.backoff_wait_ms;
+        self.wasted_bytes += other.wasted_bytes;
+        self.truncated_fetches += other.truncated_fetches;
+        self.breaker_opened += other.breaker_opened;
+        self.breaker_probes += other.breaker_probes;
+        self.breaker_closed += other.breaker_closed;
+        self.hosts_dead += other.hosts_dead;
+        self.checkpoints_written += other.checkpoints_written;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,211 @@
+//! Executor equivalence: the deterministic discrete-event crawler and
+//! the real-thread batch executor drive the *same* staged document
+//! pipeline, so crawling the same URL universe with the same judge must
+//! produce identical store contents — same documents, same depths, same
+//! canonical term ids, same link rows — modulo row order and wall-clock
+//! timestamps.
+//!
+//! The crawl is restricted to "calm" hosts (no faults, redirects,
+//! truncation, path aliases or fingerprint collisions) because
+//! response-fingerprint duplicate elimination and breaker-driven drops
+//! are inherently order-dependent: outside that universe the two
+//! executors are allowed to keep different representatives of a
+//! duplicate class.
+
+use bingo_crawler::{
+    CrawlConfig, CrawlTelemetry, Crawler, Judgment, PageContext, PipelineOptions, StepOutcome,
+};
+use bingo_store::{DocumentStore, LinkRow};
+use bingo_textproc::fxhash::{FxHashMap, FxHashSet};
+use bingo_textproc::{AnalyzedDocument, SharedVocabulary, Vocabulary};
+use bingo_webworld::gen::WorldConfig;
+use bingo_webworld::{FetchOutcome, HostBehavior, World};
+use std::sync::Arc;
+
+/// Hosts whose every page fetches cleanly (no redirects, truncation or
+/// scripted faults) and collides with no other selected page on either
+/// duplicate fingerprint — (IP, path) or (IP, size).
+fn calm_hosts(world: &World) -> FxHashSet<String> {
+    let mut pages_by_host: FxHashMap<u32, Vec<u64>> = FxHashMap::default();
+    for id in 0..world.page_count() as u64 {
+        pages_by_host
+            .entry(world.page(id).host)
+            .or_default()
+            .push(id);
+    }
+    let mut host_ids: Vec<u32> = pages_by_host.keys().copied().collect();
+    host_ids.sort_unstable();
+
+    let mut used_path: FxHashSet<(u32, String)> = FxHashSet::default();
+    let mut used_size: FxHashSet<(u32, u64)> = FxHashSet::default();
+    let mut allowed = FxHashSet::default();
+    'hosts: for host_id in host_ids {
+        let host = world.host(host_id);
+        if host.behavior != HostBehavior::Normal {
+            continue;
+        }
+        let ids = &pages_by_host[&host_id];
+        let mut fingerprints = Vec::with_capacity(ids.len());
+        for &id in ids {
+            let page = world.page(id);
+            // An aliased page stores under whichever of its URLs the
+            // executor happens to fetch first — order-dependent.
+            if page.size_hint.is_some()
+                || page.redirect_to.is_some()
+                || world.alias_url_of(id).is_some()
+            {
+                continue 'hosts;
+            }
+            let FetchOutcome::Ok(resp) = world.fetch(&world.url_of(id), 0) else {
+                continue 'hosts;
+            };
+            fingerprints.push(((resp.ip, page.path.clone()), (resp.ip, resp.size)));
+        }
+        let mut path_probe = used_path.clone();
+        let mut size_probe = used_size.clone();
+        if !fingerprints
+            .iter()
+            .all(|(p, s)| path_probe.insert(p.clone()) && size_probe.insert(*s))
+        {
+            continue;
+        }
+        used_path = path_probe;
+        used_size = size_probe;
+        allowed.insert(host.name.clone());
+    }
+    allowed
+}
+
+/// One comparable document row: everything except `fetched_at` (virtual
+/// vs. wall time) — id, url, host, mime, depth, title, judgment, term
+/// vector, size.
+type RowKey = (
+    u64,
+    String,
+    u32,
+    String,
+    u32,
+    String,
+    Option<u32>,
+    u32,
+    Vec<(u32, u32)>,
+    usize,
+);
+
+fn row_keys(store: &DocumentStore) -> Vec<RowKey> {
+    let mut rows: Vec<RowKey> = store
+        .all_documents()
+        .into_iter()
+        .map(|r| {
+            (
+                r.id,
+                r.url,
+                r.host,
+                format!("{:?}", r.mime),
+                r.depth,
+                r.title,
+                r.topic,
+                r.confidence.to_bits(),
+                r.term_freqs,
+                r.size,
+            )
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn link_keys(store: &DocumentStore) -> Vec<(u64, u64, String)> {
+    let mut links: Vec<(u64, u64, String)> = store
+        .all_links()
+        .into_iter()
+        .map(|LinkRow { from, to, to_url }| (from, to, to_url))
+        .collect();
+    links.sort();
+    links
+}
+
+#[test]
+fn deterministic_and_threaded_executors_fill_identical_stores() {
+    // Aliased pages store under whichever of their URLs is fetched
+    // first — legitimately order-dependent — so this world has none.
+    let world = Arc::new(
+        WorldConfig {
+            alias_fraction: 0.0,
+            ..WorldConfig::small_test(41)
+        }
+        .build(),
+    );
+    let allowed = calm_hosts(&world);
+    assert!(allowed.len() >= 2, "world too hostile for the test");
+    let seeds: Vec<String> = {
+        let mut first_page_by_host: FxHashMap<u32, u64> = FxHashMap::default();
+        for id in 0..world.page_count() as u64 {
+            let e = first_page_by_host.entry(world.page(id).host).or_insert(id);
+            *e = (*e).min(id);
+        }
+        let mut urls: Vec<String> = first_page_by_host
+            .into_values()
+            .filter(|&id| allowed.contains(&world.host(world.page(id).host).name))
+            .map(|id| world.url_of(id))
+            .collect();
+        urls.sort();
+        urls
+    };
+    assert!(!seeds.is_empty());
+    let config = CrawlConfig {
+        allowed_hosts: Some(allowed.clone()),
+        ..CrawlConfig::default().harvesting()
+    };
+    let accept_all = |_: &AnalyzedDocument, _: &PageContext| Judgment {
+        topic: Some(0),
+        confidence: 1.0,
+    };
+
+    // Deterministic discrete-event crawl with a private vocabulary.
+    let det_store = DocumentStore::new();
+    let mut crawler = Crawler::new(Arc::clone(&world), config.clone(), det_store.clone());
+    for url in &seeds {
+        crawler.add_seed(url, Some(0));
+    }
+    let mut vocab = Vocabulary::new();
+    let mut judge = accept_all;
+    loop {
+        if crawler.step(&mut judge, &mut vocab) == StepOutcome::FrontierEmpty {
+            break;
+        }
+    }
+    det_store.remap_terms(&vocab.canonical_map(0));
+
+    // Real-thread batch executor over the shared vocabulary.
+    let thr_store = DocumentStore::new();
+    let shared = SharedVocabulary::new();
+    bingo_crawler::run_pipeline(
+        Arc::clone(&world),
+        thr_store.clone(),
+        seeds.iter().map(|u| (u.clone(), Some(0))).collect(),
+        &shared,
+        &accept_all,
+        &CrawlTelemetry::default(),
+        &PipelineOptions::focused(config, 4, 7),
+    );
+    let (_, map) = shared.canonicalize();
+    thr_store.remap_terms(&map);
+
+    // The crawl must be non-trivial: multiple documents, real depths,
+    // link rows.
+    assert!(
+        det_store.document_count() >= 10,
+        "crawl too small to be meaningful: {} docs",
+        det_store.document_count()
+    );
+    let det_rows = row_keys(&det_store);
+    assert!(
+        det_rows.iter().any(|r| r.4 >= 1),
+        "no document beyond depth 0"
+    );
+    assert!(det_store.link_count() > 0, "no link rows emitted");
+
+    assert_eq!(det_rows, row_keys(&thr_store));
+    assert_eq!(link_keys(&det_store), link_keys(&thr_store));
+}

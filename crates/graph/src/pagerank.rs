@@ -1,4 +1,4 @@
-//! PageRank (Brin & Page, WWW 1998 — the paper's reference [5]).
+//! PageRank (Brin & Page, WWW 1998 — the paper's reference 5).
 //!
 //! BINGO!'s own distiller is HITS, but the paper frames authority-based
 //! ranking with both classics; the local search engine exposes PageRank

@@ -1,6 +1,7 @@
 //! Multinomial Naive Bayes classifier — one of the supervised learning
 //! methods the paper cites for document classification (Section 1.2,
-//! [15]) and a genuinely different decision model for the meta classifier
+//! reference 15) and a genuinely different decision model for the meta
+//! classifier
 //! of Section 3.5 to combine with the SVM.
 
 use crate::{Classifier, Decision, TrainingSet};

@@ -263,6 +263,15 @@ impl TrainedSvm {
     pub fn confidence(&self, x: &SparseVector) -> f32 {
         self.raw_score(x) / self.weight_norm
     }
+
+    /// [`confidence`](Self::confidence) over a whole batch: one model
+    /// lookup per batch instead of per document. Results are identical
+    /// to calling `confidence` on each vector in turn.
+    pub fn confidence_batch(&self, xs: &[SparseVector]) -> Vec<f32> {
+        xs.iter()
+            .map(|x| self.raw_score(x) / self.weight_norm)
+            .collect()
+    }
 }
 
 impl Classifier for TrainedSvm {

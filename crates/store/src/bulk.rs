@@ -13,9 +13,37 @@
 
 use crate::tables::{DocumentRow, LinkRow};
 use crate::{DocumentStore, StoreError};
+use bingo_obs::{Counter, Event, EventLog, Registry};
+use std::sync::Arc;
 
 /// Default workspace capacity before an automatic flush.
 pub const DEFAULT_BATCH_SIZE: usize = 256;
+
+/// Observability handles for bulk-load workspaces: flush errors must
+/// never vanish silently, in particular not from the final flush a
+/// [`Drop`] performs at crawl shutdown.
+#[derive(Clone)]
+pub struct BulkLoaderObs {
+    /// Errors returned by batch flushes (duplicate keys etc.).
+    pub flush_errors: Counter,
+    /// Errors still unclaimed (never drained via
+    /// [`BulkLoader::take_errors`]) when a workspace was dropped.
+    pub dropped_errors: Counter,
+    /// Event sink for the drop-time error report.
+    pub events: Arc<EventLog>,
+}
+
+impl BulkLoaderObs {
+    /// Register the bulk-load metrics in `registry`, reporting drop-time
+    /// errors to `events`.
+    pub fn new(registry: &Registry, events: Arc<EventLog>) -> Self {
+        BulkLoaderObs {
+            flush_errors: registry.counter("store.bulk.flush_errors"),
+            dropped_errors: registry.counter("store.bulk.dropped_errors"),
+            events,
+        }
+    }
+}
 
 /// A per-thread write workspace for the document store.
 ///
@@ -29,6 +57,7 @@ pub struct BulkLoader {
     links: Vec<LinkRow>,
     errors: Vec<StoreError>,
     flushed_documents: u64,
+    obs: Option<BulkLoaderObs>,
 }
 
 impl BulkLoader {
@@ -46,7 +75,15 @@ impl BulkLoader {
             links: Vec::new(),
             errors: Vec::new(),
             flushed_documents: 0,
+            obs: None,
         }
+    }
+
+    /// Wire observability handles into this workspace (flush-error
+    /// counters and the drop-time event).
+    pub fn with_observer(mut self, obs: BulkLoaderObs) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Queue one document; flushes automatically when the workspace is
@@ -81,6 +118,9 @@ impl BulkLoader {
             self.flushed_documents += batch.len() as u64;
             let errs = self.store.insert_documents(batch);
             self.flushed_documents -= errs.len() as u64;
+            if let Some(obs) = &self.obs {
+                obs.flush_errors.add(errs.len() as u64);
+            }
             self.errors.extend(errs);
         }
         if !self.links.is_empty() {
@@ -96,9 +136,29 @@ impl BulkLoader {
 
 impl Drop for BulkLoader {
     /// A dropped workspace flushes its remainder so no documents are lost
-    /// at crawl shutdown.
+    /// at crawl shutdown. Errors nobody drained — including errors from
+    /// this final flush — are reported through the observer (counter +
+    /// event) or, unobserved, to stderr; they never vanish silently.
     fn drop(&mut self) {
         self.flush();
+        if self.errors.is_empty() {
+            return;
+        }
+        let count = self.errors.len();
+        let first = self.errors[0].to_string();
+        match &self.obs {
+            Some(obs) => {
+                obs.dropped_errors.add(count as u64);
+                obs.events.emit(
+                    Event::at(0, "store.bulk.dropped_errors")
+                        .with("count", count)
+                        .with("first", &first),
+                );
+            }
+            None => eprintln!(
+                "bulk loader dropped with {count} unclaimed flush errors (first: {first})"
+            ),
+        }
     }
 }
 
@@ -165,6 +225,44 @@ mod tests {
         let errs = loader.take_errors();
         assert_eq!(errs, vec![StoreError::DuplicateKey(1)]);
         assert!(loader.take_errors().is_empty());
+    }
+
+    #[test]
+    fn drop_time_errors_hit_the_observer() {
+        let registry = bingo_obs::Registry::new();
+        let events = Arc::new(bingo_obs::EventLog::default());
+        let obs = BulkLoaderObs::new(&registry, events.clone());
+        let store = DocumentStore::new();
+        store.insert_document(doc(7)).unwrap();
+        {
+            let mut loader =
+                BulkLoader::with_batch_size(store.clone(), 100).with_observer(obs.clone());
+            // Flushed at drop time, colliding with the pre-inserted row.
+            loader.add_document(doc(7));
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["store.bulk.flush_errors"], 1);
+        assert_eq!(snap.counters["store.bulk.dropped_errors"], 1);
+        let evs = events.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, "store.bulk.dropped_errors");
+    }
+
+    #[test]
+    fn drained_errors_are_not_reported_as_dropped() {
+        let registry = bingo_obs::Registry::new();
+        let events = Arc::new(bingo_obs::EventLog::default());
+        let obs = BulkLoaderObs::new(&registry, events.clone());
+        let store = DocumentStore::new();
+        let mut loader = BulkLoader::with_batch_size(store, 1).with_observer(obs);
+        loader.add_document(doc(3));
+        loader.add_document(doc(3));
+        assert_eq!(loader.take_errors().len(), 1);
+        drop(loader);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["store.bulk.flush_errors"], 1);
+        assert_eq!(snap.counters["store.bulk.dropped_errors"], 0);
+        assert!(events.events().is_empty());
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod bulk;
 pub mod persist;
 pub mod tables;
 
-pub use bulk::BulkLoader;
+pub use bulk::{BulkLoader, BulkLoaderObs};
 pub use tables::{DocumentRow, HostRow, HostState, LinkRow};
 
 use bingo_graph::{HostId, LinkSource, PageId};
@@ -223,6 +223,12 @@ impl DocumentStore {
         self.inner.read().documents.values().cloned().collect()
     }
 
+    /// Snapshot of all link rows, in insertion order (the log-style
+    /// link relation, duplicates included).
+    pub fn all_links(&self) -> Vec<LinkRow> {
+        self.inner.read().links.clone()
+    }
+
     /// Host metadata.
     pub fn host(&self, id: HostId) -> Option<HostRow> {
         self.inner.read().hosts.get(&id).cloned()
@@ -249,6 +255,22 @@ impl DocumentStore {
         let inner = self.inner.read();
         for row in inner.documents.values() {
             f(row);
+        }
+    }
+
+    /// Rewrite every stored document's term ids through `map`
+    /// (index = old id, value = new id; the map must cover every id in
+    /// the store and be injective). Term frequencies are re-sorted by the
+    /// new ids. Used to canonicalize rows produced by the concurrent
+    /// pipeline's arrival-ordered interner — see
+    /// `bingo_textproc::SharedVocabulary::canonicalize`.
+    pub fn remap_terms(&self, map: &[u32]) {
+        let mut inner = self.inner.write();
+        for row in inner.documents.values_mut() {
+            for entry in &mut row.term_freqs {
+                entry.0 = map[entry.0 as usize];
+            }
+            row.term_freqs.sort_unstable_by_key(|&(t, _)| t);
         }
     }
 }
@@ -326,6 +348,18 @@ mod tests {
         let errs = s.insert_documents(vec![doc(1, "z", None), doc(2, "w", None)]);
         assert_eq!(errs, vec![StoreError::DuplicateKey(1)]);
         assert_eq!(s.document_count(), 2);
+    }
+
+    #[test]
+    fn remap_terms_rewrites_and_resorts() {
+        let s = DocumentStore::new();
+        s.insert_document(doc(1, "u", None)).unwrap();
+        // Old ids 1 and 7 swap order under the map.
+        let mut map = vec![0u32; 8];
+        map[1] = 6;
+        map[7] = 2;
+        s.remap_terms(&map);
+        assert_eq!(s.document(1).unwrap().term_freqs, vec![(2, 1), (6, 2)]);
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub use stem::porter_stem;
 pub use tfidf::{CorpusStats, TfIdfWeighter};
 pub use tokenize::Tokenizer;
 pub use vector::SparseVector;
-pub use vocab::{TermId, Vocabulary};
+pub use vocab::{Interner, SharedVocabulary, TermId, Vocabulary};
 
 /// A fully analyzed document: the output of the document analyzer that the
 /// classifier, the feature selection and the local search engine consume.
@@ -89,8 +89,10 @@ impl AnalyzedDocument {
 ///
 /// This is the main entry point equivalent to the paper's document analyzer:
 /// it takes raw HTML and produces the bag-of-words representation plus the
-/// extracted link structure.
-pub fn analyze_html(html_text: &str, vocab: &mut Vocabulary) -> AnalyzedDocument {
+/// extracted link structure. Generic over the [`Interner`] so the same
+/// analyzer serves the deterministic crawler (`&mut Vocabulary`) and the
+/// concurrent pipeline (`&mut &SharedVocabulary`).
+pub fn analyze_html<I: Interner + ?Sized>(html_text: &str, vocab: &mut I) -> AnalyzedDocument {
     let parsed = html::parse(html_text);
     let tokenizer = Tokenizer::default();
     let mut terms = Vec::new();

@@ -4,7 +4,7 @@
 //! deterministic; the per-document analysis cost is wall time and lands
 //! in a volatile histogram.
 
-use crate::{analyze_html, AnalyzedDocument, Vocabulary};
+use crate::{analyze_html, AnalyzedDocument, Interner};
 use bingo_obs::{Counter, Gauge, Histogram, Registry, WallTimer};
 use std::sync::Arc;
 
@@ -42,33 +42,35 @@ impl TextprocMetrics {
         }
     }
 
-    /// Roll one analyzed document into the counters.
-    pub fn record(&self, doc: &AnalyzedDocument, vocab: &Vocabulary) {
+    /// Roll one analyzed document into the counters. `vocab_size` is the
+    /// interner's current distinct-term count.
+    pub fn record(&self, doc: &AnalyzedDocument, vocab_size: usize) {
         self.docs.inc();
         self.terms.add(doc.terms.len() as u64);
         self.links.add(doc.links.len() as u64);
         self.terms_per_doc.observe(doc.terms.len() as u64);
-        self.vocab_size.set(vocab.len() as i64);
+        self.vocab_size.set(vocab_size as i64);
     }
 }
 
 /// [`analyze_html`] plus metrics: volume counters and the wall-clock
 /// analysis cost.
-pub fn analyze_html_metered(
+pub fn analyze_html_metered<I: Interner + ?Sized>(
     html_text: &str,
-    vocab: &mut Vocabulary,
+    vocab: &mut I,
     metrics: &TextprocMetrics,
 ) -> AnalyzedDocument {
     let timer = WallTimer::start();
     let doc = analyze_html(html_text, vocab);
     timer.observe_us(&metrics.analyze_wall_us);
-    metrics.record(&doc, vocab);
+    metrics.record(&doc, vocab.term_count());
     doc
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Vocabulary;
 
     #[test]
     fn metered_analysis_counts_volume() {

@@ -1,8 +1,28 @@
 //! Term dictionary: interning stemmed terms to dense [`TermId`]s shared
 //! across the whole engine (documents, classifiers, indexes).
+//!
+//! Two interners implement the [`Interner`] contract:
+//!
+//! * [`Vocabulary`] — the single-threaded dictionary with sequential
+//!   first-encounter ids, used by the deterministic crawler and the
+//!   engine,
+//! * [`SharedVocabulary`] — a sharded concurrent dictionary for the
+//!   real-thread pipeline: all workers intern into one shared term space
+//!   through `&self`, so a batch analyzed on any thread produces ids
+//!   every other thread understands.
+//!
+//! Concurrent interning assigns raw ids in arrival order, which depends
+//! on scheduling. Both dictionaries therefore support *canonicalization*:
+//! seed terms (interned before the concurrent phase, e.g. by classifier
+//! training) keep their ids, and every term interned afterwards is
+//! renumbered by lexicographic rank. Two runs that intern the same term
+//! set — in any order, on any number of threads — canonicalize to the
+//! same id assignment.
 
-use crate::fxhash::FxHashMap;
+use crate::fxhash::{self, FxHashMap};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
 
 /// A dense identifier for an interned term.
 #[derive(
@@ -76,6 +96,195 @@ impl Vocabulary {
             .enumerate()
             .map(|(i, t)| (TermId(i as u32), t.as_str()))
     }
+
+    /// Canonical renumbering: ids below `seed_len` stay fixed; every
+    /// later term is renumbered by lexicographic rank starting at
+    /// `seed_len`. Returns the old-id → canonical-id table (index = old
+    /// id). See the module docs — two interning orders over the same
+    /// term set produce the same canonical ids.
+    pub fn canonical_map(&self, seed_len: usize) -> Vec<u32> {
+        canonical_map_of(&self.terms, seed_len)
+    }
+}
+
+/// Shared canonicalization rule over an id-ordered term list.
+fn canonical_map_of(terms: &[String], seed_len: usize) -> Vec<u32> {
+    let seed_len = seed_len.min(terms.len());
+    let mut tail: Vec<usize> = (seed_len..terms.len()).collect();
+    tail.sort_unstable_by(|&a, &b| terms[a].cmp(&terms[b]));
+    let mut map = vec![0u32; terms.len()];
+    for (id, slot) in map.iter_mut().enumerate().take(seed_len) {
+        *slot = id as u32;
+    }
+    for (rank, &old) in tail.iter().enumerate() {
+        map[old] = (seed_len + rank) as u32;
+    }
+    map
+}
+
+/// Number of shards in a [`SharedVocabulary`]; a power of two so the
+/// shard of a term is a cheap mask of its hash.
+const SHARDS: usize = 16;
+
+/// A concurrency-safe sharded term dictionary (Section 4.1: all crawler
+/// threads feed one document analyzer term space).
+///
+/// Interning takes `&self`: the term's hash picks a shard, the shard's
+/// mutex guards its slice of the dictionary, and a global atomic hands
+/// out fresh ids. Ids are unique and stable for the lifetime of the
+/// dictionary but *arrival-ordered* — use [`SharedVocabulary::canonicalize`]
+/// to renumber them deterministically after a concurrent phase.
+///
+/// ```
+/// use bingo_textproc::{SharedVocabulary, Vocabulary};
+/// let mut seed = Vocabulary::new();
+/// seed.intern("databas");
+/// let shared = SharedVocabulary::seeded(&seed);
+/// let id = shared.intern("crawl");
+/// assert_eq!(shared.intern("crawl"), id);
+/// assert_eq!(shared.intern("databas").0, 0, "seed ids are preserved");
+/// ```
+pub struct SharedVocabulary {
+    shards: Vec<Mutex<FxHashMap<String, TermId>>>,
+    next_id: AtomicU32,
+    seed_len: u32,
+}
+
+impl Default for SharedVocabulary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedVocabulary {
+    /// Empty shared dictionary.
+    pub fn new() -> Self {
+        SharedVocabulary {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
+            next_id: AtomicU32::new(0),
+            seed_len: 0,
+        }
+    }
+
+    /// Shared dictionary pre-loaded with `seed`'s terms *keeping their
+    /// ids*, so vectors produced against the seed (trained classifiers,
+    /// stored rows) remain valid. Canonicalization never renumbers the
+    /// seed range.
+    pub fn seeded(seed: &Vocabulary) -> Self {
+        let shared = SharedVocabulary::new();
+        for (id, term) in seed.iter() {
+            let shard = shared.shard_of(term);
+            shared.shards[shard]
+                .lock()
+                .expect("vocab shard poisoned")
+                .insert(term.to_string(), id);
+        }
+        shared.next_id.store(seed.len() as u32, Ordering::Relaxed);
+        SharedVocabulary {
+            seed_len: seed.len() as u32,
+            ..shared
+        }
+    }
+
+    fn shard_of(&self, term: &str) -> usize {
+        fxhash::hash_one(&term) as usize & (SHARDS - 1)
+    }
+
+    /// Intern `term` through a shared reference; safe to call from any
+    /// number of threads.
+    pub fn intern(&self, term: &str) -> TermId {
+        let mut shard = self.shards[self.shard_of(term)]
+            .lock()
+            .expect("vocab shard poisoned");
+        if let Some(&id) = shard.get(term) {
+            return id;
+        }
+        let id = TermId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        shard.insert(term.to_string(), id);
+        id
+    }
+
+    /// Number of distinct terms (seed + interned).
+    pub fn len(&self) -> usize {
+        self.next_id.load(Ordering::Relaxed) as usize
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of seed terms whose ids are immutable.
+    pub fn seed_len(&self) -> usize {
+        self.seed_len as usize
+    }
+
+    /// Freeze into an ordinary [`Vocabulary`] in raw (arrival-order) ids.
+    pub fn snapshot(&self) -> Vocabulary {
+        let mut terms = vec![String::new(); self.len()];
+        for shard in &self.shards {
+            for (term, &TermId(id)) in shard.lock().expect("vocab shard poisoned").iter() {
+                terms[id as usize] = term.clone();
+            }
+        }
+        let mut vocab = Vocabulary {
+            terms,
+            index: FxHashMap::default(),
+        };
+        vocab.rebuild_index();
+        vocab
+    }
+
+    /// Canonicalize (see the module docs): returns the renumbered
+    /// dictionary plus the raw-id → canonical-id table, suitable for
+    /// rewriting stored rows via `DocumentStore::remap_terms`.
+    pub fn canonicalize(&self) -> (Vocabulary, Vec<u32>) {
+        let raw = self.snapshot();
+        let map = canonical_map_of(&raw.terms, self.seed_len as usize);
+        let mut terms = vec![String::new(); raw.terms.len()];
+        for (old, term) in raw.terms.into_iter().enumerate() {
+            terms[map[old] as usize] = term;
+        }
+        let mut vocab = Vocabulary {
+            terms,
+            index: FxHashMap::default(),
+        };
+        vocab.rebuild_index();
+        (vocab, map)
+    }
+}
+
+/// The interning contract shared by both dictionaries, letting the
+/// document analyzer run identically on the deterministic path
+/// (`&mut Vocabulary`) and the concurrent pipeline
+/// (`&mut &SharedVocabulary`).
+pub trait Interner {
+    /// Intern `term`, returning its stable id.
+    fn intern(&mut self, term: &str) -> TermId;
+    /// Number of distinct terms interned so far.
+    fn term_count(&self) -> usize;
+}
+
+impl Interner for Vocabulary {
+    fn intern(&mut self, term: &str) -> TermId {
+        Vocabulary::intern(self, term)
+    }
+
+    fn term_count(&self) -> usize {
+        self.len()
+    }
+}
+
+impl Interner for &SharedVocabulary {
+    fn intern(&mut self, term: &str) -> TermId {
+        SharedVocabulary::intern(self, term)
+    }
+
+    fn term_count(&self) -> usize {
+        self.len()
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +314,73 @@ mod tests {
         v.intern("recovery");
         assert_eq!(v.lookup("recovery"), Some(TermId(0)));
         assert_eq!(v.lookup("missing"), None);
+    }
+
+    #[test]
+    fn shared_vocab_interns_concurrently_and_canonicalizes() {
+        let mut seed = Vocabulary::new();
+        seed.intern("zeta");
+        seed.intern("alpha");
+        let shared = SharedVocabulary::seeded(&seed);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let shared = &shared;
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        shared.intern(&format!("term{:02}", (i * 7 + t) % 60));
+                        shared.intern("alpha");
+                    }
+                });
+            }
+        });
+        let (canon, map) = shared.canonicalize();
+        // Seed ids survive untouched, in place.
+        assert_eq!(canon.lookup("zeta"), Some(TermId(0)));
+        assert_eq!(canon.lookup("alpha"), Some(TermId(1)));
+        assert_eq!(&map[..2], &[0, 1]);
+        // New terms are densely renumbered in lexicographic order.
+        let new_terms: Vec<&str> = canon.iter().skip(2).map(|(_, t)| t).collect();
+        let mut sorted = new_terms.clone();
+        sorted.sort_unstable();
+        assert_eq!(new_terms, sorted);
+        // The map is a bijection consistent with the canonical dictionary.
+        let raw = shared.snapshot();
+        for (TermId(old), term) in raw.iter() {
+            assert_eq!(canon.term(TermId(map[old as usize])), term);
+        }
+    }
+
+    #[test]
+    fn canonical_map_matches_across_interning_orders() {
+        let words = ["delta", "charlie", "bravo", "echo", "alpha"];
+        let mut a = Vocabulary::new();
+        let mut b = Vocabulary::new();
+        for w in words {
+            a.intern(w);
+        }
+        for w in words.iter().rev() {
+            b.intern(w);
+        }
+        let (ma, mb) = (a.canonical_map(0), b.canonical_map(0));
+        for w in words {
+            let ca = ma[a.lookup(w).unwrap().0 as usize];
+            let cb = mb[b.lookup(w).unwrap().0 as usize];
+            assert_eq!(ca, cb, "canonical id of {w} differs");
+        }
+    }
+
+    #[test]
+    fn interner_trait_covers_both_dictionaries() {
+        fn intern_all<I: Interner>(i: &mut I) -> Vec<TermId> {
+            ["x", "y", "x"].iter().map(|t| i.intern(t)).collect()
+        }
+        let mut vocab = Vocabulary::new();
+        let via_vocab = intern_all(&mut vocab);
+        let shared = SharedVocabulary::new();
+        let via_shared = intern_all(&mut &shared);
+        assert_eq!(via_vocab, via_shared);
+        assert_eq!(vocab.len(), 2);
+        assert_eq!((&shared).term_count(), 2);
     }
 
     #[test]

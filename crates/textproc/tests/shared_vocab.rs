@@ -1,0 +1,102 @@
+//! Property-based tests of the sharded shared vocabulary: the
+//! canonicalized term-id assignment must not depend on thread count,
+//! scheduling, or the order documents arrive in.
+
+use bingo_textproc::{analyze_html, Interner, SharedVocabulary, TermId, Vocabulary};
+use proptest::prelude::*;
+
+/// Analyze `docs` on `threads` OS threads against one shared dictionary
+/// and return its canonical form plus the canonicalized term ids of
+/// every document (sorted so results are comparable across runs).
+fn analyze_sharded(
+    docs: &[String],
+    seed: &Vocabulary,
+    threads: usize,
+) -> (Vocabulary, Vec<Vec<u32>>) {
+    let shared = SharedVocabulary::seeded(seed);
+    let mut raw_ids: Vec<Vec<TermId>> = vec![Vec::new(); docs.len()];
+    std::thread::scope(|scope| {
+        let mut rest = &mut raw_ids[..];
+        let chunk = docs.len().div_ceil(threads.max(1)).max(1);
+        for batch in docs.chunks(chunk) {
+            let (head, tail) = rest.split_at_mut(batch.len().min(rest.len()));
+            rest = tail;
+            let shared = &shared;
+            scope.spawn(move || {
+                for (slot, html) in head.iter_mut().zip(batch) {
+                    let doc = analyze_html(html, &mut &*shared);
+                    *slot = doc.terms;
+                }
+            });
+        }
+    });
+    let (canon, map) = shared.canonicalize();
+    let per_doc = raw_ids
+        .into_iter()
+        .map(|terms| {
+            let mut ids: Vec<u32> = terms.into_iter().map(|t| map[t.0 as usize]).collect();
+            ids.sort_unstable();
+            ids
+        })
+        .collect();
+    (canon, per_doc)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The satellite property: analyzing a shuffled corpus at 1, 2 and 8
+    /// threads produces the same canonical vocabulary and the same
+    /// canonical term ids per document.
+    #[test]
+    fn canonical_ids_independent_of_thread_count_and_order(
+        words in proptest::collection::vec("[a-z]{2,8}", 4..40),
+        shuffle in proptest::collection::vec(any::<u64>(), 12),
+        seed_words in proptest::collection::vec("[a-z]{2,8}", 0..6),
+    ) {
+        // Build a small corpus of HTML documents over the word pool.
+        let docs: Vec<String> = (0..12usize)
+            .map(|i| {
+                let body: Vec<&str> = (0..6)
+                    .map(|j| words[(i * 7 + j * 5 + shuffle[i] as usize) % words.len()].as_str())
+                    .collect();
+                format!("<html><body>{}</body></html>", body.join(" "))
+            })
+            .collect();
+        let mut seed = Vocabulary::new();
+        for w in &seed_words {
+            Interner::intern(&mut seed, w);
+        }
+
+        let mut shuffled = docs.clone();
+        // Deterministic shuffle driven by the generated entropy.
+        for i in (1..shuffled.len()).rev() {
+            shuffled.swap(i, shuffle[i % shuffle.len()] as usize % (i + 1));
+        }
+
+        let (v1, ids1) = analyze_sharded(&docs, &seed, 1);
+        let (v2, mut ids2) = analyze_sharded(&shuffled, &seed, 2);
+        let (v8, mut ids8) = analyze_sharded(&shuffled, &seed, 8);
+
+        // Same canonical dictionary: identical (id, term) sequences.
+        let terms = |v: &Vocabulary| -> Vec<String> {
+            v.iter().map(|(_, t)| t.to_string()).collect()
+        };
+        prop_assert_eq!(terms(&v1), terms(&v2));
+        prop_assert_eq!(terms(&v1), terms(&v8));
+        // Seed ids survive in place.
+        for (id, term) in seed.iter() {
+            prop_assert_eq!(v1.lookup(term), Some(id));
+        }
+
+        // Same canonical ids per document regardless of interleaving.
+        // The shuffled runs analyzed a permuted corpus; compare as sets
+        // of per-document id lists.
+        let mut ids1 = ids1;
+        ids1.sort();
+        ids2.sort();
+        ids8.sort();
+        prop_assert_eq!(&ids1, &ids2);
+        prop_assert_eq!(&ids1, &ids8);
+    }
+}
