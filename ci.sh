@@ -9,11 +9,16 @@
 # BENCH_GATE_MODE controls the final step: "full" (default) runs the
 # baseline-sized scenarios, "smoke" the reduced CI sizes, "skip"
 # disables the bench gate (e.g. on heavily loaded shared runners).
+#
+# BINGO_CRASH_SEEDS picks the seed matrix for the crash-recovery sweep
+# (every byte budget of a checkpoint write is crashed and recovered);
+# the default widens the in-repo test default for CI coverage.
 set -eu
 
 cd "$(dirname "$0")"
 
 BENCH_GATE_MODE="${BENCH_GATE_MODE:-full}"
+BINGO_CRASH_SEEDS="${BINGO_CRASH_SEEDS:-1,2,3,11,12,13}"
 STEP_TIMINGS=""
 
 # step NAME CMD... — announce, run, and time one CI step.
@@ -32,6 +37,10 @@ step "cargo fmt --check" cargo fmt --all -- --check
 step "cargo build --release" cargo build --release --offline --workspace
 
 step "cargo test" cargo test -q --offline --workspace
+
+step "crash matrix (seeds $BINGO_CRASH_SEEDS)" \
+    env BINGO_CRASH_SEEDS="$BINGO_CRASH_SEEDS" \
+    cargo test -q --offline -p bingo-crawler --test crash
 
 step "cargo clippy -D warnings" \
     cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -4,10 +4,10 @@
 //! cargo run --release -p bingo-bench --bin bench_gate [-- FLAGS]
 //!
 //!   --smoke          run the reduced smoke sizes (fast CI runs)
-//!   --update         re-record BENCH_crawl.json / BENCH_classify.json /
-//!                    BENCH_pipeline.json (runs both smoke and full sizes)
-//!   --only SCENARIO  run a single scenario (crawl | classify | pipeline);
-//!                    repeatable
+//!   --update         re-record the BENCH_<scenario>.json baselines
+//!                    (runs both smoke and full sizes)
+//!   --only SCENARIO  run a single scenario
+//!                    (crawl | classify | pipeline | recovery); repeatable
 //!   --out DIR        artifact directory (default target/bench_gate)
 //! ```
 //!
@@ -20,8 +20,8 @@
 use bingo_bench::gate::{
     baseline_file, calibrate_cpu_ms, check_determinism, compare_reports, default_out_dir,
     load_baseline, run_classify_scenario, run_crawl_scenario, run_pipeline_scenario,
-    write_run_artifacts, GateMode, MetricSpec, ScenarioRun, CLASSIFY_SPECS, CRAWL_SPECS,
-    PIPELINE_SPECS,
+    run_recovery_scenario, write_run_artifacts, GateMode, MetricSpec, ScenarioRun, CLASSIFY_SPECS,
+    CRAWL_SPECS, PIPELINE_SPECS, RECOVERY_SPECS,
 };
 use serde_json::{json, Value};
 use std::path::{Path, PathBuf};
@@ -47,6 +47,11 @@ const SCENARIOS: &[Scenario] = &[
         name: "pipeline",
         specs: PIPELINE_SPECS,
         run: run_pipeline_scenario,
+    },
+    Scenario {
+        name: "recovery",
+        specs: RECOVERY_SPECS,
+        run: run_recovery_scenario,
     },
 ];
 

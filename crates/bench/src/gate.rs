@@ -31,11 +31,15 @@
 //!   the ratio of calibration times.
 
 use bingo_core::{BingoEngine, EngineConfig, EngineTelemetry, TopicId, TopicTree};
-use bingo_crawler::{run_pipeline, CrawlConfig, CrawlTelemetry, Crawler, PipelineOptions};
+use bingo_crawler::{
+    run_pipeline, CrawlConfig, CrawlTelemetry, Crawler, Judgment, PageContext, PipelineOptions,
+    StepOutcome,
+};
 use bingo_obs::{EventLog, Registry, WallTimer};
 use bingo_search::{QueryOptions, SearchEngine, SearchMetrics};
+use bingo_store::durable::CrashFs;
 use bingo_store::DocumentStore;
-use bingo_textproc::{porter_stem, SharedVocabulary};
+use bingo_textproc::{porter_stem, AnalyzedDocument, SharedVocabulary, Vocabulary};
 use bingo_webworld::fetch::host_of_url;
 use bingo_webworld::gen::WorldConfig;
 use bingo_webworld::{HostBehavior, PageKind, World};
@@ -423,6 +427,115 @@ pub fn run_pipeline_scenario(mode: GateMode) -> ScenarioRun {
     ScenarioRun { report, evidence }
 }
 
+/// Run the recovery scenario once: crash-consistent checkpointing end
+/// to end. A chaos-world crawl checkpoints periodically; the process
+/// "dies" partway through a checkpoint write (injected byte-budget
+/// crash); recovery rolls back to the newest complete generation, and
+/// the resumed crawl finishes the same virtual budget as an
+/// uninterrupted reference run. Gated: post-resume harvest ratio and
+/// stored-page count (deterministic) plus the recovery wall time
+/// (loose gross-regression backstop).
+pub fn run_recovery_scenario(mode: GateMode) -> ScenarioRun {
+    let (budget_ms, ckpt_every) = match mode {
+        GateMode::Full => (140_000u64, 25u64),
+        GateMode::Smoke => (60_000, 10),
+    };
+    let accept = |_: &AnalyzedDocument, _: &PageContext| Judgment {
+        topic: Some(0),
+        confidence: 1.0,
+    };
+    let world = Arc::new(WorldConfig::chaos(GATE_SEED).build());
+    let base_config = CrawlConfig {
+        max_depth: 0,
+        ..CrawlConfig::default()
+    };
+    let total_wall = WallTimer::start();
+
+    // Uninterrupted reference run.
+    let mut reference = Crawler::new(world.clone(), base_config.clone(), DocumentStore::new());
+    reference.add_seed(&world.url_of(1), Some(0));
+    {
+        let mut judge = accept;
+        let mut vocab = Vocabulary::new();
+        reference.run_until(budget_ms, &mut judge, &mut vocab);
+    }
+    let ref_stats = reference.stats().clone();
+    let ref_ratio = ref_stats.stored_pages as f64 / ref_stats.visited_urls.max(1) as f64;
+
+    // Doomed run: automatic checkpoints, killed at half the reference
+    // harvest partway through its next checkpoint write.
+    let dir = std::env::temp_dir().join(format!("bingo-bench-recovery-{}", mode.key()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let ckpt_config = CrawlConfig {
+        checkpoint_every_docs: ckpt_every,
+        checkpoint_dir: Some(dir.clone()),
+        ..base_config.clone()
+    };
+    {
+        let mut doomed = Crawler::new(world.clone(), ckpt_config, DocumentStore::new());
+        doomed.add_seed(&world.url_of(1), Some(0));
+        let mut judge = accept;
+        let mut vocab = Vocabulary::new();
+        while doomed.stats().stored_pages < ref_stats.stored_pages / 2 {
+            if doomed.step(&mut judge, &mut vocab) == StepOutcome::FrontierEmpty {
+                break;
+            }
+        }
+        assert!(
+            doomed.stats().checkpoints_written > 0,
+            "recovery scenario wrote no checkpoint before the kill"
+        );
+        let fs = CrashFs::with_budget(1024);
+        let _ = doomed.save_session_with(&fs, &dir); // dies mid-write
+    }
+
+    // Timed recovery: roll back to the newest complete generation.
+    let resume_config = CrawlConfig {
+        checkpoint_every_docs: 0,
+        checkpoint_dir: None,
+        ..base_config
+    };
+    let recovery_wall = WallTimer::start();
+    let mut resumed = Crawler::resume_session(world.clone(), resume_config, &dir)
+        .expect("recovery from crashed checkpoint");
+    let recovery_wall_ms = (recovery_wall.elapsed_us() as f64 / 1000.0).max(0.001);
+    let stored_recovered = resumed.stats().stored_pages;
+
+    // The resumed leg finishes the budget under the scenario registry:
+    // its telemetry is the determinism evidence.
+    let registry = Arc::new(Registry::new());
+    let events = Arc::new(EventLog::default());
+    resumed.set_telemetry(CrawlTelemetry::new(registry.clone(), events.clone()));
+    {
+        let mut judge = accept;
+        let mut vocab = Vocabulary::new();
+        resumed.run_until(budget_ms, &mut judge, &mut vocab);
+    }
+    let stats = resumed.stats().clone();
+    let harvest_ratio = stats.stored_pages as f64 / stats.visited_urls.max(1) as f64;
+    let ratio_drift = (harvest_ratio - ref_ratio).abs() / ref_ratio.max(1e-9);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let report = json!({
+        "scenario": "recovery",
+        "stored_reference": ref_stats.stored_pages,
+        "stored_recovered": stored_recovered,
+        "stored_resumed": stats.stored_pages,
+        "harvest_ratio": harvest_ratio,
+        "harvest_ratio_reference": ref_ratio,
+        "ratio_drift": ratio_drift,
+        "recovery_wall_ms": recovery_wall_ms,
+        "wall_ms": total_wall.elapsed_us() as f64 / 1000.0,
+    });
+    ScenarioRun {
+        report,
+        evidence: DeterminismEvidence {
+            snapshot_json: registry.snapshot().deterministic().to_json(),
+            events_jsonl: events.to_jsonl(),
+        },
+    }
+}
+
 /// How one metric of a scenario report is gated.
 #[derive(Debug, Clone, Copy)]
 pub struct MetricSpec {
@@ -507,6 +620,30 @@ pub const PIPELINE_SPECS: &[MetricSpec] = &[
         path: "docs_per_minute",
         higher_is_better: true,
         rel_tol: 0.50,
+        wall: true,
+    },
+];
+
+/// Gated metrics of the recovery scenario. Harvest ratio and stored
+/// pages are deterministic; the recovery wall time is a loose backstop
+/// against the resume path getting pathologically slow.
+pub const RECOVERY_SPECS: &[MetricSpec] = &[
+    MetricSpec {
+        path: "harvest_ratio",
+        higher_is_better: true,
+        rel_tol: 0.10,
+        wall: false,
+    },
+    MetricSpec {
+        path: "stored_resumed",
+        higher_is_better: true,
+        rel_tol: 0.05,
+        wall: false,
+    },
+    MetricSpec {
+        path: "recovery_wall_ms",
+        higher_is_better: false,
+        rel_tol: 1.0,
         wall: true,
     },
 ];
@@ -719,6 +856,28 @@ mod tests {
                 > 0,
             "no link rows emitted"
         );
+    }
+
+    /// End-to-end: the smoke recovery scenario survives its injected
+    /// mid-checkpoint crash, replays byte-identically, and the resumed
+    /// crawl actually recovers checkpointed progress.
+    #[test]
+    fn recovery_scenario_is_deterministic_and_recovers() {
+        let a = run_recovery_scenario(GateMode::Smoke);
+        let b = run_recovery_scenario(GateMode::Smoke);
+        assert!(check_determinism("recovery", &a.evidence, &b.evidence).is_empty());
+        let recovered = json_path(&a.report, "stored_recovered")
+            .and_then(Value::as_u64)
+            .unwrap();
+        assert!(recovered > 0, "resume recovered nothing");
+        let resumed = json_path(&a.report, "stored_resumed")
+            .and_then(Value::as_u64)
+            .unwrap();
+        assert!(resumed > recovered, "no progress after resume");
+        let drift = json_path(&a.report, "ratio_drift")
+            .and_then(Value::as_f64)
+            .unwrap();
+        assert!(drift <= 0.05, "harvest ratio drifted {drift:.4}");
     }
 
     /// End-to-end: the smoke classify scenario runs, is deterministic

@@ -86,46 +86,80 @@ pub fn load_engine<R: Read>(r: R) -> Result<BingoEngine, EngineError> {
 pub const ENGINE_FILE: &str = "engine.json";
 
 /// Save a complete crawl session — the trained engine plus the
-/// crawler's checkpoint and document store — into `dir`. Together with
-/// [`load_session`] this is the "overnight crawl" workflow with crash
-/// tolerance: a killed harvest resumes from the last session written by
-/// this function (or by the crawler's automatic checkpoint interval,
-/// which writes the same layout minus the engine file).
+/// crawler's checkpoint and document store — into `dir` as one
+/// crash-consistent checkpoint generation: all three files and the
+/// manifest land in the same `gen-NNNNNN` directory, so a crash at any
+/// byte of the write leaves the previous generation untouched. Together
+/// with [`load_session`] this is the "overnight crawl" workflow with
+/// crash tolerance: a killed harvest resumes from the last complete
+/// generation written by this function (or by the crawler's automatic
+/// checkpoint interval, which writes the same layout minus the engine
+/// file).
 pub fn save_session<P: AsRef<std::path::Path>>(
     engine: &BingoEngine,
     crawler: &bingo_crawler::Crawler,
     dir: P,
 ) -> Result<(), EngineError> {
+    save_session_with(engine, crawler, &bingo_store::durable::StdFs, dir)
+}
+
+/// [`save_session`] over an injectable filesystem (crash-point testing).
+pub fn save_session_with<P: AsRef<std::path::Path>>(
+    engine: &BingoEngine,
+    crawler: &bingo_crawler::Crawler,
+    fs: &dyn bingo_store::durable::DurableFs,
+    dir: P,
+) -> Result<(), EngineError> {
     let dir = dir.as_ref();
-    std::fs::create_dir_all(dir).map_err(|e| EngineError::Persist(e.to_string()))?;
+    let persist = |e: std::io::Error| EngineError::Persist(e.to_string());
+    let mut writer = bingo_store::durable::GenerationWriter::begin(fs, dir).map_err(persist)?;
     crawler
-        .save_session(dir)
+        .write_session_into(&mut writer)
         .map_err(|e| EngineError::Persist(e.to_string()))?;
-    save_engine_to(engine, dir.join(ENGINE_FILE))
+    let mut engine_bytes = Vec::new();
+    save_engine(engine, &mut engine_bytes)?;
+    writer
+        .write_file(ENGINE_FILE, &engine_bytes)
+        .map_err(persist)?;
+    writer.commit().map_err(persist)?;
+    bingo_store::durable::prune_generations(dir, crawler.config.checkpoint_keep);
+    Ok(())
 }
 
 /// Resume a crawl session saved by [`save_session`]: rebuilds the
 /// engine and a crawler positioned exactly where the crawl stopped.
-/// `world` and `config` must match the original crawl.
+/// `world` and `config` must match the original crawl. The engine comes
+/// from the newest complete generation that carries an engine snapshot
+/// (automatic crawl checkpoints do not); the crawler from the newest
+/// complete generation overall. A pre-generation flat session directory
+/// still loads.
 pub fn load_session<P: AsRef<std::path::Path>>(
     world: std::sync::Arc<bingo_webworld::World>,
     config: bingo_crawler::CrawlConfig,
     dir: P,
 ) -> Result<(BingoEngine, bingo_crawler::Crawler), EngineError> {
     let dir = dir.as_ref();
-    let engine = load_engine_from(dir.join(ENGINE_FILE))?;
+    let engine_path = bingo_store::durable::complete_generations(dir)
+        .into_iter()
+        .find(|g| g.manifest.files.iter().any(|f| f.name == ENGINE_FILE))
+        .map(|g| g.dir.join(ENGINE_FILE))
+        .unwrap_or_else(|| dir.join(ENGINE_FILE)); // legacy flat layout
+    let engine = load_engine_from(engine_path)?;
     let crawler = bingo_crawler::Crawler::resume_session(world, config, dir)
         .map_err(|e| EngineError::Persist(e.to_string()))?;
     Ok((engine, crawler))
 }
 
-/// Save to a file path.
+/// Save to a file path (write-temp + fsync + atomic rename: a crash
+/// mid-write never leaves a torn engine snapshot).
 pub fn save_engine_to<P: AsRef<std::path::Path>>(
     engine: &BingoEngine,
     path: P,
 ) -> Result<(), EngineError> {
-    let f = std::fs::File::create(path).map_err(|e| EngineError::Persist(e.to_string()))?;
-    save_engine(engine, std::io::BufWriter::new(f))
+    let mut buf = Vec::new();
+    save_engine(engine, &mut buf)?;
+    bingo_store::durable::atomic_write(path.as_ref(), &buf)
+        .map_err(|e| EngineError::Persist(e.to_string()))
 }
 
 /// Load from a file path.
@@ -253,6 +287,47 @@ mod tests {
         let more = engine2.crawl_until(&mut resumed, u64::MAX, 0);
         assert!(more > 0, "resumed session must continue the harvest");
         assert!(resumed.stats().stored_pages > mid_stored);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crashed_session_save_rolls_back_engine_and_crawler_together() {
+        use bingo_crawler::{CrawlConfig, Crawler};
+        use bingo_store::durable::CrashFs;
+        use bingo_store::DocumentStore;
+        use std::sync::Arc;
+
+        let (mut engine, world, _topic) = trained_engine();
+        let world = Arc::new(world);
+        let config = CrawlConfig {
+            max_depth: 0,
+            ..CrawlConfig::default()
+        };
+        let mut crawler = Crawler::new(world.clone(), config.clone(), DocumentStore::new());
+        crawler.add_seed(&world.url_of(1), None);
+        engine.crawl_until(&mut crawler, 3_000, 0);
+        assert!(crawler.stats().stored_pages > 0);
+
+        let dir = std::env::temp_dir().join("bingo-session-crash-test");
+        std::fs::remove_dir_all(&dir).ok();
+        save_session(&engine, &crawler, &dir).unwrap();
+        let stored_then = crawler.stats().stored_pages;
+
+        // More progress, then the process dies partway through the next
+        // combined save: neither the newer crawl state nor a newer
+        // engine snapshot may become visible.
+        engine.crawl_until(&mut crawler, 8_000, 0);
+        let fs = CrashFs::with_budget(512);
+        assert!(save_session_with(&engine, &crawler, &fs, &dir).is_err());
+        assert!(fs.crashed());
+
+        let (engine2, resumed) = load_session(world.clone(), config, &dir).unwrap();
+        assert_eq!(
+            resumed.stats().stored_pages,
+            stored_then,
+            "crawler rolled back to the last complete generation"
+        );
+        assert_eq!(engine2.tree.len(), engine.tree.len());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -91,17 +91,22 @@ impl From<std::io::Error> for CheckpointError {
     }
 }
 
+/// Serialize `cp` to a JSON byte string (the exact bytes
+/// [`save_checkpoint`] writes).
+pub fn checkpoint_bytes(cp: &CrawlCheckpoint) -> Result<Vec<u8>, CheckpointError> {
+    serde_json::to_string(cp)
+        .map(String::into_bytes)
+        .map_err(|e| CheckpointError::Format(e.to_string()))
+}
+
 /// Serialize `cp` to `path` atomically: the bytes land in a sibling
-/// temp file first and replace `path` in one rename.
+/// temp file first, are fsynced, and replace `path` in one rename.
 pub fn save_checkpoint<P: AsRef<Path>>(
     cp: &CrawlCheckpoint,
     path: P,
 ) -> Result<(), CheckpointError> {
-    let path = path.as_ref();
-    let json = serde_json::to_string(cp).map_err(|e| CheckpointError::Format(e.to_string()))?;
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, json.as_bytes())?;
-    std::fs::rename(&tmp, path)?;
+    let json = checkpoint_bytes(cp)?;
+    bingo_store::durable::atomic_write(path.as_ref(), &json)?;
     Ok(())
 }
 

@@ -49,6 +49,58 @@ impl Dedup {
         path_new && size_new
     }
 
+    /// [`Dedup::mark_url`] that records the insert (if it was new) into
+    /// `journal`, so a panicked batch can be rolled back.
+    pub fn mark_url_journaled(&mut self, url: &str, journal: &mut Vec<DedupMark>) -> bool {
+        let hash = fxhash::hash_one(&url);
+        let new = self.url_hashes.insert(hash);
+        if new {
+            journal.push(DedupMark::Url(hash));
+        }
+        new
+    }
+
+    /// [`Dedup::mark_response`] that records the inserts (only those
+    /// that were actually new) into `journal` for rollback.
+    pub fn mark_response_journaled(
+        &mut self,
+        ip: u32,
+        path: &str,
+        size: u64,
+        journal: &mut Vec<DedupMark>,
+    ) -> bool {
+        let path_key = (ip, fxhash::hash_one(&path));
+        let path_new = self.ip_path.insert(path_key);
+        if path_new {
+            journal.push(DedupMark::IpPath(path_key.0, path_key.1));
+        }
+        let size_new = self.ip_size.insert((ip, size));
+        if size_new {
+            journal.push(DedupMark::IpSize(ip, size));
+        }
+        path_new && size_new
+    }
+
+    /// Undo journaled marks after a worker panic: the requeued URLs
+    /// must not see their own half-processed fingerprints as
+    /// duplicates. Only entries the journal proves were newly inserted
+    /// are removed, so concurrent marks by other workers survive.
+    pub fn unmark(&mut self, journal: &[DedupMark]) {
+        for mark in journal {
+            match *mark {
+                DedupMark::Url(h) => {
+                    self.url_hashes.remove(&h);
+                }
+                DedupMark::IpPath(ip, path_hash) => {
+                    self.ip_path.remove(&(ip, path_hash));
+                }
+                DedupMark::IpSize(ip, size) => {
+                    self.ip_size.remove(&(ip, size));
+                }
+            }
+        }
+    }
+
     /// Number of distinct URLs marked.
     pub fn urls_marked(&self) -> usize {
         self.url_hashes.len()
@@ -77,6 +129,18 @@ impl Dedup {
             ip_size: snap.ip_size.into_iter().collect(),
         }
     }
+}
+
+/// One fingerprint newly inserted during a journaled mark — the unit of
+/// rollback after a worker panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DedupMark {
+    /// A URL hashcode (stage 1).
+    Url(u64),
+    /// An (IP, path-hash) fingerprint (stage 2).
+    IpPath(u32, u64),
+    /// An (IP, filesize) fingerprint (stage 3).
+    IpSize(u32, u64),
 }
 
 /// Serialized form of the duplicate filter for crawl checkpoints.
@@ -154,6 +218,25 @@ mod tests {
             format!("{:?}", Dedup::restore(snap.clone()).snapshot()),
             format!("{snap:?}")
         );
+    }
+
+    #[test]
+    fn journaled_marks_roll_back_exactly_the_new_inserts() {
+        let mut d = Dedup::new();
+        assert!(d.mark_response(42, "/pre-existing", 500));
+        let mut journal = Vec::new();
+        assert!(d.mark_url_journaled("http://a/x", &mut journal));
+        // Path collides with the pre-existing entry; only the size
+        // fingerprint is new, so only it lands in the journal.
+        assert!(!d.mark_response_journaled(42, "/pre-existing", 900, &mut journal));
+        assert!(d.mark_response_journaled(42, "/fresh", 1000, &mut journal));
+        assert_eq!(journal.len(), 4, "url + new size + fresh path + fresh size");
+        d.unmark(&journal);
+        // Rolled-back entries mark as new again...
+        assert!(d.mark_url("http://a/x"));
+        assert!(d.mark_response(42, "/fresh", 1000));
+        // ...while the pre-existing fingerprint survived the rollback.
+        assert!(!d.mark_response(42, "/pre-existing", 777));
     }
 
     #[test]

@@ -59,7 +59,9 @@ pub use hosts::{
 pub use pipeline::{process_batch, BatchJudge, DocOutcome, FetchedDoc, PipelineMetrics};
 pub use step::{Crawler, StepOutcome};
 pub use telemetry::CrawlTelemetry;
-pub use threaded::{run_pipeline, PipelineOptions, ThroughputReport};
+pub use threaded::{
+    run_pipeline, FaultPlan, FaultStage, PipelineOptions, SupervisionConfig, ThroughputReport,
+};
 pub use types::{CrawlConfig, CrawlStats, CrawlStrategy, FocusRule, Judgment, PageContext};
 
 use bingo_textproc::AnalyzedDocument;

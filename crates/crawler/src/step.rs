@@ -15,7 +15,7 @@
 //! crawl") are meaningful and deterministic.
 
 use crate::checkpoint::{
-    load_checkpoint, save_checkpoint, CheckpointError, CrawlCheckpoint, CRAWLER_FILE, STORE_FILE,
+    load_checkpoint, CheckpointError, CrawlCheckpoint, CRAWLER_FILE, STORE_FILE,
 };
 use crate::dedup::{path_of_url, Dedup};
 use crate::dns::CachingResolver;
@@ -28,6 +28,7 @@ use crate::types::{
 };
 use crate::DocumentJudge;
 use bingo_obs::{Event, WallTimer};
+use bingo_store::durable;
 use bingo_store::{BulkLoader, BulkLoaderObs, DocumentStore};
 use bingo_textproc::fxhash;
 use bingo_textproc::{ContentRegistry, Vocabulary};
@@ -230,34 +231,91 @@ impl Crawler {
     }
 
     /// Write a full crawl session — store snapshot plus crawler
-    /// checkpoint — into `dir` (created if missing). Both files are
-    /// written atomically; a kill mid-save leaves the previous session
-    /// intact.
+    /// checkpoint — as a new checkpoint *generation* under `dir`
+    /// (created if missing). The generation's manifest is committed
+    /// last, so a kill at any byte of the save leaves the previous
+    /// complete generation as the recovery target. After a successful
+    /// commit, generations beyond `config.checkpoint_keep` are pruned.
     pub fn save_session<P: AsRef<std::path::Path>>(&self, dir: P) -> Result<(), CheckpointError> {
+        self.save_session_with(&durable::StdFs, dir).map(|_| ())
+    }
+
+    /// [`Crawler::save_session`] over an injectable filesystem — the
+    /// crash-point harness drives this with a byte-budgeted
+    /// [`bingo_store::CrashFs`]. Returns the committed generation
+    /// number.
+    pub fn save_session_with<P: AsRef<std::path::Path>>(
+        &self,
+        fs: &dyn durable::DurableFs,
+        dir: P,
+    ) -> Result<u64, CheckpointError> {
         let dir = dir.as_ref();
-        std::fs::create_dir_all(dir)?;
-        let store_tmp = dir.join(format!("{STORE_FILE}.tmp"));
-        bingo_store::persist::save(&self.store, &store_tmp)
+        let mut writer = durable::GenerationWriter::begin(fs, dir)?;
+        self.write_session_into(&mut writer)?;
+        let generation = writer.commit()?;
+        let pruned = durable::prune_generations(dir, self.config.checkpoint_keep);
+        self.telemetry.checkpoint_pruned.add(pruned as u64);
+        Ok(generation)
+    }
+
+    /// Write this crawler's session files (store snapshot + checkpoint)
+    /// into an open generation. Callers that bundle more artifacts into
+    /// the same commit (e.g. `bingo_core::persist::save_session` adds
+    /// the engine snapshot) append them before committing the writer.
+    pub fn write_session_into(
+        &self,
+        writer: &mut durable::GenerationWriter<'_>,
+    ) -> Result<(), CheckpointError> {
+        let mut snapshot = Vec::new();
+        bingo_store::persist::write_snapshot(&self.store, &mut snapshot)
             .map_err(|e| CheckpointError::Store(e.to_string()))?;
-        std::fs::rename(&store_tmp, dir.join(STORE_FILE))?;
-        save_checkpoint(&self.checkpoint(), dir.join(CRAWLER_FILE))
+        writer.write_file(STORE_FILE, &snapshot)?;
+        let cp = crate::checkpoint::checkpoint_bytes(&self.checkpoint())?;
+        writer.write_file(CRAWLER_FILE, &cp)?;
+        Ok(())
     }
 
     /// Rebuild a crawler mid-crawl from a session directory written by
-    /// [`Crawler::save_session`]. `world` and `config` must match the
-    /// original crawl for the resumed run to be meaningful.
+    /// [`Crawler::save_session`]: the newest *complete* generation is
+    /// the recovery target — torn or corrupted generations (crash
+    /// mid-save, bit rot) are skipped, rolling back to the last good
+    /// commit. Directories written by the pre-generation flat layout
+    /// load via the legacy fallback. `world` and `config` must match
+    /// the original crawl for the resumed run to be meaningful.
     pub fn resume_session<P: AsRef<std::path::Path>>(
         world: Arc<World>,
         config: CrawlConfig,
         dir: P,
     ) -> Result<Crawler, CheckpointError> {
         let dir = dir.as_ref();
-        let store = bingo_store::persist::load(dir.join(STORE_FILE))
+        let session = match durable::find_newest_complete(dir) {
+            Some(generation) => generation.dir,
+            None => dir.to_path_buf(), // legacy flat layout
+        };
+        let store = bingo_store::persist::load(session.join(STORE_FILE))
             .map_err(|e| CheckpointError::Store(e.to_string()))?;
-        let cp = load_checkpoint(dir.join(CRAWLER_FILE))?;
+        let cp = load_checkpoint(session.join(CRAWLER_FILE))?;
         let mut crawler = Crawler::new(world, config, store);
         crawler.restore_checkpoint(cp);
         Ok(crawler)
+    }
+
+    /// Per-host breaker health as `(hostname, state, failure count)`,
+    /// sorted by hostname — for diagnostics and the breaker-sanity
+    /// assertions of the chaos/crash tests.
+    pub fn host_states(&self) -> Vec<(String, bingo_store::HostState, u32)> {
+        let mut states: Vec<(String, bingo_store::HostState, u32)> = self
+            .hosts
+            .states()
+            .map(|(h, s, f)| (h.to_string(), s, f))
+            .collect();
+        states.sort_by(|a, b| a.0.cmp(&b.0));
+        states
+    }
+
+    /// The breaker position of one host right now.
+    pub fn breaker_state(&self, host: &str) -> crate::hosts::BreakerState {
+        self.hosts.breaker_state(host)
     }
 
     /// Queue a not-yet-seen URL with an explicit priority (used to resume
@@ -393,13 +451,14 @@ impl Crawler {
             return;
         };
         let timer = WallTimer::start();
-        if self.save_session(&dir).is_ok() {
+        if let Ok(generation) = self.save_session_with(&durable::StdFs, &dir) {
             self.stats.checkpoints_written += 1;
             timer.observe_ms(&self.telemetry.checkpoint_wall_ms);
             self.telemetry.checkpoints.inc();
+            let gen_dir = durable::generation_dir(&dir, generation);
             let bytes = [CRAWLER_FILE, STORE_FILE]
                 .iter()
-                .filter_map(|f| std::fs::metadata(dir.join(f)).ok())
+                .filter_map(|f| std::fs::metadata(gen_dir.join(f)).ok())
                 .map(|m| m.len())
                 .sum::<u64>();
             self.telemetry.checkpoint_bytes.observe(bytes);
@@ -1291,12 +1350,60 @@ mod tests {
         let mut vocab = Vocabulary::new();
         crawler.run_until(u64::MAX, &mut judge, &mut vocab);
         assert!(crawler.stats().checkpoints_written > 0);
-        assert!(dir.join("crawler.json").exists());
-        assert!(dir.join("store.jsonl").exists());
+        // Sessions are checkpoint generations: a manifest-committed
+        // directory holding both files.
+        let newest = durable::find_newest_complete(&dir).expect("a complete generation");
+        assert!(newest.dir.join("crawler.json").exists());
+        assert!(newest.dir.join("store.jsonl").exists());
+        // Keep-last-K pruning bounds the session directory.
+        let generations = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with("gen-"))
+            .count();
+        assert!(
+            generations <= crawler.config.checkpoint_keep,
+            "pruning must bound generations: {generations} kept"
+        );
+        if crawler.stats().checkpoints_written > crawler.config.checkpoint_keep as u64 {
+            let snap = crawler.telemetry().registry.snapshot();
+            assert!(
+                snap.counters["crawl.checkpoint.pruned"] > 0,
+                "pruned generations must be counted"
+            );
+        }
         // The session loads back into a working crawler.
         let resumed = Crawler::resume_session(world, config, &dir).unwrap();
         assert!(resumed.store().document_count() > 0);
         assert!(resumed.clock_ms() > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_flat_sessions_still_resume() {
+        // Sessions written before the generation layout (store.jsonl +
+        // crawler.json directly in the directory) must keep loading.
+        let dir = std::env::temp_dir().join("bingo-legacy-session-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let world = Arc::new(WorldConfig::small_test(39).build());
+        let config = CrawlConfig {
+            max_depth: 0,
+            ..CrawlConfig::default()
+        };
+        let mut crawler = Crawler::new(world.clone(), config.clone(), DocumentStore::new());
+        crawler.add_seed(&world.url_of(1), Some(0));
+        let mut judge = accept_all();
+        let mut vocab = Vocabulary::new();
+        crawler.run_until(10_000, &mut judge, &mut vocab);
+        assert!(crawler.stats().stored_pages > 0);
+        bingo_store::persist::save(crawler.store(), dir.join(STORE_FILE)).unwrap();
+        crate::checkpoint::save_checkpoint(&crawler.checkpoint(), dir.join(CRAWLER_FILE)).unwrap();
+        let resumed = Crawler::resume_session(world, config, &dir).unwrap();
+        assert_eq!(
+            resumed.store().document_count(),
+            crawler.store().document_count()
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

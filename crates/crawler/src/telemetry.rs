@@ -62,6 +62,16 @@ pub struct CrawlTelemetry {
     pub checkpoint_bytes: Arc<Histogram>,
     /// Wall-clock cost of a checkpoint write (volatile).
     pub checkpoint_wall_ms: Arc<Histogram>,
+    /// Old checkpoint generations pruned after successful saves.
+    pub checkpoint_pruned: Counter,
+    /// Worker panics caught by the threaded executor's supervisor.
+    pub worker_panics: Counter,
+    /// URLs requeued after riding in a panicked batch.
+    pub worker_requeued: Counter,
+    /// URLs quarantined after exhausting their poison budget.
+    pub worker_quarantined: Counter,
+    /// Replacement workers spawned by the supervisor.
+    pub worker_restarts: Counter,
     /// Document-analysis metrics (tokenize/vectorize volume and cost).
     pub textproc: TextprocMetrics,
     /// Per-stage document-pipeline metrics (queue depths, batch sizes,
@@ -93,6 +103,11 @@ impl CrawlTelemetry {
             checkpoints: registry.counter("crawl.checkpoint.count"),
             checkpoint_bytes: registry.histogram("crawl.checkpoint.bytes"),
             checkpoint_wall_ms: registry.wall_histogram("crawl.checkpoint.wall_ms"),
+            checkpoint_pruned: registry.counter("crawl.checkpoint.pruned"),
+            worker_panics: registry.counter("crawl.worker.panics"),
+            worker_requeued: registry.counter("crawl.worker.requeued"),
+            worker_quarantined: registry.counter("crawl.worker.quarantined"),
+            worker_restarts: registry.counter("crawl.worker.restarts"),
             textproc: TextprocMetrics::new(registry.clone()),
             pipeline: PipelineMetrics::new(&registry),
             registry,

@@ -22,6 +22,24 @@
 //! [`SharedVocabulary`], whose `canonicalize` map makes the final store
 //! comparable with a single-threaded run.
 //!
+//! # Supervision
+//!
+//! A worker panic must not abort a multi-day crawl, and a single
+//! pathological document must not wedge it in a retry loop. Workers
+//! therefore run every batch under `catch_unwind` (the supervisor-tree
+//! discipline): a panicking worker rolls back the duplicate
+//! fingerprints its half-processed batch journaled, discards the rows
+//! staged in its bulk-load workspace, and dies reporting its in-flight
+//! URLs. The level loop doubles as the supervisor — it requeues those
+//! URLs into a retry round of single-URL batches (isolating whichever
+//! document actually crashes), charges a per-URL poison budget on every
+//! attributable (solo) panic, **quarantines** documents that exhaust
+//! it, and respawns replacement workers up to a restart budget. Every
+//! panic, requeue, quarantine and restart is counted and logged through
+//! [`CrawlTelemetry`]. Shared state is accessed through a
+//! poison-recovering lock helper: a panicked peer never takes the
+//! dedup filter or the statistics down with it.
+//!
 //! Differences from the discrete-event executor, by design:
 //!
 //! * no circuit breakers, politeness slots or backoff parking — retries
@@ -32,18 +50,117 @@
 //! * `fetched_at` is run-relative wall-clock milliseconds, not virtual
 //!   time.
 
-use crate::dedup::{path_of_url, Dedup};
+use crate::dedup::{path_of_url, Dedup, DedupMark};
 use crate::pipeline::{process_batch, top_terms, BatchJudge, DocOutcome, FetchedDoc};
 use crate::telemetry::CrawlTelemetry;
 use crate::types::{CrawlConfig, CrawlStats, MAX_HOSTNAME_LEN, MAX_URL_LEN};
+use bingo_obs::Event;
 use bingo_store::{BulkLoader, BulkLoaderObs, DocumentStore};
-use bingo_textproc::fxhash::FxHashMap;
+use bingo_textproc::fxhash::{self, FxHashMap};
 use bingo_textproc::{ContentRegistry, SharedVocabulary, TermId};
 use bingo_webworld::fetch::host_of_url;
 use bingo_webworld::{FetchOutcome, FetchResponse, World};
 use crossbeam::channel::{self, Receiver};
-use std::sync::{Arc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
+
+/// Acquire a mutex, recovering from poisoning: a panicked worker never
+/// takes shared crawl state down with it. Rollback of the panicked
+/// batch is the supervisor's job, not the lock's.
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Supervisor limits for the threaded executor.
+#[derive(Debug, Clone)]
+pub struct SupervisionConfig {
+    /// Attributable (single-URL batch) panics a URL may cause before it
+    /// is quarantined instead of requeued.
+    pub poison_budget: u32,
+    /// Total replacement workers the supervisor may spawn; once
+    /// exhausted, still-unprocessed panic survivors are quarantined so
+    /// the crawl terminates.
+    pub restart_budget: u32,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> Self {
+        SupervisionConfig {
+            poison_budget: 2,
+            restart_budget: 1024,
+        }
+    }
+}
+
+/// Pipeline stage a [`FaultPlan`] fires in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultStage {
+    /// Panic while fetching the selected URL.
+    Fetch,
+    /// Panic while classifying the selected URL's document.
+    Classify,
+}
+
+/// Deterministic, seeded worker-panic injection (test harness for the
+/// supervisor). URLs are selected by hash — `1-in-one_in` of them —
+/// and each selected URL panics `panics_per_url` times before
+/// behaving: `u32::MAX` models a poisoned document (quarantined), a
+/// small count models a transient crash (eventually stored).
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Selection seed: different seeds poison different URL subsets.
+    pub seed: u64,
+    /// One in this many URLs is selected (0 disables the plan).
+    pub one_in: u64,
+    /// Panics each selected URL fires before succeeding.
+    pub panics_per_url: u32,
+    /// Stage the panic fires in.
+    pub stage: FaultStage,
+}
+
+impl FaultPlan {
+    /// True when the plan selects `url` (deterministic in seed + URL).
+    pub fn selects(&self, url: &str) -> bool {
+        self.one_in > 0 && fxhash::hash_one(&(self.seed, url)).is_multiple_of(self.one_in)
+    }
+}
+
+/// Shared fire-count bookkeeping for a [`FaultPlan`]: "panic k times
+/// then succeed" needs the count to survive the panic, so it is bumped
+/// *before* the unwind starts.
+struct FaultInjector {
+    plan: FaultPlan,
+    fired: Mutex<FxHashMap<u64, u32>>,
+}
+
+impl FaultInjector {
+    fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            fired: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    fn maybe_fire(&self, stage: FaultStage, url: &str) {
+        if self.plan.stage != stage || !self.plan.selects(url) {
+            return;
+        }
+        let fire = {
+            let mut fired = lock_clean(&self.fired);
+            let count = fired.entry(fxhash::hash_one(&url)).or_insert(0);
+            if *count < self.plan.panics_per_url {
+                *count += 1;
+                true
+            } else {
+                false
+            }
+        };
+        if fire {
+            panic!("injected {stage:?} fault: {url}");
+        }
+    }
+}
 
 /// Options for a real-thread pipeline run.
 #[derive(Debug, Clone)]
@@ -60,6 +177,10 @@ pub struct PipelineOptions {
     /// level (BFS). When false the run processes exactly the given URLs
     /// at depth 0 — the flat throughput-measurement mode.
     pub follow_links: bool,
+    /// Supervisor limits (poison and restart budgets).
+    pub supervision: SupervisionConfig,
+    /// Seeded worker-panic injection (tests only; `None` in production).
+    pub fault: Option<FaultPlan>,
 }
 
 impl PipelineOptions {
@@ -70,6 +191,8 @@ impl PipelineOptions {
             threads,
             batch_size,
             follow_links: false,
+            supervision: SupervisionConfig::default(),
+            fault: None,
         }
     }
 
@@ -81,7 +204,15 @@ impl PipelineOptions {
             threads,
             batch_size,
             follow_links: true,
+            supervision: SupervisionConfig::default(),
+            fault: None,
         }
+    }
+
+    /// This run with a seeded fault plan installed.
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = Some(fault);
+        self
     }
 }
 
@@ -96,6 +227,9 @@ pub struct ThroughputReport {
     pub docs_per_minute: f64,
     /// Crawl counters aggregated over all workers.
     pub stats: CrawlStats,
+    /// URLs quarantined by the supervisor (poison budget exhausted),
+    /// sorted.
+    pub quarantined: Vec<String>,
 }
 
 /// One URL waiting for a worker, with the crawl context its discoverer
@@ -109,12 +243,45 @@ struct WorkItem {
     anchor_terms: Vec<TermId>,
 }
 
+/// What one worker reported back to the supervisor when it finished or
+/// died.
+#[derive(Default)]
+struct WorkerExit {
+    /// Work items discovered for the next BFS level (kept even when the
+    /// worker later panicked: they came from fully committed batches).
+    next_level: Vec<WorkItem>,
+    /// Set when the worker died mid-batch.
+    panic: Option<PanicReport>,
+}
+
+/// A caught worker panic, with the batch that was in flight.
+struct PanicReport {
+    /// Rendered panic payload.
+    message: String,
+    /// URLs consumed from the level queue whose processing never
+    /// committed — the supervisor requeues or quarantines them.
+    in_flight: Vec<WorkItem>,
+}
+
+/// Render a panic payload for events and counters.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Pump `seeds` (URL, topic) through the staged document pipeline with
 /// `opts.threads` workers. Classification runs through `judge` on whole
 /// batches; stored rows carry real depths, judgments and link rows, so
 /// the resulting store matches a deterministic crawl of the same URL set
 /// modulo term-id numbering (see [`SharedVocabulary::canonicalize`]) and
-/// row order.
+/// row order. Worker panics are supervised (see the module docs): the
+/// run always completes, with at most the quarantined documents
+/// missing.
 pub fn run_pipeline(
     world: Arc<World>,
     store: DocumentStore,
@@ -128,9 +295,10 @@ pub fn run_pipeline(
     let dedup = Mutex::new(Dedup::new());
     let page_top_terms: Mutex<FxHashMap<u64, Vec<TermId>>> = Mutex::new(FxHashMap::default());
     let stats = Mutex::new(CrawlStats::default());
+    let injector = opts.fault.clone().map(FaultInjector::new);
 
     let mut level: Vec<WorkItem> = {
-        let mut dedup = dedup.lock().expect("dedup poisoned");
+        let mut dedup = lock_clean(&dedup);
         seeds
             .into_iter()
             .filter(|(url, _)| dedup.mark_url(url))
@@ -144,62 +312,172 @@ pub fn run_pipeline(
             .collect()
     };
 
-    while !level.is_empty() {
-        telemetry.pipeline.queue_depth.set(level.len() as i64);
-        let (tx, rx) = channel::unbounded::<WorkItem>();
-        for item in level.drain(..) {
-            tx.send(item).expect("level queue open");
-        }
-        drop(tx);
+    // Supervisor state, shared across all levels.
+    let mut poison: FxHashMap<u64, u32> = FxHashMap::default();
+    let mut quarantined: Vec<String> = Vec::new();
+    let mut restarts_left = opts.supervision.restart_budget;
 
-        let next: Vec<Vec<WorkItem>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..opts.threads.max(1))
-                .map(|_| {
-                    let rx = rx.clone();
-                    let world = &world;
-                    let store = &store;
-                    let dedup = &dedup;
-                    let page_top_terms = &page_top_terms;
-                    let stats = &stats;
-                    scope.spawn(move || {
-                        run_worker(
-                            world,
-                            store,
-                            rx,
-                            vocab,
-                            judge,
-                            telemetry,
-                            opts,
-                            dedup,
-                            page_top_terms,
-                            stats,
-                            &started,
-                        )
+    while !level.is_empty() {
+        // Drain one BFS level under supervision. `pending` holds the
+        // still-unprocessed items of this level; retry rounds after a
+        // panic run single-URL batches to isolate the crasher.
+        let mut pending = std::mem::take(&mut level);
+        let mut round = 0u64;
+        while !pending.is_empty() {
+            telemetry.pipeline.queue_depth.set(pending.len() as i64);
+            let batch_size = if round == 0 {
+                opts.batch_size.max(1)
+            } else {
+                1
+            };
+            let workers = opts.threads.max(1).min(pending.len());
+            let (tx, rx) = channel::unbounded::<WorkItem>();
+            for item in pending.drain(..) {
+                tx.send(item).expect("level queue open");
+            }
+            drop(tx);
+
+            let exits: Vec<WorkerExit> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let rx = rx.clone();
+                        let world = &world;
+                        let store = &store;
+                        let dedup = &dedup;
+                        let page_top_terms = &page_top_terms;
+                        let stats = &stats;
+                        let injector = injector.as_ref();
+                        scope.spawn(move || {
+                            run_worker(
+                                world,
+                                store,
+                                rx,
+                                vocab,
+                                judge,
+                                telemetry,
+                                opts,
+                                batch_size,
+                                dedup,
+                                page_top_terms,
+                                stats,
+                                &started,
+                                injector,
+                            )
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        });
-        level = next.into_iter().flatten().collect();
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        // A panic that escaped the worker's own
+                        // catch_unwind (it should not exist) is still a
+                        // supervised death, not an abort.
+                        h.join().unwrap_or_else(|payload| WorkerExit {
+                            next_level: Vec::new(),
+                            panic: Some(PanicReport {
+                                message: panic_message(payload.as_ref()),
+                                in_flight: Vec::new(),
+                            }),
+                        })
+                    })
+                    .collect()
+            });
+
+            // Supervise: collect survivors' discoveries, triage the
+            // in-flight URLs of dead workers. Items still sitting in
+            // the level queue when every worker died were never
+            // attempted — recover them too, without a poison charge.
+            let mut requeue: Vec<WorkItem> = Vec::new();
+            while let Ok(item) = rx.try_recv() {
+                requeue.push(item);
+            }
+            let mut panic_messages: Vec<String> = Vec::new();
+            let mut newly_quarantined: Vec<String> = Vec::new();
+            for exit in exits {
+                level.extend(exit.next_level);
+                let Some(report) = exit.panic else { continue };
+                telemetry.worker_panics.inc();
+                panic_messages.push(report.message);
+                for item in report.in_flight {
+                    // Only a single-URL batch pins the panic on its URL.
+                    if round > 0 {
+                        let charges = poison.entry(fxhash::hash_one(&item.url)).or_insert(0);
+                        *charges += 1;
+                        if *charges >= opts.supervision.poison_budget.max(1) {
+                            newly_quarantined.push(item.url);
+                            continue;
+                        }
+                    }
+                    requeue.push(item);
+                }
+            }
+
+            // Events are emitted by the supervisor after the join, in
+            // sorted order, so same-seed runs log identical bytes.
+            panic_messages.sort_unstable();
+            for message in &panic_messages {
+                telemetry
+                    .events
+                    .emit(Event::at(round, "crawl.worker.panic").with("message", message));
+            }
+            newly_quarantined.sort_unstable();
+            for url in &newly_quarantined {
+                telemetry.worker_quarantined.inc();
+                telemetry
+                    .events
+                    .emit(Event::at(round, "crawl.worker.quarantine").with("url", url));
+            }
+            quarantined.extend(newly_quarantined);
+
+            if !requeue.is_empty() {
+                requeue.sort_unstable_by(|a, b| a.url.cmp(&b.url));
+                telemetry.worker_requeued.add(requeue.len() as u64);
+                telemetry
+                    .events
+                    .emit(Event::at(round, "crawl.worker.requeue").with("count", requeue.len()));
+                let respawn = (opts.threads.max(1).min(requeue.len())) as u32;
+                if restarts_left >= respawn {
+                    // Respawn replacement workers for a retry round.
+                    restarts_left -= respawn;
+                    telemetry.worker_restarts.add(respawn as u64);
+                    telemetry
+                        .events
+                        .emit(Event::at(round, "crawl.worker.restart").with("workers", respawn));
+                    pending = requeue;
+                } else {
+                    // Restart budget exhausted: quarantine the
+                    // remainder so the crawl still terminates.
+                    for item in requeue {
+                        telemetry.worker_quarantined.inc();
+                        telemetry.events.emit(
+                            Event::at(round, "crawl.worker.quarantine").with("url", &item.url),
+                        );
+                        quarantined.push(item.url);
+                    }
+                }
+            }
+            round += 1;
+        }
     }
     telemetry.pipeline.queue_depth.set(0);
 
     let wall = started.elapsed();
-    let stats = stats.into_inner().expect("stats poisoned");
+    let stats = lock_clean(&stats).clone();
+    quarantined.sort_unstable();
     let documents = stats.stored_pages;
     ThroughputReport {
         documents,
         wall,
         docs_per_minute: documents as f64 / wall.as_secs_f64().max(1e-9) * 60.0,
         stats,
+        quarantined,
     }
 }
 
-/// One worker: drain the level queue in batches through the pipeline.
-/// Returns the work items this worker discovered for the next level.
+/// One worker: drain the level queue in batches through the pipeline,
+/// each batch under `catch_unwind`. A panic rolls back the batch's
+/// journaled duplicate fingerprints and staged store rows, then kills
+/// the worker with a [`PanicReport`] for the supervisor.
 #[allow(clippy::too_many_arguments)]
 fn run_worker(
     world: &World,
@@ -209,11 +487,13 @@ fn run_worker(
     judge: &dyn BatchJudge,
     telemetry: &CrawlTelemetry,
     opts: &PipelineOptions,
+    batch_size: usize,
     dedup: &Mutex<Dedup>,
     page_top_terms: &Mutex<FxHashMap<u64, Vec<TermId>>>,
     stats: &Mutex<CrawlStats>,
     started: &Instant,
-) -> Vec<WorkItem> {
+    injector: Option<&FaultInjector>,
+) -> WorkerExit {
     let config = &opts.config;
     let registry = ContentRegistry::new();
     let mut loader =
@@ -225,122 +505,165 @@ fn run_worker(
     let mut next_level: Vec<WorkItem> = Vec::new();
 
     loop {
-        // Collect one batch from the level queue.
-        let mut items: Vec<WorkItem> = Vec::with_capacity(opts.batch_size.max(1));
-        let mut batch: Vec<FetchedDoc> = Vec::with_capacity(opts.batch_size.max(1));
-        while batch.len() < opts.batch_size.max(1) {
-            let Ok(item) = rx.recv() else { break };
-            local.visited_urls += 1;
-            local.max_depth = local.max_depth.max(item.depth);
-            let Some(response) = fetch_with_hygiene(world, config, dedup, &mut local, &item.url)
-            else {
-                continue;
-            };
-            let neighbor_terms = page_top_terms
-                .lock()
-                .expect("top terms poisoned")
-                .get(&item.src_page)
-                .cloned()
-                .unwrap_or_default();
-            batch.push(FetchedDoc {
-                response,
-                depth: item.depth,
-                src_topic: item.src_topic,
-                anchor_terms: item.anchor_terms.clone(),
-                neighbor_terms,
-                fetched_at: started.elapsed().as_millis() as u64,
-            });
-            items.push(item);
-        }
-        if batch.is_empty() {
-            break;
-        }
-
-        let outcomes = process_batch(
-            world,
-            &registry,
-            &mut interner,
-            &mut loader,
-            batch,
-            |resp: &FetchResponse| {
-                dedup.lock().expect("dedup poisoned").mark_response(
-                    resp.ip,
-                    path_of_url(&resp.url),
-                    resp.size,
-                )
-            },
-            |docs, ctxs| judge.judge_batch(docs, ctxs),
-            &telemetry.textproc,
-            &telemetry.pipeline,
-        );
-
-        for (item, outcome) in items.iter().zip(outcomes) {
-            match outcome {
-                DocOutcome::MimeFiltered => local.mime_rejected += 1,
-                DocOutcome::DuplicateContent => local.duplicates += 1,
-                DocOutcome::Malformed { wasted_bytes } => {
-                    local.mime_rejected += 1;
-                    local.wasted_bytes += wasted_bytes;
+        // One batch attempt: everything consumed from the level queue
+        // (`taken`) and every dedup fingerprint marked (`journal`) is
+        // tracked *outside* the unwind boundary so a panic can be
+        // rolled back.
+        let mut taken: Vec<WorkItem> = Vec::with_capacity(batch_size);
+        let mut journal: Vec<DedupMark> = Vec::new();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let mut batch: Vec<FetchedDoc> = Vec::with_capacity(batch_size);
+            let mut slots: Vec<usize> = Vec::with_capacity(batch_size);
+            while batch.len() < batch_size {
+                let Ok(item) = rx.recv() else { break };
+                taken.push(item);
+                let idx = taken.len() - 1;
+                let item = &taken[idx];
+                local.visited_urls += 1;
+                local.max_depth = local.max_depth.max(item.depth);
+                if let Some(injector) = injector {
+                    injector.maybe_fire(FaultStage::Fetch, &item.url);
                 }
-                DocOutcome::AlreadyStored { page_id, doc, .. } => {
-                    page_top_terms
-                        .lock()
-                        .expect("top terms poisoned")
-                        .insert(page_id, top_terms(&doc));
-                    local.duplicates += 1;
-                }
-                DocOutcome::Stored {
-                    page_id,
-                    doc,
-                    judgment,
-                } => {
-                    page_top_terms
-                        .lock()
-                        .expect("top terms poisoned")
-                        .insert(page_id, top_terms(&doc));
-                    local.stored_pages += 1;
-                    telemetry.stored.inc();
-                    if judgment.topic.is_some() {
-                        local.positively_classified += 1;
+                let Some(response) =
+                    fetch_with_hygiene(world, config, dedup, &mut local, &item.url, &mut journal)
+                else {
+                    continue;
+                };
+                let neighbor_terms = lock_clean(page_top_terms)
+                    .get(&item.src_page)
+                    .cloned()
+                    .unwrap_or_default();
+                batch.push(FetchedDoc {
+                    response,
+                    depth: item.depth,
+                    src_topic: item.src_topic,
+                    anchor_terms: item.anchor_terms.clone(),
+                    neighbor_terms,
+                    fetched_at: started.elapsed().as_millis() as u64,
+                });
+                slots.push(idx);
+            }
+            if batch.is_empty() {
+                return;
+            }
+
+            let outcomes = process_batch(
+                world,
+                &registry,
+                &mut interner,
+                &mut loader,
+                batch,
+                |resp: &FetchResponse| {
+                    lock_clean(dedup).mark_response_journaled(
+                        resp.ip,
+                        path_of_url(&resp.url),
+                        resp.size,
+                        &mut journal,
+                    )
+                },
+                |docs, ctxs| {
+                    if let Some(injector) = injector {
+                        for ctx in ctxs {
+                            injector.maybe_fire(FaultStage::Classify, &ctx.url);
+                        }
                     }
-                    if opts.follow_links {
-                        local.extracted_links += doc.links.len() as u64;
-                        // Soft focus without tunnelling: only positively
-                        // classified documents propagate the crawl.
+                    judge.judge_batch(docs, ctxs)
+                },
+                &telemetry.textproc,
+                &telemetry.pipeline,
+            );
+
+            for (idx, outcome) in slots.into_iter().zip(outcomes) {
+                let item = &taken[idx];
+                match outcome {
+                    DocOutcome::MimeFiltered => local.mime_rejected += 1,
+                    DocOutcome::DuplicateContent => local.duplicates += 1,
+                    DocOutcome::Malformed { wasted_bytes } => {
+                        local.mime_rejected += 1;
+                        local.wasted_bytes += wasted_bytes;
+                    }
+                    DocOutcome::AlreadyStored { page_id, doc, .. } => {
+                        lock_clean(page_top_terms).insert(page_id, top_terms(&doc));
+                        local.duplicates += 1;
+                    }
+                    DocOutcome::Stored {
+                        page_id,
+                        doc,
+                        judgment,
+                    } => {
+                        lock_clean(page_top_terms).insert(page_id, top_terms(&doc));
+                        local.stored_pages += 1;
+                        telemetry.stored.inc();
                         if judgment.topic.is_some() {
-                            enqueue_links(
-                                config,
-                                dedup,
-                                &mut local,
-                                &mut next_level,
-                                item,
-                                page_id,
-                                judgment.topic,
-                                &doc,
-                            );
+                            local.positively_classified += 1;
+                        }
+                        if opts.follow_links {
+                            local.extracted_links += doc.links.len() as u64;
+                            // Soft focus without tunnelling: only positively
+                            // classified documents propagate the crawl.
+                            if judgment.topic.is_some() {
+                                enqueue_links(
+                                    config,
+                                    dedup,
+                                    &mut local,
+                                    &mut next_level,
+                                    item,
+                                    page_id,
+                                    judgment.topic,
+                                    &doc,
+                                );
+                            }
                         }
                     }
                 }
+            }
+        }));
+
+        match caught {
+            Ok(()) => {
+                if taken.is_empty() {
+                    break; // level queue drained
+                }
+            }
+            Err(payload) => {
+                // Roll back the half-processed batch: its fingerprints
+                // must not make requeued retries look like duplicates,
+                // and its staged rows must not leak into the store.
+                lock_clean(dedup).unmark(&journal);
+                loader.discard_pending();
+                loader.flush();
+                lock_clean(stats).merge(&local);
+                return WorkerExit {
+                    next_level,
+                    panic: Some(PanicReport {
+                        message: panic_message(payload.as_ref()),
+                        in_flight: taken,
+                    }),
+                };
             }
         }
     }
 
     loader.flush();
-    let mut stats = stats.lock().expect("stats poisoned");
-    stats.merge(&local);
-    next_level
+    lock_clean(stats).merge(&local);
+    WorkerExit {
+        next_level,
+        panic: None,
+    }
 }
 
 /// URL hygiene + fetch with inline redirect following and immediate
 /// retries on transient failures — the real-time counterparts of the
 /// discrete-event executor's guards, redirect re-enqueueing and backoff
-/// parking.
+/// parking. Redirect-target URL marks are journaled so a later panic in
+/// the same batch can roll them back.
 fn fetch_with_hygiene(
     world: &World,
     config: &CrawlConfig,
     dedup: &Mutex<Dedup>,
     stats: &mut CrawlStats,
     url: &str,
+    journal: &mut Vec<DedupMark>,
 ) -> Option<FetchResponse> {
     let mut url = url.to_string();
     let mut redirects = 0u32;
@@ -387,7 +710,7 @@ fn fetch_with_hygiene(
             FetchOutcome::Redirect { location, .. } => {
                 stats.redirects += 1;
                 if redirects < config.max_redirects
-                    && dedup.lock().expect("dedup poisoned").mark_url(&location)
+                    && lock_clean(dedup).mark_url_journaled(&location, journal)
                 {
                     url = location;
                     redirects += 1;
@@ -445,7 +768,7 @@ fn enqueue_links(
                 continue;
             }
         }
-        if !dedup.lock().expect("dedup poisoned").mark_url(url) {
+        if !lock_clean(dedup).mark_url(url) {
             continue; // already queued or visited
         }
         next_level.push(WorkItem {
@@ -524,6 +847,7 @@ mod tests {
         assert_eq!(report.documents as usize, urls.len());
         assert_eq!(store.document_count(), urls.len());
         assert!(report.docs_per_minute > 0.0);
+        assert!(report.quarantined.is_empty());
         // Classification ran: every stored row carries the judgment.
         store.for_each_document(|row| {
             assert_eq!(row.topic, Some(0));
@@ -532,6 +856,7 @@ mod tests {
         let snap = telemetry.registry.snapshot();
         assert_eq!(snap.counters["pipeline.load.docs"], urls.len() as u64);
         assert_eq!(snap.counters["crawl.stored"], urls.len() as u64);
+        assert_eq!(snap.counters["crawl.worker.panics"], 0);
     }
 
     #[test]
@@ -581,5 +906,124 @@ mod tests {
             store.link_count() > 0,
             "stored documents emit their link rows"
         );
+    }
+
+    #[test]
+    fn transient_panics_recover_every_document() {
+        // Every URL the plan selects panics once, then behaves: the
+        // supervisor requeues them and the run still stores everything.
+        let world = Arc::new(WorldConfig::small_test(41).build());
+        let urls = unique_healthy_urls(&world);
+        assert!(urls.len() >= 10);
+        let fault = FaultPlan {
+            seed: 7,
+            one_in: 4,
+            panics_per_url: 1,
+            stage: FaultStage::Fetch,
+        };
+        assert!(
+            urls.iter().any(|u| fault.selects(u)),
+            "plan must select at least one URL"
+        );
+        let store = DocumentStore::new();
+        let vocab = SharedVocabulary::new();
+        let telemetry = CrawlTelemetry::default();
+        let report = run_pipeline(
+            Arc::clone(&world),
+            store.clone(),
+            urls.iter().map(|u| (u.clone(), None)).collect(),
+            &vocab,
+            &accept_all(),
+            &telemetry,
+            &PipelineOptions::flat(4, 8).with_fault(fault),
+        );
+        assert_eq!(report.documents as usize, urls.len(), "nothing lost");
+        assert!(report.quarantined.is_empty(), "transient faults recover");
+        let snap = telemetry.registry.snapshot();
+        assert!(snap.counters["crawl.worker.panics"] > 0);
+        assert!(snap.counters["crawl.worker.requeued"] > 0);
+        assert!(snap.counters["crawl.worker.restarts"] > 0);
+        assert_eq!(snap.counters["crawl.worker.quarantined"], 0);
+    }
+
+    #[test]
+    fn poisoned_documents_are_quarantined_not_retried_forever() {
+        let world = Arc::new(WorldConfig::small_test(41).build());
+        let urls = unique_healthy_urls(&world);
+        let fault = FaultPlan {
+            seed: 13,
+            one_in: 5,
+            panics_per_url: u32::MAX, // a deterministic crasher
+            stage: FaultStage::Classify,
+        };
+        let poisoned: Vec<String> = urls.iter().filter(|u| fault.selects(u)).cloned().collect();
+        assert!(!poisoned.is_empty(), "plan must poison at least one URL");
+        let store = DocumentStore::new();
+        let vocab = SharedVocabulary::new();
+        let telemetry = CrawlTelemetry::default();
+        let report = run_pipeline(
+            Arc::clone(&world),
+            store.clone(),
+            urls.iter().map(|u| (u.clone(), None)).collect(),
+            &vocab,
+            &accept_all(),
+            &telemetry,
+            &PipelineOptions::flat(4, 8).with_fault(fault),
+        );
+        let mut expected = poisoned.clone();
+        expected.sort_unstable();
+        assert_eq!(report.quarantined, expected, "exactly the poisoned docs");
+        assert_eq!(
+            report.documents as usize,
+            urls.len() - poisoned.len(),
+            "everything else stored"
+        );
+        let stored_urls: std::collections::BTreeSet<String> =
+            store.all_documents().into_iter().map(|d| d.url).collect();
+        for url in &poisoned {
+            assert!(!stored_urls.contains(url), "quarantined doc in store");
+        }
+        let snap = telemetry.registry.snapshot();
+        assert_eq!(
+            snap.counters["crawl.worker.quarantined"],
+            poisoned.len() as u64
+        );
+    }
+
+    #[test]
+    fn panic_telemetry_is_deterministic_single_threaded() {
+        // With one worker the batch composition is deterministic, so
+        // two identical fault-injected runs must emit byte-identical
+        // telemetry — panic, requeue, quarantine and restart events
+        // included.
+        let run = || {
+            let world = Arc::new(WorldConfig::small_test(44).build());
+            let urls = unique_healthy_urls(&world);
+            let fault = FaultPlan {
+                seed: 3,
+                one_in: 6,
+                panics_per_url: u32::MAX,
+                stage: FaultStage::Fetch,
+            };
+            let telemetry = CrawlTelemetry::default();
+            run_pipeline(
+                Arc::clone(&world),
+                DocumentStore::new(),
+                urls.iter().map(|u| (u.clone(), None)).collect(),
+                &SharedVocabulary::new(),
+                &accept_all(),
+                &telemetry,
+                &PipelineOptions::flat(1, 8).with_fault(fault),
+            );
+            (
+                telemetry.registry.snapshot().deterministic().to_json(),
+                telemetry.events.to_jsonl(),
+            )
+        };
+        let (snap_a, events_a) = run();
+        let (snap_b, events_b) = run();
+        assert!(events_a.contains("crawl.worker.panic"), "panics logged");
+        assert_eq!(snap_a, snap_b);
+        assert_eq!(events_a, events_b);
     }
 }

@@ -81,6 +81,9 @@ pub struct CrawlConfig {
     /// Directory checkpoints are written into; required when
     /// `checkpoint_every_docs > 0`.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Complete checkpoint generations kept after each successful save
+    /// (older ones are pruned); minimum 1.
+    pub checkpoint_keep: usize,
 }
 
 impl Default for CrawlConfig {
@@ -104,6 +107,7 @@ impl Default for CrawlConfig {
             retry_backoff_ms: 250,
             checkpoint_every_docs: 0,
             checkpoint_dir: None,
+            checkpoint_keep: bingo_store::durable::DEFAULT_KEEP_GENERATIONS,
         }
     }
 }

@@ -3,7 +3,8 @@
 //! of its document budget and resumed from the last automatic
 //! checkpoint converges to the harvest ratio of an uninterrupted run.
 
-use bingo_crawler::{CrawlConfig, Crawler, Judgment, PageContext, StepOutcome};
+use bingo_crawler::{BreakerState, CrawlConfig, Crawler, Judgment, PageContext, StepOutcome};
+use bingo_store::durable::CrashFs;
 use bingo_store::DocumentStore;
 use bingo_textproc::{AnalyzedDocument, Vocabulary};
 use bingo_webworld::gen::WorldConfig;
@@ -153,5 +154,84 @@ fn killed_at_half_budget_resumes_to_same_harvest_ratio() {
         "resumed harvest lost documents: {overlap}/{}",
         ref_ids.len()
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crash_mid_checkpoint_under_chaos_recovers_with_sane_breakers() {
+    // Chaos faults *and* a crash injected into a checkpoint write: the
+    // resume must come back from the last complete generation with a
+    // breaker state machine that still behaves — hosts re-derived from
+    // the checkpoint make progress and nobody stays open forever.
+    let seed = 91;
+    let dir = std::env::temp_dir().join("bingo-chaos-crash-test");
+    std::fs::remove_dir_all(&dir).ok();
+    let ckpt_config = CrawlConfig {
+        checkpoint_every_docs: 10,
+        checkpoint_dir: Some(dir.clone()),
+        ..base_config()
+    };
+    {
+        let mut doomed = chaos_crawler(seed, ckpt_config.clone());
+        let mut judge = accept_all();
+        let mut vocab = Vocabulary::new();
+        while doomed.stats().stored_pages < 40 {
+            if doomed.step(&mut judge, &mut vocab) == StepOutcome::FrontierEmpty {
+                panic!("frontier drained before enough progress");
+            }
+        }
+        assert!(doomed.stats().checkpoints_written > 0, "no checkpoint");
+        // The process dies partway through its next checkpoint write:
+        // the store snapshot lands truncated in a temp file, the
+        // manifest is never written.
+        let fs = CrashFs::with_budget(512);
+        assert!(doomed.save_session_with(&fs, &dir).is_err());
+        assert!(fs.crashed());
+    }
+
+    let world = Arc::new(WorldConfig::chaos(seed).build());
+    let max_backoff_ms = ckpt_config.breaker.max_backoff_ms;
+    let resume_config = CrawlConfig {
+        checkpoint_every_docs: 0,
+        checkpoint_dir: None,
+        ..ckpt_config
+    };
+    let mut crawler = Crawler::resume_session(world, resume_config, &dir)
+        .expect("crashed checkpoint must roll back to the last generation");
+    let resumed_at = crawler.stats().stored_pages;
+    assert!(resumed_at >= 10, "resume lost the checkpointed harvest");
+
+    // Breaker sanity straight out of the checkpoint: every re-derived
+    // open window is bounded by the breaker's own backoff cap.
+    let horizon = |clock: u64| clock + max_backoff_ms + 1;
+    for (host, _, _) in crawler.host_states() {
+        if let BreakerState::Open { until_ms } = crawler.breaker_state(&host) {
+            assert!(
+                until_ms <= horizon(crawler.stats().elapsed_ms),
+                "{host} resumed with an unbounded open window"
+            );
+        }
+    }
+
+    // The crawl still terminates and makes progress under chaos.
+    let (_, ids) = run_to_end(&mut crawler);
+    assert!(
+        crawler.stats().stored_pages > resumed_at,
+        "no progress after resume"
+    );
+    assert!(!ids.is_empty());
+
+    // And at the end no host is stuck open beyond the final horizon:
+    // open windows expire, then either close via a probe or die.
+    for (host, _, fails) in crawler.host_states() {
+        match crawler.breaker_state(&host) {
+            BreakerState::Open { until_ms } => assert!(
+                until_ms <= horizon(crawler.stats().elapsed_ms),
+                "{host} stuck open past the backoff horizon"
+            ),
+            BreakerState::Closed | BreakerState::HalfOpen | BreakerState::Dead => {}
+        }
+        assert!(fails <= 1_000, "{host} accumulated absurd failure count");
+    }
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,21 +1,26 @@
-//! Checkpoint-corruption regression tests: a truncated, garbled or
-//! half-missing session directory must come back from
-//! [`Crawler::resume_session`] as a clean [`CheckpointError`] — never a
-//! panic — so an operator can diagnose a damaged session instead of
-//! debugging a crash. Plus property tests that same-seed crawls emit
-//! byte-identical telemetry (the determinism contract the bench gate
-//! enforces at macro scale).
+//! Checkpoint-corruption property tests: however a session directory is
+//! damaged — any file truncated at any offset, any byte window garbled,
+//! any piece missing — [`Crawler::resume_session`] must either roll
+//! back to an older complete generation or surface a clean
+//! [`CheckpointError`]. Never a panic, never a half-loaded crawler.
+//! Plus property tests that same-seed crawls emit byte-identical
+//! telemetry (the determinism contract the bench gate enforces at macro
+//! scale).
 
 use bingo_crawler::checkpoint::{CheckpointError, CRAWLER_FILE, STORE_FILE};
 use bingo_crawler::{CrawlConfig, CrawlTelemetry, Crawler, Judgment, PageContext};
 use bingo_obs::{EventLog, Registry};
+use bingo_store::durable::{self, MANIFEST_FILE};
 use bingo_store::DocumentStore;
 use bingo_textproc::{AnalyzedDocument, Vocabulary};
 use bingo_webworld::gen::WorldConfig;
 use bingo_webworld::World;
 use proptest::prelude::*;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// The files making up one checkpoint generation.
+const PIECES: [&str; 3] = [MANIFEST_FILE, CRAWLER_FILE, STORE_FILE];
 
 fn accept_all() -> impl FnMut(&AnalyzedDocument, &PageContext) -> Judgment {
     |_doc, _ctx| Judgment {
@@ -46,6 +51,27 @@ fn saved_session(tag: &str) -> (Arc<World>, PathBuf) {
     (world, dir)
 }
 
+/// One crawled-and-saved session, built once and copied per proptest
+/// case so each case corrupts a private clone.
+fn template() -> &'static (Arc<World>, PathBuf) {
+    static TEMPLATE: OnceLock<(Arc<World>, PathBuf)> = OnceLock::new();
+    TEMPLATE.get_or_init(|| saved_session("template"))
+}
+
+/// Copy the template session into a fresh directory.
+fn clone_session(tag: &str) -> PathBuf {
+    let (_, src) = template();
+    let gen = durable::find_newest_complete(src).expect("template has a complete generation");
+    let dst = std::env::temp_dir().join(format!("bingo-ckpt-corruption-{tag}"));
+    std::fs::remove_dir_all(&dst).ok();
+    let gen_dir = dst.join(gen.dir.file_name().expect("generation dir name"));
+    std::fs::create_dir_all(&gen_dir).unwrap();
+    for piece in PIECES {
+        std::fs::copy(gen.dir.join(piece), gen_dir.join(piece)).unwrap();
+    }
+    dst
+}
+
 fn resume(world: &Arc<World>, dir: &Path) -> Result<Crawler, CheckpointError> {
     Crawler::resume_session(world.clone(), CrawlConfig::default(), dir)
 }
@@ -59,75 +85,44 @@ fn intact_session_resumes() {
 }
 
 #[test]
-fn truncated_crawler_checkpoint_is_a_clean_format_error() {
-    let (world, dir) = saved_session("truncated-crawler");
-    let path = dir.join(CRAWLER_FILE);
-    let bytes = std::fs::read(&path).unwrap();
-    // Cut the JSON mid-document at several points: every prefix must
-    // surface as Format, not a panic.
-    for cut in [1usize, bytes.len() / 4, bytes.len() / 2, bytes.len() - 1] {
-        std::fs::write(&path, &bytes[..cut]).unwrap();
-        match resume(&world, &dir).map(|_| ()) {
-            Err(CheckpointError::Format(msg)) => assert!(!msg.is_empty()),
-            other => panic!("cut at {cut}: expected Format error, got {other:?}"),
-        }
-    }
+fn rollback_recovers_the_previous_generation() {
+    // Two generations; the newest one damaged → resume must roll back
+    // to the older complete generation, not fail.
+    let world = small_world(42);
+    let dir = std::env::temp_dir().join("bingo-ckpt-corruption-rollback");
     std::fs::remove_dir_all(&dir).ok();
-}
+    let mut crawler = Crawler::new(world.clone(), CrawlConfig::default(), DocumentStore::new());
+    crawler.add_seed(&world.url_of(1), Some(0));
+    let mut judge = accept_all();
+    let mut vocab = Vocabulary::new();
+    crawler.run_until(15_000, &mut judge, &mut vocab);
+    crawler.save_session(&dir).expect("first save");
+    let stored_then = crawler.stats().stored_pages;
+    crawler.run_until(40_000, &mut judge, &mut vocab);
+    crawler.save_session(&dir).expect("second save");
 
-#[test]
-fn garbled_crawler_checkpoint_is_a_clean_format_error() {
-    let (world, dir) = saved_session("garbled-crawler");
-    let path = dir.join(CRAWLER_FILE);
-    // Binary garbage: not even UTF-8.
-    std::fs::write(&path, [0xffu8, 0x00, 0x13, 0x37, 0xfe]).unwrap();
-    assert!(matches!(
-        resume(&world, &dir),
-        Err(CheckpointError::Format(_) | CheckpointError::Io(_))
-    ));
-    // Valid JSON of the wrong shape.
-    std::fs::write(&path, br#"{"magic": "not-a-checkpoint"}"#).unwrap();
-    assert!(matches!(
-        resume(&world, &dir),
-        Err(CheckpointError::Format(_))
-    ));
-    std::fs::remove_dir_all(&dir).ok();
-}
+    let generations = durable::complete_generations(&dir);
+    assert_eq!(generations.len(), 2, "both generations kept (keep=2)");
+    // Garble the newest generation's store snapshot: its checksum no
+    // longer matches the manifest, so the generation is incomplete.
+    let newest_store = generations[0].dir.join(STORE_FILE);
+    let mut bytes = std::fs::read(&newest_store).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xa5;
+    std::fs::write(&newest_store, &bytes).unwrap();
 
-#[test]
-fn corrupt_store_snapshot_is_a_clean_store_error() {
-    let (world, dir) = saved_session("corrupt-store");
-    let path = dir.join(STORE_FILE);
-    let original = std::fs::read_to_string(&path).unwrap();
-
-    // Garble a document line in the middle.
-    let mut lines: Vec<&str> = original.lines().collect();
-    assert!(lines.len() > 2, "store snapshot unexpectedly tiny");
-    let mid = lines.len() / 2;
-    lines[mid] = "{ this is not a document row";
-    std::fs::write(&path, lines.join("\n")).unwrap();
-    match resume(&world, &dir).map(|_| ()) {
-        Err(CheckpointError::Store(msg)) => assert!(!msg.is_empty()),
-        other => panic!("expected Store error, got {other:?}"),
-    }
-
-    // Truncate: header promises more rows than the file holds.
-    let half: String = original
-        .lines()
-        .take(original.lines().count() / 2)
-        .collect::<Vec<_>>()
-        .join("\n");
-    std::fs::write(&path, half).unwrap();
-    assert!(matches!(
-        resume(&world, &dir),
-        Err(CheckpointError::Store(_))
-    ));
+    let resumed = resume(&world, &dir).expect("rollback to older generation");
+    assert_eq!(
+        resumed.stats().stored_pages,
+        stored_then,
+        "resume recovered the first save's state"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
 fn missing_pieces_are_clean_errors() {
-    // Whole directory absent: the store snapshot fails to open first.
+    // Whole directory absent.
     let world = small_world(42);
     let nowhere = std::env::temp_dir().join("bingo-ckpt-corruption-does-not-exist");
     std::fs::remove_dir_all(&nowhere).ok();
@@ -136,11 +131,71 @@ fn missing_pieces_are_clean_errors() {
         Err(CheckpointError::Store(_))
     ));
 
-    // Store present but the crawler checkpoint missing: an Io error.
-    let (world, dir) = saved_session("missing-crawler");
-    std::fs::remove_file(dir.join(CRAWLER_FILE)).unwrap();
-    assert!(matches!(resume(&world, &dir), Err(CheckpointError::Io(_))));
-    std::fs::remove_dir_all(&dir).ok();
+    // Any single piece deleted from the only generation: the manifest
+    // no longer verifies (or is gone), so there is no complete
+    // generation and no legacy flat files to fall back to.
+    for piece in PIECES {
+        let dir = clone_session(&format!("missing-{piece}"));
+        let gen = durable::generation_numbers(&dir);
+        let gen_dir = durable::generation_dir(&dir, gen[0]);
+        std::fs::remove_file(gen_dir.join(piece)).unwrap();
+        let (world, _) = template();
+        assert!(
+            resume(world, &dir).is_err(),
+            "missing {piece} must fail cleanly"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Truncate any piece of the only generation at an arbitrary offset:
+    /// resume must fail with a clean error (no older generation exists),
+    /// never panic.
+    #[test]
+    fn truncation_anywhere_fails_clean(piece in 0usize..3, frac in 0.0f64..1.0) {
+        let dir = clone_session(&format!("trunc-{piece}-{}", (frac * 1e6) as u64));
+        let gen = durable::generation_numbers(&dir);
+        let path = durable::generation_dir(&dir, gen[0]).join(PIECES[piece]);
+        let bytes = std::fs::read(&path).unwrap();
+        let cut = ((bytes.len() as f64 * frac) as usize).min(bytes.len() - 1);
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let (world, _) = template();
+        let outcome = resume(world, &dir).map(|_| ());
+        prop_assert!(outcome.is_err(), "truncated {} at {cut} must fail", PIECES[piece]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Garble an arbitrary byte window of any piece (XOR 0xA5): the
+    /// manifest checksum (or the manifest itself) no longer verifies,
+    /// and resume fails cleanly.
+    #[test]
+    fn garbling_anywhere_fails_clean(
+        piece in 0usize..3,
+        frac in 0.0f64..1.0,
+        window in 1usize..16,
+    ) {
+        let dir = clone_session(&format!("garble-{piece}-{}-{window}", (frac * 1e6) as u64));
+        let gen = durable::generation_numbers(&dir);
+        let path = durable::generation_dir(&dir, gen[0]).join(PIECES[piece]);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let start = ((bytes.len() as f64 * frac) as usize).min(bytes.len() - 1);
+        let end = (start + window).min(bytes.len());
+        for b in &mut bytes[start..end] {
+            *b ^= 0xa5;
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        let (world, _) = template();
+        let outcome = resume(world, &dir).map(|_| ());
+        prop_assert!(
+            outcome.is_err(),
+            "garbled {} at {start}..{end} must fail",
+            PIECES[piece]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }
 
 /// Run a telemetry-instrumented crawl and return its deterministic

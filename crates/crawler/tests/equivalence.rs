@@ -13,7 +13,8 @@
 //! duplicate class.
 
 use bingo_crawler::{
-    CrawlConfig, CrawlTelemetry, Crawler, Judgment, PageContext, PipelineOptions, StepOutcome,
+    CrawlConfig, CrawlTelemetry, Crawler, FaultPlan, FaultStage, Judgment, PageContext,
+    PipelineOptions, StepOutcome,
 };
 use bingo_store::{DocumentStore, LinkRow};
 use bingo_textproc::fxhash::{FxHashMap, FxHashSet};
@@ -208,4 +209,71 @@ fn deterministic_and_threaded_executors_fill_identical_stores() {
 
     assert_eq!(det_rows, row_keys(&thr_store));
     assert_eq!(link_keys(&det_store), link_keys(&thr_store));
+}
+
+#[test]
+fn panic_injected_run_matches_calm_run_minus_quarantined() {
+    // The supervised executor's equivalence contract under faults: with
+    // deterministic crashers injected, the run still completes and its
+    // store equals the calm run's store minus exactly the quarantined
+    // documents. Classify-stage faults fire *after* analysis, so both
+    // runs intern the same term universe and canonical ids line up.
+    let world = Arc::new(
+        WorldConfig {
+            alias_fraction: 0.0,
+            ..WorldConfig::small_test(41)
+        }
+        .build(),
+    );
+    let allowed = calm_hosts(&world);
+    let mut urls: Vec<String> = (0..world.page_count() as u64)
+        .filter(|&id| allowed.contains(&world.host(world.page(id).host).name))
+        .map(|id| world.url_of(id))
+        .collect();
+    urls.sort();
+    assert!(urls.len() >= 10, "world too hostile for the test");
+
+    let accept_all = |_: &AnalyzedDocument, _: &PageContext| Judgment {
+        topic: Some(0),
+        confidence: 1.0,
+    };
+    let run = |fault: Option<FaultPlan>| {
+        let store = DocumentStore::new();
+        let shared = SharedVocabulary::new();
+        let mut opts = PipelineOptions::flat(4, 8);
+        opts.fault = fault;
+        let report = bingo_crawler::run_pipeline(
+            Arc::clone(&world),
+            store.clone(),
+            urls.iter().map(|u| (u.clone(), None)).collect(),
+            &shared,
+            &accept_all,
+            &CrawlTelemetry::default(),
+            &opts,
+        );
+        let (_, map) = shared.canonicalize();
+        store.remap_terms(&map);
+        (store, report)
+    };
+
+    let (calm_store, calm_report) = run(None);
+    assert!(calm_report.quarantined.is_empty());
+
+    let fault = FaultPlan {
+        seed: 5,
+        one_in: 6,
+        panics_per_url: u32::MAX, // deterministic crashers
+        stage: FaultStage::Classify,
+    };
+    let poisoned: Vec<String> = urls.iter().filter(|u| fault.selects(u)).cloned().collect();
+    assert!(!poisoned.is_empty(), "plan must poison at least one URL");
+    let (faulted_store, report) = run(Some(fault));
+    assert_eq!(report.quarantined, poisoned, "exactly the poisoned URLs");
+
+    let poisoned: FxHashSet<String> = poisoned.into_iter().collect();
+    let expected: Vec<RowKey> = row_keys(&calm_store)
+        .into_iter()
+        .filter(|row| !poisoned.contains(&row.1))
+        .collect();
+    assert_eq!(row_keys(&faulted_store), expected);
 }

@@ -132,6 +132,17 @@ impl BulkLoader {
     pub fn take_errors(&mut self) -> Vec<StoreError> {
         std::mem::take(&mut self.errors)
     }
+
+    /// Drop all buffered rows without flushing them. Used after a
+    /// worker panic: rows staged by the failed batch must not leak into
+    /// the store when the batch is re-driven from scratch. Returns the
+    /// number of discarded document rows.
+    pub fn discard_pending(&mut self) -> usize {
+        let dropped = self.documents.len();
+        self.documents.clear();
+        self.links.clear();
+        dropped
+    }
 }
 
 impl Drop for BulkLoader {
@@ -263,6 +274,24 @@ mod tests {
         assert_eq!(snap.counters["store.bulk.flush_errors"], 1);
         assert_eq!(snap.counters["store.bulk.dropped_errors"], 0);
         assert!(events.events().is_empty());
+    }
+
+    #[test]
+    fn discard_pending_drops_buffered_rows_only() {
+        let store = DocumentStore::new();
+        let mut loader = BulkLoader::with_batch_size(store.clone(), 100);
+        loader.add_document(doc(1));
+        loader.flush();
+        loader.add_document(doc(2));
+        loader.add_link(LinkRow {
+            from: 2,
+            to: 3,
+            to_url: "x".into(),
+        });
+        assert_eq!(loader.discard_pending(), 1);
+        drop(loader); // drop-time flush has nothing left to push
+        assert_eq!(store.document_count(), 1, "only the flushed row stored");
+        assert_eq!(store.link_count(), 0, "staged link discarded");
     }
 
     #[test]

@@ -22,10 +22,12 @@
 //! sessions.
 
 pub mod bulk;
+pub mod durable;
 pub mod persist;
 pub mod tables;
 
 pub use bulk::{BulkLoader, BulkLoaderObs};
+pub use durable::{CrashFs, DurableFs, GenerationWriter, StdFs};
 pub use tables::{DocumentRow, HostRow, HostState, LinkRow};
 
 use bingo_graph::{HostId, LinkSource, PageId};

@@ -105,10 +105,15 @@ pub fn read_snapshot<R: Read>(r: R) -> Result<DocumentStore, StoreError> {
     Ok(store)
 }
 
-/// Save a snapshot to a file path.
+/// Save a snapshot to a file path. The write is atomic (temp file +
+/// fsync + rename): a crash — or a serialization error — mid-save
+/// leaves any previous snapshot at `path` untouched instead of
+/// truncating it first.
 pub fn save<P: AsRef<Path>>(store: &DocumentStore, path: P) -> Result<(), StoreError> {
-    let f = std::fs::File::create(path).map_err(|e| StoreError::Persist(e.to_string()))?;
-    write_snapshot(store, f)
+    let mut buf = Vec::new();
+    write_snapshot(store, &mut buf)?;
+    crate::durable::atomic_write(path.as_ref(), &buf)
+        .map_err(|e| StoreError::Persist(e.to_string()))
 }
 
 /// Load a snapshot from a file path.
