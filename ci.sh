@@ -9,6 +9,12 @@
 # BENCH_GATE_MODE controls the final step: "full" (default) runs the
 # baseline-sized scenarios, "smoke" the reduced CI sizes, "skip"
 # disables the bench gate (e.g. on heavily loaded shared runners).
+# The gate covers five scenarios (crawl, classify, pipeline, recovery,
+# serve) against the checked-in BENCH_<scenario>.json baselines; the
+# serve scenario additionally proves the snapshot-swap live index
+# answers queries identically to a batch rebuild while gating portal
+# QPS and latency percentiles. Use `-- --only crawl,serve` to run a
+# subset.
 #
 # BINGO_CRASH_SEEDS picks the seed matrix for the crash-recovery sweep
 # (every byte budget of a checkpoint write is crashed and recovered);

@@ -6,8 +6,9 @@
 //!   --smoke          run the reduced smoke sizes (fast CI runs)
 //!   --update         re-record the BENCH_<scenario>.json baselines
 //!                    (runs both smoke and full sizes)
-//!   --only SCENARIO  run a single scenario
-//!                    (crawl | classify | pipeline | recovery); repeatable
+//!   --only LIST      run a subset of scenarios: a comma-separated list
+//!                    of (crawl | classify | pipeline | recovery |
+//!                    serve), e.g. `--only crawl,serve`; repeatable
 //!   --out DIR        artifact directory (default target/bench_gate)
 //! ```
 //!
@@ -20,8 +21,8 @@
 use bingo_bench::gate::{
     baseline_file, calibrate_cpu_ms, check_determinism, compare_reports, default_out_dir,
     load_baseline, run_classify_scenario, run_crawl_scenario, run_pipeline_scenario,
-    run_recovery_scenario, write_run_artifacts, GateMode, MetricSpec, ScenarioRun, CLASSIFY_SPECS,
-    CRAWL_SPECS, PIPELINE_SPECS, RECOVERY_SPECS,
+    run_recovery_scenario, run_serve_scenario, write_run_artifacts, GateMode, MetricSpec,
+    ScenarioRun, CLASSIFY_SPECS, CRAWL_SPECS, PIPELINE_SPECS, RECOVERY_SPECS, SERVE_SPECS,
 };
 use serde_json::{json, Value};
 use std::path::{Path, PathBuf};
@@ -53,6 +54,11 @@ const SCENARIOS: &[Scenario] = &[
         specs: RECOVERY_SPECS,
         run: run_recovery_scenario,
     },
+    Scenario {
+        name: "serve",
+        specs: SERVE_SPECS,
+        run: run_serve_scenario,
+    },
 ];
 
 fn main() {
@@ -66,17 +72,23 @@ fn main() {
             "--smoke" => smoke = true,
             "--update" => update = true,
             "--only" => match args.next() {
-                Some(name) if SCENARIOS.iter().any(|s| s.name == name) => only.push(name),
-                Some(name) => {
-                    eprintln!(
-                        "--only: unknown scenario {name:?} (expected one of: {})",
-                        SCENARIOS
-                            .iter()
-                            .map(|s| s.name)
-                            .collect::<Vec<_>>()
-                            .join(", ")
-                    );
-                    std::process::exit(2);
+                Some(list) => {
+                    for name in list.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+                        if SCENARIOS.iter().any(|s| s.name == name) {
+                            only.push(name.to_string());
+                        } else {
+                            eprintln!(
+                                "--only: unknown scenario {name:?} (expected a comma-separated \
+                                 list of: {})",
+                                SCENARIOS
+                                    .iter()
+                                    .map(|s| s.name)
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            );
+                            std::process::exit(2);
+                        }
+                    }
                 }
                 None => {
                     eprintln!("--only requires a scenario name");

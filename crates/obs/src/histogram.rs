@@ -165,6 +165,54 @@ impl HistogramSnapshot {
         }
         self.buckets.last().map(|b| b.le).unwrap_or(0)
     }
+
+    /// Estimated value at quantile `q` (0 when empty).
+    ///
+    /// Unlike [`HistogramSnapshot::quantile`], which returns the raw
+    /// upper bound of the containing bucket, this interpolates linearly
+    /// inside the bucket (observations assumed uniform within it) and
+    /// clamps to the recorded `min`/`max`, so estimates stay inside the
+    /// observed range even for the overflow bucket. Deterministic for
+    /// identical observation multisets.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for b in &self.buckets {
+            if seen + b.n >= target {
+                // Lower bound of the log2 bucket with inclusive upper
+                // bound `le`: 0 for the zero bucket, 2^(i-1) otherwise.
+                let lower = match b.le {
+                    0 => 0,
+                    u64::MAX => 1u64 << (OVERFLOW_BUCKET - 1),
+                    le => (le >> 1) + 1,
+                };
+                let hi = b.le.min(self.max);
+                let lo = lower.max(self.min).min(hi);
+                let frac = (target - seen) as f64 / b.n as f64;
+                return lo + ((hi - lo) as f64 * frac).round() as u64;
+            }
+            seen += b.n;
+        }
+        self.max
+    }
+
+    /// Median estimate — see [`HistogramSnapshot::percentile`].
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th-percentile estimate — see [`HistogramSnapshot::percentile`].
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th-percentile estimate — see [`HistogramSnapshot::percentile`].
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +271,38 @@ mod tests {
         assert_eq!(s.quantile(0.5), 63);
         assert_eq!(s.quantile(1.0), 127);
         assert_eq!(HistogramSnapshot::default_empty().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn percentile_interpolates_within_buckets() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        // The coarse quantile answers 63/127; interpolation lands near
+        // the true values (50, 90, 99) and clamps to the observed range.
+        assert!((45..=55).contains(&s.p50()), "p50={}", s.p50());
+        assert!((80..=100).contains(&s.p90()), "p90={}", s.p90());
+        assert!((90..=100).contains(&s.p99()), "p99={}", s.p99());
+        assert_eq!(s.percentile(1.0), 100, "top percentile clamps to max");
+        assert!(s.percentile(0.0) >= 1, "bottom percentile clamps to min");
+        assert_eq!(HistogramSnapshot::default_empty().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn percentile_single_value_and_overflow() {
+        let h = Histogram::new();
+        h.observe(7);
+        assert_eq!(h.snapshot().p50(), 7, "single value is every percentile");
+        assert_eq!(h.snapshot().p99(), 7);
+        let o = Histogram::new();
+        o.observe(1 << 41);
+        o.observe(1 << 41);
+        let s = o.snapshot();
+        // Overflow bucket estimates stay inside the observed range.
+        assert_eq!(s.p50(), 1 << 41);
+        assert_eq!(s.p99(), 1 << 41);
     }
 
     impl HistogramSnapshot {

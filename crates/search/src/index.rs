@@ -5,6 +5,56 @@ use bingo_store::DocumentStore;
 use bingo_textproc::fxhash::FxHashMap;
 use bingo_textproc::{porter_stem, Tokenizer, Vocabulary};
 
+/// The read interface the ranking code needs from an index: document
+/// frequencies, postings and precomputed norms. Implemented by the batch
+/// [`InvertedIndex`] and by the live snapshot index
+/// ([`crate::live::IndexSnapshot`]), so both answer queries through the
+/// same [`crate::rank::rank`] path with identical scoring.
+pub trait TermIndex {
+    /// Number of indexed documents.
+    fn doc_count(&self) -> u64;
+
+    /// Number of documents containing `term` (0 when unknown).
+    fn df(&self, term: u32) -> u64;
+
+    /// L2 norm of a document's tf·idf vector (0 when not indexed).
+    fn norm(&self, doc: PageId) -> f32;
+
+    /// Visit every `(doc, tf)` posting of `term`. Each indexed document
+    /// appears at most once per term; visit order is unspecified.
+    fn for_each_posting(&self, term: u32, f: &mut dyn FnMut(PageId, u32));
+
+    /// Logarithmically dampened idf of a term. The single definition
+    /// both implementations share — norms and query weights must agree.
+    fn idf(&self, term: u32) -> f32 {
+        let df = self.df(term) as f32;
+        if df == 0.0 {
+            0.0
+        } else {
+            (1.0 + self.doc_count() as f32 / df).ln()
+        }
+    }
+}
+
+/// Weight of one term occurrence under the index's tf·idf scheme.
+pub(crate) fn tf_weight(tf: u32, idf: f32) -> f32 {
+    (1.0 + (tf as f32).ln()) * idf
+}
+
+/// L2 norm of one document's tf·idf vector, accumulated in the row's
+/// stored term order. Both the batch build and the live snapshot index
+/// use this exact routine, so incrementally built indexes are
+/// bit-identical to a batch rebuild (float addition is not associative —
+/// a shared accumulation order is what makes the equivalence exact).
+pub(crate) fn doc_norm<I: TermIndex + ?Sized>(index: &I, term_freqs: &[(u32, u32)]) -> f32 {
+    let mut sq = 0.0f32;
+    for &(term, tf) in term_freqs {
+        let w = tf_weight(tf, index.idf(term));
+        sq += w * w;
+    }
+    sq.sqrt()
+}
+
 /// Term → postings index with idf and document norms, built once from the
 /// crawl result database.
 #[derive(Debug, Default)]
@@ -35,18 +85,13 @@ impl InvertedIndex {
             norms: FxHashMap::default(),
             doc_count,
         };
-        // Norms under the same weighting used at query time.
+        // Norms under the same weighting used at query time, accumulated
+        // doc-major in stored term order (see [`doc_norm`]) so the live
+        // snapshot index can reproduce them bit-for-bit.
         let mut norms: FxHashMap<PageId, f32> = FxHashMap::default();
-        for (&term, list) in &index.postings {
-            let idf = index.idf(term);
-            for &(doc, tf) in list {
-                let w = (1.0 + (tf as f32).ln()) * idf;
-                *norms.entry(doc).or_insert(0.0) += w * w;
-            }
-        }
-        for v in norms.values_mut() {
-            *v = v.sqrt();
-        }
+        store.for_each_document(|row| {
+            norms.insert(row.id, doc_norm(&index, &row.term_freqs));
+        });
         index.norms = norms;
         index
     }
@@ -85,13 +130,44 @@ impl InvertedIndex {
     }
 }
 
+impl TermIndex for InvertedIndex {
+    fn doc_count(&self) -> u64 {
+        self.doc_count
+    }
+
+    fn df(&self, term: u32) -> u64 {
+        self.postings(term).len() as u64
+    }
+
+    fn norm(&self, doc: PageId) -> f32 {
+        InvertedIndex::norm(self, doc)
+    }
+
+    fn for_each_posting(&self, term: u32, f: &mut dyn FnMut(PageId, u32)) {
+        for &(doc, tf) in self.postings(term) {
+            f(doc, tf);
+        }
+    }
+}
+
 /// Tokenize and stem a query, resolving terms against the crawl's shared
 /// vocabulary. Unknown terms are dropped ("a query is a vector too").
 pub fn analyze_query(vocab: &Vocabulary, text: &str) -> Vec<u32> {
+    analyze_query_with(|stem| vocab.lookup(stem).map(|id| id.0), text)
+}
+
+/// [`analyze_query`] over an arbitrary stem → term-id resolver, so the
+/// portal service can resolve against a live [`SharedVocabulary`]
+/// (through [`bingo_textproc::TermLookup`]) without snapshotting it per
+/// query. Resolved ids are sorted and deduplicated, making downstream
+/// score accumulation order-canonical.
+///
+/// [`SharedVocabulary`]: bingo_textproc::SharedVocabulary
+pub fn analyze_query_with<F: FnMut(&str) -> Option<u32>>(mut resolve: F, text: &str) -> Vec<u32> {
     let tokenizer = Tokenizer::default();
     let mut terms: Vec<u32> = tokenizer
         .tokens(text)
-        .filter_map(|t| vocab.lookup(&porter_stem(&t)).map(|id| id.0))
+        .filter_map(|t| resolve(&porter_stem(&t)))
         .collect();
     terms.sort_unstable();
     terms.dedup();

@@ -17,12 +17,14 @@
 pub mod cluster;
 pub mod feedback;
 pub mod index;
+pub mod live;
 pub mod metrics;
 pub mod rank;
 
 pub use cluster::{suggest_subclasses, SubclassSuggestion};
 pub use feedback::apply_feedback;
-pub use index::InvertedIndex;
+pub use index::{InvertedIndex, TermIndex};
+pub use live::{IndexReader, IndexSnapshot, LiveIndex, LiveIndexObs};
 pub use metrics::SearchMetrics;
 pub use rank::{RankingScheme, SearchHit, TopicFilter};
 

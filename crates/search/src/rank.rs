@@ -8,7 +8,7 @@
 //! authority scores. Different ranking schemes can be combined into a
 //! linear sum with appropriate weights."
 
-use crate::index::InvertedIndex;
+use crate::index::TermIndex;
 use bingo_graph::{Hits, LinkSource, PageId};
 use bingo_store::DocumentStore;
 use bingo_textproc::fxhash::FxHashMap;
@@ -97,9 +97,11 @@ pub struct SearchHit {
 
 /// Rank the documents matching `query_terms` (AND-free vector-space
 /// matching: any document containing at least one query term competes).
-pub fn rank(
+/// Generic over [`TermIndex`], so the batch-built index and a live
+/// snapshot share one scoring path.
+pub fn rank<I: TermIndex + ?Sized>(
     store: &DocumentStore,
-    index: &InvertedIndex,
+    index: &I,
     query_terms: &[u32],
     filter: &TopicFilter,
     scheme: RankingScheme,
@@ -119,10 +121,10 @@ pub fn rank(
         }
         let qw = idf; // query tf = 1
         query_norm_sq += qw * qw;
-        for &(doc, tf) in index.postings(term) {
-            let dw = (1.0 + (tf as f32).ln()) * idf;
+        index.for_each_posting(term, &mut |doc, tf| {
+            let dw = crate::index::tf_weight(tf, idf);
             *scores.entry(doc).or_insert(0.0) += qw * dw;
-        }
+        });
     }
     let query_norm = query_norm_sq.sqrt();
     if query_norm == 0.0 {

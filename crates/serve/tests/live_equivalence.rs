@@ -1,0 +1,103 @@
+//! Crawl-level snapshot-consistency: a [`LiveIndex`] fed through the
+//! store tee by a *real* crawl — interleaved commits, duplicate URLs
+//! filtered by the store, documents arriving in crawl order — must
+//! answer a fixed query set identically (ids and bit-exact scores) to a
+//! batch [`InvertedIndex::build`] over the final store.
+
+use bingo_crawler::{CrawlConfig, Crawler, Judgment, PageContext};
+use bingo_search::index::analyze_query_with;
+use bingo_search::rank::rank;
+use bingo_search::{InvertedIndex, LiveIndex, TermIndex};
+use bingo_serve::{PortalRequest, QueryMix};
+use bingo_store::DocumentStore;
+use bingo_textproc::{AnalyzedDocument, TermLookup, Vocabulary};
+use bingo_webworld::gen::WorldConfig;
+use bingo_webworld::lexicon;
+use std::sync::Arc;
+
+#[test]
+fn live_index_matches_batch_rebuild_after_a_real_crawl() {
+    let world = Arc::new(WorldConfig::portal(99, 120, 1).build());
+    // Small commit batches force many snapshot swaps mid-crawl.
+    let live = LiveIndex::new(16);
+    let store = DocumentStore::new().with_tee(Arc::new(live.clone()));
+    let mut crawler = Crawler::new(world.clone(), CrawlConfig::default(), store);
+    for author in &world.authors()[..2] {
+        crawler.add_seed(&world.url_of(author.homepage), Some(0));
+    }
+    let mut judge = |_: &AnalyzedDocument, _: &PageContext| Judgment {
+        topic: Some(0),
+        confidence: 1.0,
+    };
+    let mut vocab = Vocabulary::new();
+    crawler.run_until(30_000, &mut judge, &mut vocab);
+    live.commit(); // publish the trailing partial batch
+
+    let snapshot = live.reader().snapshot();
+    let batch = InvertedIndex::build(crawler.store());
+    assert!(
+        TermIndex::doc_count(&*snapshot) >= 50,
+        "crawl stored too few documents to be a meaningful check: {}",
+        TermIndex::doc_count(&*snapshot)
+    );
+    assert!(snapshot.segment_count() > 1, "want several sealed segments");
+    assert_eq!(TermIndex::doc_count(&*snapshot), batch.doc_count());
+
+    // Every document norm must agree bit for bit — the doc-major
+    // accumulation order is shared by both builders on purpose.
+    crawler.store().for_each_document(|row| {
+        assert_eq!(
+            snapshot.norm(row.id).to_bits(),
+            batch.norm(row.id).to_bits(),
+            "norm of doc {} diverged",
+            row.id
+        );
+    });
+
+    // A seeded request mix over the crawl's lexicons: each keyword query
+    // must return identical hits from both indexes.
+    let pools: &[&[&str]] = &[
+        lexicon::DATABASE_RESEARCH,
+        lexicon::DATA_MINING,
+        lexicon::COMMON,
+    ];
+    let mix = QueryMix::from_lexicons(7, pools, &[0], 48);
+    let mut compared = 0u64;
+    let mut nonempty = 0u64;
+    for i in 0..400 {
+        let PortalRequest::Query { text, opts } = mix.request(i) else {
+            continue;
+        };
+        let terms = analyze_query_with(|stem| vocab.lookup_term(stem).map(|id| id.0), &text);
+        let incr = rank(
+            crawler.store(),
+            &*snapshot,
+            &terms,
+            &opts.filter,
+            opts.ranking,
+            opts.top_k,
+        );
+        let full = rank(
+            crawler.store(),
+            &batch,
+            &terms,
+            &opts.filter,
+            opts.ranking,
+            opts.top_k,
+        );
+        compared += 1;
+        nonempty += u64::from(!incr.is_empty());
+        assert_eq!(incr.len(), full.len(), "query {i} ({text:?}) hit counts");
+        for (a, b) in incr.iter().zip(&full) {
+            assert_eq!(a.doc_id, b.doc_id, "query {i} ({text:?}) ordering");
+            assert_eq!(
+                a.score.to_bits(),
+                b.score.to_bits(),
+                "query {i} ({text:?}) score of doc {}",
+                a.doc_id
+            );
+        }
+    }
+    assert!(compared >= 300, "mix produced too few keyword queries");
+    assert!(nonempty > 50, "nearly all queries missed: {nonempty}");
+}

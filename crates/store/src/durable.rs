@@ -510,6 +510,59 @@ mod tests {
     }
 
     #[test]
+    fn pruning_keep_zero_still_keeps_the_newest() {
+        let session = temp_session("prune-zero");
+        for i in 0..3u8 {
+            write_generation(&session, &[("a", &[i])]);
+        }
+        // keep = 0 would leave no rollback target; it clamps to 1.
+        assert_eq!(prune_generations(&session, 0), 2);
+        assert_eq!(generation_numbers(&session), vec![3]);
+        assert!(find_newest_complete(&session).is_some());
+        std::fs::remove_dir_all(&session).ok();
+    }
+
+    #[test]
+    fn pruning_with_fewer_generations_than_keep_removes_nothing() {
+        let session = temp_session("prune-few");
+        for i in 0..2u8 {
+            write_generation(&session, &[("a", &[i])]);
+        }
+        assert_eq!(prune_generations(&session, 5), 0);
+        assert_eq!(generation_numbers(&session), vec![2, 1]);
+        std::fs::remove_dir_all(&session).ok();
+    }
+
+    #[test]
+    fn pruning_spares_trailing_incomplete_but_removes_older_ones() {
+        let session = temp_session("prune-incomplete");
+        let fs = StdFs;
+        // Generation 1: a crashed attempt (no manifest).
+        {
+            let mut w = GenerationWriter::begin(&fs, &session).unwrap();
+            w.write_file("a", b"torn").unwrap();
+        }
+        // Generations 2 and 3: complete.
+        write_generation(&session, &[("a", &[2])]);
+        write_generation(&session, &[("a", &[3])]);
+        // Generation 4: an in-flight attempt newer than any commit.
+        {
+            let mut w = GenerationWriter::begin(&fs, &session).unwrap();
+            w.write_file("a", b"in-flight").unwrap();
+        }
+        // Keep 1 → generation 3 stays; the old complete generation 2 and
+        // the old crashed generation 1 go; the in-flight generation 4 is
+        // never touched (its writer may still be mid-commit).
+        assert_eq!(prune_generations(&session, 1), 2);
+        assert_eq!(generation_numbers(&session), vec![4, 3]);
+        assert_eq!(
+            find_newest_complete(&session).map(|g| g.generation),
+            Some(3)
+        );
+        std::fs::remove_dir_all(&session).ok();
+    }
+
+    #[test]
     fn pruning_never_deletes_without_a_good_generation() {
         let session = temp_session("prune-empty");
         let fs = StdFs;

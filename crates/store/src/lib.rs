@@ -117,6 +117,16 @@ impl Inner {
     }
 }
 
+/// A consumer of accepted document inserts, invoked *after* the store's
+/// write lock is released — e.g. a live inverted index ingesting rows as
+/// the crawler's bulk loader commits them. Rows rejected as duplicates
+/// are never forwarded, so a tee only ever sees rows that are actually
+/// in the store (index contents stay a subset of store contents).
+pub trait IndexTee: Send + Sync {
+    /// Observe a batch of rows that were just accepted by the store.
+    fn on_insert(&self, rows: &[DocumentRow]);
+}
+
 /// The document store: cheaply cloneable handle over the shared state.
 ///
 /// All methods take `&self`; interior locking follows the paper's setup of
@@ -135,9 +145,21 @@ impl Inner {
 /// assert_eq!(store.topic_documents(2), vec![1]);
 /// assert!(store.contains_url("http://h/a"));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct DocumentStore {
     inner: Arc<RwLock<Inner>>,
+    /// Post-insert observer (shared across clones). `None` on the
+    /// common batch path; see [`DocumentStore::with_tee`].
+    tee: Option<Arc<dyn IndexTee>>,
+}
+
+impl std::fmt::Debug for DocumentStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DocumentStore")
+            .field("inner", &self.inner)
+            .field("tee", &self.tee.as_ref().map(|_| "IndexTee"))
+            .finish()
+    }
 }
 
 impl DocumentStore {
@@ -146,18 +168,60 @@ impl DocumentStore {
         Self::default()
     }
 
+    /// Handle over the same shared state that forwards every accepted
+    /// document insert to `tee` (after the write lock is released). All
+    /// clones of the returned handle share the tee; pre-existing clones
+    /// of `self` keep writing without it, so attach the tee before
+    /// handing the store to crawler threads.
+    pub fn with_tee(&self, tee: Arc<dyn IndexTee>) -> Self {
+        DocumentStore {
+            inner: Arc::clone(&self.inner),
+            tee: Some(tee),
+        }
+    }
+
     /// Insert one document row. Fails on duplicate ids.
     pub fn insert_document(&self, row: DocumentRow) -> Result<(), StoreError> {
-        self.inner.write().insert_document(row)
+        match &self.tee {
+            None => self.inner.write().insert_document(row),
+            Some(tee) => {
+                let keep = row.clone();
+                self.inner.write().insert_document(row)?;
+                tee.on_insert(std::slice::from_ref(&keep));
+                Ok(())
+            }
+        }
     }
 
     /// Insert a batch of documents under one lock acquisition; rows with
     /// duplicate ids are skipped and reported back.
     pub fn insert_documents(&self, rows: Vec<DocumentRow>) -> Vec<StoreError> {
-        let mut inner = self.inner.write();
-        rows.into_iter()
-            .filter_map(|r| inner.insert_document(r).err())
-            .collect()
+        match &self.tee {
+            None => {
+                let mut inner = self.inner.write();
+                rows.into_iter()
+                    .filter_map(|r| inner.insert_document(r).err())
+                    .collect()
+            }
+            Some(tee) => {
+                let mut errors = Vec::new();
+                let mut accepted = Vec::with_capacity(rows.len());
+                {
+                    let mut inner = self.inner.write();
+                    for row in rows {
+                        let keep = row.clone();
+                        match inner.insert_document(row) {
+                            Ok(()) => accepted.push(keep),
+                            Err(e) => errors.push(e),
+                        }
+                    }
+                }
+                if !accepted.is_empty() {
+                    tee.on_insert(&accepted);
+                }
+                errors
+            }
+        }
     }
 
     /// Record a hyperlink between pages (ids need not be stored yet; the
@@ -422,6 +486,35 @@ mod tests {
         }
         assert_eq!(s.successors(1), vec![2]);
         assert_eq!(s.link_count(), 3, "raw link log keeps every row");
+    }
+
+    #[test]
+    fn tee_sees_only_accepted_rows() {
+        struct Capture(std::sync::Mutex<Vec<u64>>);
+        impl IndexTee for Capture {
+            fn on_insert(&self, rows: &[DocumentRow]) {
+                self.0.lock().unwrap().extend(rows.iter().map(|r| r.id));
+            }
+        }
+        let cap = Arc::new(Capture(std::sync::Mutex::new(Vec::new())));
+        let s = DocumentStore::new().with_tee(cap.clone());
+        s.insert_document(doc(1, "a", None)).unwrap();
+        assert!(s.insert_document(doc(1, "dup", None)).is_err());
+        let errs = s.insert_documents(vec![
+            doc(1, "x", None),
+            doc(2, "b", None),
+            doc(3, "c", None),
+        ]);
+        assert_eq!(errs, vec![StoreError::DuplicateKey(1)]);
+        assert_eq!(
+            *cap.0.lock().unwrap(),
+            vec![1, 2, 3],
+            "duplicates never forwarded"
+        );
+        // Clones share the tee; the pre-tee handle does not write through it.
+        let s2 = s.clone();
+        s2.insert_document(doc(4, "d", None)).unwrap();
+        assert_eq!(cap.0.lock().unwrap().len(), 4);
     }
 
     #[test]

@@ -192,6 +192,18 @@ impl SharedVocabulary {
         fxhash::hash_one(&term) as usize & (SHARDS - 1)
     }
 
+    /// Resolve `term` without interning it — the read-only query-path
+    /// lookup used by the portal service while crawler threads keep
+    /// writing. Touches only the term's shard mutex, never the id
+    /// allocator.
+    pub fn lookup(&self, term: &str) -> Option<TermId> {
+        self.shards[self.shard_of(term)]
+            .lock()
+            .expect("vocab shard poisoned")
+            .get(term)
+            .copied()
+    }
+
     /// Intern `term` through a shared reference; safe to call from any
     /// number of threads.
     pub fn intern(&self, term: &str) -> TermId {
@@ -284,6 +296,27 @@ impl Interner for &SharedVocabulary {
 
     fn term_count(&self) -> usize {
         self.len()
+    }
+}
+
+/// Read-only term resolution shared by both dictionaries, so the query
+/// path can resolve stems against whichever dictionary the crawl writes:
+/// the deterministic crawler's [`Vocabulary`] or the threaded pipeline's
+/// [`SharedVocabulary`].
+pub trait TermLookup: Sync {
+    /// Resolve a (stemmed) term to its id, or `None` if never interned.
+    fn lookup_term(&self, term: &str) -> Option<TermId>;
+}
+
+impl TermLookup for Vocabulary {
+    fn lookup_term(&self, term: &str) -> Option<TermId> {
+        self.lookup(term)
+    }
+}
+
+impl TermLookup for SharedVocabulary {
+    fn lookup_term(&self, term: &str) -> Option<TermId> {
+        self.lookup(term)
     }
 }
 

@@ -20,6 +20,7 @@
 //! | [`crawler`] | `bingo-crawler` | focused crawler: frontier, focusing rules, tunnelling, dedup, DNS, hosts |
 //! | [`core`] | `bingo-core` | the BINGO! engine: topic tree, per-topic models, archetypes, phases |
 //! | [`search`] | `bingo-search` | local search engine: inverted index, ranking, feedback, clustering |
+//! | [`serve`] | `bingo-serve` | portal serving: snapshot-swap live index queries during the crawl, load generation |
 //!
 //! See `examples/quickstart.rs` for an end-to-end portal crawl and
 //! `DESIGN.md`/`EXPERIMENTS.md` for the paper-experiment mapping.
@@ -29,6 +30,7 @@ pub use bingo_crawler as crawler;
 pub use bingo_graph as graph;
 pub use bingo_ml as ml;
 pub use bingo_search as search;
+pub use bingo_serve as serve;
 pub use bingo_store as store;
 pub use bingo_textproc as textproc;
 pub use bingo_webworld as webworld;
@@ -37,7 +39,8 @@ pub use bingo_webworld as webworld;
 pub mod prelude {
     pub use bingo_core::{BingoEngine, EngineConfig, Phase, TopicId, TopicTree};
     pub use bingo_crawler::{CrawlConfig, CrawlStats, Crawler, FocusRule};
-    pub use bingo_search::{QueryOptions, RankingScheme, SearchEngine, TopicFilter};
+    pub use bingo_search::{LiveIndex, QueryOptions, RankingScheme, SearchEngine, TopicFilter};
+    pub use bingo_serve::{PortalRequest, PortalResponse, PortalService};
     pub use bingo_store::DocumentStore;
     pub use bingo_textproc::{SparseVector, Vocabulary};
     pub use bingo_webworld::gen::WorldConfig;
