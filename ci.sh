@@ -9,16 +9,20 @@
 # BENCH_GATE_MODE controls the final step: "full" (default) runs the
 # baseline-sized scenarios, "smoke" the reduced CI sizes, "skip"
 # disables the bench gate (e.g. on heavily loaded shared runners).
-# The gate covers five scenarios (crawl, classify, pipeline, recovery,
-# serve) against the checked-in BENCH_<scenario>.json baselines; the
-# serve scenario additionally proves the snapshot-swap live index
+# The gate covers six scenarios (crawl, classify, pipeline, recovery,
+# serve, scale) against the checked-in BENCH_<scenario>.json baselines;
+# the serve scenario additionally proves the snapshot-swap live index
 # answers queries identically to a batch rebuild while gating portal
-# QPS and latency percentiles. Use `-- --only crawl,serve` to run a
-# subset.
+# QPS and latency percentiles, and the scale scenario crawls a
+# million-page paged world (in full mode) through the segmented store
+# and spillable frontier, failing the gate if peak-RSS growth leaves
+# its fixed budget (rss_within_budget). Use `-- --only crawl,serve` to
+# run a subset.
 #
 # BINGO_CRASH_SEEDS picks the seed matrix for the crash-recovery sweep
-# (every byte budget of a checkpoint write is crashed and recovered);
-# the default widens the in-repo test default for CI coverage.
+# (every byte budget of a checkpoint write, a store segment seal, and
+# every frontier spill-file boundary is crashed and recovered); the
+# default widens the in-repo test default for CI coverage.
 set -eu
 
 cd "$(dirname "$0")"
@@ -47,6 +51,10 @@ step "cargo test" cargo test -q --offline --workspace
 step "crash matrix (seeds $BINGO_CRASH_SEEDS)" \
     env BINGO_CRASH_SEEDS="$BINGO_CRASH_SEEDS" \
     cargo test -q --offline -p bingo-crawler --test crash
+
+step "segment crash matrix (seeds $BINGO_CRASH_SEEDS)" \
+    env BINGO_CRASH_SEEDS="$BINGO_CRASH_SEEDS" \
+    cargo test -q --offline -p bingo-store --test segment_crash
 
 step "cargo clippy -D warnings" \
     cargo clippy --offline --workspace --all-targets -- -D warnings

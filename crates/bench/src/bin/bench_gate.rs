@@ -8,7 +8,8 @@
 //!                    (runs both smoke and full sizes)
 //!   --only LIST      run a subset of scenarios: a comma-separated list
 //!                    of (crawl | classify | pipeline | recovery |
-//!                    serve), e.g. `--only crawl,serve`; repeatable
+//!                    serve | scale), e.g. `--only crawl,serve`;
+//!                    repeatable
 //!   --out DIR        artifact directory (default target/bench_gate)
 //! ```
 //!
@@ -21,8 +22,9 @@
 use bingo_bench::gate::{
     baseline_file, calibrate_cpu_ms, check_determinism, compare_reports, default_out_dir,
     load_baseline, run_classify_scenario, run_crawl_scenario, run_pipeline_scenario,
-    run_recovery_scenario, run_serve_scenario, write_run_artifacts, GateMode, MetricSpec,
-    ScenarioRun, CLASSIFY_SPECS, CRAWL_SPECS, PIPELINE_SPECS, RECOVERY_SPECS, SERVE_SPECS,
+    run_recovery_scenario, run_scale_scenario, run_serve_scenario, write_run_artifacts, GateMode,
+    MetricSpec, ScenarioRun, CLASSIFY_SPECS, CRAWL_SPECS, PIPELINE_SPECS, RECOVERY_SPECS,
+    SCALE_SPECS, SERVE_SPECS,
 };
 use serde_json::{json, Value};
 use std::path::{Path, PathBuf};
@@ -58,6 +60,11 @@ const SCENARIOS: &[Scenario] = &[
         name: "serve",
         specs: SERVE_SPECS,
         run: run_serve_scenario,
+    },
+    Scenario {
+        name: "scale",
+        specs: SCALE_SPECS,
+        run: run_scale_scenario,
     },
 ];
 

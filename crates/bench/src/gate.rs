@@ -1,6 +1,6 @@
 //! The deterministic bench-regression gate.
 //!
-//! Five fixed macro scenarios run with a scenario-wide telemetry
+//! Six fixed macro scenarios run with a scenario-wide telemetry
 //! registry:
 //!
 //! * **crawl** — a seeded portal crawl (learning → retrain → harvesting)
@@ -22,7 +22,12 @@
 //!   the incrementally committed index answers a fixed query prefix
 //!   identically to a batch rebuild; a concurrent leg hammers the
 //!   [`bingo_serve::PortalService`] from real reader threads while a
-//!   threaded crawl keeps writing, gating QPS and latency percentiles.
+//!   threaded crawl keeps writing, gating QPS and latency percentiles,
+//! * **scale** — a memory-bounded crawl of a lazily paged synthetic web
+//!   (one million pages in full mode) through the disk-backed segmented
+//!   store and the spillable frontier; coverage, harvest and segment
+//!   counts gate tightly and the crawl's peak RSS growth must stay
+//!   inside a fixed per-mode budget (`rss_within_budget`).
 //!
 //! Each scenario runs **twice**: the deterministic metrics snapshot and
 //! the event log of both runs must be byte-identical, or the gate fails
@@ -745,6 +750,170 @@ pub fn run_serve_scenario(mode: GateMode) -> ScenarioRun {
     }
 }
 
+/// Resident-set size (MB) of one `/proc/self/status` field
+/// (`VmRSS:` current, `VmHWM:` peak). Returns 0 when unreadable.
+fn rss_status_mb(field: &str) -> f64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix(field))
+        .and_then(|rest| {
+            rest.trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse::<f64>()
+                .ok()
+        })
+        .map_or(0.0, |kb| kb / 1024.0)
+}
+
+/// Reset the kernel's peak-RSS high-water mark so `VmHWM` measures
+/// only the work that follows (best-effort; a no-op where
+/// `/proc/self/clear_refs` is unavailable).
+fn reset_rss_peak() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+/// Sizing knobs of one scale-scenario run.
+struct ScaleParams {
+    paged: bingo_webworld::PagedConfig,
+    /// Segment seal cadence (documents per sealed segment).
+    seal_every: usize,
+    /// Frontier incoming-queue capacity: sized to hold the whole
+    /// discovered tail — the spill layer makes that memory-cheap.
+    incoming_cap: usize,
+    /// In-memory entry payloads per incoming queue; the rest spills.
+    frontier_hot_cap: usize,
+    /// Fixed budget on RSS *growth* during the crawl, MB.
+    rss_budget_mb: f64,
+    /// Scratch directory tag (segments + spill files).
+    tag: String,
+}
+
+/// Run the scale scenario once: a seeded crawl of a paged synthetic web
+/// (one million pages in [`GateMode::Full`]) through the disk-backed
+/// segmented store and the spillable frontier, inside a fixed RSS
+/// budget.
+///
+/// Nothing in the path materializes the web or the harvest in memory:
+/// host blocks generate on demand into a bounded cache, sealed segments
+/// live on disk behind the write workspace, and the frontier keeps only
+/// a bounded hot set of entry payloads resident. The report carries the
+/// RSS evidence (`rss_growth_mb` against the fixed `rss_budget_mb`,
+/// gated as the `rss_within_budget` bit); the deterministic coverage,
+/// harvest and segment counts gate tightly.
+pub fn run_scale_scenario(mode: GateMode) -> ScenarioRun {
+    let params = match mode {
+        GateMode::Full => ScaleParams {
+            paged: bingo_webworld::PagedConfig::scale_full(GATE_SEED),
+            seal_every: 4_096,
+            incoming_cap: 1_500_000,
+            frontier_hot_cap: 512,
+            rss_budget_mb: 1_024.0,
+            tag: "full".into(),
+        },
+        GateMode::Smoke => ScaleParams {
+            paged: bingo_webworld::PagedConfig::scale_smoke(GATE_SEED),
+            seal_every: 256,
+            incoming_cap: 50_000,
+            frontier_hot_cap: 64,
+            rss_budget_mb: 256.0,
+            tag: "smoke".into(),
+        },
+    };
+    run_scale_with(params)
+}
+
+fn run_scale_with(params: ScaleParams) -> ScenarioRun {
+    let total_wall = WallTimer::start();
+    let world = Arc::new(World::paged(params.paged));
+    let pages = world.page_count() as u64;
+
+    let scratch = std::env::temp_dir().join(format!("bingo-bench-scale-{}", params.tag));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("scale scratch dir");
+    let store = DocumentStore::segmented_with(scratch.join("segments"), params.seal_every)
+        .expect("segment spine");
+    let config = CrawlConfig {
+        incoming_queue_cap: params.incoming_cap,
+        frontier_spill_dir: Some(scratch.join("frontier")),
+        frontier_hot_cap: params.frontier_hot_cap,
+        ..CrawlConfig::default().harvesting()
+    };
+
+    let registry = Arc::new(Registry::new());
+    let events = Arc::new(EventLog::default());
+    reset_rss_peak();
+    let rss_start_mb = rss_status_mb("VmRSS:");
+
+    let mut crawler = Crawler::new(world.clone(), config, store.clone());
+    crawler.set_telemetry(CrawlTelemetry::new(registry.clone(), events.clone()));
+    crawler.add_seed(&world.url_of(0), Some(0));
+    let mut spilled_peak = 0usize;
+    let crawl_wall = WallTimer::start();
+    {
+        let mut judge = |_: &AnalyzedDocument, _: &PageContext| Judgment {
+            topic: Some(0),
+            confidence: 1.0,
+        };
+        let mut vocab = Vocabulary::new();
+        loop {
+            if crawler.step(&mut judge, &mut vocab) == StepOutcome::FrontierEmpty {
+                break;
+            }
+            spilled_peak = spilled_peak.max(crawler.frontier_spilled_len());
+        }
+    }
+    let crawl_wall_ms = (crawl_wall.elapsed_us() as f64 / 1000.0).max(0.001);
+    let seal_wall = WallTimer::start();
+    store.seal_now().expect("final seal");
+    let seal_wall_ms = seal_wall.elapsed_us() as f64 / 1000.0;
+
+    // Peak RSS growth over the whole crawl, against the fixed budget.
+    let rss_peak_mb = rss_status_mb("VmHWM:");
+    let rss_growth_mb = (rss_peak_mb - rss_start_mb).max(0.0);
+
+    let stats = crawler.stats().clone();
+    let virtual_ms = crawler.clock_ms().max(1);
+    let wall_ms = (total_wall.elapsed_us() as f64 / 1000.0).max(0.001);
+    let report = json!({
+        "scenario": "scale",
+        "world_pages": pages,
+        "visited_urls": stats.visited_urls,
+        "stored_pages": stats.stored_pages,
+        "harvest_ratio": stats.stored_pages as f64 / stats.visited_urls.max(1) as f64,
+        "coverage": stats.visited_urls as f64 / pages as f64,
+        "virtual_ms": virtual_ms,
+        "urls_per_virtual_sec": stats.visited_urls as f64 * 1000.0 / virtual_ms as f64,
+        "urls_per_wall_sec": stats.visited_urls as f64 * 1000.0 / wall_ms,
+        "segments_sealed": store.segment_count(),
+        "sealed_documents": store.sealed_documents(),
+        "workspace_documents": store.workspace_documents(),
+        "spilled_peak": spilled_peak,
+        "spill_active": u64::from(spilled_peak > 0),
+        "paged_blocks_generated": world.paged_blocks_generated(),
+        "paged_resident_blocks": world.paged_resident_blocks(),
+        "rss_start_mb": rss_start_mb,
+        "rss_peak_mb": rss_peak_mb,
+        "rss_growth_mb": rss_growth_mb,
+        "rss_budget_mb": params.rss_budget_mb,
+        "rss_within_budget": u64::from(rss_growth_mb <= params.rss_budget_mb),
+        "wall_ms": wall_ms,
+        "stages": {
+            "crawl": { "wall_ms": crawl_wall_ms },
+            "final_seal": { "wall_ms": seal_wall_ms },
+        },
+    });
+    let _ = std::fs::remove_dir_all(&scratch);
+    ScenarioRun {
+        report,
+        evidence: DeterminismEvidence {
+            snapshot_json: registry.snapshot().deterministic().to_json(),
+            events_jsonl: events.to_jsonl(),
+        },
+    }
+}
+
 /// How one metric of a scenario report is gated.
 #[derive(Debug, Clone, Copy)]
 pub struct MetricSpec {
@@ -912,6 +1081,56 @@ pub const SERVE_SPECS: &[MetricSpec] = &[
         path: "p99_us",
         higher_is_better: false,
         rel_tol: 3.0,
+        wall: true,
+    },
+];
+
+/// Gated metrics of the scale scenario. Coverage, harvest and segment
+/// counts are deterministic and gate tightly; `rss_within_budget` is
+/// the memory-bounded contract itself (the crawl's RSS growth stayed
+/// inside the fixed per-mode budget — no tolerance); wall throughput
+/// is the usual loose calibration-scaled backstop.
+pub const SCALE_SPECS: &[MetricSpec] = &[
+    MetricSpec {
+        path: "coverage",
+        higher_is_better: true,
+        rel_tol: 0.02,
+        wall: false,
+    },
+    MetricSpec {
+        path: "stored_pages",
+        higher_is_better: true,
+        rel_tol: 0.05,
+        wall: false,
+    },
+    MetricSpec {
+        path: "harvest_ratio",
+        higher_is_better: true,
+        rel_tol: 0.05,
+        wall: false,
+    },
+    MetricSpec {
+        path: "segments_sealed",
+        higher_is_better: true,
+        rel_tol: 0.05,
+        wall: false,
+    },
+    MetricSpec {
+        path: "spill_active",
+        higher_is_better: true,
+        rel_tol: 0.0,
+        wall: false,
+    },
+    MetricSpec {
+        path: "rss_within_budget",
+        higher_is_better: true,
+        rel_tol: 0.0,
+        wall: false,
+    },
+    MetricSpec {
+        path: "urls_per_wall_sec",
+        higher_is_better: true,
+        rel_tol: 0.50,
         wall: true,
     },
 ];
@@ -1227,6 +1446,46 @@ mod tests {
                 .unwrap()
                 > 0,
             "concurrent readers never saw a published snapshot"
+        );
+    }
+
+    /// End-to-end: a miniature scale run (600 paged pages, so it stays
+    /// fast in debug builds) replays byte-identically, covers the whole
+    /// paged world through the segmented store and spillable frontier,
+    /// and stays inside its RSS budget.
+    #[test]
+    fn scale_scenario_is_deterministic_and_memory_bounded() {
+        let mini = || ScaleParams {
+            paged: bingo_webworld::PagedConfig {
+                seed: GATE_SEED,
+                hosts: 60,
+                pages_per_host: 10,
+                hot_cap: 16,
+            },
+            seal_every: 64,
+            incoming_cap: 5_000,
+            frontier_hot_cap: 16,
+            rss_budget_mb: 256.0,
+            tag: "test".into(),
+        };
+        let a = run_scale_with(mini());
+        let b = run_scale_with(mini());
+        assert!(check_determinism("scale", &a.evidence, &b.evidence).is_empty());
+        let get = |p: &str| json_path(&a.report, p).and_then(Value::as_u64).unwrap();
+        assert!(
+            json_path(&a.report, "coverage")
+                .and_then(Value::as_f64)
+                .unwrap()
+                > 0.9,
+            "crawl left most of the paged world unvisited"
+        );
+        assert!(get("segments_sealed") >= 2, "store never spanned segments");
+        assert_eq!(get("spill_active"), 1, "frontier never spilled");
+        assert_eq!(get("rss_within_budget"), 1, "RSS budget blown");
+        assert_eq!(
+            json_path(&a.report, "visited_urls").unwrap(),
+            json_path(&b.report, "visited_urls").unwrap(),
+            "same-seed runs disagree on visited count"
         );
     }
 

@@ -52,7 +52,7 @@ mod step;
 pub use checkpoint::{CheckpointError, CrawlCheckpoint};
 pub use dedup::Dedup;
 pub use dns::CachingResolver;
-pub use frontier::{Frontier, QueueEntry};
+pub use frontier::{Frontier, QueueEntry, SpillConfig};
 pub use hosts::{
     BreakerConfig, BreakerState, FailureOutcome, HostDecision, HostHealth, HostManager,
 };

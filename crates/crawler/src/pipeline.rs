@@ -224,7 +224,7 @@ pub fn document_row(
     DocumentRow {
         id: fetched.response.page_id,
         url: fetched.response.url.clone(),
-        host: world.page(fetched.response.page_id).host,
+        host: bingo_graph::LinkSource::host_of(world, fetched.response.page_id),
         mime: fetched.response.mime,
         depth: fetched.depth,
         title: doc.title.clone(),

@@ -90,7 +90,12 @@ impl Crawler {
     /// New crawler over `world` writing into `store`.
     pub fn new(world: Arc<World>, config: CrawlConfig, store: DocumentStore) -> Self {
         let topics = world.topics().len();
-        let frontier = Frontier::new(topics, config.incoming_queue_cap, config.outgoing_queue_cap);
+        let frontier = Frontier::with_spill(
+            topics,
+            config.incoming_queue_cap,
+            config.outgoing_queue_cap,
+            Self::spill_config(&config),
+        );
         let threads = (0..config.threads.max(1))
             .map(|tid| Reverse((0u64, tid)))
             .collect();
@@ -113,6 +118,18 @@ impl Crawler {
             clock: 0,
             telemetry,
         }
+    }
+
+    /// Spill configuration derived from the crawl config (`None` unless
+    /// `frontier_spill_dir` is set).
+    fn spill_config(config: &CrawlConfig) -> Option<crate::frontier::SpillConfig> {
+        config
+            .frontier_spill_dir
+            .as_ref()
+            .map(|dir| crate::frontier::SpillConfig {
+                dir: dir.clone(),
+                hot_cap: config.frontier_hot_cap,
+            })
     }
 
     /// The pipeline's store writer: batch size 1 (flush per step) with
@@ -152,7 +169,7 @@ impl Crawler {
         let docs = self.store.all_documents();
         for row in docs {
             self.dedup.mark_url(&row.url);
-            let ip = self.world.host(row.host).ip;
+            let ip = self.world.host_meta(row.host).ip;
             self.dedup
                 .mark_response(ip, crate::dedup::path_of_url(&row.url), row.size as u64);
             // Restore the neighbour-term cache for feature construction.
@@ -213,10 +230,11 @@ impl Crawler {
     pub fn restore_checkpoint(&mut self, cp: CrawlCheckpoint) {
         self.clock = cp.clock_ms;
         self.stats = cp.stats;
-        self.frontier = Frontier::restore(
+        self.frontier = Frontier::restore_with(
             cp.frontier,
             self.config.incoming_queue_cap,
             self.config.outgoing_queue_cap,
+            Self::spill_config(&self.config),
         );
         self.dedup = Dedup::restore(cp.dedup);
         self.hosts = HostManager::restore(
@@ -348,6 +366,12 @@ impl Crawler {
     /// Number of URLs waiting in the frontier.
     pub fn frontier_len(&self) -> usize {
         self.frontier.len()
+    }
+
+    /// Queued URLs whose payload lives in frontier spill files (0 unless
+    /// `frontier_spill_dir` is configured).
+    pub fn frontier_spilled_len(&self) -> usize {
+        self.frontier.spilled_len()
     }
 
     /// The simulated web (also the link analysis' unfocused database).

@@ -84,6 +84,15 @@ pub struct CrawlConfig {
     /// Complete checkpoint generations kept after each successful save
     /// (older ones are pruned); minimum 1.
     pub checkpoint_keep: usize,
+    /// When set, incoming frontier queues spill their cold tail to
+    /// per-slot files under this directory, keeping at most
+    /// `frontier_hot_cap` entry payloads per queue in memory. Pop order
+    /// and eviction are identical to the unspilled frontier; spill files
+    /// are scratch (checkpoints stay self-contained). `None` (default)
+    /// keeps the whole frontier resident.
+    pub frontier_spill_dir: Option<PathBuf>,
+    /// In-memory entry payloads per incoming queue when spilling.
+    pub frontier_hot_cap: usize,
 }
 
 impl Default for CrawlConfig {
@@ -108,6 +117,8 @@ impl Default for CrawlConfig {
             checkpoint_every_docs: 0,
             checkpoint_dir: None,
             checkpoint_keep: bingo_store::durable::DEFAULT_KEEP_GENERATIONS,
+            frontier_spill_dir: None,
+            frontier_hot_cap: 4096,
         }
     }
 }

@@ -212,6 +212,127 @@ fn deterministic_and_threaded_executors_fill_identical_stores() {
 }
 
 #[test]
+fn segmented_store_runs_match_in_memory_byte_for_byte() {
+    // Both executors over a disk-backed segmented store must produce
+    // the same harvest as over the plain in-memory store — and for the
+    // deterministic executor (virtual timestamps) the persisted
+    // snapshot must be *byte-identical*, sealed segments and all.
+    let world = Arc::new(
+        WorldConfig {
+            alias_fraction: 0.0,
+            ..WorldConfig::small_test(41)
+        }
+        .build(),
+    );
+    let allowed = calm_hosts(&world);
+    assert!(allowed.len() >= 2, "world too hostile for the test");
+    let seeds: Vec<String> = {
+        let mut first_page_by_host: FxHashMap<u32, u64> = FxHashMap::default();
+        for id in 0..world.page_count() as u64 {
+            let e = first_page_by_host.entry(world.page(id).host).or_insert(id);
+            *e = (*e).min(id);
+        }
+        let mut urls: Vec<String> = first_page_by_host
+            .into_values()
+            .filter(|&id| allowed.contains(&world.host(world.page(id).host).name))
+            .map(|id| world.url_of(id))
+            .collect();
+        urls.sort();
+        urls
+    };
+    let config = CrawlConfig {
+        allowed_hosts: Some(allowed.clone()),
+        ..CrawlConfig::default().harvesting()
+    };
+    let accept_all = |_: &AnalyzedDocument, _: &PageContext| Judgment {
+        topic: Some(0),
+        confidence: 1.0,
+    };
+
+    let seg_dir = |tag: &str| {
+        let dir = std::env::temp_dir().join(format!("bingo-equiv-seg-{tag}"));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    };
+    // Seal every 16 documents so the crawl genuinely spans segments.
+    let det_run = |store: DocumentStore| {
+        let mut crawler = Crawler::new(Arc::clone(&world), config.clone(), store.clone());
+        for url in &seeds {
+            crawler.add_seed(url, Some(0));
+        }
+        let mut vocab = Vocabulary::new();
+        let mut judge = accept_all;
+        loop {
+            if crawler.step(&mut judge, &mut vocab) == StepOutcome::FrontierEmpty {
+                break;
+            }
+        }
+        store.remap_terms(&vocab.canonical_map(0));
+        store
+    };
+    let det_mem = det_run(DocumentStore::new());
+    let det_seg = det_run(DocumentStore::segmented_with(seg_dir("det"), 16).expect("open"));
+    assert!(
+        det_seg.segment_count() >= 2,
+        "crawl too small to span segments: {}",
+        det_seg.segment_count()
+    );
+    assert!(det_mem.document_count() >= 10, "crawl too small");
+    assert_eq!(row_keys(&det_mem), row_keys(&det_seg));
+    assert_eq!(link_keys(&det_mem), link_keys(&det_seg));
+
+    let snapshot_bytes = |store: &DocumentStore| {
+        let mut buf = Vec::new();
+        bingo_store::persist::write_snapshot(store, &mut buf).expect("snapshot");
+        buf
+    };
+    assert_eq!(
+        snapshot_bytes(&det_mem),
+        snapshot_bytes(&det_seg),
+        "segmented snapshot must serialize byte-identically to in-memory"
+    );
+
+    // The threaded executor uses wall-clock timestamps, so it gets the
+    // row/link comparison (everything but `fetched_at`).
+    let thr_run = |store: DocumentStore| {
+        let shared = SharedVocabulary::new();
+        bingo_crawler::run_pipeline(
+            Arc::clone(&world),
+            store.clone(),
+            seeds.iter().map(|u| (u.clone(), Some(0))).collect(),
+            &shared,
+            &accept_all,
+            &CrawlTelemetry::default(),
+            &PipelineOptions::focused(config.clone(), 4, 7),
+        );
+        let (_, map) = shared.canonicalize();
+        store.remap_terms(&map);
+        store
+    };
+    let thr_seg = thr_run(DocumentStore::segmented_with(seg_dir("thr"), 16).expect("open"));
+    assert!(thr_seg.segment_count() >= 2, "threaded run never sealed");
+    assert_eq!(row_keys(&det_mem), row_keys(&thr_seg));
+    assert_eq!(link_keys(&det_mem), link_keys(&thr_seg));
+
+    // A reopened spine serves the identical harvest back from disk.
+    // (Seal the workspace tail first: unsealed rows live in memory.)
+    det_seg.seal_now().expect("final seal");
+    drop(det_seg);
+    let reopened = DocumentStore::segmented_with(seg_dir2("det"), 16).expect("reopen");
+    assert_eq!(row_keys(&det_mem), row_keys(&reopened));
+    assert_eq!(snapshot_bytes(&det_mem), snapshot_bytes(&reopened));
+
+    std::fs::remove_dir_all(seg_dir2("det")).ok();
+    std::fs::remove_dir_all(seg_dir2("thr")).ok();
+}
+
+/// The segment directory for `tag` without wiping it (unlike `seg_dir`
+/// inside the test, which clears first).
+fn seg_dir2(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("bingo-equiv-seg-{tag}"))
+}
+
+#[test]
 fn panic_injected_run_matches_calm_run_minus_quarantined() {
     // The supervised executor's equivalence contract under faults: with
     // deterministic crashers injected, the run still completes and its

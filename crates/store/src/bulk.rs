@@ -111,7 +111,13 @@ impl BulkLoader {
     }
 
     /// Push all buffered rows to the store in (at most) two lock
-    /// acquisitions.
+    /// acquisitions. On a segmented store this is also the seal point:
+    /// once the store's write workspace outgrows its threshold, the
+    /// flush seals it into an immutable on-disk segment (the bulk
+    /// loader is the paper's unit of "acked" work, so durability
+    /// advances batch-aligned). A seal failure surfaces like any other
+    /// flush error — rows stay readable in the workspace and the seal
+    /// retries at the next flush.
     pub fn flush(&mut self) {
         if !self.documents.is_empty() {
             let batch = std::mem::take(&mut self.documents);
@@ -125,6 +131,12 @@ impl BulkLoader {
         }
         if !self.links.is_empty() {
             self.store.insert_links(std::mem::take(&mut self.links));
+        }
+        if let Err(e) = self.store.commit_sealed() {
+            if let Some(obs) = &self.obs {
+                obs.flush_errors.add(1);
+            }
+            self.errors.push(e);
         }
     }
 

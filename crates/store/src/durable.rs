@@ -269,16 +269,20 @@ pub fn find_newest_complete(session: &Path) -> Option<CompleteGeneration> {
 
 /// Delete everything but the newest `keep` complete generations
 /// (incomplete generations — crashed attempts — are always garbage and
-/// removed when older siblings go). Returns the number of generation
-/// directories removed; failures to remove are skipped, never fatal.
+/// removed when older siblings go). Also reaps orphaned segment files
+/// a crash between segment seal and manifest commit left in the
+/// session directory (see [`crate::segment::reap_orphan_segments`]).
+/// Returns the number of generation directories plus orphan files
+/// removed; failures to remove are skipped, never fatal.
 pub fn prune_generations(session: &Path, keep: usize) -> usize {
+    let reaped = crate::segment::reap_orphan_segments(session);
     let keep_gens: Vec<u64> = complete_generations(session)
         .into_iter()
         .take(keep.max(1))
         .map(|g| g.generation)
         .collect();
     if keep_gens.is_empty() {
-        return 0; // nothing proven good: don't delete anything
+        return reaped; // nothing proven good: don't delete generations
     }
     let newest_kept = *keep_gens.iter().max().unwrap_or(&0);
     let mut pruned = 0;
@@ -292,7 +296,7 @@ pub fn prune_generations(session: &Path, keep: usize) -> usize {
             pruned += 1;
         }
     }
-    pruned
+    pruned + reaped
 }
 
 /// Staged writer for one checkpoint generation: `begin` picks the next
@@ -559,6 +563,27 @@ mod tests {
             find_newest_complete(&session).map(|g| g.generation),
             Some(3)
         );
+        std::fs::remove_dir_all(&session).ok();
+    }
+
+    #[test]
+    fn pruning_reaps_orphan_segment_files() {
+        let session = temp_session("prune-orphans");
+        for i in 0..3u8 {
+            write_generation(&session, &[("a", &[i])]);
+        }
+        // Debris of a crash between segment seal and manifest commit:
+        // no SEGMENTS.json references these, so both are orphans.
+        std::fs::write(session.join("seg-000007.jsonl"), b"orphan").unwrap();
+        std::fs::write(session.join("seg-000008.jsonl.tmp"), b"torn").unwrap();
+        assert_eq!(
+            prune_generations(&session, 2),
+            3,
+            "one old generation + two orphan segment files"
+        );
+        assert_eq!(generation_numbers(&session), vec![3, 2]);
+        assert!(!session.join("seg-000007.jsonl").exists());
+        assert!(!session.join("seg-000008.jsonl.tmp").exists());
         std::fs::remove_dir_all(&session).ok();
     }
 

@@ -24,15 +24,18 @@
 pub mod bulk;
 pub mod durable;
 pub mod persist;
+pub mod segment;
 pub mod tables;
 
 pub use bulk::{BulkLoader, BulkLoaderObs};
 pub use durable::{CrashFs, DurableFs, GenerationWriter, StdFs};
+pub use segment::{reap_orphan_segments, DEFAULT_SEAL_EVERY, SEGMENTS_FILE};
 pub use tables::{DocumentRow, HostRow, HostState, LinkRow};
 
 use bingo_graph::{HostId, LinkSource, PageId};
 use bingo_textproc::fxhash::FxHashMap;
 use parking_lot::RwLock;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Errors surfaced by the storage engine.
@@ -148,6 +151,10 @@ pub trait IndexTee: Send + Sync {
 #[derive(Clone, Default)]
 pub struct DocumentStore {
     inner: Arc<RwLock<Inner>>,
+    /// Disk-backed segmented state; `None` for the classic all-in-memory
+    /// store. When set, `inner` is unused — every method dispatches to
+    /// the spine. See [`DocumentStore::segmented`].
+    pub(crate) spine: Option<Arc<RwLock<segment::Spine>>>,
     /// Post-insert observer (shared across clones). `None` on the
     /// common batch path; see [`DocumentStore::with_tee`].
     tee: Option<Arc<dyn IndexTee>>,
@@ -157,6 +164,7 @@ impl std::fmt::Debug for DocumentStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DocumentStore")
             .field("inner", &self.inner)
+            .field("spine", &self.spine)
             .field("tee", &self.tee.as_ref().map(|_| "IndexTee"))
             .finish()
     }
@@ -168,6 +176,85 @@ impl DocumentStore {
         Self::default()
     }
 
+    /// Open (or create) a disk-backed segmented store in `dir` with the
+    /// default seal threshold ([`segment::DEFAULT_SEAL_EVERY`]). The
+    /// same API as the in-memory store, but document/link rows live in
+    /// append-only on-disk segments behind a bounded in-memory write
+    /// workspace — see [`segment`] for the layout and crash story.
+    pub fn segmented<P: AsRef<Path>>(dir: P) -> Result<Self, StoreError> {
+        Self::segmented_with(dir, segment::DEFAULT_SEAL_EVERY)
+    }
+
+    /// [`DocumentStore::segmented`] with an explicit seal threshold
+    /// (documents buffered in the workspace before
+    /// [`DocumentStore::commit_sealed`] seals a segment).
+    pub fn segmented_with<P: AsRef<Path>>(dir: P, seal_every: usize) -> Result<Self, StoreError> {
+        let spine = segment::Spine::open(dir.as_ref().to_path_buf(), seal_every)?;
+        Ok(DocumentStore {
+            inner: Arc::default(),
+            spine: Some(Arc::new(RwLock::new(spine))),
+            tee: None,
+        })
+    }
+
+    /// True when this store is disk-backed ([`DocumentStore::segmented`]).
+    pub fn is_segmented(&self) -> bool {
+        self.spine.is_some()
+    }
+
+    /// Directory of the segmented store (`None` for in-memory).
+    pub fn segment_dir(&self) -> Option<PathBuf> {
+        self.spine.as_ref().map(|s| s.read().dir().to_path_buf())
+    }
+
+    /// Number of sealed on-disk segments (0 for in-memory stores).
+    pub fn segment_count(&self) -> usize {
+        self.spine.as_ref().map_or(0, |s| s.read().segment_count())
+    }
+
+    /// Documents living in sealed on-disk segments (0 for in-memory
+    /// stores).
+    pub fn sealed_documents(&self) -> usize {
+        self.spine
+            .as_ref()
+            .map_or(0, |s| s.read().sealed_documents())
+    }
+
+    /// Documents currently buffered in the in-memory write workspace of
+    /// a segmented store (0 for in-memory stores, where every row is
+    /// "workspace").
+    pub fn workspace_documents(&self) -> usize {
+        self.spine
+            .as_ref()
+            .map_or(0, |s| s.read().workspace_documents())
+    }
+
+    /// Seal the workspace into a new on-disk segment if it has grown
+    /// past the seal threshold; no-op on in-memory stores. Called by
+    /// [`BulkLoader::flush`] after every batch. Returns whether a
+    /// segment was sealed.
+    pub fn commit_sealed(&self) -> Result<bool, StoreError> {
+        match &self.spine {
+            Some(spine) => spine.write().maybe_seal(&StdFs),
+            None => Ok(false),
+        }
+    }
+
+    /// Force-seal the workspace regardless of size (e.g. at crawl end);
+    /// no-op on in-memory stores.
+    pub fn seal_now(&self) -> Result<bool, StoreError> {
+        self.seal_now_with(&StdFs)
+    }
+
+    /// [`DocumentStore::seal_now`] through an explicit [`DurableFs`],
+    /// so crash tests can kill the seal at an exact byte offset.
+    pub fn seal_now_with(&self, fs: &dyn DurableFs) -> Result<bool, StoreError> {
+        match &self.spine {
+            Some(spine) => spine.write().seal(fs),
+            None => Ok(false),
+        }
+    }
+
     /// Handle over the same shared state that forwards every accepted
     /// document insert to `tee` (after the write lock is released). All
     /// clones of the returned handle share the tee; pre-existing clones
@@ -176,6 +263,7 @@ impl DocumentStore {
     pub fn with_tee(&self, tee: Arc<dyn IndexTee>) -> Self {
         DocumentStore {
             inner: Arc::clone(&self.inner),
+            spine: self.spine.clone(),
             tee: Some(tee),
         }
     }
@@ -183,10 +271,16 @@ impl DocumentStore {
     /// Insert one document row. Fails on duplicate ids.
     pub fn insert_document(&self, row: DocumentRow) -> Result<(), StoreError> {
         match &self.tee {
-            None => self.inner.write().insert_document(row),
+            None => match &self.spine {
+                Some(spine) => spine.write().insert_document(row),
+                None => self.inner.write().insert_document(row),
+            },
             Some(tee) => {
                 let keep = row.clone();
-                self.inner.write().insert_document(row)?;
+                match &self.spine {
+                    Some(spine) => spine.write().insert_document(row)?,
+                    None => self.inner.write().insert_document(row)?,
+                }
                 tee.on_insert(std::slice::from_ref(&keep));
                 Ok(())
             }
@@ -197,20 +291,38 @@ impl DocumentStore {
     /// duplicate ids are skipped and reported back.
     pub fn insert_documents(&self, rows: Vec<DocumentRow>) -> Vec<StoreError> {
         match &self.tee {
-            None => {
-                let mut inner = self.inner.write();
-                rows.into_iter()
-                    .filter_map(|r| inner.insert_document(r).err())
-                    .collect()
-            }
+            None => match &self.spine {
+                Some(spine) => {
+                    let mut spine = spine.write();
+                    rows.into_iter()
+                        .filter_map(|r| spine.insert_document(r).err())
+                        .collect()
+                }
+                None => {
+                    let mut inner = self.inner.write();
+                    rows.into_iter()
+                        .filter_map(|r| inner.insert_document(r).err())
+                        .collect()
+                }
+            },
             Some(tee) => {
                 let mut errors = Vec::new();
                 let mut accepted = Vec::with_capacity(rows.len());
                 {
-                    let mut inner = self.inner.write();
+                    let mut spine = self.spine.as_ref().map(|s| s.write());
+                    let mut inner = if spine.is_some() {
+                        None
+                    } else {
+                        Some(self.inner.write())
+                    };
                     for row in rows {
                         let keep = row.clone();
-                        match inner.insert_document(row) {
+                        let result = match (&mut spine, &mut inner) {
+                            (Some(spine), _) => spine.insert_document(row),
+                            (None, Some(inner)) => inner.insert_document(row),
+                            (None, None) => unreachable!(),
+                        };
+                        match result {
                             Ok(()) => accepted.push(keep),
                             Err(e) => errors.push(e),
                         }
@@ -227,20 +339,38 @@ impl DocumentStore {
     /// Record a hyperlink between pages (ids need not be stored yet; the
     /// link table also feeds the HITS predecessor lookup).
     pub fn insert_link(&self, link: LinkRow) {
-        self.inner.write().insert_link(link);
+        match &self.spine {
+            Some(spine) => spine.write().insert_link(link),
+            None => self.inner.write().insert_link(link),
+        }
     }
 
     /// Record a batch of links under one lock acquisition.
     pub fn insert_links(&self, links: Vec<LinkRow>) {
-        let mut inner = self.inner.write();
-        for l in links {
-            inner.insert_link(l);
+        match &self.spine {
+            Some(spine) => {
+                let mut spine = spine.write();
+                for l in links {
+                    spine.insert_link(l);
+                }
+            }
+            None => {
+                let mut inner = self.inner.write();
+                for l in links {
+                    inner.insert_link(l);
+                }
+            }
         }
     }
 
     /// Upsert host metadata.
     pub fn upsert_host(&self, row: HostRow) {
-        self.inner.write().hosts.insert(row.id, row);
+        match &self.spine {
+            Some(spine) => spine.write().upsert_host(row),
+            None => {
+                self.inner.write().hosts.insert(row.id, row);
+            }
+        }
     }
 
     /// Update the topic assignment and classification confidence of a
@@ -251,76 +381,122 @@ impl DocumentStore {
         topic: Option<u32>,
         confidence: f32,
     ) -> Result<(), StoreError> {
-        self.inner.write().set_topic(id, topic, confidence)
+        match &self.spine {
+            Some(spine) => spine.write().set_topic(id, topic, confidence),
+            None => self.inner.write().set_topic(id, topic, confidence),
+        }
     }
 
     /// Fetch a document row by id.
     pub fn document(&self, id: PageId) -> Option<DocumentRow> {
-        self.inner.read().documents.get(&id).cloned()
+        match &self.spine {
+            Some(spine) => spine.read().document(id),
+            None => self.inner.read().documents.get(&id).cloned(),
+        }
     }
 
     /// Fetch a document row by URL.
     pub fn document_by_url(&self, url: &str) -> Option<DocumentRow> {
-        let inner = self.inner.read();
-        inner
-            .by_url
-            .get(url)
-            .and_then(|id| inner.documents.get(id))
-            .cloned()
+        match &self.spine {
+            Some(spine) => spine.read().document_by_url(url),
+            None => {
+                let inner = self.inner.read();
+                inner
+                    .by_url
+                    .get(url)
+                    .and_then(|id| inner.documents.get(id))
+                    .cloned()
+            }
+        }
     }
 
     /// True when a document with this URL is stored.
     pub fn contains_url(&self, url: &str) -> bool {
-        self.inner.read().by_url.contains_key(url)
+        match &self.spine {
+            Some(spine) => spine.read().contains_url(url),
+            None => self.inner.read().by_url.contains_key(url),
+        }
     }
 
     /// Ids of all documents assigned to a topic.
     pub fn topic_documents(&self, topic: u32) -> Vec<PageId> {
-        self.inner
-            .read()
-            .by_topic
-            .get(&topic)
-            .cloned()
-            .unwrap_or_default()
+        match &self.spine {
+            Some(spine) => spine.read().topic_documents(topic),
+            None => self
+                .inner
+                .read()
+                .by_topic
+                .get(&topic)
+                .cloned()
+                .unwrap_or_default(),
+        }
     }
 
-    /// Snapshot of all document rows (postprocessing input).
+    /// Snapshot of all document rows (postprocessing input). On
+    /// segmented stores this streams every sealed segment — a cold,
+    /// whole-database materialization.
     pub fn all_documents(&self) -> Vec<DocumentRow> {
-        self.inner.read().documents.values().cloned().collect()
+        match &self.spine {
+            Some(spine) => spine.read().all_documents(),
+            None => self.inner.read().documents.values().cloned().collect(),
+        }
     }
 
     /// Snapshot of all link rows, in insertion order (the log-style
     /// link relation, duplicates included).
     pub fn all_links(&self) -> Vec<LinkRow> {
-        self.inner.read().links.clone()
+        match &self.spine {
+            Some(spine) => spine.read().all_links(),
+            None => self.inner.read().links.clone(),
+        }
     }
 
     /// Host metadata.
     pub fn host(&self, id: HostId) -> Option<HostRow> {
-        self.inner.read().hosts.get(&id).cloned()
+        match &self.spine {
+            Some(spine) => spine.read().host(id),
+            None => self.inner.read().hosts.get(&id).cloned(),
+        }
     }
 
     /// Number of stored documents.
     pub fn document_count(&self) -> usize {
-        self.inner.read().documents.len()
+        match &self.spine {
+            Some(spine) => spine.read().document_count(),
+            None => self.inner.read().documents.len(),
+        }
     }
 
     /// Number of stored link rows (including duplicates of the edge
     /// index, mirroring a log-style link relation).
     pub fn link_count(&self) -> usize {
-        self.inner.read().links.len()
+        match &self.spine {
+            Some(spine) => spine.read().link_count(),
+            None => self.inner.read().links.len(),
+        }
     }
 
     /// Number of stored hosts.
     pub fn host_count(&self) -> usize {
-        self.inner.read().hosts.len()
+        match &self.spine {
+            Some(spine) => spine.read().host_count(),
+            None => self.inner.read().hosts.len(),
+        }
     }
 
-    /// Run `f` over every document row without cloning the table.
+    /// Run `f` over every document row without cloning the table
+    /// (segmented stores stream rows one segment at a time).
     pub fn for_each_document<F: FnMut(&DocumentRow)>(&self, mut f: F) {
-        let inner = self.inner.read();
-        for row in inner.documents.values() {
-            f(row);
+        match &self.spine {
+            Some(spine) => {
+                let _ = spine.read().for_each_document(f);
+            }
+            None => {
+                let inner = self.inner.read();
+                for row in inner.documents.values() {
+                    f(row);
+                }
+            }
         }
     }
 
@@ -330,43 +506,66 @@ impl DocumentStore {
     /// new ids. Used to canonicalize rows produced by the concurrent
     /// pipeline's arrival-ordered interner — see
     /// `bingo_textproc::SharedVocabulary::canonicalize`.
+    ///
+    /// On segmented stores this rewrites every sealed segment on disk;
+    /// an I/O failure there is unrecoverable mid-rewrite and panics.
     pub fn remap_terms(&self, map: &[u32]) {
-        let mut inner = self.inner.write();
-        for row in inner.documents.values_mut() {
-            for entry in &mut row.term_freqs {
-                entry.0 = map[entry.0 as usize];
+        match &self.spine {
+            Some(spine) => spine
+                .write()
+                .remap_terms(map)
+                .expect("segment rewrite during term remap failed"),
+            None => {
+                let mut inner = self.inner.write();
+                for row in inner.documents.values_mut() {
+                    for entry in &mut row.term_freqs {
+                        entry.0 = map[entry.0 as usize];
+                    }
+                    row.term_freqs.sort_unstable_by_key(|&(t, _)| t);
+                }
             }
-            row.term_freqs.sort_unstable_by_key(|&(t, _)| t);
         }
     }
 }
 
 impl LinkSource for DocumentStore {
     fn successors(&self, page: PageId) -> Vec<PageId> {
-        self.inner
-            .read()
-            .out_links
-            .get(&page)
-            .cloned()
-            .unwrap_or_default()
+        match &self.spine {
+            Some(spine) => spine.read().successors(page),
+            None => self
+                .inner
+                .read()
+                .out_links
+                .get(&page)
+                .cloned()
+                .unwrap_or_default(),
+        }
     }
 
     fn predecessors(&self, page: PageId) -> Vec<PageId> {
-        self.inner
-            .read()
-            .in_links
-            .get(&page)
-            .cloned()
-            .unwrap_or_default()
+        match &self.spine {
+            Some(spine) => spine.read().predecessors(page),
+            None => self
+                .inner
+                .read()
+                .in_links
+                .get(&page)
+                .cloned()
+                .unwrap_or_default(),
+        }
     }
 
     fn host_of(&self, page: PageId) -> HostId {
-        self.inner
-            .read()
-            .documents
-            .get(&page)
-            .map(|d| d.host)
-            .unwrap_or(0)
+        match &self.spine {
+            Some(spine) => spine.read().host_of(page),
+            None => self
+                .inner
+                .read()
+                .documents
+                .get(&page)
+                .map(|d| d.host)
+                .unwrap_or(0),
+        }
     }
 }
 

@@ -27,7 +27,15 @@ const MAGIC: &str = "bingo-snapshot";
 const VERSION: u32 = 1;
 
 /// Write a snapshot of the store to `w`.
+///
+/// Byte-identical for an in-memory store and a segmented store holding
+/// the same rows: both emit documents sorted by id, links in insertion
+/// order, hosts sorted by id — so checkpoints and equivalence tests
+/// can compare the two backends literally.
 pub fn write_snapshot<W: Write>(store: &DocumentStore, w: W) -> Result<(), StoreError> {
+    if let Some(spine) = &store.spine {
+        return write_snapshot_segmented(&spine.read(), w);
+    }
     let mut w = BufWriter::new(w);
     let inner = store.inner.read();
     let header = SnapshotHeader {
@@ -57,6 +65,50 @@ pub fn write_snapshot<W: Write>(store: &DocumentStore, w: W) -> Result<(), Store
     host_ids.sort_unstable();
     for id in host_ids {
         serde_json::to_writer(&mut w, &inner.hosts[&id]).map_err(ser_err)?;
+        w.write_all(b"\n").map_err(io_err)?;
+    }
+    w.flush().map_err(io_err)
+}
+
+/// Segmented branch of [`write_snapshot`]: materialize the merged
+/// (workspace + sealed, overrides applied) tables and emit the same
+/// byte stream the in-memory path would.
+fn write_snapshot_segmented<W: Write>(
+    spine: &crate::segment::Spine,
+    w: W,
+) -> Result<(), StoreError> {
+    let mut w = BufWriter::new(w);
+    let io_err = |e: std::io::Error| StoreError::Persist(e.to_string());
+    let ser_err = |e: serde_json::Error| StoreError::Persist(e.to_string());
+    let header = SnapshotHeader {
+        magic: MAGIC.to_string(),
+        version: VERSION,
+        documents: spine.document_count(),
+        links: spine.link_count(),
+        hosts: spine.host_count(),
+    };
+    serde_json::to_writer(&mut w, &header).map_err(ser_err)?;
+    w.write_all(b"\n").map_err(io_err)?;
+    let mut docs = spine.all_documents();
+    docs.sort_unstable_by_key(|d| d.id);
+    for row in &docs {
+        serde_json::to_writer(&mut w, row).map_err(ser_err)?;
+        w.write_all(b"\n").map_err(io_err)?;
+    }
+    let mut link_err = None;
+    spine.for_each_link(|link| {
+        if link_err.is_none() {
+            link_err = serde_json::to_writer(&mut w, link)
+                .map_err(ser_err)
+                .and_then(|()| w.write_all(b"\n").map_err(io_err))
+                .err();
+        }
+    })?;
+    if let Some(e) = link_err {
+        return Err(e);
+    }
+    for host in spine.hosts_sorted() {
+        serde_json::to_writer(&mut w, &host).map_err(ser_err)?;
         w.write_all(b"\n").map_err(io_err)?;
     }
     w.flush().map_err(io_err)

@@ -1,0 +1,873 @@
+//! Append-only on-disk segments behind an in-memory write workspace.
+//!
+//! The paper's crawl result "may be a database with several million
+//! documents" (Section 1.2) — far more than the flat in-memory tables
+//! of [`crate::DocumentStore`] can hold. This module gives the store a
+//! BUbiNG-style memory-bounded shape: hot writes land in a small
+//! in-memory **workspace**, and [`BulkLoader::flush`](crate::BulkLoader)
+//! periodically **seals** the workspace into an immutable on-disk
+//! **segment** file. Reads merge the workspace with lazy segment reads,
+//! so resident memory holds only per-row *locators* (segment + byte
+//! offset), never the million document bodies.
+//!
+//! On-disk layout of a segmented store directory:
+//!
+//! ```text
+//! store-dir/
+//!   SEGMENTS.json      <- manifest: the commit record (written last)
+//!   seg-000000.jsonl   <- header line, then doc rows, then link rows
+//!   seg-000001.jsonl
+//!   ...
+//! ```
+//!
+//! Crash consistency reuses the [`crate::durable`] discipline:
+//!
+//! * Segment files and the manifest are installed with
+//!   [`DurableFs::atomic_write`] — a torn write leaves at most a
+//!   sibling `.tmp` prefix, never a half-written segment.
+//! * The manifest is rewritten *after* the segment file: a crash
+//!   between the two leaves an **orphan** segment file that the
+//!   manifest never references. Recovery ignores it and
+//!   [`reap_orphan_segments`] (also run by
+//!   [`crate::durable::prune_generations`]) deletes it; the workspace
+//!   rows it contained were never acked as sealed, so nothing is lost.
+//! * On open, every referenced segment is verified against its
+//!   recorded length and checksum before any locator is trusted.
+//!
+//! Segment readers are lazy ("mmap-or-read" resolved to the portable
+//! read path): a point lookup seeks to the row's recorded offset and
+//! reads exactly one line; scans stream one segment at a time.
+//!
+//! Semantics deliberately mirror the in-memory store so the two are
+//! interchangeable (property-tested in `tests/proptests.rs`), with two
+//! documented deviations: the URL index is a 64-bit-hash index verified
+//! on read (a hash collision can hide an older row — vanishingly rare
+//! and fail-safe), and after a *reopen* the per-topic id lists reflect
+//! insertion order with topic overrides applied in place, not the
+//! original reassignment order (set-equal, order may differ).
+
+use crate::durable::{checksum, DurableFs};
+use crate::tables::{DocumentRow, HostRow, LinkRow};
+use crate::StoreError;
+use bingo_graph::{HostId, PageId};
+use bingo_textproc::fxhash::{self, FxHashMap};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// File name of the segment manifest (the commit record).
+pub const SEGMENTS_FILE: &str = "SEGMENTS.json";
+/// Format marker of the segment manifest.
+pub const SEGMENTS_MAGIC: &str = "bingo-segments";
+/// Format marker of individual segment files.
+pub const SEGMENT_MAGIC: &str = "bingo-segment";
+/// Current segment format version.
+pub const SEGMENT_VERSION: u32 = 1;
+/// Default workspace size (documents) that triggers a seal of the
+/// workspace into a new on-disk segment.
+pub const DEFAULT_SEAL_EVERY: usize = 4096;
+
+fn url_hash(url: &str) -> u64 {
+    fxhash::hash_one(url)
+}
+
+fn pe<E: std::fmt::Display>(e: E) -> StoreError {
+    StoreError::Persist(e.to_string())
+}
+
+/// Parse one JSONL line (the vendored serde_json has no `from_slice`).
+fn from_line<T: serde::Deserialize>(line: &[u8]) -> Result<T, StoreError> {
+    serde_json::from_str(std::str::from_utf8(line).map_err(pe)?).map_err(pe)
+}
+
+/// One sealed segment recorded in the manifest.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct SegmentEntry {
+    /// Segment file name relative to the store directory.
+    pub name: String,
+    /// Document rows in the segment.
+    pub docs: u64,
+    /// Link rows in the segment.
+    pub links: u64,
+    /// Exact byte length of the file.
+    pub len: u64,
+    /// [`checksum`] of the file bytes.
+    pub checksum: u64,
+}
+
+/// The store-level commit record: which segments exist, plus the small
+/// mutable state (topic overrides, host table) that rides along.
+///
+/// Rewritten atomically at every seal. Topic overrides and host upserts
+/// that happen *after* the last seal live only in memory until the next
+/// seal — durable via [`crate::persist`] snapshots in the meantime.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SegmentManifest {
+    /// Format marker ([`SEGMENTS_MAGIC`]).
+    pub magic: String,
+    /// Format version ([`SEGMENT_VERSION`]).
+    pub version: u32,
+    /// Number the next sealed segment will take.
+    pub next_seg: u64,
+    /// Sealed segments in seal order.
+    pub segments: Vec<SegmentEntry>,
+    /// Re-classification overrides applied to sealed rows:
+    /// `(id, topic, confidence)`, sorted by id.
+    pub overrides: Vec<(PageId, Option<u32>, f32)>,
+    /// Host table, sorted by id.
+    pub hosts: Vec<HostRow>,
+}
+
+impl SegmentManifest {
+    fn empty() -> Self {
+        SegmentManifest {
+            magic: SEGMENTS_MAGIC.to_string(),
+            version: SEGMENT_VERSION,
+            next_seg: 0,
+            segments: Vec::new(),
+            overrides: Vec::new(),
+            hosts: Vec::new(),
+        }
+    }
+}
+
+/// First line of every segment file.
+#[derive(Debug, Serialize, Deserialize)]
+struct SegmentHeader {
+    magic: String,
+    version: u32,
+    seg: u64,
+    docs: u64,
+    links: u64,
+}
+
+/// Locator of one sealed document row: which segment, and where in it.
+/// This — not the row — is what stays resident per document.
+#[derive(Debug, Clone, Copy)]
+struct SegLoc {
+    seg: u32,
+    offset: u64,
+    len: u32,
+}
+
+/// A segment file split into lines with their byte offsets.
+struct ParsedSegment<'a> {
+    header: SegmentHeader,
+    /// `(absolute byte offset, line bytes)` for each document row.
+    doc_lines: Vec<(u64, &'a [u8])>,
+    /// Line bytes for each link row.
+    link_lines: Vec<&'a [u8]>,
+}
+
+fn parse_segment(bytes: &[u8]) -> Result<ParsedSegment<'_>, StoreError> {
+    let mut lines: Vec<(u64, &[u8])> = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let end = bytes[pos..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|i| pos + i)
+            .unwrap_or(bytes.len());
+        lines.push((pos as u64, &bytes[pos..end]));
+        pos = end + 1;
+    }
+    let Some(&(_, header_line)) = lines.first() else {
+        return Err(pe("empty segment file"));
+    };
+    let header: SegmentHeader = from_line(header_line)?;
+    if header.magic != SEGMENT_MAGIC || header.version != SEGMENT_VERSION {
+        return Err(pe(format!("bad segment header magic/version: {header:?}")));
+    }
+    let expect = 1 + header.docs as usize + header.links as usize;
+    if lines.len() != expect {
+        return Err(pe(format!(
+            "segment line count {} != header {}",
+            lines.len(),
+            expect
+        )));
+    }
+    let doc_lines = lines[1..1 + header.docs as usize].to_vec();
+    let link_lines = lines[1 + header.docs as usize..]
+        .iter()
+        .map(|&(_, l)| l)
+        .collect();
+    Ok(ParsedSegment {
+        header,
+        doc_lines,
+        link_lines,
+    })
+}
+
+/// The disk-backed store state: workspace + sealed segments + resident
+/// locator/host indexes. Wrapped in a lock by
+/// [`crate::DocumentStore::segmented`].
+pub(crate) struct Spine {
+    dir: PathBuf,
+    manifest: SegmentManifest,
+    seal_every: usize,
+    // --- in-memory write workspace (insertion order defines segment bytes) ---
+    ws_docs: Vec<DocumentRow>,
+    ws_index: FxHashMap<PageId, usize>,
+    ws_links: Vec<LinkRow>,
+    // --- resident indexes over sealed rows ---
+    locs: FxHashMap<PageId, SegLoc>,
+    /// `fxhash(url) -> id`, verified against the row's URL on read.
+    by_url_hash: FxHashMap<u64, PageId>,
+    /// Effective topic -> ids, workspace and sealed rows combined,
+    /// maintained exactly like the in-memory index.
+    by_topic: FxHashMap<u32, Vec<PageId>>,
+    /// Re-classification of sealed (immutable) rows, applied on read.
+    overrides: FxHashMap<PageId, (Option<u32>, f32)>,
+    hosts: FxHashMap<HostId, HostRow>,
+    sealed_links: u64,
+    /// Overrides/hosts changed since the last manifest commit; a seal
+    /// with an empty workspace still recommits the manifest then.
+    meta_dirty: bool,
+}
+
+impl std::fmt::Debug for Spine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Spine")
+            .field("dir", &self.dir)
+            .field("segments", &self.manifest.segments.len())
+            .field("sealed_docs", &self.locs.len())
+            .field("workspace_docs", &self.ws_docs.len())
+            .finish()
+    }
+}
+
+impl Spine {
+    fn empty(dir: PathBuf, seal_every: usize) -> Self {
+        Spine {
+            dir,
+            manifest: SegmentManifest::empty(),
+            seal_every: seal_every.max(1),
+            ws_docs: Vec::new(),
+            ws_index: FxHashMap::default(),
+            ws_links: Vec::new(),
+            locs: FxHashMap::default(),
+            by_url_hash: FxHashMap::default(),
+            by_topic: FxHashMap::default(),
+            overrides: FxHashMap::default(),
+            hosts: FxHashMap::default(),
+            sealed_links: 0,
+            meta_dirty: false,
+        }
+    }
+
+    /// Open (or create) a segmented store directory: reap orphans from
+    /// a crashed seal, verify every referenced segment against the
+    /// manifest, and rebuild the resident locator indexes by streaming
+    /// each segment once.
+    pub(crate) fn open(dir: PathBuf, seal_every: usize) -> Result<Self, StoreError> {
+        reap_orphan_segments(&dir);
+        let mut spine = Spine::empty(dir, seal_every);
+        let manifest_path = spine.dir.join(SEGMENTS_FILE);
+        let text = match std::fs::read_to_string(&manifest_path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(spine),
+            Err(e) => return Err(pe(e)),
+        };
+        let manifest: SegmentManifest = serde_json::from_str(&text).map_err(pe)?;
+        if manifest.magic != SEGMENTS_MAGIC || manifest.version != SEGMENT_VERSION {
+            return Err(pe("bad segment manifest magic/version"));
+        }
+        spine.overrides = manifest
+            .overrides
+            .iter()
+            .map(|&(id, topic, confidence)| (id, (topic, confidence)))
+            .collect();
+        spine.hosts = manifest.hosts.iter().map(|h| (h.id, h.clone())).collect();
+        for (seg, entry) in manifest.segments.iter().enumerate() {
+            let bytes = std::fs::read(spine.dir.join(&entry.name)).map_err(pe)?;
+            if bytes.len() as u64 != entry.len || checksum(&bytes) != entry.checksum {
+                return Err(pe(format!("segment {} failed verification", entry.name)));
+            }
+            let parsed = parse_segment(&bytes)?;
+            if parsed.header.docs != entry.docs || parsed.header.links != entry.links {
+                return Err(pe(format!(
+                    "segment {} header/manifest mismatch",
+                    entry.name
+                )));
+            }
+            for &(offset, line) in &parsed.doc_lines {
+                let row: DocumentRow = from_line(line)?;
+                spine.by_url_hash.insert(url_hash(&row.url), row.id);
+                let topic = match spine.overrides.get(&row.id) {
+                    Some(&(t, _)) => t,
+                    None => row.topic,
+                };
+                if let Some(t) = topic {
+                    spine.by_topic.entry(t).or_default().push(row.id);
+                }
+                spine.locs.insert(
+                    row.id,
+                    SegLoc {
+                        seg: seg as u32,
+                        offset,
+                        len: line.len() as u32,
+                    },
+                );
+            }
+            for line in &parsed.link_lines {
+                // Parse to validate; the adjacency is streamed on demand.
+                let _: LinkRow = from_line(line)?;
+            }
+            spine.sealed_links += parsed.header.links;
+        }
+        spine.manifest = manifest;
+        Ok(spine)
+    }
+
+    pub(crate) fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub(crate) fn segment_count(&self) -> usize {
+        self.manifest.segments.len()
+    }
+
+    pub(crate) fn sealed_documents(&self) -> usize {
+        self.locs.len()
+    }
+
+    pub(crate) fn workspace_documents(&self) -> usize {
+        self.ws_docs.len()
+    }
+
+    pub(crate) fn document_count(&self) -> usize {
+        self.locs.len() + self.ws_docs.len()
+    }
+
+    pub(crate) fn link_count(&self) -> usize {
+        self.sealed_links as usize + self.ws_links.len()
+    }
+
+    pub(crate) fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    pub(crate) fn insert_document(&mut self, row: DocumentRow) -> Result<(), StoreError> {
+        if self.ws_index.contains_key(&row.id) || self.locs.contains_key(&row.id) {
+            return Err(StoreError::DuplicateKey(row.id));
+        }
+        self.by_url_hash.insert(url_hash(&row.url), row.id);
+        if let Some(topic) = row.topic {
+            self.by_topic.entry(topic).or_default().push(row.id);
+        }
+        self.ws_index.insert(row.id, self.ws_docs.len());
+        self.ws_docs.push(row);
+        Ok(())
+    }
+
+    pub(crate) fn insert_link(&mut self, link: LinkRow) {
+        self.ws_links.push(link);
+    }
+
+    pub(crate) fn upsert_host(&mut self, row: HostRow) {
+        self.hosts.insert(row.id, row);
+        self.meta_dirty = true;
+    }
+
+    pub(crate) fn set_topic(
+        &mut self,
+        id: PageId,
+        topic: Option<u32>,
+        confidence: f32,
+    ) -> Result<(), StoreError> {
+        let old = if let Some(&i) = self.ws_index.get(&id) {
+            let old = self.ws_docs[i].topic;
+            self.ws_docs[i].topic = topic;
+            self.ws_docs[i].confidence = confidence;
+            old
+        } else if let Some(&loc) = self.locs.get(&id) {
+            let old = match self.overrides.get(&id) {
+                Some(&(t, _)) => t,
+                None => self.read_sealed(loc)?.topic,
+            };
+            self.overrides.insert(id, (topic, confidence));
+            self.meta_dirty = true;
+            old
+        } else {
+            return Err(StoreError::MissingDocument(id));
+        };
+        if let Some(old) = old {
+            if let Some(list) = self.by_topic.get_mut(&old) {
+                list.retain(|&d| d != id);
+            }
+        }
+        if let Some(t) = topic {
+            self.by_topic.entry(t).or_default().push(id);
+        }
+        Ok(())
+    }
+
+    /// Read one sealed row from disk and apply any topic override.
+    fn read_sealed(&self, loc: SegLoc) -> Result<DocumentRow, StoreError> {
+        let entry = &self.manifest.segments[loc.seg as usize];
+        let mut f = std::fs::File::open(self.dir.join(&entry.name)).map_err(pe)?;
+        f.seek(SeekFrom::Start(loc.offset)).map_err(pe)?;
+        let mut buf = vec![0u8; loc.len as usize];
+        f.read_exact(&mut buf).map_err(pe)?;
+        let mut row: DocumentRow = from_line(&buf)?;
+        if let Some(&(topic, confidence)) = self.overrides.get(&row.id) {
+            row.topic = topic;
+            row.confidence = confidence;
+        }
+        Ok(row)
+    }
+
+    pub(crate) fn document(&self, id: PageId) -> Option<DocumentRow> {
+        if let Some(&i) = self.ws_index.get(&id) {
+            return Some(self.ws_docs[i].clone());
+        }
+        let loc = *self.locs.get(&id)?;
+        self.read_sealed(loc).ok()
+    }
+
+    pub(crate) fn document_by_url(&self, url: &str) -> Option<DocumentRow> {
+        let id = *self.by_url_hash.get(&url_hash(url))?;
+        // Verify: the hash index may alias distinct URLs (fail-safe miss).
+        self.document(id).filter(|row| row.url == url)
+    }
+
+    pub(crate) fn contains_url(&self, url: &str) -> bool {
+        self.document_by_url(url).is_some()
+    }
+
+    pub(crate) fn topic_documents(&self, topic: u32) -> Vec<PageId> {
+        self.by_topic.get(&topic).cloned().unwrap_or_default()
+    }
+
+    pub(crate) fn host(&self, id: HostId) -> Option<HostRow> {
+        self.hosts.get(&id).cloned()
+    }
+
+    pub(crate) fn hosts_sorted(&self) -> Vec<HostRow> {
+        let mut hosts: Vec<HostRow> = self.hosts.values().cloned().collect();
+        hosts.sort_unstable_by_key(|h| h.id);
+        hosts
+    }
+
+    /// Stream every document row (sealed segments in seal order, then
+    /// the workspace), overrides applied.
+    pub(crate) fn for_each_document<F: FnMut(&DocumentRow)>(
+        &self,
+        mut f: F,
+    ) -> Result<(), StoreError> {
+        for entry in &self.manifest.segments {
+            let bytes = std::fs::read(self.dir.join(&entry.name)).map_err(pe)?;
+            let parsed = parse_segment(&bytes)?;
+            for &(_, line) in &parsed.doc_lines {
+                let mut row: DocumentRow = from_line(line)?;
+                if let Some(&(topic, confidence)) = self.overrides.get(&row.id) {
+                    row.topic = topic;
+                    row.confidence = confidence;
+                }
+                f(&row);
+            }
+        }
+        for row in &self.ws_docs {
+            f(row);
+        }
+        Ok(())
+    }
+
+    /// Stream every link row in global insertion order (seal order is
+    /// insertion order; workspace links come last).
+    pub(crate) fn for_each_link<F: FnMut(&LinkRow)>(&self, mut f: F) -> Result<(), StoreError> {
+        for entry in &self.manifest.segments {
+            let bytes = std::fs::read(self.dir.join(&entry.name)).map_err(pe)?;
+            let parsed = parse_segment(&bytes)?;
+            for line in &parsed.link_lines {
+                let row: LinkRow = from_line(line)?;
+                f(&row);
+            }
+        }
+        for link in &self.ws_links {
+            f(link);
+        }
+        Ok(())
+    }
+
+    pub(crate) fn all_documents(&self) -> Vec<DocumentRow> {
+        let mut rows = Vec::with_capacity(self.document_count());
+        let _ = self.for_each_document(|row| rows.push(row.clone()));
+        rows
+    }
+
+    pub(crate) fn all_links(&self) -> Vec<LinkRow> {
+        let mut links = Vec::with_capacity(self.link_count());
+        let _ = self.for_each_link(|l| links.push(l.clone()));
+        links
+    }
+
+    /// First-occurrence-deduplicated out-edges of `page`, matching the
+    /// in-memory edge index (cold path: streams the link log).
+    pub(crate) fn successors(&self, page: PageId) -> Vec<PageId> {
+        let mut out = Vec::new();
+        let _ = self.for_each_link(|l| {
+            if l.from == page && !out.contains(&l.to) {
+                out.push(l.to);
+            }
+        });
+        out
+    }
+
+    /// Distinct predecessors of `page` in first-occurrence order,
+    /// matching the in-memory edge index (cold path).
+    pub(crate) fn predecessors(&self, page: PageId) -> Vec<PageId> {
+        let mut from = Vec::new();
+        let _ = self.for_each_link(|l| {
+            if l.to == page && !from.contains(&l.from) {
+                from.push(l.from);
+            }
+        });
+        from
+    }
+
+    pub(crate) fn host_of(&self, page: PageId) -> HostId {
+        self.document(page).map(|d| d.host).unwrap_or(0)
+    }
+
+    /// Seal the workspace when it has grown past the threshold.
+    pub(crate) fn maybe_seal(&mut self, fs: &dyn DurableFs) -> Result<bool, StoreError> {
+        if self.ws_docs.len() >= self.seal_every || self.ws_links.len() >= self.seal_every * 16 {
+            self.seal(fs)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Seal the workspace into a new immutable segment file: write the
+    /// segment atomically, then rewrite the manifest atomically (the
+    /// commit). On any error the workspace is left intact — rows stay
+    /// readable, durability is retried at the next seal. A crash
+    /// between the two writes leaves an orphan segment file that
+    /// recovery ignores and [`reap_orphan_segments`] deletes.
+    pub(crate) fn seal(&mut self, fs: &dyn DurableFs) -> Result<bool, StoreError> {
+        if self.ws_docs.is_empty() && self.ws_links.is_empty() {
+            if !self.meta_dirty {
+                return Ok(false);
+            }
+            // Metadata-only commit: overrides/hosts changed since the
+            // last seal but there is no workspace to seal.
+            let mut manifest = self.manifest.clone();
+            manifest.overrides = self.overrides_sorted();
+            manifest.hosts = self.hosts_sorted();
+            let mut mjson = Vec::new();
+            serde_json::to_writer(&mut mjson, &manifest).map_err(pe)?;
+            fs.create_dir_all(&self.dir).map_err(pe)?;
+            fs.atomic_write(&self.dir.join(SEGMENTS_FILE), &mjson)
+                .map_err(pe)?;
+            self.manifest = manifest;
+            self.meta_dirty = false;
+            return Ok(true);
+        }
+        let seg_index = self.manifest.segments.len() as u32;
+        let seg_no = self.manifest.next_seg;
+        let name = format!("seg-{seg_no:06}.jsonl");
+        let header = SegmentHeader {
+            magic: SEGMENT_MAGIC.to_string(),
+            version: SEGMENT_VERSION,
+            seg: seg_no,
+            docs: self.ws_docs.len() as u64,
+            links: self.ws_links.len() as u64,
+        };
+        let mut bytes = Vec::new();
+        serde_json::to_writer(&mut bytes, &header).map_err(pe)?;
+        bytes.push(b'\n');
+        let mut offsets = Vec::with_capacity(self.ws_docs.len());
+        for row in &self.ws_docs {
+            let start = bytes.len() as u64;
+            serde_json::to_writer(&mut bytes, row).map_err(pe)?;
+            offsets.push((start, (bytes.len() as u64 - start) as u32));
+            bytes.push(b'\n');
+        }
+        for link in &self.ws_links {
+            serde_json::to_writer(&mut bytes, link).map_err(pe)?;
+            bytes.push(b'\n');
+        }
+        fs.create_dir_all(&self.dir).map_err(pe)?;
+        fs.atomic_write(&self.dir.join(&name), &bytes).map_err(pe)?;
+        let mut manifest = self.manifest.clone();
+        manifest.segments.push(SegmentEntry {
+            name,
+            docs: self.ws_docs.len() as u64,
+            links: self.ws_links.len() as u64,
+            len: bytes.len() as u64,
+            checksum: checksum(&bytes),
+        });
+        manifest.next_seg = seg_no + 1;
+        manifest.overrides = self.overrides_sorted();
+        manifest.hosts = self.hosts_sorted();
+        let mut mjson = Vec::new();
+        serde_json::to_writer(&mut mjson, &manifest).map_err(pe)?;
+        fs.atomic_write(&self.dir.join(SEGMENTS_FILE), &mjson)
+            .map_err(pe)?;
+        // Committed: move the workspace into the sealed state.
+        self.manifest = manifest;
+        for (row, (offset, len)) in self.ws_docs.drain(..).zip(offsets) {
+            self.locs.insert(
+                row.id,
+                SegLoc {
+                    seg: seg_index,
+                    offset,
+                    len,
+                },
+            );
+        }
+        self.ws_index.clear();
+        self.sealed_links += self.ws_links.len() as u64;
+        self.ws_links.clear();
+        self.meta_dirty = false;
+        Ok(true)
+    }
+
+    fn overrides_sorted(&self) -> Vec<(PageId, Option<u32>, f32)> {
+        let mut overrides: Vec<(PageId, Option<u32>, f32)> = self
+            .overrides
+            .iter()
+            .map(|(&id, &(topic, confidence))| (id, topic, confidence))
+            .collect();
+        overrides.sort_unstable_by_key(|&(id, _, _)| id);
+        overrides
+    }
+
+    /// Rewrite every row's term ids through `map` (see
+    /// [`crate::DocumentStore::remap_terms`]): workspace rows in place,
+    /// sealed segments by rewriting each file and recommitting the
+    /// manifest. Not crash-atomic across segments — canonicalization
+    /// runs before a crawl's results are persisted, so a crash here
+    /// means re-running the crawl, not data loss of an acked seal.
+    pub(crate) fn remap_terms(&mut self, map: &[u32]) -> Result<(), StoreError> {
+        let remap = |row: &mut DocumentRow| {
+            for entry in &mut row.term_freqs {
+                entry.0 = map[entry.0 as usize];
+            }
+            row.term_freqs.sort_unstable_by_key(|&(t, _)| t);
+        };
+        for row in &mut self.ws_docs {
+            remap(row);
+        }
+        let fs = crate::durable::StdFs;
+        for (seg, entry) in self.manifest.segments.iter_mut().enumerate() {
+            let bytes = std::fs::read(self.dir.join(&entry.name)).map_err(pe)?;
+            let parsed = parse_segment(&bytes)?;
+            let mut out = Vec::with_capacity(bytes.len());
+            let header_end = bytes.iter().position(|&b| b == b'\n').unwrap_or(0);
+            out.extend_from_slice(&bytes[..=header_end]);
+            for &(_, line) in &parsed.doc_lines {
+                let mut row: DocumentRow = from_line(line)?;
+                remap(&mut row);
+                let start = out.len() as u64;
+                serde_json::to_writer(&mut out, &row).map_err(pe)?;
+                self.locs.insert(
+                    row.id,
+                    SegLoc {
+                        seg: seg as u32,
+                        offset: start,
+                        len: (out.len() as u64 - start) as u32,
+                    },
+                );
+                out.push(b'\n');
+            }
+            for line in &parsed.link_lines {
+                out.extend_from_slice(line);
+                out.push(b'\n');
+            }
+            fs.atomic_write(&self.dir.join(&entry.name), &out)
+                .map_err(pe)?;
+            entry.len = out.len() as u64;
+            entry.checksum = checksum(&out);
+        }
+        if !self.manifest.segments.is_empty() {
+            let mut mjson = Vec::new();
+            serde_json::to_writer(&mut mjson, &self.manifest).map_err(pe)?;
+            fs.atomic_write(&self.dir.join(SEGMENTS_FILE), &mjson)
+                .map_err(pe)?;
+        }
+        Ok(())
+    }
+}
+
+/// Delete segment files (and stale `.tmp` siblings) in `dir` that the
+/// manifest does not reference — the debris a crash between segment
+/// write and manifest commit leaves behind. A missing or unreadable
+/// manifest means no segment is referenced. Returns the number of
+/// files removed. Single-writer: callers must not reap a directory
+/// whose spine is mid-seal in another handle.
+pub fn reap_orphan_segments(dir: &Path) -> usize {
+    let referenced: std::collections::HashSet<String> =
+        std::fs::read_to_string(dir.join(SEGMENTS_FILE))
+            .ok()
+            .and_then(|text| serde_json::from_str::<SegmentManifest>(&text).ok())
+            .map(|m| m.segments.into_iter().map(|s| s.name).collect())
+            .unwrap_or_default();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut reaped = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let is_tmp = name.ends_with(".tmp");
+        let base = name.strip_suffix(".tmp").unwrap_or(&name);
+        let is_seg = base.starts_with("seg-") && base.ends_with(".jsonl");
+        let is_manifest_tmp = is_tmp && base == SEGMENTS_FILE;
+        if !(is_seg || is_manifest_tmp) {
+            continue;
+        }
+        if is_seg && !is_tmp && referenced.contains(base) {
+            continue;
+        }
+        if std::fs::remove_file(entry.path()).is_ok() {
+            reaped += 1;
+        }
+    }
+    reaped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::durable::StdFs;
+    use bingo_textproc::MimeType;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bingo-segment-{tag}"));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn doc(id: u64, topic: Option<u32>) -> DocumentRow {
+        DocumentRow {
+            id,
+            url: format!("http://h{}/p{id}", id % 3),
+            host: (id % 3) as u32,
+            mime: MimeType::Html,
+            depth: 1,
+            title: format!("doc {id}"),
+            topic,
+            confidence: 0.25,
+            term_freqs: vec![(1, 2), (7, 1)],
+            size: 100,
+            fetched_at: id,
+        }
+    }
+
+    #[test]
+    fn seal_reopen_and_point_read() {
+        let dir = temp_dir("seal");
+        let mut spine = Spine::open(dir.clone(), 4).unwrap();
+        for i in 0..6 {
+            spine.insert_document(doc(i, Some((i % 2) as u32))).unwrap();
+        }
+        spine.insert_link(LinkRow {
+            from: 0,
+            to: 1,
+            to_url: "u".into(),
+        });
+        assert!(spine.seal(&StdFs).unwrap());
+        spine.insert_document(doc(6, None)).unwrap();
+        assert_eq!(spine.document_count(), 7);
+        assert_eq!(spine.sealed_documents(), 6);
+        assert_eq!(spine.document(3).unwrap().title, "doc 3");
+        assert_eq!(spine.document(6).unwrap().title, "doc 6");
+        assert_eq!(spine.document_by_url("http://h1/p4").unwrap().id, 4);
+        assert!(spine.document_by_url("http://h1/p99").is_none());
+        // Workspace rows survive only via another seal; reopen sees sealed.
+        assert!(spine.seal(&StdFs).unwrap());
+        drop(spine);
+        let spine = Spine::open(dir.clone(), 4).unwrap();
+        assert_eq!(spine.segment_count(), 2);
+        assert_eq!(spine.document_count(), 7);
+        assert_eq!(spine.link_count(), 1);
+        assert_eq!(spine.document(5).unwrap().url, "http://h2/p5");
+        assert_eq!(spine.successors(0), vec![1]);
+        assert_eq!(spine.predecessors(1), vec![0]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn overrides_apply_to_sealed_rows_and_persist_via_next_seal() {
+        let dir = temp_dir("override");
+        let mut spine = Spine::open(dir.clone(), 4).unwrap();
+        for i in 0..3 {
+            spine.insert_document(doc(i, Some(0))).unwrap();
+        }
+        spine.seal(&StdFs).unwrap();
+        spine.set_topic(1, Some(9), 0.75).unwrap();
+        assert_eq!(spine.document(1).unwrap().topic, Some(9));
+        assert_eq!(spine.topic_documents(0), vec![0, 2]);
+        assert_eq!(spine.topic_documents(9), vec![1]);
+        // The override is carried into the next manifest commit.
+        spine.insert_document(doc(3, None)).unwrap();
+        spine.seal(&StdFs).unwrap();
+        drop(spine);
+        let spine = Spine::open(dir.clone(), 4).unwrap();
+        assert_eq!(spine.document(1).unwrap().topic, Some(9));
+        assert_eq!(spine.document(1).unwrap().confidence, 0.75);
+        assert_eq!(spine.topic_documents(9), vec![1]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn orphan_segments_are_reaped_and_ignored() {
+        let dir = temp_dir("orphan");
+        let mut spine = Spine::open(dir.clone(), 4).unwrap();
+        spine.insert_document(doc(0, None)).unwrap();
+        spine.seal(&StdFs).unwrap();
+        // Simulate a crash between seal and manifest commit: an extra
+        // segment file the manifest never saw.
+        std::fs::write(dir.join("seg-000001.jsonl"), b"orphan bytes").unwrap();
+        std::fs::write(dir.join("seg-000002.jsonl.tmp"), b"torn tmp").unwrap();
+        assert_eq!(reap_orphan_segments(&dir), 2);
+        assert_eq!(reap_orphan_segments(&dir), 0, "idempotent");
+        let spine = Spine::open(dir.clone(), 4).unwrap();
+        assert_eq!(spine.segment_count(), 1);
+        assert_eq!(spine.document_count(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_segment_fails_verification_on_open() {
+        let dir = temp_dir("corrupt");
+        let mut spine = Spine::open(dir.clone(), 4).unwrap();
+        for i in 0..2 {
+            spine.insert_document(doc(i, None)).unwrap();
+        }
+        spine.seal(&StdFs).unwrap();
+        drop(spine);
+        // Flip bytes in place (same length): checksum catches it.
+        let seg = dir.join("seg-000000.jsonl");
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let n = bytes.len();
+        bytes[n / 2] ^= 0xff;
+        std::fs::write(&seg, &bytes).unwrap();
+        assert!(matches!(
+            Spine::open(dir.clone(), 4),
+            Err(StoreError::Persist(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn remap_rewrites_sealed_segments() {
+        let dir = temp_dir("remap");
+        let mut spine = Spine::open(dir.clone(), 4).unwrap();
+        spine.insert_document(doc(0, None)).unwrap();
+        spine.seal(&StdFs).unwrap();
+        spine.insert_document(doc(1, None)).unwrap();
+        let mut map = vec![0u32; 8];
+        map[1] = 6;
+        map[7] = 2;
+        spine.remap_terms(&map).unwrap();
+        assert_eq!(spine.document(0).unwrap().term_freqs, vec![(2, 1), (6, 2)]);
+        assert_eq!(spine.document(1).unwrap().term_freqs, vec![(2, 1), (6, 2)]);
+        drop(spine);
+        // The rewritten segment re-verifies and reopens.
+        let spine = Spine::open(dir.clone(), 4).unwrap();
+        assert_eq!(spine.document(0).unwrap().term_freqs, vec![(2, 1), (6, 2)]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

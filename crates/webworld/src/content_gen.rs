@@ -18,7 +18,7 @@ use rand::{Rng, SeedableRng};
 /// The full payload served when fetching `id` (including format
 /// envelopes for non-HTML types).
 pub fn payload(world: &World, id: PageId) -> String {
-    let meta = world.page(id);
+    let meta = world.page_meta(id);
     if let Some(ov) = &meta.content_override {
         return ov.to_string();
     }
@@ -103,7 +103,7 @@ fn words(world: &World, topic: Option<u32>, count: usize, rng: &mut SmallRng) ->
 }
 
 fn content_text(world: &World, id: PageId, rng: &mut SmallRng) -> (String, String) {
-    let meta = world.page(id);
+    let meta = world.page_meta(id);
     let n = rng.gen_range(120..300);
     let title = format!(
         "{} {}",
@@ -126,8 +126,8 @@ fn content_text(world: &World, id: PageId, rng: &mut SmallRng) -> (String, Strin
 }
 
 fn welcome_text(world: &World, id: PageId, rng: &mut SmallRng) -> (String, String) {
-    let meta = world.page(id);
-    let host = world.host(meta.host);
+    let meta = world.page_meta(id);
+    let host = world.host_meta(meta.host);
     let n = rng.gen_range(8..25);
     (
         format!("Welcome to {}", host.name),
@@ -136,7 +136,7 @@ fn welcome_text(world: &World, id: PageId, rng: &mut SmallRng) -> (String, Strin
 }
 
 fn hub_text(world: &World, id: PageId, rng: &mut SmallRng) -> (String, String) {
-    let meta = world.page(id);
+    let meta = world.page_meta(id);
     let n = rng.gen_range(30..60);
     let title = format!(
         "Resources on {}",
@@ -148,7 +148,7 @@ fn hub_text(world: &World, id: PageId, rng: &mut SmallRng) -> (String, String) {
 }
 
 fn author_home_text(world: &World, id: PageId, rng: &mut SmallRng) -> (String, String) {
-    let meta = world.page(id);
+    let meta = world.page_meta(id);
     let author = &world.authors()[meta.author.unwrap() as usize];
     let n = rng.gen_range(60..120);
     (
@@ -163,7 +163,7 @@ fn author_home_text(world: &World, id: PageId, rng: &mut SmallRng) -> (String, S
 }
 
 fn author_pub_text(world: &World, id: PageId, rng: &mut SmallRng) -> (String, String) {
-    let meta = world.page(id);
+    let meta = world.page_meta(id);
     let author = &world.authors()[meta.author.unwrap() as usize];
     let is_paper = meta.mime == MimeType::Pdf;
     let n = rng.gen_range(if is_paper { 200..400 } else { 100..250 });
@@ -184,7 +184,7 @@ fn author_pub_text(world: &World, id: PageId, rng: &mut SmallRng) -> (String, St
 /// target's alias URL (producing duplicate content under two URLs); some
 /// anchors are navigation noise ("click here").
 fn render_links(world: &World, id: PageId, rng: &mut SmallRng) -> String {
-    let meta = world.page(id);
+    let meta = world.page_meta(id);
     let mut out = String::new();
     for &target in &meta.out {
         let url = match world.alias_url_of(target) {
@@ -205,14 +205,14 @@ fn anchor_text(world: &World, target: PageId, rng: &mut SmallRng) -> String {
         return ["click here", "more", "link", "home page", "next page"][rng.gen_range(0..5)]
             .to_string();
     }
-    let meta = world.page(target);
+    let meta = world.page_meta(target);
     match meta.kind {
         PageKind::AuthorHome => {
             let a = &world.authors()[meta.author.unwrap() as usize];
             a.name.clone()
         }
         PageKind::AuthorPub => format!("{} paper", sample_word(world, meta.topic, rng)),
-        PageKind::Welcome => world.host(meta.host).name.clone(),
+        PageKind::Welcome => world.host_meta(meta.host).name.clone(),
         _ => format!(
             "{} {}",
             sample_word(world, meta.topic, rng),

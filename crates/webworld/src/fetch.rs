@@ -196,8 +196,8 @@ impl World {
             };
         };
 
-        let meta = self.page(page_id);
-        let host = self.host(meta.host);
+        let meta = self.page_meta(page_id);
+        let host = self.host_meta(meta.host);
         match host.behavior {
             HostBehavior::Dead => {
                 return FetchOutcome::Err {
@@ -306,11 +306,14 @@ impl World {
         })
     }
 
-    fn find_host(&self, name: &str) -> Option<(HostId, &HostMeta)> {
+    fn find_host(&self, name: &str) -> Option<(HostId, HostMeta)> {
+        if let Some(p) = &self.paged {
+            return p.find_host(name);
+        }
         self.hosts
             .iter()
             .position(|h| h.name == name)
-            .map(|i| (i as HostId, &self.hosts[i]))
+            .map(|i| (i as HostId, self.hosts[i].clone()))
     }
 }
 

@@ -799,6 +799,7 @@ impl Generator {
             authors: self.authors,
             named: self.named,
             faults,
+            paged: None,
         }
     }
 

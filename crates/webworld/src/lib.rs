@@ -30,11 +30,13 @@ pub mod faults;
 pub mod fetch;
 pub mod gen;
 pub mod lexicon;
+pub mod paged;
 pub mod scenario;
 
 pub use dblp::AuthorInfo;
 pub use faults::{FaultKind, FaultPlan, FaultProfile, FaultWindow};
 pub use fetch::{DnsError, FetchError, FetchOutcome, FetchResponse};
+pub use paged::PagedConfig;
 
 use bingo_graph::{HostId, LinkSource, PageId};
 use bingo_textproc::fxhash::FxHashMap;
@@ -151,17 +153,26 @@ pub struct World {
     pub(crate) named: FxHashMap<String, PageId>,
     /// Scripted fault windows (empty unless configured; see [`faults`]).
     pub(crate) faults: FaultPlan,
+    /// Lazy block generator backing paged worlds ([`World::paged`]);
+    /// `None` for eagerly generated worlds.
+    pub(crate) paged: Option<paged::PagedWeb>,
 }
 
 impl World {
     /// Number of pages.
     pub fn page_count(&self) -> usize {
-        self.pages.len()
+        match &self.paged {
+            Some(p) => p.page_count(),
+            None => self.pages.len(),
+        }
     }
 
     /// Number of hosts.
     pub fn host_count(&self) -> usize {
-        self.hosts.len()
+        match &self.paged {
+            Some(p) => p.host_count(),
+            None => self.hosts.len(),
+        }
     }
 
     /// The topics of this world (index = topic id).
@@ -169,18 +180,72 @@ impl World {
         &self.topics
     }
 
-    /// Page metadata.
+    /// Borrowed page metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics on paged worlds, whose metadata is generated on demand and
+    /// cannot be borrowed — use [`World::page_meta`] instead.
     pub fn page(&self, id: PageId) -> &PageMeta {
+        assert!(
+            self.paged.is_none(),
+            "World::page cannot borrow from a paged world; use page_meta"
+        );
         &self.pages[id as usize]
     }
 
-    /// Host metadata.
+    /// Borrowed host metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics on paged worlds — use [`World::host_meta`] instead.
     pub fn host(&self, id: HostId) -> &HostMeta {
+        assert!(
+            self.paged.is_none(),
+            "World::host cannot borrow from a paged world; use host_meta"
+        );
         &self.hosts[id as usize]
+    }
+
+    /// Owned page metadata; works on both eager and paged worlds.
+    pub fn page_meta(&self, id: PageId) -> PageMeta {
+        match &self.paged {
+            Some(p) => p.page_meta(id),
+            None => self.pages[id as usize].clone(),
+        }
+    }
+
+    /// Owned host metadata; works on both eager and paged worlds.
+    pub fn host_meta(&self, id: HostId) -> HostMeta {
+        match &self.paged {
+            Some(p) => p.host_meta(id),
+            None => self.hosts[id as usize].clone(),
+        }
+    }
+
+    /// True when this world generates its metadata lazily
+    /// ([`World::paged`]).
+    pub fn is_paged(&self) -> bool {
+        self.paged.is_some()
+    }
+
+    /// Host blocks a paged world has generated so far (cache misses);
+    /// 0 for eager worlds. Telemetry for the scale experiment.
+    pub fn paged_blocks_generated(&self) -> u64 {
+        self.paged.as_ref().map_or(0, |p| p.blocks_generated())
+    }
+
+    /// Host blocks currently resident in a paged world's cache (always
+    /// ≤ its `hot_cap`); 0 for eager worlds.
+    pub fn paged_resident_blocks(&self) -> usize {
+        self.paged.as_ref().map_or(0, |p| p.resident_blocks())
     }
 
     /// Canonical URL of a page.
     pub fn url_of(&self, id: PageId) -> String {
+        if let Some(p) = &self.paged {
+            return p.url_of(id);
+        }
         let p = &self.pages[id as usize];
         format!("http://{}/{}", self.hosts[p.host as usize].name, p.path)
     }
@@ -192,6 +257,9 @@ impl World {
 
     /// Resolve any known URL (canonical or alias) to its page.
     pub fn resolve_url(&self, url: &str) -> Option<PageId> {
+        if let Some(p) = &self.paged {
+            return p.resolve_url(url);
+        }
         self.url_index.get(url).copied()
     }
 
@@ -212,7 +280,10 @@ impl World {
 
     /// Ground-truth topic of a page.
     pub fn true_topic(&self, id: PageId) -> Option<u32> {
-        self.pages[id as usize].topic
+        match &self.paged {
+            Some(p) => p.true_topic(id),
+            None => self.pages[id as usize].topic,
+        }
     }
 
     /// World seed (content generation is a pure function of seed and id).
@@ -234,6 +305,12 @@ impl World {
 
 impl LinkSource for World {
     fn successors(&self, page: PageId) -> Vec<PageId> {
+        if let Some(p) = &self.paged {
+            if (page as usize) < p.page_count() {
+                return p.page_meta(page).out;
+            }
+            return Vec::new();
+        }
         self.pages
             .get(page as usize)
             .map(|p| p.out.clone())
@@ -241,10 +318,19 @@ impl LinkSource for World {
     }
 
     fn predecessors(&self, page: PageId) -> Vec<PageId> {
+        // Paged worlds carry no in-link index (it would be O(world));
+        // evaluation paths that need in-links use the document store's
+        // link table, which indexes only what was crawled.
         self.in_links.get(&page).cloned().unwrap_or_default()
     }
 
     fn host_of(&self, page: PageId) -> HostId {
+        if let Some(p) = &self.paged {
+            if (page as usize) < p.page_count() {
+                return p.host_of(page);
+            }
+            return 0;
+        }
         self.pages.get(page as usize).map(|p| p.host).unwrap_or(0)
     }
 }

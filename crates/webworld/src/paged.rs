@@ -1,0 +1,473 @@
+//! Lazily paged world generation for memory-bounded scale crawls.
+//!
+//! An eagerly generated [`World`] materializes every
+//! `PageMeta` up front — fine at a hundred thousand pages, hopeless at a
+//! million when the point of the experiment is a bounded resident set.
+//! A *paged* world stores **no** per-page state: host and page metadata
+//! are a pure arithmetic function of `(seed, host, page-within-host)`,
+//! generated one host *block* at a time and held in a bounded cache.
+//! Crawls exhibit strong host locality (the frontier drains per-host
+//! queues), so a small hot set of blocks serves almost every lookup
+//! while the world's resident footprint stays O(hot_cap · pages_per_host)
+//! regardless of total size.
+//!
+//! Layout of the synthetic scale web:
+//!
+//! * host `h` is `h{h}.scale.test`, always healthy, with hash-derived
+//!   latencies; its topic is `h % TOPIC_COUNT`.
+//! * page ids are `h * pages_per_host + k`; `k == 0` is the host's
+//!   welcome page, the rest are topical content pages.
+//! * the welcome page links to the first content pages of its own host
+//!   and to the welcome pages of hosts `2h+1` and `2h+2` — a binary
+//!   heap over hosts, so every host is reachable from host 0 within
+//!   `log2(hosts)` cross-host hops.
+//! * content page `k` links back to its welcome, to sibling `k+1`
+//!   (chaining the whole host), and to the welcome of a same-topic
+//!   host — the topical locality the focused crawler exploits.
+//!
+//! Content still flows through [`crate::content_gen`], which only needs
+//! metadata, so payloads stay lazily generated exactly as for eager
+//! worlds and page sizes vary naturally (the `(ip, size)` duplicate
+//! fingerprint sees distinct sizes within a host except for rare,
+//! deterministic coincidences).
+
+use crate::{HostBehavior, HostMeta, PageKind, PageMeta, TopicInfo, World};
+use bingo_graph::{HostId, PageId};
+use bingo_textproc::fxhash::{self, FxHashMap};
+use bingo_textproc::MimeType;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Topics of a paged world (fixed — the scale experiment needs one
+/// target topic and predictable noise, not configurability).
+const TOPIC_KEYS: [(&str, &str); 4] = [
+    ("dbresearch", "database_research"),
+    ("datamining", "data_mining"),
+    ("sports", "sports"),
+    ("entertainment", "entertainment"),
+];
+
+/// Hostname suffix of every paged-world host.
+const HOST_SUFFIX: &str = ".scale.test";
+
+/// Own-host content links carried by a welcome page.
+const WELCOME_FANOUT: u32 = 12;
+
+/// Configuration of a paged world.
+#[derive(Debug, Clone)]
+pub struct PagedConfig {
+    /// Master seed (drives latencies and page content).
+    pub seed: u64,
+    /// Number of hosts.
+    pub hosts: u32,
+    /// Pages per host (first page is the welcome page).
+    pub pages_per_host: u32,
+    /// Maximum host blocks resident at once.
+    pub hot_cap: usize,
+}
+
+impl PagedConfig {
+    /// The full-scale world: one million pages across twenty thousand
+    /// hosts, with at most 1024 host blocks (~5% of the world) resident.
+    pub fn scale_full(seed: u64) -> Self {
+        PagedConfig {
+            seed,
+            hosts: 20_000,
+            pages_per_host: 50,
+            hot_cap: 1024,
+        }
+    }
+
+    /// A ten-thousand-page miniature with the same shape, for tests and
+    /// the quick bench mode.
+    pub fn scale_smoke(seed: u64) -> Self {
+        PagedConfig {
+            seed,
+            hosts: 400,
+            pages_per_host: 25,
+            hot_cap: 64,
+        }
+    }
+}
+
+/// All metadata of one host, generated together.
+#[derive(Debug)]
+struct HostBlock {
+    host: HostMeta,
+    pages: Vec<PageMeta>,
+}
+
+/// The lazy backing of a paged [`World`]: a block generator plus a
+/// bounded cache. Blocks are pure functions of `(seed, host)`, so
+/// eviction never loses information — a re-generated block is
+/// bit-identical to the evicted one.
+#[derive(Debug)]
+pub struct PagedWeb {
+    seed: u64,
+    hosts: u32,
+    pages_per_host: u32,
+    hot_cap: usize,
+    cache: Mutex<FxHashMap<HostId, Arc<HostBlock>>>,
+    generated: AtomicU64,
+}
+
+impl PagedWeb {
+    pub(crate) fn new(cfg: &PagedConfig) -> Self {
+        assert!(cfg.hosts > 0 && cfg.pages_per_host > 0 && cfg.hot_cap > 0);
+        PagedWeb {
+            seed: cfg.seed,
+            hosts: cfg.hosts,
+            pages_per_host: cfg.pages_per_host,
+            hot_cap: cfg.hot_cap,
+            cache: Mutex::new(FxHashMap::default()),
+            generated: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn page_count(&self) -> usize {
+        self.hosts as usize * self.pages_per_host as usize
+    }
+
+    pub(crate) fn host_count(&self) -> usize {
+        self.hosts as usize
+    }
+
+    /// Host blocks currently resident (always ≤ `hot_cap`).
+    pub(crate) fn resident_blocks(&self) -> usize {
+        self.cache.lock().unwrap().len()
+    }
+
+    /// Total block generations since creation (cache misses).
+    pub(crate) fn blocks_generated(&self) -> u64 {
+        self.generated.load(Ordering::Relaxed)
+    }
+
+    fn block(&self, host: HostId) -> Arc<HostBlock> {
+        let mut cache = self.cache.lock().unwrap();
+        if let Some(b) = cache.get(&host) {
+            return Arc::clone(b);
+        }
+        // Generational eviction: when the hot set is full, drop it
+        // wholesale. Crawl locality refills the working set in a few
+        // lookups, and the one-in-hot_cap flush costs far less than
+        // per-entry LRU bookkeeping on every hit.
+        if cache.len() >= self.hot_cap {
+            cache.clear();
+        }
+        let b = Arc::new(self.generate(host));
+        self.generated.fetch_add(1, Ordering::Relaxed);
+        cache.insert(host, Arc::clone(&b));
+        b
+    }
+
+    pub(crate) fn page_meta(&self, id: PageId) -> PageMeta {
+        assert!(
+            (id as usize) < self.page_count(),
+            "page id {id} out of range for paged world"
+        );
+        let host = (id / self.pages_per_host as u64) as HostId;
+        let k = (id % self.pages_per_host as u64) as usize;
+        self.block(host).pages[k].clone()
+    }
+
+    pub(crate) fn host_meta(&self, id: HostId) -> HostMeta {
+        assert!(id < self.hosts, "host id {id} out of range for paged world");
+        self.block(id).host.clone()
+    }
+
+    pub(crate) fn host_of(&self, id: PageId) -> HostId {
+        (id / self.pages_per_host as u64) as HostId
+    }
+
+    pub(crate) fn url_of(&self, id: PageId) -> String {
+        let host = self.host_of(id);
+        let k = id % self.pages_per_host as u64;
+        if k == 0 {
+            format!("http://h{host}{HOST_SUFFIX}/index.html")
+        } else {
+            format!("http://h{host}{HOST_SUFFIX}/p{k}.html")
+        }
+    }
+
+    pub(crate) fn resolve_url(&self, url: &str) -> Option<PageId> {
+        let rest = url.strip_prefix("http://")?;
+        let (name, path) = rest.split_once('/')?;
+        let host = self.parse_host(name)?;
+        let base = host as u64 * self.pages_per_host as u64;
+        if path == "index.html" {
+            return Some(base);
+        }
+        let k: u64 = path
+            .strip_prefix('p')?
+            .strip_suffix(".html")?
+            .parse()
+            .ok()?;
+        (k > 0 && k < self.pages_per_host as u64).then_some(base + k)
+    }
+
+    pub(crate) fn find_host(&self, name: &str) -> Option<(HostId, HostMeta)> {
+        let id = self.parse_host(name)?;
+        Some((id, self.host_meta(id)))
+    }
+
+    pub(crate) fn true_topic(&self, id: PageId) -> Option<u32> {
+        if (id as usize) >= self.page_count() || id.is_multiple_of(self.pages_per_host as u64) {
+            None
+        } else {
+            Some(self.host_of(id) % TOPIC_KEYS.len() as u32)
+        }
+    }
+
+    fn parse_host(&self, name: &str) -> Option<HostId> {
+        let id: u32 = name
+            .strip_prefix('h')?
+            .strip_suffix(HOST_SUFFIX)?
+            .parse()
+            .ok()?;
+        (id < self.hosts).then_some(id)
+    }
+
+    /// Generate the block of `host` — a pure function of `(seed, host)`.
+    fn generate(&self, host: HostId) -> HostBlock {
+        let p = self.pages_per_host as u64;
+        let base = host as u64 * p;
+        let topic = host % TOPIC_KEYS.len() as u32;
+        let h = |salt: u32| fxhash::hash_one(&(self.seed, host, salt));
+        let meta = HostMeta {
+            name: format!("h{host}{HOST_SUFFIX}"),
+            ip: 0x0b00_0000 + host,
+            base_latency_ms: 20 + (h(0x1a7) % 100) as u32,
+            behavior: HostBehavior::Normal,
+            dns_latency_ms: 5 + (h(0xd15) % 55) as u32,
+        };
+
+        let mut pages = Vec::with_capacity(p as usize);
+        // Welcome page: own-host fanout plus heap-child welcome links.
+        let mut welcome_out: Vec<PageId> = (1..p.min(WELCOME_FANOUT as u64 + 1))
+            .map(|k| base + k)
+            .collect();
+        for child in [2 * host as u64 + 1, 2 * host as u64 + 2] {
+            if child < self.hosts as u64 {
+                welcome_out.push(child * p);
+            }
+        }
+        pages.push(PageMeta {
+            host,
+            path: "index.html".to_string(),
+            topic: None,
+            secondary_topic: None,
+            kind: PageKind::Welcome,
+            mime: MimeType::Html,
+            out: welcome_out,
+            redirect_to: None,
+            author: None,
+            content_override: None,
+            extra_out_urls: Vec::new(),
+            size_hint: None,
+        });
+        for k in 1..p {
+            let mut out = vec![base]; // back to the welcome page
+            if k + 1 < p {
+                out.push(base + k + 1); // sibling chain covers the host
+            }
+            // One cross-host topical link: hosts `host + TOPIC_COUNT·j`
+            // share this host's topic, and the stride varies per page so
+            // the topical subgraph is well connected.
+            let stride = 1 + fxhash::hash_one(&(self.seed, host, k, 0xcc5u32)) % 97;
+            let peer = (host as u64 + TOPIC_KEYS.len() as u64 * stride) % self.hosts as u64;
+            if peer != host as u64 {
+                out.push(peer * p);
+            }
+            pages.push(PageMeta {
+                host,
+                path: format!("p{k}.html"),
+                topic: Some(topic),
+                secondary_topic: None,
+                kind: PageKind::Content,
+                mime: MimeType::Html,
+                out,
+                redirect_to: None,
+                author: None,
+                content_override: None,
+                extra_out_urls: Vec::new(),
+                size_hint: None,
+            });
+        }
+        HostBlock { host: meta, pages }
+    }
+}
+
+/// Topic table of a paged world.
+pub(crate) fn topic_infos() -> Vec<TopicInfo> {
+    TOPIC_KEYS
+        .iter()
+        .map(|(name, key)| TopicInfo {
+            name: name.to_string(),
+            lexicon: crate::lexicon::by_key(key).unwrap_or(crate::lexicon::COMMON),
+        })
+        .collect()
+}
+
+impl World {
+    /// Build a lazily paged world: host and page metadata are generated
+    /// arithmetically on demand and held in a bounded block cache, so
+    /// even a million-page world has a small, fixed resident footprint.
+    ///
+    /// Paged worlds answer every owned accessor
+    /// ([`World::page_meta`], [`World::host_meta`], [`World::url_of`],
+    /// [`World::resolve_url`], fetches, DNS) but do **not** support the
+    /// borrowing accessors [`World::page`] / [`World::host`] (which
+    /// panic) or the in-link index ([`bingo_graph::LinkSource::predecessors`]
+    /// returns empty — evaluation paths needing in-links use the
+    /// document store's link table instead).
+    pub fn paged(cfg: PagedConfig) -> World {
+        World {
+            seed: cfg.seed,
+            pages: Vec::new(),
+            hosts: Vec::new(),
+            topics: topic_infos(),
+            url_index: FxHashMap::default(),
+            aliases: FxHashMap::default(),
+            in_links: FxHashMap::default(),
+            authors: Vec::new(),
+            named: FxHashMap::default(),
+            faults: crate::faults::FaultPlan::empty(),
+            paged: Some(PagedWeb::new(&cfg)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fetch::FetchOutcome;
+    use bingo_graph::LinkSource;
+
+    fn smoke() -> World {
+        World::paged(PagedConfig::scale_smoke(11))
+    }
+
+    #[test]
+    fn counts_and_ids_are_arithmetic() {
+        let w = smoke();
+        assert_eq!(w.page_count(), 400 * 25);
+        assert_eq!(w.host_count(), 400);
+        assert_eq!(w.host_of(0), 0);
+        assert_eq!(w.host_of(25), 1);
+        assert_eq!(w.host_of(25 * 399 + 24), 399);
+    }
+
+    #[test]
+    fn urls_round_trip() {
+        let w = smoke();
+        for id in (0..w.page_count() as u64).step_by(37) {
+            let url = w.url_of(id);
+            assert_eq!(w.resolve_url(&url), Some(id), "url {url}");
+        }
+        assert_eq!(w.resolve_url("http://h400.scale.test/index.html"), None);
+        assert_eq!(w.resolve_url("http://h1.scale.test/p25.html"), None);
+        assert_eq!(w.resolve_url("http://h1.scale.test/p0.html"), None);
+        assert_eq!(w.resolve_url("http://nowhere.example/x"), None);
+    }
+
+    #[test]
+    fn every_host_reachable_from_host_zero() {
+        let w = smoke();
+        let mut seen = vec![false; w.host_count()];
+        let mut queue = vec![0u64];
+        seen[0] = true;
+        while let Some(id) = queue.pop() {
+            for succ in w.successors(id) {
+                let h = w.host_of(succ) as usize;
+                if !seen[h] {
+                    seen[h] = true;
+                    queue.push(w.host_of(succ) as u64 * 25);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "heap links must span all hosts");
+    }
+
+    #[test]
+    fn sibling_chain_covers_every_page_of_a_host() {
+        let w = smoke();
+        let welcome = 7 * 25u64;
+        let mut reach = std::collections::HashSet::new();
+        let mut queue = vec![welcome];
+        while let Some(id) = queue.pop() {
+            if w.host_of(id) != 7 || !reach.insert(id) {
+                continue;
+            }
+            queue.extend(w.successors(id));
+        }
+        assert_eq!(reach.len(), 25, "all pages of host 7 reachable");
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_cache_is_bounded() {
+        let a = smoke();
+        let b = smoke();
+        for id in (0..a.page_count() as u64).step_by(13) {
+            let pa = a.page_meta(id);
+            let pb = b.page_meta(id);
+            assert_eq!(pa.out, pb.out);
+            assert_eq!(pa.path, pb.path);
+            assert_eq!(a.url_of(id), b.url_of(id));
+        }
+        // Touch every host: the cache never exceeds its cap, and evicted
+        // blocks regenerate identically.
+        for h in 0..a.host_count() as u32 {
+            let _ = a.host_meta(h);
+            assert!(a.paged.as_ref().unwrap().resident_blocks() <= 64);
+        }
+        assert_eq!(a.host_meta(3).name, b.host_meta(3).name);
+        assert!(a.paged.as_ref().unwrap().blocks_generated() >= 400);
+    }
+
+    #[test]
+    fn fetch_and_dns_work_on_paged_worlds() {
+        let w = smoke();
+        let id = 3 * 25 + 4u64;
+        let url = w.url_of(id);
+        match w.fetch(&url, 0) {
+            FetchOutcome::Ok(resp) => {
+                assert_eq!(resp.page_id, id);
+                assert!(!resp.payload.is_empty());
+                assert_eq!(resp.size, resp.payload.len() as u64);
+                // Topical vocabulary shows up in the content.
+                assert_eq!(w.true_topic(id), Some(3));
+            }
+            o => panic!("{o:?}"),
+        }
+        let (ip, latency) = w.dns_lookup("h3.scale.test", 0).unwrap();
+        assert_eq!(ip, 0x0b00_0003);
+        assert!(latency > 0);
+        match w.fetch("http://h3.scale.test/missing.html", 0) {
+            FetchOutcome::Err { error, .. } => {
+                assert_eq!(error, crate::FetchError::NotFound)
+            }
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn payload_sizes_within_a_host_are_distinct() {
+        let w = smoke();
+        let mut sizes = std::collections::HashSet::new();
+        let mut dups = 0;
+        for k in 0..25u64 {
+            match w.fetch(&w.url_of(2 * 25 + k), 0) {
+                FetchOutcome::Ok(r) => {
+                    if !sizes.insert(r.size) {
+                        dups += 1;
+                    }
+                }
+                o => panic!("{o:?}"),
+            }
+        }
+        // Sizes vary naturally with the per-page RNG; an occasional
+        // deterministic coincidence is tolerated, wholesale collapse
+        // (which would mark the host as all-duplicates) is not.
+        assert!(dups <= 2, "{dups} duplicate sizes on one host");
+    }
+}
