@@ -1,12 +1,32 @@
 #!/usr/bin/env sh
-# CI gate: format, build, test, lint, bench regression.
+# CI gate: format, build, test, lint, crash matrix, bench regression.
 #
 # The workspace is fully self-contained: every external crate (rand,
 # serde, proptest, criterion, ...) is a vendored path dependency under
 # vendor/, so all commands run offline and reproduce on a network-less
 # machine. No registry access, no lockfile churn.
 #
-# BENCH_GATE_MODE controls the final step: "full" (default) runs the
+# This script is the single local entry point AND the unit the GitHub
+# workflows are built from. CI job layout (.github/workflows/):
+#
+#   ci.yml (every push/PR) — four parallel jobs sharing one cargo
+#   cache, each invoking this script with a CI_STEPS selector:
+#     lint   -> CI_STEPS=lint  ./ci.sh   (fmt, clippy, rustdoc)
+#     test   -> CI_STEPS=test  ./ci.sh   (release build + full tests)
+#     crash  -> CI_STEPS=crash ./ci.sh   (crash-recovery matrices)
+#     bench  -> CI_STEPS=bench ./ci.sh   (bench gate, smoke mode;
+#               uploads telemetry and writes a baseline-vs-actual
+#               diff table to $GITHUB_STEP_SUMMARY on failure)
+#   nightly.yml (cron + manual) — full-mode bench gate including the
+#   million-page scale scenario, plus a wider crash-seed matrix.
+#
+# CI_STEPS selects which steps run, as a comma-separated list of
+#   lint | test | crash | bench
+# (default: all of them, in local-friendly order). Examples:
+#   CI_STEPS=lint ./ci.sh
+#   CI_STEPS=test,crash ./ci.sh
+#
+# BENCH_GATE_MODE controls the bench step: "full" (default) runs the
 # baseline-sized scenarios, "smoke" the reduced CI sizes, "skip"
 # disables the bench gate (e.g. on heavily loaded shared runners).
 # The gate covers six scenarios (crawl, classify, pipeline, recovery,
@@ -29,7 +49,24 @@ cd "$(dirname "$0")"
 
 BENCH_GATE_MODE="${BENCH_GATE_MODE:-full}"
 BINGO_CRASH_SEEDS="${BINGO_CRASH_SEEDS:-1,2,3,11,12,13}"
+CI_STEPS="${CI_STEPS:-lint,test,crash,bench}"
 STEP_TIMINGS=""
+CI_OK=0
+
+# Always print whatever step timings we have — also when a step fails
+# under `set -eu` (the whole point of the trap: previously a failing
+# step aborted before the summary and all timings were lost).
+print_timings() {
+    if [ "$CI_OK" = 1 ]; then
+        echo "==> ci.sh: all green ($CI_STEPS)"
+    else
+        echo "==> ci.sh: FAILED (partial timings below)" >&2
+    fi
+    if [ -n "$STEP_TIMINGS" ]; then
+        printf "%b" "$STEP_TIMINGS" | sed 's/^/    /'
+    fi
+}
+trap print_timings EXIT
 
 # step NAME CMD... — announce, run, and time one CI step.
 step() {
@@ -42,43 +79,70 @@ step() {
     STEP_TIMINGS="${STEP_TIMINGS}${name}: $((end - start))s\n"
 }
 
-step "cargo fmt --check" cargo fmt --all -- --check
+# wants NAME — does CI_STEPS include this step?
+wants() {
+    case ",$CI_STEPS," in
+    *",$1,"*) return 0 ;;
+    *) return 1 ;;
+    esac
+}
 
-step "cargo build --release" cargo build --release --offline --workspace
+for s in $(printf '%s' "$CI_STEPS" | tr ',' ' '); do
+    case "$s" in
+    lint | test | crash | bench) ;;
+    *)
+        echo "error: unknown CI_STEPS entry '$s' (lint|test|crash|bench)" >&2
+        exit 2
+        ;;
+    esac
+done
 
-step "cargo test" cargo test -q --offline --workspace
+if wants lint; then
+    step "cargo fmt --check" cargo fmt --all -- --check
+fi
 
-step "crash matrix (seeds $BINGO_CRASH_SEEDS)" \
-    env BINGO_CRASH_SEEDS="$BINGO_CRASH_SEEDS" \
-    cargo test -q --offline -p bingo-crawler --test crash
+if wants test; then
+    step "cargo build --release" cargo build --release --offline --workspace
 
-step "segment crash matrix (seeds $BINGO_CRASH_SEEDS)" \
-    env BINGO_CRASH_SEEDS="$BINGO_CRASH_SEEDS" \
-    cargo test -q --offline -p bingo-store --test segment_crash
+    step "cargo test" cargo test -q --offline --workspace
+fi
 
-step "cargo clippy -D warnings" \
-    cargo clippy --offline --workspace --all-targets -- -D warnings
+if wants crash; then
+    step "crash matrix (seeds $BINGO_CRASH_SEEDS)" \
+        env BINGO_CRASH_SEEDS="$BINGO_CRASH_SEEDS" \
+        cargo test -q --offline -p bingo-crawler --test crash
 
-step "cargo doc -D warnings" \
-    env RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
+    step "segment crash matrix (seeds $BINGO_CRASH_SEEDS)" \
+        env BINGO_CRASH_SEEDS="$BINGO_CRASH_SEEDS" \
+        cargo test -q --offline -p bingo-store --test segment_crash
+fi
 
-case "$BENCH_GATE_MODE" in
-full)
-    step "bench_gate (full)" \
-        cargo run --release --offline -p bingo-bench --bin bench_gate
-    ;;
-smoke)
-    step "bench_gate (smoke)" \
-        cargo run --release --offline -p bingo-bench --bin bench_gate -- --smoke
-    ;;
-skip)
-    echo "==> bench_gate skipped (BENCH_GATE_MODE=skip)"
-    ;;
-*)
-    echo "error: unknown BENCH_GATE_MODE '$BENCH_GATE_MODE' (full|smoke|skip)" >&2
-    exit 2
-    ;;
-esac
+if wants lint; then
+    step "cargo clippy -D warnings" \
+        cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "==> ci.sh: all green"
-printf "%b" "$STEP_TIMINGS" | sed 's/^/    /'
+    step "cargo doc -D warnings" \
+        env RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
+fi
+
+if wants bench; then
+    case "$BENCH_GATE_MODE" in
+    full)
+        step "bench_gate (full)" \
+            cargo run --release --offline -p bingo-bench --bin bench_gate
+        ;;
+    smoke)
+        step "bench_gate (smoke)" \
+            cargo run --release --offline -p bingo-bench --bin bench_gate -- --smoke
+        ;;
+    skip)
+        echo "==> bench_gate skipped (BENCH_GATE_MODE=skip)"
+        ;;
+    *)
+        echo "error: unknown BENCH_GATE_MODE '$BENCH_GATE_MODE' (full|smoke|skip)" >&2
+        exit 2
+        ;;
+    esac
+fi
+
+CI_OK=1

@@ -1,0 +1,226 @@
+//! Authority-blend ablation: does blending host-graph authority into
+//! frontier priorities (`α·confidence + β·authority`) lift the harvest?
+//!
+//! Two measurements, both baseline-vs-blended on identical seeded
+//! worlds:
+//!
+//! 1. **Portal harvest** (§5.2 world): the standard learning → retrain →
+//!    harvesting crawl, measuring harvest ratio (stored / visited),
+//!    on-topic yield (true positives / visited) and precision against
+//!    ground-truth labels.
+//! 2. **Expert recall** (§5.3 world): the needle-in-a-haystack ARIES
+//!    crawl, measuring how many known needle pages surface in the
+//!    top-10 of the local "source code release" query.
+//!
+//! The blend is the tentpole of the incremental host graph
+//! ([`bingo_crawler::HostAuthority`]); this experiment is its
+//! effectiveness evidence, recorded in `EXPERIMENTS.md`.
+
+use crate::expert::{self, ExpertExperimentConfig};
+use crate::populate_others;
+use bingo_core::{BingoEngine, EngineConfig, TopicTree};
+use bingo_crawler::{AuthorityConfig, CrawlConfig, Crawler};
+use bingo_store::DocumentStore;
+use bingo_webworld::fetch::host_of_url;
+use bingo_webworld::gen::WorldConfig;
+use std::sync::Arc;
+
+/// Experiment parameters (portal leg).
+#[derive(Debug, Clone)]
+pub struct AuthorityExperimentConfig {
+    /// World seed.
+    pub seed: u64,
+    /// Author directory size.
+    pub authors: usize,
+    /// Learning budget (virtual ms).
+    pub learning_ms: u64,
+    /// Total budget (virtual ms).
+    pub total_ms: u64,
+    /// Blend weight of the content priority.
+    pub alpha: f32,
+    /// Blend weight of the host authority.
+    pub beta: f32,
+}
+
+impl Default for AuthorityExperimentConfig {
+    fn default() -> Self {
+        AuthorityExperimentConfig {
+            seed: 99,
+            authors: 300,
+            learning_ms: 60_000,
+            total_ms: 150_000,
+            alpha: 0.7,
+            beta: 0.3,
+        }
+    }
+}
+
+/// Measured outcome of one portal crawl.
+#[derive(Debug, Clone)]
+pub struct AuthorityOutcome {
+    /// "baseline" or "blended".
+    pub label: String,
+    /// URLs visited.
+    pub visited: u64,
+    /// Pages stored.
+    pub stored: u64,
+    /// Pages positively classified into the topic.
+    pub classified: u64,
+    /// Classified pages whose ground-truth topic matches.
+    pub true_positives: u64,
+    /// Classified pages belonging to a different topic.
+    pub false_positives: u64,
+    /// stored / visited.
+    pub harvest_ratio: f64,
+    /// true positives / visited: on-topic pages per fetched URL — the
+    /// focused-crawling figure of merit.
+    pub on_topic_yield: f64,
+    /// Precision over topically labeled classified pages.
+    pub precision: f64,
+    /// Hosts in the authority graph (0 for the baseline).
+    pub graph_hosts: usize,
+    /// Distinct inter-host edges (0 for the baseline).
+    pub graph_edges: usize,
+    /// Authority recomputations performed (0 for the baseline).
+    pub recomputes: u64,
+    /// Top hosts by authority (empty for the baseline).
+    pub top_hosts: Vec<(String, f64)>,
+}
+
+/// Run the §5.2-style portal crawl, with or without the blend.
+pub fn run_portal(cfg: &AuthorityExperimentConfig, blended: bool) -> AuthorityOutcome {
+    let world = Arc::new(WorldConfig::portal(cfg.seed, cfg.authors, 1).build());
+    let seeds: Vec<String> = world.authors()[..2]
+        .iter()
+        .map(|a| world.url_of(a.homepage))
+        .collect();
+
+    let mut engine = BingoEngine::new(EngineConfig::default());
+    let topic = engine.add_topic(TopicTree::ROOT, "database research");
+    for url in &seeds {
+        engine
+            .add_training_url(&world, topic, url)
+            .expect("seed fetch");
+    }
+    populate_others(&mut engine, &world, &[3, 4, 5, 6], 50);
+    engine.train().expect("train");
+
+    let seed_hosts = seeds
+        .iter()
+        .map(|u| host_of_url(u).unwrap().to_string())
+        .collect();
+    let authority = if blended {
+        AuthorityConfig {
+            enabled: true,
+            alpha: cfg.alpha,
+            beta: cfg.beta,
+            ..AuthorityConfig::default()
+        }
+    } else {
+        AuthorityConfig::default()
+    };
+    let config = CrawlConfig {
+        allowed_hosts: Some(seed_hosts),
+        authority,
+        ..CrawlConfig::default()
+    };
+    let mut crawler = Crawler::new(world.clone(), config, DocumentStore::new());
+    for url in &seeds {
+        crawler.add_seed(url, Some(topic.0));
+    }
+    engine.crawl_until(&mut crawler, cfg.learning_ms, 0);
+    engine.retrain(&mut crawler);
+    engine.switch_to_harvesting(&mut crawler);
+    engine.crawl_until(&mut crawler, cfg.total_ms, 0);
+
+    let mut tp = 0u64;
+    let mut fp = 0u64;
+    let mut classified = 0u64;
+    crawler.store().for_each_document(|row| {
+        if row.topic == Some(topic.0) {
+            classified += 1;
+            match world.true_topic(row.id) {
+                Some(0) => tp += 1,
+                Some(_) => fp += 1,
+                None => {}
+            }
+        }
+    });
+    let stats = crawler.stats().clone();
+    let visited = stats.visited_urls.max(1);
+    let (graph_hosts, graph_edges, recomputes, top_hosts) = match crawler.authority() {
+        Some(auth) => (
+            auth.host_count(),
+            auth.edge_count(),
+            auth.recomputes(),
+            auth.top_hosts(5),
+        ),
+        None => (0, 0, 0, Vec::new()),
+    };
+    AuthorityOutcome {
+        label: if blended { "blended" } else { "baseline" }.to_string(),
+        visited: stats.visited_urls,
+        stored: stats.stored_pages,
+        classified,
+        true_positives: tp,
+        false_positives: fp,
+        harvest_ratio: stats.stored_pages as f64 / visited as f64,
+        on_topic_yield: tp as f64 / visited as f64,
+        precision: if tp + fp > 0 {
+            tp as f64 / (tp + fp) as f64
+        } else {
+            0.0
+        },
+        graph_hosts,
+        graph_edges,
+        recomputes,
+        top_hosts,
+    }
+}
+
+/// Expert-search recall with or without the blend: needles found in the
+/// focused top-10 of the §5.3 experiment.
+pub fn run_expert_recall(seed: u64, cfg: &AuthorityExperimentConfig, blended: bool) -> usize {
+    let authority = if blended {
+        AuthorityConfig {
+            enabled: true,
+            alpha: cfg.alpha,
+            beta: cfg.beta,
+            ..AuthorityConfig::default()
+        }
+    } else {
+        AuthorityConfig::default()
+    };
+    let out = expert::run(&ExpertExperimentConfig {
+        seed,
+        authority,
+        ..ExpertExperimentConfig::default()
+    });
+    out.needles_in_focused_top10
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A short blended run must actually exercise the graph machinery;
+    /// effectiveness numbers live in `exp_authority` / EXPERIMENTS.md,
+    /// not in CI assertions.
+    #[test]
+    fn blended_portal_crawl_builds_the_graph() {
+        let cfg = AuthorityExperimentConfig {
+            seed: 141,
+            authors: 60,
+            learning_ms: 40_000,
+            total_ms: 120_000,
+            ..AuthorityExperimentConfig::default()
+        };
+        let blended = run_portal(&cfg, true);
+        assert!(blended.stored > 0);
+        assert!(blended.graph_hosts > 1, "graph empty: {blended:?}");
+        assert!(blended.graph_edges > 0);
+        let baseline = run_portal(&cfg, false);
+        assert_eq!(baseline.graph_hosts, 0);
+        assert!(baseline.stored > 0);
+    }
+}

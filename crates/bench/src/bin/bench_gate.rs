@@ -20,11 +20,11 @@
 //! determinism failure, 2 = usage/setup error.
 
 use bingo_bench::gate::{
-    baseline_file, calibrate_cpu_ms, check_determinism, compare_reports, default_out_dir,
-    load_baseline, run_classify_scenario, run_crawl_scenario, run_pipeline_scenario,
-    run_recovery_scenario, run_scale_scenario, run_serve_scenario, write_run_artifacts, GateMode,
-    MetricSpec, ScenarioRun, CLASSIFY_SPECS, CRAWL_SPECS, PIPELINE_SPECS, RECOVERY_SPECS,
-    SCALE_SPECS, SERVE_SPECS,
+    baseline_file, calibrate_cpu_ms, check_determinism, default_out_dir, diff_reports,
+    load_baseline, markdown_diff_table, run_classify_scenario, run_crawl_scenario,
+    run_pipeline_scenario, run_recovery_scenario, run_scale_scenario, run_serve_scenario,
+    write_run_artifacts, GateMode, MetricDiff, MetricSpec, ScenarioRun, CLASSIFY_SPECS,
+    CRAWL_SPECS, PIPELINE_SPECS, RECOVERY_SPECS, SCALE_SPECS, SERVE_SPECS,
 };
 use serde_json::{json, Value};
 use std::path::{Path, PathBuf};
@@ -133,6 +133,11 @@ fn main() {
         .collect();
 
     let mut failures: Vec<String> = Vec::new();
+    // Structured per-metric diffs plus the scenario/mode runs that
+    // failed — for the $GITHUB_STEP_SUMMARY table and the telemetry
+    // copies under out_dir/failed/.
+    let mut diffs: Vec<MetricDiff> = Vec::new();
+    let mut failed_runs: Vec<String> = Vec::new();
     for scenario in &selected {
         let mut sections: Vec<(GateMode, Value)> = Vec::new();
         for &mode in modes {
@@ -150,11 +155,12 @@ fn main() {
                 mode.key(),
                 started.elapsed().as_secs_f64()
             );
-            failures.extend(check_determinism(
-                &format!("{}.{}", scenario.name, mode.key()),
-                &first.evidence,
-                &second.evidence,
-            ));
+            let label = format!("{}.{}", scenario.name, mode.key());
+            let determinism = check_determinism(&label, &first.evidence, &second.evidence);
+            if !determinism.is_empty() {
+                failed_runs.push(label);
+            }
+            failures.extend(determinism);
             if let Err(e) = write_run_artifacts(&out_dir, scenario.name, mode, &first) {
                 eprintln!(
                     "warning: could not write artifacts to {}: {e}",
@@ -208,15 +214,15 @@ fn main() {
                     "{label}: baseline has no \"{}\" section (re-record with --update)",
                     mode.key()
                 ));
+                failed_runs.push(label);
                 continue;
             };
-            failures.extend(compare_reports(
-                &label,
-                section,
-                report,
-                scenario.specs,
-                calib_scale,
-            ));
+            let run_diffs = diff_reports(&label, section, report, scenario.specs, calib_scale);
+            if run_diffs.iter().any(|d| !d.ok) {
+                failed_runs.push(label);
+            }
+            failures.extend(run_diffs.iter().filter_map(MetricDiff::failure_line));
+            diffs.extend(run_diffs);
         }
     }
 
@@ -239,6 +245,76 @@ fn main() {
         for f in &failures {
             eprintln!("  - {f}");
         }
+        failed_runs.sort();
+        failed_runs.dedup();
+        publish_step_summary(&failures, &diffs, &failed_runs);
+        stage_failed_telemetry(&out_dir, &failed_runs);
         std::process::exit(1);
     }
+}
+
+/// On gate failure under GitHub Actions, append the per-metric
+/// baseline-vs-actual diff table (plus the raw failure lines) to the
+/// job's step summary. A no-op when `$GITHUB_STEP_SUMMARY` is unset
+/// (local runs).
+fn publish_step_summary(failures: &[String], diffs: &[MetricDiff], failed_runs: &[String]) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    let mut body = String::from("## Bench gate: FAIL\n\n");
+    for f in failures {
+        body.push_str(&format!("- `{f}`\n"));
+    }
+    // Show the full metric table only for runs that failed; passing
+    // scenarios would drown the signal.
+    let shown: Vec<MetricDiff> = diffs
+        .iter()
+        .filter(|d| failed_runs.iter().any(|r| r == &d.scenario))
+        .cloned()
+        .collect();
+    if !shown.is_empty() {
+        body.push_str("\n### Baseline vs actual\n\n");
+        body.push_str(&markdown_diff_table(&shown));
+    }
+    body.push_str(
+        "\nTelemetry of the failing scenario(s) is uploaded as the `bench-gate-failed` artifact.\n",
+    );
+    use std::io::Write;
+    match std::fs::OpenOptions::new().append(true).open(&path) {
+        Ok(mut f) => {
+            if let Err(e) = f.write_all(body.as_bytes()) {
+                eprintln!("warning: could not write step summary {path}: {e}");
+            }
+        }
+        Err(e) => eprintln!("warning: could not open step summary {path}: {e}"),
+    }
+}
+
+/// Copy the offending scenario runs' telemetry (report, metrics
+/// snapshot, event log) into `out_dir/failed/` so CI can upload just
+/// the failures as a dedicated artifact.
+fn stage_failed_telemetry(out_dir: &Path, failed_runs: &[String]) {
+    if failed_runs.is_empty() {
+        return;
+    }
+    let failed_dir = out_dir.join("failed");
+    if let Err(e) = std::fs::create_dir_all(&failed_dir) {
+        eprintln!("warning: could not create {}: {e}", failed_dir.display());
+        return;
+    }
+    for run in failed_runs {
+        for suffix in ["report.json", "metrics.json", "events.jsonl"] {
+            let name = format!("{run}.{suffix}");
+            let src = out_dir.join(&name);
+            if src.is_file() {
+                if let Err(e) = std::fs::copy(&src, failed_dir.join(&name)) {
+                    eprintln!("warning: could not copy {}: {e}", src.display());
+                }
+            }
+        }
+    }
+    eprintln!(
+        "failing-scenario telemetry staged in {}",
+        failed_dir.display()
+    );
 }

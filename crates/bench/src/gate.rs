@@ -1144,33 +1144,98 @@ pub fn json_path<'v>(value: &'v Value, path: &str) -> Option<&'v Value> {
     Some(cur)
 }
 
-/// Compare a current report against a baseline section. `calib_scale`
-/// is `baseline_calibration_ms / current_calibration_ms` — values < 1
-/// mean this machine is slower, so wall expectations shrink. Returns
-/// human-readable failure lines (empty = pass).
-pub fn compare_reports(
+/// Structured baseline-vs-actual outcome of one gated metric — the
+/// machine-readable form behind [`compare_reports`], also rendered as
+/// a markdown table into `$GITHUB_STEP_SUMMARY` on gate failure.
+#[derive(Debug, Clone)]
+pub struct MetricDiff {
+    /// Scenario the metric belongs to.
+    pub scenario: String,
+    /// Dot path of the metric inside the report.
+    pub path: String,
+    /// Baseline value (`None`: missing from the baseline file).
+    pub baseline: Option<f64>,
+    /// Value of the current run (`None`: missing from the report).
+    pub actual: Option<f64>,
+    /// The pass bound after tolerance and calibration scaling.
+    pub bound: f64,
+    /// Direction of the bound.
+    pub higher_is_better: bool,
+    /// Wall-clock metric (bound was calibration-scaled).
+    pub wall: bool,
+    /// Calibration ratio applied to wall bounds.
+    pub calib_scale: f64,
+    /// Whether the metric passed.
+    pub ok: bool,
+}
+
+impl MetricDiff {
+    /// The human-readable failure line (`None` when the metric passed).
+    pub fn failure_line(&self) -> Option<String> {
+        if self.ok {
+            return None;
+        }
+        Some(match (self.baseline, self.actual) {
+            (None, _) => format!(
+                "{}.{}: missing from baseline (re-record with --update)",
+                self.scenario, self.path
+            ),
+            (_, None) => format!("{}.{}: missing from current run", self.scenario, self.path),
+            (Some(base), Some(cur)) => format!(
+                "{}.{}: {cur:.4} vs baseline {base:.4} (expected {} {:.4}{})",
+                self.scenario,
+                self.path,
+                if self.higher_is_better { ">=" } else { "<=" },
+                self.bound,
+                if self.wall {
+                    format!(", calibration-scaled x{:.3}", self.calib_scale)
+                } else {
+                    String::new()
+                },
+            ),
+        })
+    }
+}
+
+/// Render diffs as a GitHub-flavored markdown table (baseline vs
+/// actual per metric), for `$GITHUB_STEP_SUMMARY`.
+pub fn markdown_diff_table(diffs: &[MetricDiff]) -> String {
+    let mut out = String::from(
+        "| metric | baseline | actual | bound | direction | status |\n\
+         |---|---|---|---|---|---|\n",
+    );
+    let fmt = |v: Option<f64>| v.map_or("missing".to_string(), |x| format!("{x:.4}"));
+    for d in diffs {
+        out.push_str(&format!(
+            "| {}.{} | {} | {} | {:.4}{} | {} | {} |\n",
+            d.scenario,
+            d.path,
+            fmt(d.baseline),
+            fmt(d.actual),
+            d.bound,
+            if d.wall { " (wall)" } else { "" },
+            if d.higher_is_better { ">=" } else { "<=" },
+            if d.ok { "ok" } else { "FAIL" },
+        ));
+    }
+    out
+}
+
+/// Compare a current report against a baseline section, metric by
+/// metric. `calib_scale` is `baseline_calibration_ms /
+/// current_calibration_ms` — values < 1 mean this machine is slower,
+/// so wall expectations shrink. Returns one [`MetricDiff`] per spec.
+pub fn diff_reports(
     scenario: &str,
     baseline: &Value,
     current: &Value,
     specs: &[MetricSpec],
     calib_scale: f64,
-) -> Vec<String> {
-    let mut failures = Vec::new();
+) -> Vec<MetricDiff> {
+    let mut diffs = Vec::new();
     for spec in specs {
-        let Some(base) = json_path(baseline, spec.path).and_then(Value::as_f64) else {
-            failures.push(format!(
-                "{scenario}.{}: missing from baseline (re-record with --update)",
-                spec.path
-            ));
-            continue;
-        };
-        let Some(cur) = json_path(current, spec.path).and_then(Value::as_f64) else {
-            failures.push(format!(
-                "{scenario}.{}: missing from current run",
-                spec.path
-            ));
-            continue;
-        };
+        let base = json_path(baseline, spec.path).and_then(Value::as_f64);
+        let cur = json_path(current, spec.path).and_then(Value::as_f64);
         // A slower machine (calib_scale < 1) lowers wall-throughput
         // expectations and *raises* wall-latency expectations.
         // Calibration only ever *loosens* a wall bound: a machine that
@@ -1178,36 +1243,60 @@ pub fn compare_reports(
         // bound, because the calibration workload itself is noisy on
         // shared runners and must not manufacture regressions.
         let loosen = calib_scale.min(1.0);
+        let expected = base.unwrap_or(0.0);
         let expected = if spec.wall {
             if spec.higher_is_better {
-                base * loosen
+                expected * loosen
             } else {
-                base / loosen
+                expected / loosen
             }
         } else {
-            base
+            expected
         };
-        let (ok, bound) = if spec.higher_is_better {
-            let bound = expected * (1.0 - spec.rel_tol);
-            (cur >= bound, bound)
+        let bound = if spec.higher_is_better {
+            expected * (1.0 - spec.rel_tol)
         } else {
-            let bound = expected * (1.0 + spec.rel_tol);
-            (cur <= bound, bound)
+            expected * (1.0 + spec.rel_tol)
         };
-        if !ok {
-            failures.push(format!(
-                "{scenario}.{}: {cur:.4} vs baseline {base:.4} (expected {} {bound:.4}{})",
-                spec.path,
-                if spec.higher_is_better { ">=" } else { "<=" },
-                if spec.wall {
-                    format!(", calibration-scaled x{calib_scale:.3}")
+        let ok = match (base, cur) {
+            (Some(_), Some(cur)) => {
+                if spec.higher_is_better {
+                    cur >= bound
                 } else {
-                    String::new()
-                },
-            ));
-        }
+                    cur <= bound
+                }
+            }
+            _ => false,
+        };
+        diffs.push(MetricDiff {
+            scenario: scenario.to_string(),
+            path: spec.path.to_string(),
+            baseline: base,
+            actual: cur,
+            bound,
+            higher_is_better: spec.higher_is_better,
+            wall: spec.wall,
+            calib_scale,
+            ok,
+        });
     }
-    failures
+    diffs
+}
+
+/// Compare a current report against a baseline section. Returns
+/// human-readable failure lines (empty = pass); the structured form is
+/// [`diff_reports`].
+pub fn compare_reports(
+    scenario: &str,
+    baseline: &Value,
+    current: &Value,
+    specs: &[MetricSpec],
+    calib_scale: f64,
+) -> Vec<String> {
+    diff_reports(scenario, baseline, current, specs, calib_scale)
+        .iter()
+        .filter_map(MetricDiff::failure_line)
+        .collect()
 }
 
 /// Check that two same-seed runs produced byte-identical telemetry.
@@ -1314,6 +1403,61 @@ mod tests {
         // Missing metric is a failure, not a silent pass.
         let missing = json!({"tput": 100.0});
         assert_eq!(compare_reports("s", &base, &missing, &specs, 1.0).len(), 1);
+    }
+
+    #[test]
+    fn diff_reports_structures_every_spec() {
+        let base = json!({"tput": 100.0});
+        let specs = [
+            MetricSpec {
+                path: "tput",
+                higher_is_better: true,
+                rel_tol: 0.10,
+                wall: false,
+            },
+            MetricSpec {
+                path: "absent",
+                higher_is_better: true,
+                rel_tol: 0.10,
+                wall: false,
+            },
+        ];
+        let cur = json!({"tput": 89.0, "absent": 1.0});
+        let diffs = diff_reports("s", &base, &cur, &specs, 1.0);
+        assert_eq!(diffs.len(), 2);
+        assert!(!diffs[0].ok);
+        assert_eq!(diffs[0].baseline, Some(100.0));
+        assert_eq!(diffs[0].actual, Some(89.0));
+        assert!((diffs[0].bound - 90.0).abs() < 1e-9);
+        assert!(!diffs[1].ok, "missing baseline must not pass");
+        assert_eq!(diffs[1].baseline, None);
+        // failure_line() reproduces the compare_reports strings.
+        assert!(diffs[0].failure_line().unwrap().contains("89.0000"));
+        assert!(diffs[1]
+            .failure_line()
+            .unwrap()
+            .contains("missing from baseline"));
+        // Passing diffs carry no failure line.
+        let ok = diff_reports("s", &base, &json!({"tput": 95.0}), &specs[..1], 1.0);
+        assert!(ok[0].ok);
+        assert!(ok[0].failure_line().is_none());
+    }
+
+    #[test]
+    fn markdown_table_marks_failures() {
+        let base = json!({"tput": 100.0});
+        let specs = [MetricSpec {
+            path: "tput",
+            higher_is_better: true,
+            rel_tol: 0.10,
+            wall: false,
+        }];
+        let diffs = diff_reports("s", &base, &json!({"tput": 50.0}), &specs, 1.0);
+        let table = markdown_diff_table(&diffs);
+        assert!(table.contains("| s.tput |"));
+        assert!(table.contains("| FAIL |"));
+        assert!(table.contains("100.0000"));
+        assert!(table.contains("50.0000"));
     }
 
     #[test]

@@ -36,7 +36,12 @@ pub const STORE_FILE: &str = "store.jsonl";
 
 /// The crawler's complete mid-crawl state (everything except the world
 /// and the document store, which is snapshotted separately).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Serialization is hand-written (not derived) for one reason: the
+/// `host_graph` field must be *omitted entirely* when `None` so that
+/// authority-free crawls produce byte-identical checkpoint files to
+/// builds that predate the field, and files without it still load.
+#[derive(Debug, Clone)]
 pub struct CrawlCheckpoint {
     /// Format marker ([`MAGIC`]).
     pub magic: String,
@@ -60,6 +65,62 @@ pub struct CrawlCheckpoint {
     pub host_slots: Vec<(String, Vec<u64>)>,
     /// Neighbour-term cache: (page id, top terms), sorted by page.
     pub page_top_terms: Vec<(u64, Vec<TermId>)>,
+    /// Host-graph authority state; present only when the authority
+    /// blend is enabled, and skipped entirely when absent so checkpoint
+    /// bytes are unchanged for authority-free crawls.
+    pub host_graph: Option<crate::authority::AuthorityCheckpoint>,
+}
+
+impl Serialize for CrawlCheckpoint {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("magic".to_string(), self.magic.to_value()),
+            ("version".to_string(), self.version.to_value()),
+            ("clock_ms".to_string(), self.clock_ms.to_value()),
+            ("stats".to_string(), self.stats.to_value()),
+            ("frontier".to_string(), self.frontier.to_value()),
+            ("dedup".to_string(), self.dedup.to_value()),
+            ("host_health".to_string(), self.host_health.to_value()),
+            ("visited_hosts".to_string(), self.visited_hosts.to_value()),
+            ("threads".to_string(), self.threads.to_value()),
+            ("host_slots".to_string(), self.host_slots.to_value()),
+            ("page_top_terms".to_string(), self.page_top_terms.to_value()),
+        ];
+        if let Some(hg) = &self.host_graph {
+            fields.push(("host_graph".to_string(), hg.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for CrawlCheckpoint {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        fn req<T: Deserialize>(v: &serde::Value, name: &str) -> Result<T, serde::Error> {
+            match v.get(name) {
+                Some(x) => T::from_value(x),
+                None => Err(serde::Error::custom(format!(
+                    "missing field `{name}` in CrawlCheckpoint"
+                ))),
+            }
+        }
+        Ok(CrawlCheckpoint {
+            magic: req(v, "magic")?,
+            version: req(v, "version")?,
+            clock_ms: req(v, "clock_ms")?,
+            stats: req(v, "stats")?,
+            frontier: req(v, "frontier")?,
+            dedup: req(v, "dedup")?,
+            host_health: req(v, "host_health")?,
+            visited_hosts: req(v, "visited_hosts")?,
+            threads: req(v, "threads")?,
+            host_slots: req(v, "host_slots")?,
+            page_top_terms: req(v, "page_top_terms")?,
+            host_graph: match v.get("host_graph") {
+                Some(x) => Some(Deserialize::from_value(x)?),
+                None => None,
+            },
+        })
+    }
 }
 
 /// Why a checkpoint could not be written or read back.
@@ -153,6 +214,7 @@ mod tests {
             threads: vec![(0, 0), (5, 1)],
             host_slots: vec![("h".into(), vec![0, 7])],
             page_top_terms: vec![(3, vec![TermId(1), TermId(9)])],
+            host_graph: None,
         }
     }
 

@@ -77,6 +77,39 @@ pub struct CrawlTelemetry {
     /// Per-stage document-pipeline metrics (queue depths, batch sizes,
     /// stage latencies).
     pub pipeline: PipelineMetrics,
+    /// Host-graph / authority-blend metrics (all zero unless the
+    /// authority blend is enabled).
+    pub graph: GraphTelemetry,
+}
+
+/// Metric handles for the incremental host graph
+/// ([`crate::HostAuthority`]). Split out so the store tee can hold just
+/// these without dragging the full crawl telemetry along.
+#[derive(Clone)]
+pub struct GraphTelemetry {
+    /// Hosts currently interned in the graph.
+    pub hosts: Gauge,
+    /// Distinct inter-host edges.
+    pub edges: Gauge,
+    /// Page-level links folded into the graph.
+    pub links: Counter,
+    /// Authority recomputations performed.
+    pub recomputes: Counter,
+    /// Power iterations per PageRank recompute (0 for harmonic).
+    pub recompute_iters: Arc<Histogram>,
+}
+
+impl GraphTelemetry {
+    /// Register the `crawl.graph.*` handles in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        GraphTelemetry {
+            hosts: registry.gauge("crawl.graph.hosts"),
+            edges: registry.gauge("crawl.graph.edges"),
+            links: registry.counter("crawl.graph.links"),
+            recomputes: registry.counter("crawl.graph.recomputes"),
+            recompute_iters: registry.histogram("crawl.graph.recompute_iters"),
+        }
+    }
 }
 
 impl CrawlTelemetry {
@@ -110,6 +143,7 @@ impl CrawlTelemetry {
             worker_restarts: registry.counter("crawl.worker.restarts"),
             textproc: TextprocMetrics::new(registry.clone()),
             pipeline: PipelineMetrics::new(&registry),
+            graph: GraphTelemetry::new(&registry),
             registry,
             events,
         }

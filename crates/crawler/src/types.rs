@@ -1,5 +1,6 @@
 //! Crawl configuration, statistics and shared types.
 
+use crate::authority::AuthorityConfig;
 use crate::hosts::BreakerConfig;
 use bingo_textproc::fxhash::FxHashSet;
 use serde::{Deserialize, Serialize};
@@ -93,6 +94,11 @@ pub struct CrawlConfig {
     pub frontier_spill_dir: Option<PathBuf>,
     /// In-memory entry payloads per incoming queue when spilling.
     pub frontier_hot_cap: usize,
+    /// Authority-blended frontier ordering: maintain a host-level
+    /// webgraph online and blend normalized host authority into link
+    /// priorities (`α·confidence + β·authority`). Disabled by default;
+    /// existing crawls are bit-identical with it off.
+    pub authority: AuthorityConfig,
 }
 
 impl Default for CrawlConfig {
@@ -119,6 +125,7 @@ impl Default for CrawlConfig {
             checkpoint_keep: bingo_store::durable::DEFAULT_KEEP_GENERATIONS,
             frontier_spill_dir: None,
             frontier_hot_cap: 4096,
+            authority: AuthorityConfig::default(),
         }
     }
 }

@@ -1,0 +1,557 @@
+//! Incrementally maintained host-level webgraph.
+//!
+//! BINGO!'s distiller applies HITS only at retraining time; the
+//! "expert web search" vision wants link authority steering the crawl
+//! itself. Page-level link analysis during a crawl is hopeless — the
+//! frontier needs a score for hosts it has *not fetched yet* — but the
+//! host graph is small (thousands of nodes for millions of pages),
+//! changes slowly, and a link to any page of a host is evidence for the
+//! whole host. This module maintains that graph online:
+//!
+//! * **Compacted adjacency**: host names are interned to dense `u32`
+//!   node ids in first-seen order; out-edges live in per-node hash maps
+//!   carrying an edge *multiplicity* (how many page-level links collapse
+//!   onto the host pair). Intra-host links are counted but never become
+//!   edges — self-endorsement confers no authority (the same reasoning
+//!   as Bharat-Henzinger's same-host discount in [`crate::hits`]).
+//! * **Incremental PageRank**: [`HostGraph::recompute_pagerank`] runs
+//!   the standard power iteration *warm-started* from the previous
+//!   stationary vector (new hosts enter at the uniform share, then the
+//!   vector is renormalized). PageRank's fixpoint is unique, so the warm
+//!   start converges to exactly the same scores as a from-scratch run —
+//!   typically in a handful of iterations when only a few edges arrived
+//!   since the last recompute. A property test asserts the equivalence
+//!   against [`crate::pagerank::pagerank`] over arbitrary edge streams.
+//! * **Harmonic centrality** as an alternative authority signal:
+//!   exact reverse-BFS accumulation of `Σ 1/d(u,v)`, feasible because
+//!   the node set is hosts, not pages.
+//!
+//! Determinism: every collection is iterated in dense-index order, the
+//! snapshot sorts its edge list, and scores are pure `f64` arithmetic
+//! over deterministically ordered inputs — two same-seed crawls produce
+//! byte-identical graphs, scores and (downstream) frontier orderings.
+
+use crate::pagerank::PageRankConfig;
+use crate::{LinkSource, PageId};
+use bingo_textproc::fxhash::FxHashMap;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Dense node id of a host inside a [`HostGraph`].
+pub type HostNode = u32;
+
+/// Which centrality the graph reports as host authority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum AuthoritySignal {
+    /// Warm-started PageRank over distinct host edges (the default).
+    #[default]
+    PageRank,
+    /// Exact harmonic centrality (reverse-BFS `Σ 1/d`).
+    Harmonic,
+}
+
+/// A host-level webgraph with interned node ids, edge multiplicities and
+/// incrementally recomputed authority scores.
+#[derive(Debug, Clone, Default)]
+pub struct HostGraph {
+    /// Interned host names; index = node id (first-seen order).
+    names: Vec<String>,
+    index: FxHashMap<String, HostNode>,
+    /// Out-adjacency with multiplicities: `out[from][to] = count`.
+    out: Vec<FxHashMap<HostNode, u32>>,
+    /// Reverse adjacency over distinct edges (for harmonic centrality).
+    inc: Vec<Vec<HostNode>>,
+    /// Last computed authority vector (PageRank or harmonic, per the
+    /// caller's recompute choice); indexed by node.
+    scores: Vec<f64>,
+    /// Maximum of `scores` (cached for O(1) normalization).
+    max_score: f64,
+    /// Page-level links observed (including intra-host ones).
+    links_observed: u64,
+    /// Links whose endpoints share a host (counted, not edged).
+    intra_host_links: u64,
+    /// Distinct inter-host edges.
+    edges: usize,
+    /// Authority recomputations performed.
+    recomputes: u64,
+    /// Power iterations of the most recent PageRank recompute.
+    last_iterations: usize,
+}
+
+/// Serializable state of a [`HostGraph`], sorted for byte-stable
+/// checkpoints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostGraphSnapshot {
+    /// Host names in node order.
+    pub hosts: Vec<String>,
+    /// Distinct edges `(from, to, multiplicity)`, sorted.
+    pub edges: Vec<(HostNode, HostNode, u32)>,
+    /// Authority scores in node order (empty = never recomputed).
+    pub scores: Vec<f64>,
+    /// Page-level links observed.
+    pub links_observed: u64,
+    /// Intra-host links observed.
+    pub intra_host_links: u64,
+    /// Recomputations performed.
+    pub recomputes: u64,
+}
+
+impl HostGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `host`, returning its dense node id.
+    pub fn intern(&mut self, host: &str) -> HostNode {
+        if let Some(&id) = self.index.get(host) {
+            return id;
+        }
+        let id = self.names.len() as HostNode;
+        self.names.push(host.to_string());
+        self.index.insert(host.to_string(), id);
+        self.out.push(FxHashMap::default());
+        self.inc.push(Vec::new());
+        id
+    }
+
+    /// Node id of `host`, if it has been seen.
+    pub fn node_of(&self, host: &str) -> Option<HostNode> {
+        self.index.get(host).copied()
+    }
+
+    /// Host name of a node.
+    pub fn name_of(&self, node: HostNode) -> &str {
+        &self.names[node as usize]
+    }
+
+    /// Record one page-level link between hosts (by name). Returns the
+    /// `(from, to)` nodes. Intra-host links are tallied but add no edge.
+    pub fn add_link(&mut self, from: &str, to: &str) -> (HostNode, HostNode) {
+        let f = self.intern(from);
+        let t = self.intern(to);
+        self.add_link_nodes(f, t);
+        (f, t)
+    }
+
+    /// [`HostGraph::add_link`] over already-interned nodes.
+    pub fn add_link_nodes(&mut self, from: HostNode, to: HostNode) {
+        self.links_observed += 1;
+        if from == to {
+            self.intra_host_links += 1;
+            return;
+        }
+        let mult = self.out[from as usize].entry(to).or_insert(0);
+        if *mult == 0 {
+            self.edges += 1;
+            self.inc[to as usize].push(from);
+        }
+        *mult += 1;
+    }
+
+    /// Number of interned hosts.
+    pub fn host_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of distinct inter-host edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Page-level links observed (including intra-host).
+    pub fn links_observed(&self) -> u64 {
+        self.links_observed
+    }
+
+    /// Links whose endpoints share a host.
+    pub fn intra_host_links(&self) -> u64 {
+        self.intra_host_links
+    }
+
+    /// Authority recomputations performed so far.
+    pub fn recomputes(&self) -> u64 {
+        self.recomputes
+    }
+
+    /// Power iterations of the most recent PageRank recompute.
+    pub fn last_iterations(&self) -> usize {
+        self.last_iterations
+    }
+
+    /// Multiplicity of the `from → to` edge (0 when absent).
+    pub fn multiplicity(&self, from: HostNode, to: HostNode) -> u32 {
+        self.out
+            .get(from as usize)
+            .and_then(|m| m.get(&to).copied())
+            .unwrap_or(0)
+    }
+
+    /// Recompute PageRank over the current host set, warm-started from
+    /// the previous score vector: existing hosts keep their mass, new
+    /// hosts enter at the uniform share, and the vector is renormalized
+    /// before iterating. Returns the number of power iterations (0 on an
+    /// empty graph). Because the PageRank fixpoint is unique, the result
+    /// matches a from-scratch computation to within `config.epsilon`.
+    pub fn recompute_pagerank(&mut self, config: PageRankConfig) -> usize {
+        let n = self.names.len();
+        if n == 0 {
+            self.scores.clear();
+            self.max_score = 0.0;
+            self.recomputes += 1;
+            self.last_iterations = 0;
+            return 0;
+        }
+        let uniform = 1.0 / n as f64;
+        let mut scores = std::mem::take(&mut self.scores);
+        scores.resize(n, uniform);
+        let total: f64 = scores.iter().sum();
+        if total > 0.0 {
+            for s in scores.iter_mut() {
+                *s /= total;
+            }
+        } else {
+            scores.fill(uniform);
+        }
+
+        // Distinct out-targets per node, in sorted order so share
+        // accumulation is deterministic.
+        let out: Vec<Vec<usize>> = self
+            .out
+            .iter()
+            .map(|targets| {
+                let mut t: Vec<usize> = targets.keys().map(|&n| n as usize).collect();
+                t.sort_unstable();
+                t
+            })
+            .collect();
+
+        let mut iterations = 0;
+        for it in 0..config.max_iterations {
+            iterations = it + 1;
+            let mut next = vec![(1.0 - config.damping) * uniform; n];
+            let mut dangling_mass = 0.0;
+            for (i, targets) in out.iter().enumerate() {
+                if targets.is_empty() {
+                    dangling_mass += scores[i];
+                } else {
+                    let share = config.damping * scores[i] / targets.len() as f64;
+                    for &t in targets {
+                        next[t] += share;
+                    }
+                }
+            }
+            let dangling_share = config.damping * dangling_mass * uniform;
+            for v in next.iter_mut() {
+                *v += dangling_share;
+            }
+            let delta: f64 = scores.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+            scores = next;
+            if delta < config.epsilon {
+                break;
+            }
+        }
+        self.max_score = scores.iter().copied().fold(0.0, f64::max);
+        self.scores = scores;
+        self.recomputes += 1;
+        self.last_iterations = iterations;
+        iterations
+    }
+
+    /// Recompute exact harmonic centrality: for every node `v`,
+    /// `Σ_{u → v reachable} 1 / d(u, v)` over distinct-edge BFS
+    /// distances. O(V·(V+E)) — feasible because nodes are hosts.
+    pub fn recompute_harmonic(&mut self) {
+        let n = self.names.len();
+        let mut scores = vec![0.0f64; n];
+        let mut dist: Vec<u32> = vec![u32::MAX; n];
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for v in 0..n {
+            // Reverse BFS from v over `inc`: distances d(u, v).
+            dist.fill(u32::MAX);
+            dist[v] = 0;
+            queue.clear();
+            queue.push_back(v);
+            let mut sum = 0.0;
+            while let Some(u) = queue.pop_front() {
+                let d = dist[u];
+                if d > 0 {
+                    sum += 1.0 / d as f64;
+                }
+                for &p in &self.inc[u] {
+                    let p = p as usize;
+                    if dist[p] == u32::MAX {
+                        dist[p] = d + 1;
+                        queue.push_back(p);
+                    }
+                }
+            }
+            scores[v] = sum;
+        }
+        self.max_score = scores.iter().copied().fold(0.0, f64::max);
+        self.scores = scores;
+        self.recomputes += 1;
+        self.last_iterations = 0;
+    }
+
+    /// Recompute the configured signal.
+    pub fn recompute(&mut self, signal: AuthoritySignal, config: PageRankConfig) -> usize {
+        match signal {
+            AuthoritySignal::PageRank => self.recompute_pagerank(config),
+            AuthoritySignal::Harmonic => {
+                self.recompute_harmonic();
+                0
+            }
+        }
+    }
+
+    /// Raw score of a node (0 before the first recompute or for nodes
+    /// interned since it).
+    pub fn score(&self, node: HostNode) -> f64 {
+        self.scores.get(node as usize).copied().unwrap_or(0.0)
+    }
+
+    /// Authority of a node normalized to `[0, 1]` by the current maximum
+    /// score (0 when nothing has been recomputed yet).
+    pub fn authority(&self, node: HostNode) -> f64 {
+        if self.max_score <= 0.0 {
+            return 0.0;
+        }
+        self.score(node) / self.max_score
+    }
+
+    /// Normalized authority of a host by name (0 for unknown hosts).
+    pub fn authority_of(&self, host: &str) -> f64 {
+        self.node_of(host).map_or(0.0, |n| self.authority(n))
+    }
+
+    /// Top-`n` hosts by score, best first (ties broken by node id).
+    pub fn top(&self, n: usize) -> Vec<(&str, f64)> {
+        let mut pairs: Vec<(usize, f64)> = self.scores.iter().copied().enumerate().collect();
+        pairs.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        pairs
+            .into_iter()
+            .take(n)
+            .map(|(i, s)| (self.names[i].as_str(), s))
+            .collect()
+    }
+
+    /// Serializable, byte-stable state.
+    pub fn snapshot(&self) -> HostGraphSnapshot {
+        let mut edges: Vec<(HostNode, HostNode, u32)> = Vec::with_capacity(self.edges);
+        for (from, targets) in self.out.iter().enumerate() {
+            for (&to, &mult) in targets {
+                edges.push((from as HostNode, to, mult));
+            }
+        }
+        edges.sort_unstable();
+        HostGraphSnapshot {
+            hosts: self.names.clone(),
+            edges,
+            scores: self.scores.clone(),
+            links_observed: self.links_observed,
+            intra_host_links: self.intra_host_links,
+            recomputes: self.recomputes,
+        }
+    }
+
+    /// Rebuild a graph from a snapshot.
+    pub fn restore(snap: HostGraphSnapshot) -> Self {
+        let n = snap.hosts.len();
+        let index = snap
+            .hosts
+            .iter()
+            .enumerate()
+            .map(|(i, h)| (h.clone(), i as HostNode))
+            .collect();
+        let mut out: Vec<FxHashMap<HostNode, u32>> = vec![FxHashMap::default(); n];
+        let mut inc: Vec<Vec<HostNode>> = vec![Vec::new(); n];
+        let mut edges = 0;
+        for &(from, to, mult) in &snap.edges {
+            out[from as usize].insert(to, mult);
+            inc[to as usize].push(from);
+            edges += 1;
+        }
+        let max_score = snap.scores.iter().copied().fold(0.0, f64::max);
+        HostGraph {
+            names: snap.hosts,
+            index,
+            out,
+            inc,
+            scores: snap.scores,
+            max_score,
+            links_observed: snap.links_observed,
+            intra_host_links: snap.intra_host_links,
+            edges,
+            recomputes: snap.recomputes,
+            last_iterations: 0,
+        }
+    }
+}
+
+/// The host graph *is* a link graph over `PageId = node id`, so the
+/// from-scratch analyses ([`crate::pagerank::pagerank`], HITS) run on it
+/// directly — the incremental-vs-scratch property tests rely on this.
+impl LinkSource for HostGraph {
+    fn successors(&self, page: PageId) -> Vec<PageId> {
+        match self.out.get(page as usize) {
+            Some(targets) => {
+                let mut t: Vec<PageId> = targets.keys().map(|&n| n as PageId).collect();
+                t.sort_unstable();
+                t
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn predecessors(&self, page: PageId) -> Vec<PageId> {
+        match self.inc.get(page as usize) {
+            Some(sources) => {
+                let mut s: Vec<PageId> = sources.iter().map(|&n| n as PageId).collect();
+                s.sort_unstable();
+                s
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn host_of(&self, page: PageId) -> crate::HostId {
+        page as crate::HostId
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagerank::pagerank;
+
+    fn diamond() -> HostGraph {
+        // a → b, a → c, b → d, c → d, plus repeated a → b.
+        let mut g = HostGraph::new();
+        g.add_link("a", "b");
+        g.add_link("a", "b");
+        g.add_link("a", "c");
+        g.add_link("b", "d");
+        g.add_link("c", "d");
+        g
+    }
+
+    #[test]
+    fn interning_is_first_seen_order() {
+        let g = diamond();
+        assert_eq!(g.host_count(), 4);
+        assert_eq!(g.node_of("a"), Some(0));
+        assert_eq!(g.node_of("d"), Some(3));
+        assert_eq!(g.name_of(2), "c");
+        assert_eq!(g.node_of("zzz"), None);
+    }
+
+    #[test]
+    fn multiplicities_and_intra_host_links() {
+        let mut g = diamond();
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.links_observed(), 5);
+        assert_eq!(g.multiplicity(0, 1), 2, "repeated a→b collapses");
+        assert_eq!(g.multiplicity(0, 2), 1);
+        g.add_link("a", "a");
+        assert_eq!(g.intra_host_links(), 1);
+        assert_eq!(g.edge_count(), 4, "self link adds no edge");
+    }
+
+    #[test]
+    fn pagerank_ranks_the_sink_first() {
+        let mut g = diamond();
+        let iters = g.recompute_pagerank(PageRankConfig::default());
+        assert!(iters > 0);
+        assert_eq!(g.recomputes(), 1);
+        let top = g.top(1);
+        assert_eq!(top[0].0, "d", "the diamond sink must rank first");
+        assert!((g.authority(g.node_of("d").unwrap()) - 1.0).abs() < 1e-12);
+        assert!(g.authority_of("a") < 1.0);
+        assert_eq!(g.authority_of("unknown"), 0.0);
+        let sum: f64 = (0..4).map(|n| g.score(n)).sum();
+        assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+    }
+
+    #[test]
+    fn warm_start_matches_scratch_pagerank() {
+        let mut g = HostGraph::new();
+        let hosts = ["h0", "h1", "h2", "h3", "h4", "h5"];
+        let links = [
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (3, 2),
+            (4, 2),
+            (5, 4),
+            (0, 5),
+            (1, 5),
+        ];
+        for (i, &(f, t)) in links.iter().enumerate() {
+            g.add_link(hosts[f], hosts[t]);
+            // Recompute mid-stream to exercise warm starts over a
+            // growing node set.
+            if i % 3 == 0 {
+                g.recompute_pagerank(PageRankConfig::default());
+            }
+        }
+        g.recompute_pagerank(PageRankConfig::default());
+        let nodes: Vec<PageId> = (0..g.host_count() as PageId).collect();
+        let scratch = pagerank(&g, &nodes, PageRankConfig::default());
+        for (n, &s) in nodes.iter().zip(&scratch.scores) {
+            assert!(
+                (g.score(*n as HostNode) - s).abs() < 1e-6,
+                "node {n}: warm {} vs scratch {s}",
+                g.score(*n as HostNode)
+            );
+        }
+    }
+
+    #[test]
+    fn harmonic_centrality_of_a_chain() {
+        let mut g = HostGraph::new();
+        g.add_link("a", "b");
+        g.add_link("b", "c");
+        g.recompute_harmonic();
+        // c is reached from b (d=1) and a (d=2): 1 + 1/2.
+        assert!((g.score(g.node_of("c").unwrap()) - 1.5).abs() < 1e-12);
+        assert!((g.score(g.node_of("b").unwrap()) - 1.0).abs() < 1e-12);
+        assert_eq!(g.score(g.node_of("a").unwrap()), 0.0);
+        assert!((g.authority_of("c") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_is_sorted() {
+        let mut g = diamond();
+        g.recompute_pagerank(PageRankConfig::default());
+        let snap = g.snapshot();
+        let mut sorted = snap.edges.clone();
+        sorted.sort_unstable();
+        assert_eq!(snap.edges, sorted, "edge list must be sorted");
+        let r = HostGraph::restore(snap.clone());
+        assert_eq!(r.host_count(), g.host_count());
+        assert_eq!(r.edge_count(), g.edge_count());
+        assert_eq!(r.links_observed(), g.links_observed());
+        assert_eq!(r.multiplicity(0, 1), 2);
+        assert_eq!(r.snapshot(), snap, "restore → snapshot is identity");
+        // Scores and normalization survive.
+        assert_eq!(r.authority_of("d"), g.authority_of("d"));
+        // Two snapshots of identical state are byte-identical.
+        let a = serde_json::to_string(&snap).unwrap();
+        let b = serde_json::to_string(&g.snapshot()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_graph_recomputes_cleanly() {
+        let mut g = HostGraph::new();
+        assert_eq!(g.recompute_pagerank(PageRankConfig::default()), 0);
+        g.recompute_harmonic();
+        assert_eq!(g.authority_of("x"), 0.0);
+        assert!(g.top(3).is_empty());
+    }
+}
