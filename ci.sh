@@ -29,15 +29,19 @@
 # BENCH_GATE_MODE controls the bench step: "full" (default) runs the
 # baseline-sized scenarios, "smoke" the reduced CI sizes, "skip"
 # disables the bench gate (e.g. on heavily loaded shared runners).
-# The gate covers six scenarios (crawl, classify, pipeline, recovery,
-# serve, scale) against the checked-in BENCH_<scenario>.json baselines;
-# the serve scenario additionally proves the snapshot-swap live index
-# answers queries identically to a batch rebuild while gating portal
-# QPS and latency percentiles, and the scale scenario crawls a
-# million-page paged world (in full mode) through the segmented store
-# and spillable frontier, failing the gate if peak-RSS growth leaves
-# its fixed budget (rss_within_budget). Use `-- --only crawl,serve` to
-# run a subset.
+# BENCH_GATE_ONLY (optional) restricts the gate to a comma-separated
+# scenario subset — nightly.yml uses it to give the hour-plus 10M-page
+# scale scenario its own job while the rest of the full gate runs in
+# parallel.
+# The gate covers seven scenarios (crawl, classify, pipeline, recovery,
+# serve, scale, scale10m) against the checked-in BENCH_<scenario>.json
+# baselines; the serve scenario additionally proves the snapshot-swap
+# live index answers queries identically to a batch rebuild while
+# gating portal QPS and latency percentiles, and the scale scenarios
+# crawl paged worlds (a million and ten million pages in full mode)
+# through the segmented store and the spill/compaction layers, failing
+# the gate if peak-RSS growth leaves the fixed budget
+# (rss_within_budget). Use `-- --only crawl,serve` to run a subset.
 #
 # BINGO_CRASH_SEEDS picks the seed matrix for the crash-recovery sweep
 # (every byte budget of a checkpoint write, a store segment seal, and
@@ -48,6 +52,7 @@ set -eu
 cd "$(dirname "$0")"
 
 BENCH_GATE_MODE="${BENCH_GATE_MODE:-full}"
+BENCH_GATE_ONLY="${BENCH_GATE_ONLY:-}"
 BINGO_CRASH_SEEDS="${BINGO_CRASH_SEEDS:-1,2,3,11,12,13}"
 CI_STEPS="${CI_STEPS:-lint,test,crash,bench}"
 STEP_TIMINGS=""
@@ -126,14 +131,19 @@ if wants lint; then
 fi
 
 if wants bench; then
+    # Optional scenario subset; bench_gate rejects unknown/empty lists.
+    set -- --
+    if [ -n "$BENCH_GATE_ONLY" ]; then
+        set -- -- --only "$BENCH_GATE_ONLY"
+    fi
     case "$BENCH_GATE_MODE" in
     full)
-        step "bench_gate (full)" \
-            cargo run --release --offline -p bingo-bench --bin bench_gate
+        step "bench_gate (full${BENCH_GATE_ONLY:+, --only $BENCH_GATE_ONLY})" \
+            cargo run --release --offline -p bingo-bench --bin bench_gate "$@"
         ;;
     smoke)
-        step "bench_gate (smoke)" \
-            cargo run --release --offline -p bingo-bench --bin bench_gate -- --smoke
+        step "bench_gate (smoke${BENCH_GATE_ONLY:+, --only $BENCH_GATE_ONLY})" \
+            cargo run --release --offline -p bingo-bench --bin bench_gate "$@" --smoke
         ;;
     skip)
         echo "==> bench_gate skipped (BENCH_GATE_MODE=skip)"

@@ -8,8 +8,9 @@
 //!                    (runs both smoke and full sizes)
 //!   --only LIST      run a subset of scenarios: a comma-separated list
 //!                    of (crawl | classify | pipeline | recovery |
-//!                    serve | scale), e.g. `--only crawl,serve`;
-//!                    repeatable
+//!                    serve | scale | scale10m), e.g. `--only
+//!                    crawl,serve`; repeatable. Unknown or empty lists
+//!                    are usage errors.
 //!   --out DIR        artifact directory (default target/bench_gate)
 //! ```
 //!
@@ -22,9 +23,10 @@
 use bingo_bench::gate::{
     baseline_file, calibrate_cpu_ms, check_determinism, default_out_dir, diff_reports,
     load_baseline, markdown_diff_table, run_classify_scenario, run_crawl_scenario,
-    run_pipeline_scenario, run_recovery_scenario, run_scale_scenario, run_serve_scenario,
-    write_run_artifacts, GateMode, MetricDiff, MetricSpec, ScenarioRun, CLASSIFY_SPECS,
-    CRAWL_SPECS, PIPELINE_SPECS, RECOVERY_SPECS, SCALE_SPECS, SERVE_SPECS,
+    run_pipeline_scenario, run_recovery_scenario, run_scale10m_scenario, run_scale_scenario,
+    run_serve_scenario, write_run_artifacts, GateMode, MetricDiff, MetricSpec, ScenarioRun,
+    CLASSIFY_SPECS, CRAWL_SPECS, PIPELINE_SPECS, RECOVERY_SPECS, SCALE10M_SPECS, SCALE_SPECS,
+    SERVE_SPECS,
 };
 use serde_json::{json, Value};
 use std::path::{Path, PathBuf};
@@ -66,6 +68,11 @@ const SCENARIOS: &[Scenario] = &[
         specs: SCALE_SPECS,
         run: run_scale_scenario,
     },
+    Scenario {
+        name: "scale10m",
+        specs: SCALE10M_SPECS,
+        run: run_scale10m_scenario,
+    },
 ];
 
 fn main() {
@@ -80,6 +87,7 @@ fn main() {
             "--update" => update = true,
             "--only" => match args.next() {
                 Some(list) => {
+                    let before = only.len();
                     for name in list.split(',').map(str::trim).filter(|n| !n.is_empty()) {
                         if SCENARIOS.iter().any(|s| s.name == name) {
                             only.push(name.to_string());
@@ -95,6 +103,20 @@ fn main() {
                             );
                             std::process::exit(2);
                         }
+                    }
+                    // An --only whose list trims away entirely ("", " , ")
+                    // must not fall through to "no filter = run everything".
+                    if only.len() == before {
+                        eprintln!(
+                            "--only: no scenario names in {list:?} (expected a comma-separated \
+                             list of: {})",
+                            SCENARIOS
+                                .iter()
+                                .map(|s| s.name)
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                        std::process::exit(2);
                     }
                 }
                 None => {
@@ -303,7 +325,7 @@ fn stage_failed_telemetry(out_dir: &Path, failed_runs: &[String]) {
         return;
     }
     for run in failed_runs {
-        for suffix in ["report.json", "metrics.json", "events.jsonl"] {
+        for suffix in ["report.json", "metrics.json", "events.jsonl", "spill.json"] {
             let name = format!("{run}.{suffix}");
             let src = out_dir.join(&name);
             if src.is_file() {

@@ -17,7 +17,7 @@
 use crate::checkpoint::{
     load_checkpoint, CheckpointError, CrawlCheckpoint, CRAWLER_FILE, STORE_FILE,
 };
-use crate::dedup::{path_of_url, Dedup};
+use crate::dedup::{path_of_url, Dedup, DedupSpillConfig, DedupStats};
 use crate::dns::CachingResolver;
 use crate::frontier::{Frontier, QueueEntry};
 use crate::hosts::{FailureOutcome, HostDecision, HostManager};
@@ -55,6 +55,63 @@ pub enum StepOutcome {
     FrontierEmpty,
 }
 
+/// Bounded cache of each stored page's most significant terms, feeding
+/// the neighbour-document feature space of its successors (Section
+/// 3.4). With `cap == 0` it is an ordinary unbounded map; a positive
+/// cap evicts the oldest entries FIFO — links to long-stored pages then
+/// enqueue without neighbour terms, which only perturbs feature
+/// construction, never correctness. After a checkpoint restore the
+/// insertion order is the sorted-by-id checkpoint order.
+#[derive(Debug, Default)]
+struct PageTermCache {
+    map: bingo_textproc::fxhash::FxHashMap<u64, Vec<bingo_textproc::TermId>>,
+    /// Insertion order of keys, oldest first (unused when `cap == 0`).
+    order: std::collections::VecDeque<u64>,
+    cap: usize,
+}
+
+impl PageTermCache {
+    fn new(cap: usize) -> Self {
+        PageTermCache {
+            cap,
+            ..PageTermCache::default()
+        }
+    }
+
+    fn insert(&mut self, page_id: u64, terms: Vec<bingo_textproc::TermId>) {
+        let fresh = self.map.insert(page_id, terms).is_none();
+        if self.cap > 0 && fresh {
+            self.order.push_back(page_id);
+            while self.map.len() > self.cap {
+                let Some(oldest) = self.order.pop_front() else {
+                    break;
+                };
+                self.map.remove(&oldest);
+            }
+        }
+    }
+
+    fn get(&self, page_id: &u64) -> Option<&Vec<bingo_textproc::TermId>> {
+        self.map.get(page_id)
+    }
+
+    /// Entries sorted by page id — the byte-stable checkpoint form.
+    fn sorted_entries(&self) -> Vec<(u64, Vec<bingo_textproc::TermId>)> {
+        let mut entries: Vec<(u64, Vec<bingo_textproc::TermId>)> =
+            self.map.iter().map(|(k, v)| (*k, v.clone())).collect();
+        entries.sort_unstable_by_key(|e| e.0);
+        entries
+    }
+
+    fn from_entries(entries: Vec<(u64, Vec<bingo_textproc::TermId>)>, cap: usize) -> Self {
+        let mut cache = Self::new(cap);
+        for (k, v) in entries {
+            cache.insert(k, v);
+        }
+        cache
+    }
+}
+
 /// The focused crawler over a simulated web.
 pub struct Crawler {
     world: Arc<World>,
@@ -79,7 +136,13 @@ pub struct Crawler {
     host_slots: bingo_textproc::fxhash::FxHashMap<String, Vec<u64>>,
     /// Most significant terms of each stored page, feeding the
     /// neighbour-document feature space of its successors (Section 3.4).
-    page_top_terms: bingo_textproc::fxhash::FxHashMap<u64, Vec<bingo_textproc::TermId>>,
+    /// Bounded by `config.page_terms_cap` (0 = unbounded).
+    page_top_terms: PageTermCache,
+    /// Dedup counters at the last telemetry poll (for counter deltas).
+    last_dedup_stats: DedupStats,
+    /// Stale spill files swept from the configured spill directories at
+    /// construction.
+    stale_spill_reaped: u64,
     clock: u64,
     /// Metric handles; intentionally not part of checkpoints (telemetry
     /// describes a run, not the crawl state).
@@ -93,6 +156,10 @@ impl Crawler {
     /// New crawler over `world` writing into `store`.
     pub fn new(world: Arc<World>, config: CrawlConfig, store: DocumentStore) -> Self {
         let topics = world.topics().len();
+        // Sweep spill scratch of aborted runs — every family (frontier
+        // slots, dedup shards, vocabulary logs, work-queue overflow),
+        // not just the files this run's configuration would rewrite.
+        let stale_spill_reaped = Self::sweep_stale_spill_files(&config);
         let frontier = Frontier::with_spill(
             topics,
             config.incoming_queue_cap,
@@ -118,20 +185,26 @@ impl Crawler {
             None => store,
         };
         let loader = Self::make_loader(&store, &telemetry);
+        telemetry.spill_reaped.add(stale_spill_reaped);
         Crawler {
             hosts: HostManager::with_config(config.breaker.clone()),
             frontier,
             threads,
+            dedup: match Self::dedup_spill_config(&config) {
+                Some(cfg) => Dedup::with_spill(&cfg),
+                None => Dedup::new(),
+            },
+            page_top_terms: PageTermCache::new(config.page_terms_cap),
             world,
             config,
-            dedup: Dedup::new(),
             resolver: CachingResolver::new(),
             registry: ContentRegistry::new(),
             store,
             loader,
             stats: CrawlStats::default(),
             host_slots: bingo_textproc::fxhash::FxHashMap::default(),
-            page_top_terms: bingo_textproc::fxhash::FxHashMap::default(),
+            last_dedup_stats: DedupStats::default(),
+            stale_spill_reaped,
             clock: 0,
             telemetry,
             authority,
@@ -156,6 +229,44 @@ impl Crawler {
             })
     }
 
+    /// Dedup spill configuration derived from the crawl config (`None`
+    /// unless `dedup_spill_dir` is set).
+    fn dedup_spill_config(config: &CrawlConfig) -> Option<DedupSpillConfig> {
+        config.dedup_spill_dir.as_ref().map(|dir| DedupSpillConfig {
+            hot_cap: config.dedup_hot_cap,
+            ..DedupSpillConfig::new(dir)
+        })
+    }
+
+    /// Sweep stale `*.spill` files — every family (frontier slots,
+    /// dedup shards, vocabulary logs, work-queue overflow), not just
+    /// the ones this run's configuration would rewrite — from every
+    /// configured spill directory. Spill files are run-scratch and
+    /// never referenced by checkpoints, so anything present before the
+    /// run starts is leftover from an aborted run.
+    fn sweep_stale_spill_files(config: &CrawlConfig) -> u64 {
+        let mut dirs: Vec<&std::path::Path> = config
+            .frontier_spill_dir
+            .iter()
+            .chain(config.dedup_spill_dir.iter())
+            .map(|d| d.as_path())
+            .collect();
+        dirs.sort_unstable();
+        dirs.dedup();
+        dirs.into_iter()
+            .map(|dir| {
+                bingo_store::spill::reap_stale_spill_files(dir, bingo_store::SPILL_FILE_PREFIXES)
+                    as u64
+            })
+            .sum()
+    }
+
+    /// Aggregated spill counters of the duplicate filter (all zero for
+    /// a fully resident filter).
+    pub fn dedup_stats(&self) -> DedupStats {
+        self.dedup.stats()
+    }
+
     /// The pipeline's store writer: batch size 1 (flush per step) with
     /// flush errors surfaced through the telemetry registry.
     fn make_loader(store: &DocumentStore, telemetry: &CrawlTelemetry) -> BulkLoader {
@@ -172,6 +283,13 @@ impl Crawler {
         if let Some(auth) = &self.authority {
             auth.set_telemetry(telemetry.graph.clone());
         }
+        // Replay startup-time spill state into the new registry: the
+        // stale-file sweep happened under the private default registry.
+        telemetry.spill_reaped.add(self.stale_spill_reaped);
+        self.last_dedup_stats = DedupStats::default();
+        telemetry
+            .dedup
+            .record(&self.dedup.stats(), &mut self.last_dedup_stats);
         self.telemetry = telemetry;
     }
 
@@ -230,12 +348,6 @@ impl Crawler {
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect();
         host_slots.sort_by(|a, b| a.0.cmp(&b.0));
-        let mut page_top_terms: Vec<(u64, Vec<bingo_textproc::TermId>)> = self
-            .page_top_terms
-            .iter()
-            .map(|(k, v)| (*k, v.clone()))
-            .collect();
-        page_top_terms.sort_unstable_by_key(|e| e.0);
         CrawlCheckpoint {
             magic: crate::checkpoint::MAGIC.to_string(),
             version: crate::checkpoint::VERSION,
@@ -247,7 +359,7 @@ impl Crawler {
             visited_hosts,
             threads,
             host_slots,
-            page_top_terms,
+            page_top_terms: self.page_top_terms.sorted_entries(),
             host_graph: self.authority.as_ref().map(|a| a.checkpoint()),
         }
     }
@@ -264,7 +376,7 @@ impl Crawler {
             self.config.outgoing_queue_cap,
             Self::spill_config(&self.config),
         );
-        self.dedup = Dedup::restore(cp.dedup);
+        self.dedup = Dedup::restore_with(cp.dedup, Self::dedup_spill_config(&self.config));
         self.hosts = HostManager::restore(
             self.config.breaker.clone(),
             cp.host_health,
@@ -272,7 +384,8 @@ impl Crawler {
         );
         self.threads = cp.threads.into_iter().map(Reverse).collect();
         self.host_slots = cp.host_slots.into_iter().collect();
-        self.page_top_terms = cp.page_top_terms.into_iter().collect();
+        self.page_top_terms =
+            PageTermCache::from_entries(cp.page_top_terms, self.config.page_terms_cap);
         if let (Some(auth), Some(snap)) = (&self.authority, cp.host_graph) {
             auth.restore(snap);
         }
@@ -484,6 +597,9 @@ impl Crawler {
             .pipeline
             .queue_depth
             .set(self.frontier.len() as i64);
+        self.telemetry
+            .dedup
+            .record(&self.dedup.stats(), &mut self.last_dedup_stats);
         if matches!(outcome, StepOutcome::Stored { .. }) {
             self.maybe_checkpoint();
         }

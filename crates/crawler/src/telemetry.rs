@@ -80,6 +80,15 @@ pub struct CrawlTelemetry {
     /// Host-graph / authority-blend metrics (all zero unless the
     /// authority blend is enabled).
     pub graph: GraphTelemetry,
+    /// Duplicate-filter spill metrics (all zero unless
+    /// `dedup_spill_dir` is configured).
+    pub dedup: DedupTelemetry,
+    /// Stale spill files (frontier slots, dedup shards, vocabulary
+    /// logs, work-queue overflow) swept on startup.
+    pub spill_reaped: Counter,
+    /// Work-queue overflow batches spilled to disk by the threaded
+    /// executor (zero unless `work_queue_hot_cap` is set).
+    pub work_spill_batches: Counter,
 }
 
 /// Metric handles for the incremental host graph
@@ -109,6 +118,56 @@ impl GraphTelemetry {
             recomputes: registry.counter("crawl.graph.recomputes"),
             recompute_iters: registry.histogram("crawl.graph.recompute_iters"),
         }
+    }
+}
+
+/// Metric handles for the spilling duplicate filter
+/// ([`crate::dedup::Dedup`]). The filter itself stays obs-free; the
+/// crawler polls [`crate::dedup::DedupStats`] and folds deltas in here,
+/// so counters stay monotonic across polls.
+#[derive(Clone)]
+pub struct DedupTelemetry {
+    /// Fingerprints resident in the hot tiers.
+    pub hot: Gauge,
+    /// Fingerprints living in spill shard files.
+    pub spilled: Gauge,
+    /// Hot-tier merges into shard files.
+    pub merges: Counter,
+    /// Disk probes issued (front filter said "maybe").
+    pub disk_probes: Counter,
+    /// Disk probes that confirmed a duplicate.
+    pub disk_hits: Counter,
+    /// Failed shard-file reads/writes (answers stayed exact).
+    pub io_errors: Counter,
+}
+
+impl DedupTelemetry {
+    /// Register the `crawl.dedup.*` handles in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        DedupTelemetry {
+            hot: registry.gauge("crawl.dedup.hot"),
+            spilled: registry.gauge("crawl.dedup.spilled"),
+            merges: registry.counter("crawl.dedup.merges"),
+            disk_probes: registry.counter("crawl.dedup.disk_probes"),
+            disk_hits: registry.counter("crawl.dedup.disk_hits"),
+            io_errors: registry.counter("crawl.dedup.io_errors"),
+        }
+    }
+
+    /// Fold the filter's current counters in: gauges are overwritten,
+    /// monotonic counters advance by the delta since `last` (which is
+    /// updated to `now`).
+    pub fn record(&self, now: &crate::dedup::DedupStats, last: &mut crate::dedup::DedupStats) {
+        self.hot.set(now.hot as i64);
+        self.spilled.set(now.spilled as i64);
+        self.merges.add(now.merges.saturating_sub(last.merges));
+        self.disk_probes
+            .add(now.disk_probes.saturating_sub(last.disk_probes));
+        self.disk_hits
+            .add(now.disk_hits.saturating_sub(last.disk_hits));
+        self.io_errors
+            .add(now.io_errors.saturating_sub(last.io_errors));
+        *last = *now;
     }
 }
 
@@ -144,6 +203,9 @@ impl CrawlTelemetry {
             textproc: TextprocMetrics::new(registry.clone()),
             pipeline: PipelineMetrics::new(&registry),
             graph: GraphTelemetry::new(&registry),
+            dedup: DedupTelemetry::new(&registry),
+            spill_reaped: registry.counter("crawl.spill.reaped"),
+            work_spill_batches: registry.counter("crawl.work_queue.spill_batches"),
             registry,
             events,
         }

@@ -94,6 +94,28 @@ pub struct CrawlConfig {
     pub frontier_spill_dir: Option<PathBuf>,
     /// In-memory entry payloads per incoming queue when spilling.
     pub frontier_hot_cap: usize,
+    /// When set, the duplicate filter's three fingerprint sets spill
+    /// past `dedup_hot_cap` to hash-sharded sorted files under this
+    /// directory, with a Bloom-style front filter so exact checks hit
+    /// disk only on probable duplicates. Answers and checkpoints are
+    /// byte-identical to the resident filter; stale `dedup-*.spill`
+    /// files from an aborted run are swept on startup. `None` (default)
+    /// keeps every fingerprint resident.
+    pub dedup_spill_dir: Option<PathBuf>,
+    /// Hot-tier fingerprints per dedup set when spilling.
+    pub dedup_hot_cap: usize,
+    /// Most-significant-term cache entries kept for the
+    /// neighbour-document feature space (Section 3.4). `0` (default)
+    /// caches every stored page's top terms; a positive cap evicts the
+    /// oldest entries FIFO, bounding the cache for multi-million-page
+    /// crawls (links to long-stored pages then enqueue without
+    /// neighbour terms, exactly like links from pre-cache runs).
+    pub page_terms_cap: usize,
+    /// Threaded-executor work-queue items kept resident per BFS level;
+    /// overflow batches spill to `work-*.spill` files under
+    /// `frontier_spill_dir`, read back in order. `0` (default) keeps
+    /// every level fully resident.
+    pub work_queue_hot_cap: usize,
     /// Authority-blended frontier ordering: maintain a host-level
     /// webgraph online and blend normalized host authority into link
     /// priorities (`α·confidence + β·authority`). Disabled by default;
@@ -125,6 +147,10 @@ impl Default for CrawlConfig {
             checkpoint_keep: bingo_store::durable::DEFAULT_KEEP_GENERATIONS,
             frontier_spill_dir: None,
             frontier_hot_cap: 4096,
+            dedup_spill_dir: None,
+            dedup_hot_cap: 1 << 20,
+            page_terms_cap: 0,
+            work_queue_hot_cap: 0,
             authority: AuthorityConfig::default(),
         }
     }

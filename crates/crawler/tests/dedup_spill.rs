@@ -1,0 +1,219 @@
+//! The sharded spillable duplicate filter must be indistinguishable
+//! from the plain in-memory one:
+//!
+//! * a proptest drives both filters with the same arbitrary URL/response
+//!   stream (including journaled marks and rollbacks) and demands
+//!   identical answers plus byte-identical snapshots, and
+//! * a crash matrix kills shard-file merges at pseudo-random byte
+//!   offsets via [`CrashFs`] and demands the filter keeps answering
+//!   exactly, leaves no torn shard file behind, and that stale debris
+//!   is swept on the next construction.
+
+use bingo_crawler::dedup::{Dedup, DedupSpillConfig};
+use bingo_store::{CrashFs, StdFs};
+use bingo_textproc::fxhash;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bingo-dedupspill-{tag}"));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn tiny_cfg(dir: &PathBuf) -> DedupSpillConfig {
+    DedupSpillConfig {
+        hot_cap: 8,
+        bloom_bits_log2: 10,
+        ..DedupSpillConfig::new(dir)
+    }
+}
+
+/// One event in the duplicate-filter stream.
+#[derive(Debug, Clone)]
+enum Event {
+    Url(String),
+    Response {
+        ip: u32,
+        path: String,
+        size: u64,
+    },
+    /// Journal the next `n` URL marks, then roll them back.
+    JournaledRollback(Vec<String>),
+}
+
+fn url_strategy() -> impl Strategy<Value = String> {
+    // A small host/path universe so duplicates actually occur.
+    (0u32..12, 0u32..40).prop_map(|(h, p)| format!("http://host{h}.example/dir{}/p{p}", p % 5))
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    // Unweighted arms (the vendored proptest has no weight syntax):
+    // listing the URL arm twice biases toward URL marks.
+    prop_oneof![
+        url_strategy().prop_map(Event::Url),
+        url_strategy().prop_map(Event::Url),
+        (0u32..6, 0u32..30, 50u64..220).prop_map(|(ip, p, size)| Event::Response {
+            ip,
+            path: format!("/dir/p{p}"),
+            size,
+        }),
+        proptest::collection::vec(url_strategy(), 1..4).prop_map(Event::JournaledRollback),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Spilled and resident filters answer identically over arbitrary
+    /// streams, and their snapshots are byte-identical.
+    #[test]
+    fn spilled_dedup_equals_resident_dedup(
+        events in proptest::collection::vec(event_strategy(), 1..120),
+        case in 0u64..u64::MAX,
+    ) {
+        let dir = fresh_dir(&format!("prop-{case}"));
+        let mut resident = Dedup::new();
+        let mut spilled = Dedup::with_spill(&tiny_cfg(&dir));
+        for event in &events {
+            match event {
+                Event::Url(url) => {
+                    prop_assert_eq!(resident.url_seen(url), spilled.url_seen(url));
+                    prop_assert_eq!(resident.mark_url(url), spilled.mark_url(url));
+                    prop_assert!(spilled.url_seen(url));
+                }
+                Event::Response { ip, path, size } => {
+                    prop_assert_eq!(
+                        resident.mark_response(*ip, path, *size),
+                        spilled.mark_response(*ip, path, *size)
+                    );
+                }
+                Event::JournaledRollback(urls) => {
+                    let (mut jr, mut js) = (Vec::new(), Vec::new());
+                    for url in urls {
+                        prop_assert_eq!(
+                            resident.mark_url_journaled(url, &mut jr),
+                            spilled.mark_url_journaled(url, &mut js)
+                        );
+                    }
+                    resident.unmark(&jr);
+                    spilled.unmark(&js);
+                    for url in urls {
+                        prop_assert_eq!(resident.url_seen(url), spilled.url_seen(url));
+                    }
+                }
+            }
+        }
+        let stats = spilled.stats();
+        prop_assert_eq!(stats.io_errors, 0);
+        prop_assert_eq!(resident.urls_marked(), spilled.urls_marked());
+        let (a, b) = (resident.snapshot(), spilled.snapshot());
+        prop_assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "snapshots diverged"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+fn crash_seeds() -> Vec<u64> {
+    match std::env::var("BINGO_CRASH_SEEDS") {
+        Ok(s) => s.split(',').filter_map(|t| t.trim().parse().ok()).collect(),
+        Err(_) => vec![1, 2, 3],
+    }
+}
+
+#[test]
+fn shard_merge_killed_at_arbitrary_bytes_keeps_answers_exact() {
+    // How many bytes does a clean run write? Feed the same stream
+    // through an unlimited CrashFs-free run to size the budget sweep.
+    let urls: Vec<String> = (0..160)
+        .map(|i| format!("http://h{}/p{i}", i % 7))
+        .collect();
+    let clean_dir = fresh_dir("crash-clean");
+    {
+        let mut d = Dedup::with_spill(&tiny_cfg(&clean_dir));
+        for url in &urls {
+            d.mark_url(url);
+            d.mark_response(7, url, 100 + (url.len() as u64));
+        }
+        assert!(d.stats().merges > 0, "stream too small to force merges");
+    }
+    let total: u64 = std::fs::read_dir(&clean_dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.metadata().map(|m| m.len()).unwrap_or(0))
+        .sum();
+    std::fs::remove_dir_all(&clean_dir).ok();
+    assert!(total > 0);
+
+    let mut budgets: Vec<u64> = vec![0, 1, 15, 16, 17, total - 1];
+    for seed in crash_seeds() {
+        for i in 0u64..4 {
+            budgets.push(fxhash::hash_one(&(seed, i, "dedup")) % total);
+        }
+    }
+    budgets.sort_unstable();
+    budgets.dedup();
+
+    for budget in budgets {
+        let dir = fresh_dir(&format!("crash-{budget}"));
+        let fs = CrashFs::with_budget(budget);
+        let crashed_writes = {
+            let mut spilled = Dedup::with_spill_fs(&tiny_cfg(&dir), Arc::new(fs));
+            let mut resident = Dedup::new();
+            // Every answer stays exact even while merges start failing:
+            // fingerprints that could not reach disk stay resident.
+            for url in &urls {
+                assert_eq!(
+                    resident.mark_url(url),
+                    spilled.mark_url(url),
+                    "budget {budget}: mark diverged on {url}"
+                );
+                assert_eq!(
+                    resident.mark_response(7, url, 100 + (url.len() as u64)),
+                    spilled.mark_response(7, url, 100 + (url.len() as u64)),
+                    "budget {budget}: response mark diverged on {url}"
+                );
+                assert!(spilled.url_seen(url), "budget {budget}: lost {url}");
+            }
+            let snap_r = resident.snapshot();
+            let snap_s = spilled.snapshot();
+            assert_eq!(
+                serde_json::to_string(&snap_r).unwrap(),
+                serde_json::to_string(&snap_s).unwrap(),
+                "budget {budget}: snapshot diverged after crashed merges"
+            );
+            spilled.stats().io_errors
+        };
+        // Committed shard files on disk are never torn: each one holds
+        // whole 16-byte records (atomic_write commits fully or not at
+        // all; a crash may leave a `.spill.tmp` prefix, which is
+        // scratch the next sweep removes).
+        for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".tmp") {
+                continue;
+            }
+            let len = entry.metadata().unwrap().len();
+            assert_eq!(
+                len % 16,
+                0,
+                "budget {budget}: torn shard file {name:?} ({len} bytes)"
+            );
+        }
+        // A fresh filter over the same directory sweeps the debris of
+        // the crashed run before reusing it.
+        let swept = Dedup::with_spill_fs(&tiny_cfg(&dir), Arc::new(StdFs));
+        if crashed_writes > 0 {
+            assert!(
+                swept.stats().stale_reaped > 0 || std::fs::read_dir(&dir).unwrap().count() == 0,
+                "budget {budget}: stale shard files survived the sweep"
+            );
+        }
+        drop(swept);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

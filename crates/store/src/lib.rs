@@ -25,11 +25,18 @@ pub mod bulk;
 pub mod durable;
 pub mod persist;
 pub mod segment;
+pub mod spill;
 pub mod tables;
 
 pub use bulk::{BulkLoader, BulkLoaderObs};
 pub use durable::{CrashFs, DurableFs, GenerationWriter, StdFs};
-pub use segment::{reap_orphan_segments, DEFAULT_SEAL_EVERY, SEGMENTS_FILE};
+pub use segment::{
+    reap_orphan_segments, CompactionConfig, CompactionStats, CompactionTelemetry,
+    SegmentStoreConfig, DEFAULT_SEAL_EVERY, SEGMENTS_FILE, SPARSE_SAMPLE_EVERY,
+};
+pub use spill::{
+    reap_stale_spill_files, SpillSet, SpillSetConfig, SpillSetStats, SPILL_FILE_PREFIXES,
+};
 pub use tables::{DocumentRow, HostRow, HostState, LinkRow};
 
 use bingo_graph::{HostId, LinkSource, PageId};
@@ -212,7 +219,26 @@ impl DocumentStore {
     /// (documents buffered in the workspace before
     /// [`DocumentStore::commit_sealed`] seals a segment).
     pub fn segmented_with<P: AsRef<Path>>(dir: P, seal_every: usize) -> Result<Self, StoreError> {
-        let spine = segment::Spine::open(dir.as_ref().to_path_buf(), seal_every)?;
+        Self::segmented_cfg(
+            dir,
+            segment::SegmentStoreConfig {
+                seal_every,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// [`DocumentStore::segmented`] with full control over the index
+    /// mode and compaction policy ([`segment::SegmentStoreConfig`]).
+    /// `sparse: true` keeps only a sparse block index resident (every
+    /// [`segment::SPARSE_SAMPLE_EVERY`]th row per segment plus fence
+    /// keys) instead of one locator per sealed row; `compaction`
+    /// merges runs of small sealed segments after each seal.
+    pub fn segmented_cfg<P: AsRef<Path>>(
+        dir: P,
+        cfg: segment::SegmentStoreConfig,
+    ) -> Result<Self, StoreError> {
+        let spine = segment::Spine::open(dir.as_ref().to_path_buf(), cfg)?;
         Ok(DocumentStore {
             inner: Arc::default(),
             spine: Some(Arc::new(RwLock::new(spine))),
@@ -276,6 +302,25 @@ impl DocumentStore {
             Some(spine) => spine.write().seal(fs),
             None => Ok(false),
         }
+    }
+
+    /// Run one compaction pass now (merge the first eligible run of
+    /// small sealed segments) regardless of the seal cycle; no-op on
+    /// in-memory stores or when no compaction policy is configured.
+    /// Returns whether a run was compacted. The explicit [`DurableFs`]
+    /// lets crash tests kill the rewrite at an exact byte offset.
+    pub fn compact_now_with(&self, fs: &dyn DurableFs) -> Result<bool, StoreError> {
+        match &self.spine {
+            Some(spine) => spine.write().maybe_compact(fs),
+            None => Ok(false),
+        }
+    }
+
+    /// Cumulative compaction counters (zeros for in-memory stores).
+    pub fn compaction_stats(&self) -> segment::CompactionStats {
+        self.spine
+            .as_ref()
+            .map_or_else(Default::default, |s| s.read().compaction_stats())
     }
 
     /// Handle over the same shared state that forwards every accepted

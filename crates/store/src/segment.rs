@@ -47,9 +47,11 @@
 //! original reassignment order (set-equal, order may differ).
 
 use crate::durable::{checksum, DurableFs};
+use crate::spill::Bloom;
 use crate::tables::{DocumentRow, HostRow, LinkRow};
 use crate::StoreError;
 use bingo_graph::{HostId, PageId};
+use bingo_obs::{Counter, Registry};
 use bingo_textproc::fxhash::{self, FxHashMap};
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Seek, SeekFrom};
@@ -66,6 +68,135 @@ pub const SEGMENT_VERSION: u32 = 1;
 /// Default workspace size (documents) that triggers a seal of the
 /// workspace into a new on-disk segment.
 pub const DEFAULT_SEAL_EVERY: usize = 4096;
+/// Sparse-index sampling interval: one resident `(id, offset)` pair per
+/// this many sealed rows; a point lookup reads at most one such block.
+pub const SPARSE_SAMPLE_EVERY: usize = 64;
+
+/// Behavior of a segmented store beyond the seal threshold.
+#[derive(Debug, Clone)]
+pub struct SegmentStoreConfig {
+    /// Workspace size (documents) that triggers a seal
+    /// ([`DEFAULT_SEAL_EVERY`]).
+    pub seal_every: usize,
+    /// Sparse resident index. The dense default keeps one locator per
+    /// sealed row (exact, byte-identical to the historical layout);
+    /// sparse mode keeps only per-segment fence keys plus every
+    /// [`SPARSE_SAMPLE_EVERY`]th `(id, offset)` sample, sorts each
+    /// segment's rows by id, and answers point reads with one block
+    /// read. Sparse stores drop the resident URL-hash and topic
+    /// indexes too: [`crate::DocumentStore::document_by_url`] and
+    /// [`crate::DocumentStore::topic_documents`] become cold scans
+    /// (set-equal, order may differ — same caveat as a dense reopen).
+    pub sparse: bool,
+    /// Merge adjacent runs of small sealed segments after a seal;
+    /// `None` never compacts.
+    pub compaction: Option<CompactionConfig>,
+}
+
+impl Default for SegmentStoreConfig {
+    fn default() -> Self {
+        SegmentStoreConfig {
+            seal_every: DEFAULT_SEAL_EVERY,
+            sparse: false,
+            compaction: None,
+        }
+    }
+}
+
+/// When and how sealed segments are merged. Compaction bounds the
+/// segment count (and with it open-time verification cost and
+/// per-segment resident index overhead) on long crawls whose seals are
+/// small, and *materializes* topic overrides into the rewritten rows so
+/// the resident override map shrinks back.
+#[derive(Debug, Clone, Copy)]
+pub struct CompactionConfig {
+    /// Segments with fewer document rows than this are merge
+    /// candidates.
+    pub small_docs: usize,
+    /// Minimum adjacent run of candidates that triggers a merge (at
+    /// most one run is merged per seal).
+    pub min_run: usize,
+}
+
+impl Default for CompactionConfig {
+    fn default() -> Self {
+        CompactionConfig {
+            small_docs: DEFAULT_SEAL_EVERY,
+            min_run: 4,
+        }
+    }
+}
+
+/// Deterministic compaction counters (all zero when compaction is off).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Merge runs performed.
+    pub runs: u64,
+    /// Source segments consumed by merges.
+    pub segments_merged: u64,
+    /// Document rows rewritten.
+    pub rows_rewritten: u64,
+    /// Topic overrides materialized into rewritten rows (and dropped
+    /// from the resident override map).
+    pub overrides_materialized: u64,
+    /// Bytes written into merged segments.
+    pub bytes_written: u64,
+    /// Replaced segment files reaped after commit.
+    pub orphans_reaped: u64,
+}
+
+/// Metric handles for segment compaction. The spine itself is obs-free;
+/// callers poll [`CompactionStats`] (via
+/// [`crate::DocumentStore::compaction_stats`]) and fold deltas in here,
+/// so counters stay monotonic across polls.
+#[derive(Clone)]
+pub struct CompactionTelemetry {
+    /// Merge runs performed.
+    pub runs: Counter,
+    /// Source segments consumed by merges.
+    pub segments_merged: Counter,
+    /// Document rows rewritten.
+    pub rows_rewritten: Counter,
+    /// Topic overrides materialized into rewritten rows.
+    pub overrides_materialized: Counter,
+    /// Bytes written into merged segments.
+    pub bytes_written: Counter,
+    /// Replaced segment files reaped after commit.
+    pub orphans_reaped: Counter,
+}
+
+impl CompactionTelemetry {
+    /// Register the `store.compaction.*` handles in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        CompactionTelemetry {
+            runs: registry.counter("store.compaction.runs"),
+            segments_merged: registry.counter("store.compaction.segments_merged"),
+            rows_rewritten: registry.counter("store.compaction.rows_rewritten"),
+            overrides_materialized: registry.counter("store.compaction.overrides_materialized"),
+            bytes_written: registry.counter("store.compaction.bytes_written"),
+            orphans_reaped: registry.counter("store.compaction.orphans_reaped"),
+        }
+    }
+
+    /// Fold the store's current counters in, advancing by the delta
+    /// since `last` (which is updated to `now`).
+    pub fn record(&self, now: &CompactionStats, last: &mut CompactionStats) {
+        self.runs.add(now.runs.saturating_sub(last.runs));
+        self.segments_merged
+            .add(now.segments_merged.saturating_sub(last.segments_merged));
+        self.rows_rewritten
+            .add(now.rows_rewritten.saturating_sub(last.rows_rewritten));
+        self.overrides_materialized.add(
+            now.overrides_materialized
+                .saturating_sub(last.overrides_materialized),
+        );
+        self.bytes_written
+            .add(now.bytes_written.saturating_sub(last.bytes_written));
+        self.orphans_reaped
+            .add(now.orphans_reaped.saturating_sub(last.orphans_reaped));
+        *last = *now;
+    }
+}
 
 fn url_hash(url: &str) -> u64 {
     fxhash::hash_one(url)
@@ -142,12 +273,55 @@ struct SegmentHeader {
 }
 
 /// Locator of one sealed document row: which segment, and where in it.
-/// This — not the row — is what stays resident per document.
+/// This — not the row — is what stays resident per document (dense
+/// index mode only).
 #[derive(Debug, Clone, Copy)]
 struct SegLoc {
     seg: u32,
     offset: u64,
     len: u32,
+}
+
+/// Sparse resident index of one sealed segment (rows sorted by id):
+/// fence keys plus every [`SPARSE_SAMPLE_EVERY`]th row's `(id, byte
+/// offset)`. A point lookup binary-searches the samples and reads one
+/// block — O(rows / SAMPLE) resident entries instead of O(rows).
+#[derive(Debug, Clone)]
+struct SparseSegIndex {
+    min_id: PageId,
+    max_id: PageId,
+    /// `(id, byte offset)` of every Nth row; the first row is always
+    /// sampled, so `partition_point` never lands before a block start.
+    samples: Vec<(PageId, u64)>,
+    /// End offset of the document-row region (scan upper bound of the
+    /// last block).
+    docs_end: u64,
+}
+
+impl SparseSegIndex {
+    /// Build from each sealed row's `(id, offset, len)`, in file order
+    /// (= ascending id). A docless segment (links only) gets an
+    /// always-miss fence.
+    fn from_rows(rows: &[(PageId, u64, u32)]) -> Self {
+        let Some(&(last_id, last_off, last_len)) = rows.last() else {
+            return SparseSegIndex {
+                min_id: 1,
+                max_id: 0,
+                samples: Vec::new(),
+                docs_end: 0,
+            };
+        };
+        SparseSegIndex {
+            min_id: rows[0].0,
+            max_id: last_id,
+            samples: rows
+                .iter()
+                .step_by(SPARSE_SAMPLE_EVERY)
+                .map(|&(id, off, _)| (id, off))
+                .collect(),
+            docs_end: last_off + last_len as u64 + 1,
+        }
+    }
 }
 
 /// A segment file split into lines with their byte offsets.
@@ -204,18 +378,27 @@ fn parse_segment(bytes: &[u8]) -> Result<ParsedSegment<'_>, StoreError> {
 pub(crate) struct Spine {
     dir: PathBuf,
     manifest: SegmentManifest,
-    seal_every: usize,
+    cfg: SegmentStoreConfig,
     // --- in-memory write workspace (insertion order defines segment bytes) ---
     ws_docs: Vec<DocumentRow>,
     ws_index: FxHashMap<PageId, usize>,
     ws_links: Vec<LinkRow>,
-    // --- resident indexes over sealed rows ---
+    // --- resident indexes over sealed rows (dense mode) ---
     locs: FxHashMap<PageId, SegLoc>,
     /// `fxhash(url) -> id`, verified against the row's URL on read.
     by_url_hash: FxHashMap<u64, PageId>,
     /// Effective topic -> ids, workspace and sealed rows combined,
     /// maintained exactly like the in-memory index.
     by_topic: FxHashMap<u32, Vec<PageId>>,
+    // --- resident indexes over sealed rows (sparse mode) ---
+    /// Per-segment sparse indexes, parallel to `manifest.segments`.
+    sparse: Vec<SparseSegIndex>,
+    /// Front filter over sealed ids: duplicate-id checks hit disk only
+    /// on a probable duplicate.
+    sealed_ids: Bloom,
+    /// Sealed row count (sparse mode has no `locs` to count).
+    sealed_docs_ct: usize,
+    // --- shared mutable metadata ---
     /// Re-classification of sealed (immutable) rows, applied on read.
     overrides: FxHashMap<PageId, (Option<u32>, f32)>,
     hosts: FxHashMap<HostId, HostRow>,
@@ -223,6 +406,7 @@ pub(crate) struct Spine {
     /// Overrides/hosts changed since the last manifest commit; a seal
     /// with an empty workspace still recommits the manifest then.
     meta_dirty: bool,
+    compaction_stats: CompactionStats,
 }
 
 impl std::fmt::Debug for Spine {
@@ -236,32 +420,54 @@ impl std::fmt::Debug for Spine {
     }
 }
 
+/// Front-filter size of the sparse-mode sealed-id Bloom (2^28 bits =
+/// 32 MiB): ~0.5% false-positive rate at ten million sealed rows, so
+/// duplicate-id checks rarely touch disk.
+const SEALED_BLOOM_BITS_LOG2: u32 = 28;
+
 impl Spine {
-    fn empty(dir: PathBuf, seal_every: usize) -> Self {
+    fn empty(dir: PathBuf, cfg: SegmentStoreConfig) -> Self {
+        let bloom_bits = if cfg.sparse {
+            SEALED_BLOOM_BITS_LOG2
+        } else {
+            6
+        };
         Spine {
             dir,
             manifest: SegmentManifest::empty(),
-            seal_every: seal_every.max(1),
+            cfg: SegmentStoreConfig {
+                seal_every: cfg.seal_every.max(1),
+                ..cfg
+            },
             ws_docs: Vec::new(),
             ws_index: FxHashMap::default(),
             ws_links: Vec::new(),
             locs: FxHashMap::default(),
             by_url_hash: FxHashMap::default(),
             by_topic: FxHashMap::default(),
+            sparse: Vec::new(),
+            sealed_ids: Bloom::new(bloom_bits),
+            sealed_docs_ct: 0,
             overrides: FxHashMap::default(),
             hosts: FxHashMap::default(),
             sealed_links: 0,
             meta_dirty: false,
+            compaction_stats: CompactionStats::default(),
         }
     }
 
     /// Open (or create) a segmented store directory: reap orphans from
     /// a crashed seal, verify every referenced segment against the
-    /// manifest, and rebuild the resident locator indexes by streaming
-    /// each segment once.
-    pub(crate) fn open(dir: PathBuf, seal_every: usize) -> Result<Self, StoreError> {
+    /// manifest, and rebuild the resident indexes by streaming each
+    /// segment once.
+    ///
+    /// Index mode belongs to the *handle*, not the files: the same
+    /// directory opens dense or sparse (sparse segments are sorted by
+    /// id, which a dense open indexes like any other order; a sparse
+    /// open of dense segments rejects unsorted segments).
+    pub(crate) fn open(dir: PathBuf, cfg: SegmentStoreConfig) -> Result<Self, StoreError> {
         reap_orphan_segments(&dir);
-        let mut spine = Spine::empty(dir, seal_every);
+        let mut spine = Spine::empty(dir, cfg);
         let manifest_path = spine.dir.join(SEGMENTS_FILE);
         let text = match std::fs::read_to_string(&manifest_path) {
             Ok(text) => text,
@@ -290,24 +496,47 @@ impl Spine {
                     entry.name
                 )));
             }
+            let mut sparse_rows: Vec<(PageId, u64, u32)> =
+                Vec::with_capacity(if spine.cfg.sparse {
+                    parsed.doc_lines.len()
+                } else {
+                    0
+                });
             for &(offset, line) in &parsed.doc_lines {
                 let row: DocumentRow = from_line(line)?;
-                spine.by_url_hash.insert(url_hash(&row.url), row.id);
-                let topic = match spine.overrides.get(&row.id) {
-                    Some(&(t, _)) => t,
-                    None => row.topic,
-                };
-                if let Some(t) = topic {
-                    spine.by_topic.entry(t).or_default().push(row.id);
+                if spine.cfg.sparse {
+                    if let Some(&(prev, _, _)) = sparse_rows.last() {
+                        if prev >= row.id {
+                            return Err(pe(format!(
+                                "segment {} is not id-sorted; reopen it dense",
+                                entry.name
+                            )));
+                        }
+                    }
+                    sparse_rows.push((row.id, offset, line.len() as u32));
+                    spine.sealed_ids.add(row.id as u128);
+                } else {
+                    spine.by_url_hash.insert(url_hash(&row.url), row.id);
+                    let topic = match spine.overrides.get(&row.id) {
+                        Some(&(t, _)) => t,
+                        None => row.topic,
+                    };
+                    if let Some(t) = topic {
+                        spine.by_topic.entry(t).or_default().push(row.id);
+                    }
+                    spine.locs.insert(
+                        row.id,
+                        SegLoc {
+                            seg: seg as u32,
+                            offset,
+                            len: line.len() as u32,
+                        },
+                    );
                 }
-                spine.locs.insert(
-                    row.id,
-                    SegLoc {
-                        seg: seg as u32,
-                        offset,
-                        len: line.len() as u32,
-                    },
-                );
+            }
+            if spine.cfg.sparse {
+                spine.sealed_docs_ct += sparse_rows.len();
+                spine.sparse.push(SparseSegIndex::from_rows(&sparse_rows));
             }
             for line in &parsed.link_lines {
                 // Parse to validate; the adjacency is streamed on demand.
@@ -328,7 +557,11 @@ impl Spine {
     }
 
     pub(crate) fn sealed_documents(&self) -> usize {
-        self.locs.len()
+        if self.cfg.sparse {
+            self.sealed_docs_ct
+        } else {
+            self.locs.len()
+        }
     }
 
     pub(crate) fn workspace_documents(&self) -> usize {
@@ -336,7 +569,11 @@ impl Spine {
     }
 
     pub(crate) fn document_count(&self) -> usize {
-        self.locs.len() + self.ws_docs.len()
+        self.sealed_documents() + self.ws_docs.len()
+    }
+
+    pub(crate) fn compaction_stats(&self) -> CompactionStats {
+        self.compaction_stats
     }
 
     pub(crate) fn link_count(&self) -> usize {
@@ -348,16 +585,67 @@ impl Spine {
     }
 
     pub(crate) fn insert_document(&mut self, row: DocumentRow) -> Result<(), StoreError> {
-        if self.ws_index.contains_key(&row.id) || self.locs.contains_key(&row.id) {
+        if self.ws_index.contains_key(&row.id) || self.sealed_contains(row.id)? {
             return Err(StoreError::DuplicateKey(row.id));
         }
-        self.by_url_hash.insert(url_hash(&row.url), row.id);
-        if let Some(topic) = row.topic {
-            self.by_topic.entry(topic).or_default().push(row.id);
+        if !self.cfg.sparse {
+            self.by_url_hash.insert(url_hash(&row.url), row.id);
+            if let Some(topic) = row.topic {
+                self.by_topic.entry(topic).or_default().push(row.id);
+            }
         }
         self.ws_index.insert(row.id, self.ws_docs.len());
         self.ws_docs.push(row);
         Ok(())
+    }
+
+    /// Exact sealed-row membership. Dense: one resident-map probe.
+    /// Sparse: the Bloom filter answers "definitely not" for almost
+    /// every fresh id; a probable duplicate is confirmed with a sparse
+    /// point read.
+    fn sealed_contains(&self, id: PageId) -> Result<bool, StoreError> {
+        if !self.cfg.sparse {
+            return Ok(self.locs.contains_key(&id));
+        }
+        if !self.sealed_ids.maybe(id as u128) {
+            return Ok(false);
+        }
+        Ok(self.sparse_find(id)?.is_some())
+    }
+
+    /// Sparse point lookup: fence-filter the segments, binary-search
+    /// each candidate's samples, read one block, scan to the id. Rows
+    /// in a block are id-sorted, so the scan early-exits.
+    fn sparse_find(&self, id: PageId) -> Result<Option<DocumentRow>, StoreError> {
+        for (seg, idx) in self.sparse.iter().enumerate() {
+            if idx.samples.is_empty() || id < idx.min_id || id > idx.max_id {
+                continue;
+            }
+            let i = idx.samples.partition_point(|&(s, _)| s <= id) - 1;
+            let start = idx.samples[i].1;
+            let end = idx
+                .samples
+                .get(i + 1)
+                .map(|&(_, off)| off)
+                .unwrap_or(idx.docs_end);
+            let entry = &self.manifest.segments[seg];
+            let mut f = std::fs::File::open(self.dir.join(&entry.name)).map_err(pe)?;
+            f.seek(SeekFrom::Start(start)).map_err(pe)?;
+            let mut buf = vec![0u8; (end - start) as usize];
+            f.read_exact(&mut buf).map_err(pe)?;
+            for line in buf.split(|&b| b == b'\n') {
+                if line.is_empty() {
+                    continue;
+                }
+                let row: DocumentRow = from_line(line)?;
+                match row.id.cmp(&id) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => return Ok(Some(row)),
+                    std::cmp::Ordering::Greater => break,
+                }
+            }
+        }
+        Ok(None)
     }
 
     pub(crate) fn insert_link(&mut self, link: LinkRow) {
@@ -375,6 +663,20 @@ impl Spine {
         topic: Option<u32>,
         confidence: f32,
     ) -> Result<(), StoreError> {
+        if self.cfg.sparse {
+            // No resident topic index to maintain — record the
+            // override (reads apply it; compaction materializes it).
+            if let Some(&i) = self.ws_index.get(&id) {
+                self.ws_docs[i].topic = topic;
+                self.ws_docs[i].confidence = confidence;
+            } else if self.sealed_contains(id)? {
+                self.overrides.insert(id, (topic, confidence));
+                self.meta_dirty = true;
+            } else {
+                return Err(StoreError::MissingDocument(id));
+            }
+            return Ok(());
+        }
         let old = if let Some(&i) = self.ws_index.get(&id) {
             let old = self.ws_docs[i].topic;
             self.ws_docs[i].topic = topic;
@@ -421,11 +723,33 @@ impl Spine {
         if let Some(&i) = self.ws_index.get(&id) {
             return Some(self.ws_docs[i].clone());
         }
+        if self.cfg.sparse {
+            let mut row = self.sparse_find(id).ok()??;
+            if let Some(&(topic, confidence)) = self.overrides.get(&row.id) {
+                row.topic = topic;
+                row.confidence = confidence;
+            }
+            return Some(row);
+        }
         let loc = *self.locs.get(&id)?;
         self.read_sealed(loc).ok()
     }
 
     pub(crate) fn document_by_url(&self, url: &str) -> Option<DocumentRow> {
+        if self.cfg.sparse {
+            // Cold path by design: no resident URL index in sparse
+            // mode. Workspace first (newest rows), then a segment scan.
+            if let Some(row) = self.ws_docs.iter().find(|row| row.url == url) {
+                return Some(row.clone());
+            }
+            let mut found = None;
+            let _ = self.for_each_sealed_document(|row| {
+                if found.is_none() && row.url == url {
+                    found = Some(row.clone());
+                }
+            });
+            return found;
+        }
         let id = *self.by_url_hash.get(&url_hash(url))?;
         // Verify: the hash index may alias distinct URLs (fail-safe miss).
         self.document(id).filter(|row| row.url == url)
@@ -436,6 +760,18 @@ impl Spine {
     }
 
     pub(crate) fn topic_documents(&self, topic: u32) -> Vec<PageId> {
+        if self.cfg.sparse {
+            // Cold path by design: stream every row (overrides
+            // applied), segment order then workspace — set-equal to
+            // the dense index, order may differ.
+            let mut ids = Vec::new();
+            let _ = self.for_each_document(|row| {
+                if row.topic == Some(topic) {
+                    ids.push(row.id);
+                }
+            });
+            return ids;
+        }
         self.by_topic.get(&topic).cloned().unwrap_or_default()
     }
 
@@ -449,12 +785,9 @@ impl Spine {
         hosts
     }
 
-    /// Stream every document row (sealed segments in seal order, then
-    /// the workspace), overrides applied.
-    pub(crate) fn for_each_document<F: FnMut(&DocumentRow)>(
-        &self,
-        mut f: F,
-    ) -> Result<(), StoreError> {
+    /// Stream every *sealed* document row in segment order, overrides
+    /// applied.
+    fn for_each_sealed_document<F: FnMut(&DocumentRow)>(&self, mut f: F) -> Result<(), StoreError> {
         for entry in &self.manifest.segments {
             let bytes = std::fs::read(self.dir.join(&entry.name)).map_err(pe)?;
             let parsed = parse_segment(&bytes)?;
@@ -467,6 +800,16 @@ impl Spine {
                 f(&row);
             }
         }
+        Ok(())
+    }
+
+    /// Stream every document row (sealed segments in seal order, then
+    /// the workspace), overrides applied.
+    pub(crate) fn for_each_document<F: FnMut(&DocumentRow)>(
+        &self,
+        mut f: F,
+    ) -> Result<(), StoreError> {
+        self.for_each_sealed_document(&mut f)?;
         for row in &self.ws_docs {
             f(row);
         }
@@ -532,7 +875,8 @@ impl Spine {
 
     /// Seal the workspace when it has grown past the threshold.
     pub(crate) fn maybe_seal(&mut self, fs: &dyn DurableFs) -> Result<bool, StoreError> {
-        if self.ws_docs.len() >= self.seal_every || self.ws_links.len() >= self.seal_every * 16 {
+        let seal_every = self.cfg.seal_every;
+        if self.ws_docs.len() >= seal_every || self.ws_links.len() >= seal_every * 16 {
             self.seal(fs)
         } else {
             Ok(false)
@@ -574,13 +918,21 @@ impl Spine {
             docs: self.ws_docs.len() as u64,
             links: self.ws_links.len() as u64,
         };
+        // Row order in the file: insertion order, except sparse mode
+        // sorts by id so block reads can binary-search. The order is
+        // computed without disturbing the workspace — on a write error
+        // `ws_index` must stay valid.
+        let mut order: Vec<usize> = (0..self.ws_docs.len()).collect();
+        if self.cfg.sparse {
+            order.sort_unstable_by_key(|&i| self.ws_docs[i].id);
+        }
         let mut bytes = Vec::new();
         serde_json::to_writer(&mut bytes, &header).map_err(pe)?;
         bytes.push(b'\n');
         let mut offsets = Vec::with_capacity(self.ws_docs.len());
-        for row in &self.ws_docs {
+        for &i in &order {
             let start = bytes.len() as u64;
-            serde_json::to_writer(&mut bytes, row).map_err(pe)?;
+            serde_json::to_writer(&mut bytes, &self.ws_docs[i]).map_err(pe)?;
             offsets.push((start, (bytes.len() as u64 - start) as u32));
             bytes.push(b'\n');
         }
@@ -607,21 +959,188 @@ impl Spine {
             .map_err(pe)?;
         // Committed: move the workspace into the sealed state.
         self.manifest = manifest;
-        for (row, (offset, len)) in self.ws_docs.drain(..).zip(offsets) {
-            self.locs.insert(
-                row.id,
-                SegLoc {
-                    seg: seg_index,
-                    offset,
-                    len,
-                },
-            );
+        if self.cfg.sparse {
+            let rows: Vec<(PageId, u64, u32)> = order
+                .iter()
+                .zip(&offsets)
+                .map(|(&i, &(offset, len))| (self.ws_docs[i].id, offset, len))
+                .collect();
+            for &(id, _, _) in &rows {
+                self.sealed_ids.add(id as u128);
+            }
+            self.sealed_docs_ct += rows.len();
+            self.sparse.push(SparseSegIndex::from_rows(&rows));
+            self.ws_docs.clear();
+        } else {
+            for (&i, &(offset, len)) in order.iter().zip(&offsets) {
+                self.locs.insert(
+                    self.ws_docs[i].id,
+                    SegLoc {
+                        seg: seg_index,
+                        offset,
+                        len,
+                    },
+                );
+            }
+            self.ws_docs.clear();
         }
         self.ws_index.clear();
         self.sealed_links += self.ws_links.len() as u64;
         self.ws_links.clear();
         self.meta_dirty = false;
+        self.maybe_compact(fs)?;
         Ok(true)
+    }
+
+    /// Merge the first adjacent run of small sealed segments, if any.
+    /// Called after every successful data seal; also reachable via
+    /// [`crate::DocumentStore::compact_now_with`]. Returns whether a
+    /// run was compacted.
+    pub(crate) fn maybe_compact(&mut self, fs: &dyn DurableFs) -> Result<bool, StoreError> {
+        let Some(cfg) = self.cfg.compaction else {
+            return Ok(false);
+        };
+        let small_docs = cfg.small_docs.max(1) as u64;
+        let min_run = cfg.min_run.max(2);
+        let mut start = 0usize;
+        while start < self.manifest.segments.len() {
+            if self.manifest.segments[start].docs >= small_docs {
+                start += 1;
+                continue;
+            }
+            let mut end = start + 1;
+            while end < self.manifest.segments.len()
+                && self.manifest.segments[end].docs < small_docs
+            {
+                end += 1;
+            }
+            if end - start >= min_run {
+                self.compact_run(fs, start, end - start)?;
+                return Ok(true);
+            }
+            start = end;
+        }
+        Ok(false)
+    }
+
+    /// Rewrite the `len` sealed segments starting at index `start` as
+    /// one merged segment under a fresh segment number. Overrides on
+    /// merged rows are materialized into the rewritten rows and dropped
+    /// from the override map. Crash-safe: the merged segment and the
+    /// new manifest are written atomically (manifest last, as the
+    /// commit record), and resident state mutates only after both
+    /// writes succeed — a crash in between leaves an orphan segment
+    /// that the next open reaps.
+    fn compact_run(
+        &mut self,
+        fs: &dyn DurableFs,
+        start: usize,
+        len: usize,
+    ) -> Result<(), StoreError> {
+        let mut rows: Vec<DocumentRow> = Vec::new();
+        let mut link_bytes: Vec<u8> = Vec::new();
+        let mut links = 0u64;
+        for entry in &self.manifest.segments[start..start + len] {
+            let bytes = std::fs::read(self.dir.join(&entry.name)).map_err(pe)?;
+            let parsed = parse_segment(&bytes)?;
+            for &(_, line) in &parsed.doc_lines {
+                rows.push(from_line(line)?);
+            }
+            for line in &parsed.link_lines {
+                link_bytes.extend_from_slice(line);
+                link_bytes.push(b'\n');
+            }
+            links += parsed.header.links;
+        }
+        let mut materialized = 0u64;
+        for row in &mut rows {
+            if let Some(&(topic, confidence)) = self.overrides.get(&row.id) {
+                row.topic = topic;
+                row.confidence = confidence;
+                materialized += 1;
+            }
+        }
+        if self.cfg.sparse {
+            rows.sort_unstable_by_key(|row| row.id);
+        }
+        let seg_no = self.manifest.next_seg;
+        let name = format!("seg-{seg_no:06}.jsonl");
+        let header = SegmentHeader {
+            magic: SEGMENT_MAGIC.to_string(),
+            version: SEGMENT_VERSION,
+            seg: seg_no,
+            docs: rows.len() as u64,
+            links,
+        };
+        let mut bytes = Vec::new();
+        serde_json::to_writer(&mut bytes, &header).map_err(pe)?;
+        bytes.push(b'\n');
+        let mut offsets = Vec::with_capacity(rows.len());
+        for row in &rows {
+            let off = bytes.len() as u64;
+            serde_json::to_writer(&mut bytes, row).map_err(pe)?;
+            offsets.push((off, (bytes.len() as u64 - off) as u32));
+            bytes.push(b'\n');
+        }
+        bytes.extend_from_slice(&link_bytes);
+        fs.atomic_write(&self.dir.join(&name), &bytes).map_err(pe)?;
+        let mut manifest = self.manifest.clone();
+        let merged_ids: Vec<PageId> = rows.iter().map(|r| r.id).collect();
+        let entry = SegmentEntry {
+            name,
+            docs: rows.len() as u64,
+            links,
+            len: bytes.len() as u64,
+            checksum: checksum(&bytes),
+        };
+        manifest.segments.splice(start..start + len, [entry]);
+        manifest.next_seg = seg_no + 1;
+        for id in &merged_ids {
+            self.overrides.remove(id);
+        }
+        manifest.overrides = self.overrides_sorted();
+        manifest.hosts = self.hosts_sorted();
+        let mut mjson = Vec::new();
+        serde_json::to_writer(&mut mjson, &manifest).map_err(pe)?;
+        fs.atomic_write(&self.dir.join(SEGMENTS_FILE), &mjson)
+            .map_err(pe)?;
+        // Committed: fold the merge into resident state.
+        self.manifest = manifest;
+        if self.cfg.sparse {
+            let idx_rows: Vec<(PageId, u64, u32)> = rows
+                .iter()
+                .zip(&offsets)
+                .map(|(row, &(off, rlen))| (row.id, off, rlen))
+                .collect();
+            self.sparse
+                .splice(start..start + len, [SparseSegIndex::from_rows(&idx_rows)]);
+        } else {
+            let removed = (len - 1) as u32;
+            let cutoff = (start + len) as u32;
+            for loc in self.locs.values_mut() {
+                if loc.seg >= cutoff {
+                    loc.seg -= removed;
+                }
+            }
+            for (row, &(off, rlen)) in rows.iter().zip(&offsets) {
+                self.locs.insert(
+                    row.id,
+                    SegLoc {
+                        seg: start as u32,
+                        offset: off,
+                        len: rlen,
+                    },
+                );
+            }
+        }
+        self.meta_dirty = false;
+        self.compaction_stats.runs += 1;
+        self.compaction_stats.segments_merged += len as u64;
+        self.compaction_stats.rows_rewritten += rows.len() as u64;
+        self.compaction_stats.overrides_materialized += materialized;
+        self.compaction_stats.bytes_written += bytes.len() as u64;
+        self.compaction_stats.orphans_reaped += reap_orphan_segments(&self.dir) as u64;
+        Ok(())
     }
 
     fn overrides_sorted(&self) -> Vec<(PageId, Option<u32>, f32)> {
@@ -657,20 +1176,33 @@ impl Spine {
             let mut out = Vec::with_capacity(bytes.len());
             let header_end = bytes.iter().position(|&b| b == b'\n').unwrap_or(0);
             out.extend_from_slice(&bytes[..=header_end]);
+            let mut idx_rows: Vec<(PageId, u64, u32)> = Vec::with_capacity(if self.cfg.sparse {
+                parsed.doc_lines.len()
+            } else {
+                0
+            });
             for &(_, line) in &parsed.doc_lines {
                 let mut row: DocumentRow = from_line(line)?;
                 remap(&mut row);
                 let start = out.len() as u64;
                 serde_json::to_writer(&mut out, &row).map_err(pe)?;
-                self.locs.insert(
-                    row.id,
-                    SegLoc {
-                        seg: seg as u32,
-                        offset: start,
-                        len: (out.len() as u64 - start) as u32,
-                    },
-                );
+                let row_len = (out.len() as u64 - start) as u32;
+                if self.cfg.sparse {
+                    idx_rows.push((row.id, start, row_len));
+                } else {
+                    self.locs.insert(
+                        row.id,
+                        SegLoc {
+                            seg: seg as u32,
+                            offset: start,
+                            len: row_len,
+                        },
+                    );
+                }
                 out.push(b'\n');
+            }
+            if self.cfg.sparse {
+                self.sparse[seg] = SparseSegIndex::from_rows(&idx_rows);
             }
             for line in &parsed.link_lines {
                 out.extend_from_slice(line);
@@ -739,6 +1271,13 @@ mod tests {
         dir
     }
 
+    fn cfg4() -> SegmentStoreConfig {
+        SegmentStoreConfig {
+            seal_every: 4,
+            ..Default::default()
+        }
+    }
+
     fn doc(id: u64, topic: Option<u32>) -> DocumentRow {
         DocumentRow {
             id,
@@ -758,7 +1297,7 @@ mod tests {
     #[test]
     fn seal_reopen_and_point_read() {
         let dir = temp_dir("seal");
-        let mut spine = Spine::open(dir.clone(), 4).unwrap();
+        let mut spine = Spine::open(dir.clone(), cfg4()).unwrap();
         for i in 0..6 {
             spine.insert_document(doc(i, Some((i % 2) as u32))).unwrap();
         }
@@ -778,7 +1317,7 @@ mod tests {
         // Workspace rows survive only via another seal; reopen sees sealed.
         assert!(spine.seal(&StdFs).unwrap());
         drop(spine);
-        let spine = Spine::open(dir.clone(), 4).unwrap();
+        let spine = Spine::open(dir.clone(), cfg4()).unwrap();
         assert_eq!(spine.segment_count(), 2);
         assert_eq!(spine.document_count(), 7);
         assert_eq!(spine.link_count(), 1);
@@ -791,7 +1330,7 @@ mod tests {
     #[test]
     fn overrides_apply_to_sealed_rows_and_persist_via_next_seal() {
         let dir = temp_dir("override");
-        let mut spine = Spine::open(dir.clone(), 4).unwrap();
+        let mut spine = Spine::open(dir.clone(), cfg4()).unwrap();
         for i in 0..3 {
             spine.insert_document(doc(i, Some(0))).unwrap();
         }
@@ -804,7 +1343,7 @@ mod tests {
         spine.insert_document(doc(3, None)).unwrap();
         spine.seal(&StdFs).unwrap();
         drop(spine);
-        let spine = Spine::open(dir.clone(), 4).unwrap();
+        let spine = Spine::open(dir.clone(), cfg4()).unwrap();
         assert_eq!(spine.document(1).unwrap().topic, Some(9));
         assert_eq!(spine.document(1).unwrap().confidence, 0.75);
         assert_eq!(spine.topic_documents(9), vec![1]);
@@ -814,7 +1353,7 @@ mod tests {
     #[test]
     fn orphan_segments_are_reaped_and_ignored() {
         let dir = temp_dir("orphan");
-        let mut spine = Spine::open(dir.clone(), 4).unwrap();
+        let mut spine = Spine::open(dir.clone(), cfg4()).unwrap();
         spine.insert_document(doc(0, None)).unwrap();
         spine.seal(&StdFs).unwrap();
         // Simulate a crash between seal and manifest commit: an extra
@@ -823,7 +1362,7 @@ mod tests {
         std::fs::write(dir.join("seg-000002.jsonl.tmp"), b"torn tmp").unwrap();
         assert_eq!(reap_orphan_segments(&dir), 2);
         assert_eq!(reap_orphan_segments(&dir), 0, "idempotent");
-        let spine = Spine::open(dir.clone(), 4).unwrap();
+        let spine = Spine::open(dir.clone(), cfg4()).unwrap();
         assert_eq!(spine.segment_count(), 1);
         assert_eq!(spine.document_count(), 1);
         std::fs::remove_dir_all(&dir).ok();
@@ -832,7 +1371,7 @@ mod tests {
     #[test]
     fn corrupt_segment_fails_verification_on_open() {
         let dir = temp_dir("corrupt");
-        let mut spine = Spine::open(dir.clone(), 4).unwrap();
+        let mut spine = Spine::open(dir.clone(), cfg4()).unwrap();
         for i in 0..2 {
             spine.insert_document(doc(i, None)).unwrap();
         }
@@ -845,7 +1384,7 @@ mod tests {
         bytes[n / 2] ^= 0xff;
         std::fs::write(&seg, &bytes).unwrap();
         assert!(matches!(
-            Spine::open(dir.clone(), 4),
+            Spine::open(dir.clone(), cfg4()),
             Err(StoreError::Persist(_))
         ));
         std::fs::remove_dir_all(&dir).ok();
@@ -854,7 +1393,7 @@ mod tests {
     #[test]
     fn remap_rewrites_sealed_segments() {
         let dir = temp_dir("remap");
-        let mut spine = Spine::open(dir.clone(), 4).unwrap();
+        let mut spine = Spine::open(dir.clone(), cfg4()).unwrap();
         spine.insert_document(doc(0, None)).unwrap();
         spine.seal(&StdFs).unwrap();
         spine.insert_document(doc(1, None)).unwrap();
@@ -866,8 +1405,179 @@ mod tests {
         assert_eq!(spine.document(1).unwrap().term_freqs, vec![(2, 1), (6, 2)]);
         drop(spine);
         // The rewritten segment re-verifies and reopens.
-        let spine = Spine::open(dir.clone(), 4).unwrap();
+        let spine = Spine::open(dir.clone(), cfg4()).unwrap();
         assert_eq!(spine.document(0).unwrap().term_freqs, vec![(2, 1), (6, 2)]);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn sparse4() -> SegmentStoreConfig {
+        SegmentStoreConfig {
+            seal_every: 4,
+            sparse: true,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sparse_mode_answers_match_dense() {
+        let dir = temp_dir("sparse-eq");
+        let mut spine = Spine::open(dir.clone(), sparse4()).unwrap();
+        // Insert out of id order so the sparse seal has to sort.
+        for i in [3u64, 0, 2, 1, 7, 4, 6, 5] {
+            spine.insert_document(doc(i, Some((i % 2) as u32))).unwrap();
+            if spine.workspace_documents() >= 4 {
+                assert!(spine.seal(&StdFs).unwrap());
+            }
+        }
+        spine.insert_document(doc(8, None)).unwrap();
+        assert_eq!(spine.document_count(), 9);
+        assert_eq!(spine.sealed_documents(), 8);
+        for i in 0..9 {
+            assert_eq!(spine.document(i).unwrap().title, format!("doc {i}"));
+        }
+        assert!(spine.document(99).is_none());
+        assert_eq!(spine.document_by_url("http://h1/p4").unwrap().id, 4);
+        assert!(spine.document_by_url("http://h1/p99").is_none());
+        let mut evens = spine.topic_documents(0);
+        evens.sort_unstable();
+        assert_eq!(evens, vec![0, 2, 4, 6]);
+        // Sealed duplicate ids are rejected through the bloom + block read.
+        assert!(matches!(
+            spine.insert_document(doc(3, None)),
+            Err(StoreError::DuplicateKey(3))
+        ));
+        // Overrides on sealed rows work without a resident locator.
+        spine.set_topic(5, Some(9), 0.9).unwrap();
+        assert_eq!(spine.document(5).unwrap().topic, Some(9));
+        assert!(matches!(
+            spine.set_topic(42, Some(1), 0.1),
+            Err(StoreError::MissingDocument(42))
+        ));
+        assert!(spine.seal(&StdFs).unwrap());
+        drop(spine);
+        // The same directory reopens in either mode with the same answers.
+        for cfg in [cfg4(), sparse4()] {
+            let spine = Spine::open(dir.clone(), cfg).unwrap();
+            assert_eq!(spine.document_count(), 9);
+            assert_eq!(spine.document(5).unwrap().topic, Some(9));
+            assert_eq!(spine.document(8).unwrap().title, "doc 8");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sparse_open_rejects_unsorted_segments() {
+        let dir = temp_dir("sparse-unsorted");
+        let mut spine = Spine::open(dir.clone(), cfg4()).unwrap();
+        // Dense seals keep insertion order: 1 before 0 is unsorted.
+        spine.insert_document(doc(1, None)).unwrap();
+        spine.insert_document(doc(0, None)).unwrap();
+        spine.seal(&StdFs).unwrap();
+        drop(spine);
+        assert!(matches!(
+            Spine::open(dir.clone(), sparse4()),
+            Err(StoreError::Persist(_))
+        ));
+        // Dense reopen is unaffected.
+        assert!(Spine::open(dir.clone(), cfg4()).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn compacting(sparse: bool, min_run: usize) -> SegmentStoreConfig {
+        SegmentStoreConfig {
+            seal_every: 2,
+            sparse,
+            compaction: Some(CompactionConfig {
+                small_docs: 5,
+                min_run,
+            }),
+        }
+    }
+
+    #[test]
+    fn compaction_merges_adjacent_small_segments() {
+        for sparse in [false, true] {
+            let dir = temp_dir(&format!("compact-{sparse}"));
+            let mut spine = Spine::open(dir.clone(), compacting(sparse, 2)).unwrap();
+            for i in 0..8u64 {
+                spine.insert_document(doc(i, Some((i % 2) as u32))).unwrap();
+                spine.insert_link(LinkRow {
+                    from: i,
+                    to: i + 1,
+                    to_url: "u".into(),
+                });
+                spine.maybe_seal(&StdFs).unwrap();
+            }
+            // Seals of 2 rows each; every second seal completes a run of
+            // two small segments and merges it. The merged 4-row segment
+            // is still < small_docs, so the next merge folds into it too.
+            assert_eq!(spine.document_count(), 8);
+            assert!(
+                spine.segment_count() < 4,
+                "small segments were not merged: {}",
+                spine.segment_count()
+            );
+            let stats = spine.compaction_stats();
+            assert!(stats.runs >= 1);
+            assert!(stats.segments_merged >= 2);
+            assert!(stats.rows_rewritten >= 4);
+            assert!(stats.bytes_written > 0);
+            for i in 0..8 {
+                assert_eq!(spine.document(i).unwrap().title, format!("doc {i}"));
+            }
+            assert_eq!(spine.link_count(), 8);
+            drop(spine);
+            // Merged directory reopens in both modes.
+            for cfg in [cfg4(), sparse4()] {
+                let spine = Spine::open(dir.clone(), cfg).unwrap();
+                assert_eq!(spine.document_count(), 8);
+                assert_eq!(spine.link_count(), 8);
+                assert_eq!(spine.document(6).unwrap().title, "doc 6");
+                assert_eq!(spine.successors(3), vec![4]);
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn compaction_materializes_overrides_and_shifts_later_segments() {
+        for sparse in [false, true] {
+            let dir = temp_dir(&format!("compact-ovr-{sparse}"));
+            // min_run 3 keeps the first two small seals unmerged so an
+            // override can land on a sealed row before compaction runs.
+            let mut spine = Spine::open(dir.clone(), compacting(sparse, 3)).unwrap();
+            for i in 0..4u64 {
+                spine.insert_document(doc(i, Some(0))).unwrap();
+                spine.maybe_seal(&StdFs).unwrap();
+            }
+            assert_eq!(spine.segment_count(), 2);
+            spine.set_topic(1, Some(9), 0.75).unwrap();
+            // Third small seal completes the run; compaction merges all
+            // three segments and bakes the override into the rows.
+            for i in 4..6u64 {
+                spine.insert_document(doc(i, Some(0))).unwrap();
+            }
+            spine.seal(&StdFs).unwrap();
+            assert_eq!(spine.segment_count(), 1);
+            let stats = spine.compaction_stats();
+            assert_eq!(stats.overrides_materialized, 1);
+            assert_eq!(spine.document(1).unwrap().topic, Some(9));
+            assert_eq!(spine.document(1).unwrap().confidence, 0.75);
+            // The override left the resident map: the next manifest
+            // commit writes it empty, and a reopen still sees the topic.
+            for i in 6..10u64 {
+                spine.insert_document(doc(i, Some(1))).unwrap();
+            }
+            spine.seal(&StdFs).unwrap();
+            // Rows in segments after the merged run stay addressable
+            // (dense locs shifted; sparse indexes respliced).
+            assert_eq!(spine.document(7).unwrap().title, "doc 7");
+            drop(spine);
+            let spine = Spine::open(dir.clone(), if sparse { sparse4() } else { cfg4() }).unwrap();
+            assert_eq!(spine.manifest.overrides.len(), 0);
+            assert_eq!(spine.document(1).unwrap().topic, Some(9));
+            assert_eq!(spine.document_count(), 10);
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 }
