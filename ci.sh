@@ -33,20 +33,28 @@
 # scenario subset — nightly.yml uses it to give the hour-plus 10M-page
 # scale scenario its own job while the rest of the full gate runs in
 # parallel.
-# The gate covers seven scenarios (crawl, classify, pipeline, recovery,
-# serve, scale, scale10m) against the checked-in BENCH_<scenario>.json
-# baselines; the serve scenario additionally proves the snapshot-swap
-# live index answers queries identically to a batch rebuild while
-# gating portal QPS and latency percentiles, and the scale scenarios
-# crawl paged worlds (a million and ten million pages in full mode)
-# through the segmented store and the spill/compaction layers, failing
-# the gate if peak-RSS growth leaves the fixed budget
-# (rss_within_budget). Use `-- --only crawl,serve` to run a subset.
+# The gate covers eight scenarios (crawl, classify, pipeline, recovery,
+# serve, scale, scale10m, dist) against the checked-in
+# BENCH_<scenario>.json baselines; the serve scenario additionally
+# proves the snapshot-swap live index answers queries identically to a
+# batch rebuild while gating portal QPS and latency percentiles, the
+# scale scenarios crawl paged worlds (a million and ten million pages
+# in full mode) through the segmented store and the spill/compaction
+# layers, failing the gate if peak-RSS growth leaves the fixed budget
+# (rss_within_budget), and the dist scenario runs a multi-node
+# coordinator/worker crawl through seeded node kills plus a process
+# kill, gating exact calm-set convergence, kill/requeue coverage, and
+# recovery wall time. Use `-- --only crawl,serve` to run a subset.
 #
 # BINGO_CRASH_SEEDS picks the seed matrix for the crash-recovery sweep
-# (every byte budget of a checkpoint write, a store segment seal, and
-# every frontier spill-file boundary is crashed and recovered); the
-# default widens the in-repo test default for CI coverage.
+# (every byte budget of a checkpoint write, a store segment seal, every
+# frontier spill-file boundary, the lease journal, and every file
+# boundary of the two-phase distributed snapshot commit is crashed and
+# recovered); the default widens the in-repo test default for CI
+# coverage. BINGO_NODE_KILL_SEEDS picks the seed matrix for the
+# node-kill chaos sweep (each seed: generated fault plan, mid-crawl
+# process kill, resume must converge to the calm page set); nightly.yml
+# fans much wider slices of both through the crash step.
 set -eu
 
 cd "$(dirname "$0")"
@@ -54,6 +62,7 @@ cd "$(dirname "$0")"
 BENCH_GATE_MODE="${BENCH_GATE_MODE:-full}"
 BENCH_GATE_ONLY="${BENCH_GATE_ONLY:-}"
 BINGO_CRASH_SEEDS="${BINGO_CRASH_SEEDS:-1,2,3,11,12,13}"
+BINGO_NODE_KILL_SEEDS="${BINGO_NODE_KILL_SEEDS:-41,42,43}"
 CI_STEPS="${CI_STEPS:-lint,test,crash,bench}"
 STEP_TIMINGS=""
 CI_OK=0
@@ -120,6 +129,14 @@ if wants crash; then
     step "segment crash matrix (seeds $BINGO_CRASH_SEEDS)" \
         env BINGO_CRASH_SEEDS="$BINGO_CRASH_SEEDS" \
         cargo test -q --offline -p bingo-store --test segment_crash
+
+    step "dist crash matrix (seeds $BINGO_CRASH_SEEDS)" \
+        env BINGO_CRASH_SEEDS="$BINGO_CRASH_SEEDS" \
+        cargo test -q --offline -p bingo-dist --test dist_crash
+
+    step "node-kill chaos (seeds $BINGO_NODE_KILL_SEEDS)" \
+        env BINGO_NODE_KILL_SEEDS="$BINGO_NODE_KILL_SEEDS" \
+        cargo test -q --offline -p bingo-dist --test dist_chaos
 fi
 
 if wants lint; then

@@ -8,9 +8,9 @@
 //!                    (runs both smoke and full sizes)
 //!   --only LIST      run a subset of scenarios: a comma-separated list
 //!                    of (crawl | classify | pipeline | recovery |
-//!                    serve | scale | scale10m), e.g. `--only
+//!                    serve | scale | scale10m | dist), e.g. `--only
 //!                    crawl,serve`; repeatable. Unknown or empty lists
-//!                    are usage errors.
+//!                    are usage errors listing the valid names.
 //!   --out DIR        artifact directory (default target/bench_gate)
 //! ```
 //!
@@ -23,10 +23,10 @@
 use bingo_bench::gate::{
     baseline_file, calibrate_cpu_ms, check_determinism, default_out_dir, diff_reports,
     load_baseline, markdown_diff_table, run_classify_scenario, run_crawl_scenario,
-    run_pipeline_scenario, run_recovery_scenario, run_scale10m_scenario, run_scale_scenario,
-    run_serve_scenario, write_run_artifacts, GateMode, MetricDiff, MetricSpec, ScenarioRun,
-    CLASSIFY_SPECS, CRAWL_SPECS, PIPELINE_SPECS, RECOVERY_SPECS, SCALE10M_SPECS, SCALE_SPECS,
-    SERVE_SPECS,
+    run_dist_scenario, run_pipeline_scenario, run_recovery_scenario, run_scale10m_scenario,
+    run_scale_scenario, run_serve_scenario, write_run_artifacts, GateMode, MetricDiff, MetricSpec,
+    ScenarioRun, CLASSIFY_SPECS, CRAWL_SPECS, DIST_SPECS, PIPELINE_SPECS, RECOVERY_SPECS,
+    SCALE10M_SPECS, SCALE_SPECS, SERVE_SPECS,
 };
 use serde_json::{json, Value};
 use std::path::{Path, PathBuf};
@@ -72,6 +72,11 @@ const SCENARIOS: &[Scenario] = &[
         name: "scale10m",
         specs: SCALE10M_SPECS,
         run: run_scale10m_scenario,
+    },
+    Scenario {
+        name: "dist",
+        specs: DIST_SPECS,
+        run: run_dist_scenario,
     },
 ];
 
@@ -120,7 +125,14 @@ fn main() {
                     }
                 }
                 None => {
-                    eprintln!("--only requires a scenario name");
+                    eprintln!(
+                        "--only requires a scenario name (one of: {})",
+                        SCENARIOS
+                            .iter()
+                            .map(|s| s.name)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
                     std::process::exit(2);
                 }
             },

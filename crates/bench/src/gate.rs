@@ -1,6 +1,6 @@
 //! The deterministic bench-regression gate.
 //!
-//! Seven fixed macro scenarios run with a scenario-wide telemetry
+//! Eight fixed macro scenarios run with a scenario-wide telemetry
 //! registry:
 //!
 //! * **crawl** — a seeded portal crawl (learning → retrain → harvesting)
@@ -33,7 +33,14 @@
 //!   with every bounding knob on: spilling duplicate filter, sparse
 //!   segment index, segment compaction, capped term cache. Adds exact
 //!   gates on `dedup_spill_active`, `dedup_io_errors` and
-//!   `compaction_runs`.
+//!   `compaction_runs`,
+//! * **dist** — the distributed coordinator/worker crawl: a calm
+//!   N-node run, then the same crawl under a seeded node-kill fault
+//!   plan interrupted by a whole-process kill and resumed from the
+//!   newest crash-consistent multi-node generation. Gates convergence
+//!   (chaos page set == calm page set, exact), the scripted
+//!   kill/restart counts, the lease-requeue coverage, harvest-ratio
+//!   drift, and the resume wall time (loose backstop).
 //!
 //! Each scenario runs **twice**: the deterministic metrics snapshot and
 //! the event log of both runs must be byte-identical, or the gate fails
@@ -53,9 +60,10 @@
 
 use bingo_core::{BingoEngine, EngineConfig, EngineTelemetry, TopicId, TopicTree};
 use bingo_crawler::{
-    run_pipeline, CrawlConfig, CrawlTelemetry, Crawler, Judgment, PageContext, PipelineOptions,
-    StepOutcome,
+    run_pipeline, BatchJudge, CrawlConfig, CrawlTelemetry, Crawler, Judgment, PageContext,
+    PipelineOptions, StepOutcome,
 };
+use bingo_dist::{Coordinator, DistConfig, DistTelemetry};
 use bingo_obs::{EventLog, Registry, WallTimer};
 use bingo_search::index::analyze_query_with;
 use bingo_search::{
@@ -70,8 +78,8 @@ use bingo_store::{
 };
 use bingo_textproc::{porter_stem, AnalyzedDocument, SharedVocabulary, TermLookup, Vocabulary};
 use bingo_webworld::fetch::host_of_url;
-use bingo_webworld::gen::WorldConfig;
-use bingo_webworld::{lexicon, HostBehavior, PageKind, World};
+use bingo_webworld::gen::{TopicConfig, WorldConfig};
+use bingo_webworld::{lexicon, HostBehavior, NodeFaultPlan, NodeFaultProfile, PageKind, World};
 use serde_json::{json, Value};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -1036,6 +1044,162 @@ fn run_scale_with(params: ScaleParams) -> ScenarioRun {
     }
 }
 
+/// Run the dist scenario once: the coordinator/worker distributed
+/// crawl under node-kill chaos, against a calm reference.
+///
+/// Three legs share one world and one scenario-wide `dist.*` registry:
+///
+/// * **calm** — an N-node crawl to frontier exhaustion; its page set
+///   and harvest ratio are the reference,
+/// * **chaos** — the same crawl under a seeded [`NodeFaultPlan`]
+///   (whole-node kills and stalls), interrupted by a whole-process
+///   kill at a virtual-time budget,
+/// * **resume** — recovery from the newest crash-consistent multi-node
+///   generation (timed as `recovery_wall_ms`), the fault plan
+///   reinstalled, and the crawl drained.
+///
+/// Gated: the chaos run must converge to exactly the calm page set
+/// (`converged`, exact — the acceptance criterion "calm contents minus
+/// quarantined URLs" with a poison budget high enough that nothing
+/// quarantines), the scripted kill/restart counts and the
+/// lease-requeue coverage must not silently shrink, the chaos harvest
+/// ratio gates against its own baseline (`ratio_drift` vs calm is
+/// reported, not gated: re-stores after node kills inflate the chaos
+/// counters — the within-2%-of-uninterrupted contract is asserted on
+/// clean counters in `crates/dist/tests/dist_chaos.rs`), and the
+/// resume path gets a loose wall-time backstop.
+pub fn run_dist_scenario(mode: GateMode) -> ScenarioRun {
+    let (nodes, page_scale, interrupt_ms) = match mode {
+        GateMode::Full => (4usize, 3usize, 5_000u64),
+        GateMode::Smoke => (3, 1, 3_000),
+    };
+    let mut world_config = WorldConfig::small_test(GATE_SEED);
+    // Scale the small-test topology rather than using the portal
+    // world: the dist crawl drains its whole reachable component, so
+    // the world itself is the size knob.
+    world_config.topics = vec![
+        TopicConfig::new("dbresearch", "database_research", 60 * page_scale, 3),
+        TopicConfig::new("datamining", "data_mining", 40 * page_scale, 2),
+        TopicConfig::new("sports", "sports", 60 * page_scale, 3),
+        TopicConfig::new("entertainment", "entertainment", 60 * page_scale, 3),
+    ];
+    let world = Arc::new(world_config.build());
+    let pages = world.page_count() as u64;
+    let judge: Arc<dyn BatchJudge> = Arc::new(|_: &AnalyzedDocument, _: &PageContext| Judgment {
+        topic: Some(0),
+        confidence: 1.0,
+    });
+    let registry = Arc::new(Registry::new());
+    let events = Arc::new(EventLog::default());
+    let telemetry = DistTelemetry::new(registry.clone(), events.clone());
+    let total_wall = WallTimer::start();
+
+    let dist_config = |dir: &Path| {
+        let mut config = DistConfig::new(nodes, dir);
+        // Depth beyond the world's diameter (truncation would make the
+        // reachable fringe scheduling-dependent) and a poison budget
+        // nothing reaches, so calm and chaos converge exactly.
+        config.max_depth = 100;
+        config.poison_budget = 100;
+        config.snapshot_every_acks = 8;
+        config
+    };
+    let seed_coordinator = |dir: &Path, telemetry: &DistTelemetry| {
+        let mut coord = Coordinator::new(world.clone(), judge.clone(), dist_config(dir));
+        coord.set_telemetry(telemetry.clone());
+        for id in 1..=6 {
+            coord.add_seed(&world.url_of(id), Some(0));
+        }
+        coord
+    };
+    let page_ids = |coord: &Coordinator| {
+        let mut ids: Vec<u64> = coord
+            .combined_store()
+            .all_documents()
+            .into_iter()
+            .map(|d| d.id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    };
+
+    // Calm leg: the reference page set and harvest ratio.
+    let calm_dir = std::env::temp_dir().join(format!("bingo-bench-dist-calm-{}", mode.key()));
+    let _ = std::fs::remove_dir_all(&calm_dir);
+    let calm_wall = WallTimer::start();
+    let mut calm = seed_coordinator(&calm_dir, &telemetry);
+    let calm_stats = calm.run(10_000_000).expect("calm dist run");
+    let calm_wall_ms = (calm_wall.elapsed_us() as f64 / 1000.0).max(0.001);
+    let calm_ids = page_ids(&calm);
+    let calm_visited = calm_stats.fetch_ok + calm_stats.fetch_err + calm_stats.redirects;
+    let calm_ratio = calm_stats.stored as f64 / calm_visited.max(1) as f64;
+
+    // Chaos leg: scripted node kills/stalls, then the whole process
+    // dies at a virtual-time budget.
+    let chaos_dir = std::env::temp_dir().join(format!("bingo-bench-dist-chaos-{}", mode.key()));
+    let _ = std::fs::remove_dir_all(&chaos_dir);
+    let plan = NodeFaultPlan::generate(GATE_SEED, nodes, &NodeFaultProfile::chaos());
+    assert!(!plan.is_empty(), "chaos profile must script node faults");
+    let chaos_wall = WallTimer::start();
+    let mut doomed = seed_coordinator(&chaos_dir, &telemetry);
+    doomed.install_faults(plan.clone());
+    doomed.run(interrupt_ms).expect("interrupted dist run");
+    drop(doomed); // process killed; the cut on disk is the survivor
+
+    // Resume leg: recover the newest complete multi-node generation
+    // (timed), reinstall the plan, drain the crawl.
+    let recovery_wall = WallTimer::start();
+    let mut resumed = Coordinator::resume(world.clone(), judge.clone(), dist_config(&chaos_dir))
+        .expect("dist resume from committed cut");
+    let recovery_wall_ms = (recovery_wall.elapsed_us() as f64 / 1000.0).max(0.001);
+    resumed.set_telemetry(telemetry.clone());
+    resumed.install_faults(plan);
+    let final_stats = resumed.run(10_000_000).expect("resumed dist run");
+    let chaos_wall_ms = (chaos_wall.elapsed_us() as f64 / 1000.0).max(0.001);
+    let chaos_ids = page_ids(&resumed);
+    let queue_stats = resumed.queue_stats();
+    let visited = final_stats.fetch_ok + final_stats.fetch_err + final_stats.redirects;
+    let harvest_ratio = final_stats.stored as f64 / visited.max(1) as f64;
+    let ratio_drift = (harvest_ratio - calm_ratio).abs() / calm_ratio.max(1e-9);
+    let converged = u64::from(chaos_ids == calm_ids);
+    let _ = std::fs::remove_dir_all(&calm_dir);
+    let _ = std::fs::remove_dir_all(&chaos_dir);
+
+    let wall_ms = (total_wall.elapsed_us() as f64 / 1000.0).max(0.001);
+    let report = json!({
+        "scenario": "dist",
+        "nodes": nodes,
+        "world_pages": pages,
+        "stored_pages": final_stats.stored,
+        "stored_calm": calm_stats.stored,
+        "harvest_ratio": harvest_ratio,
+        "harvest_ratio_calm": calm_ratio,
+        "ratio_drift": ratio_drift,
+        "converged": converged,
+        "kills": final_stats.kills,
+        "stalls": final_stats.stalls,
+        "restarts": final_stats.restarts,
+        "replayed": final_stats.replayed,
+        "discarded_batches": final_stats.discarded_batches,
+        "requeued": queue_stats.requeued,
+        "quarantined": queue_stats.quarantined,
+        "snapshots": final_stats.snapshots,
+        "recovery_wall_ms": recovery_wall_ms,
+        "wall_ms": wall_ms,
+        "stages": {
+            "calm": { "wall_ms": calm_wall_ms },
+            "chaos": { "wall_ms": chaos_wall_ms },
+        },
+    });
+    ScenarioRun {
+        report,
+        evidence: DeterminismEvidence {
+            snapshot_json: registry.snapshot().deterministic().to_json(),
+            events_jsonl: events.to_jsonl(),
+        },
+    }
+}
+
 /// How one metric of a scenario report is gated.
 #[derive(Debug, Clone, Copy)]
 pub struct MetricSpec {
@@ -1323,6 +1487,58 @@ pub const SCALE10M_SPECS: &[MetricSpec] = &[
         path: "urls_per_wall_sec",
         higher_is_better: true,
         rel_tol: 0.50,
+        wall: true,
+    },
+];
+
+/// Gated metrics of the dist scenario. Convergence is the contract
+/// itself and admits no tolerance; the scripted kill/restart counts
+/// and the lease-requeue coverage are lower-bounded so the chaos leg
+/// cannot silently stop exercising recovery; harvest ratio and stored
+/// pages gate like every crawl; the resume wall time is a loose
+/// calibration-scaled backstop against the recovery path getting
+/// pathologically slow.
+pub const DIST_SPECS: &[MetricSpec] = &[
+    MetricSpec {
+        path: "converged",
+        higher_is_better: true,
+        rel_tol: 0.0,
+        wall: false,
+    },
+    MetricSpec {
+        path: "stored_pages",
+        higher_is_better: true,
+        rel_tol: 0.05,
+        wall: false,
+    },
+    MetricSpec {
+        path: "harvest_ratio",
+        higher_is_better: true,
+        rel_tol: 0.05,
+        wall: false,
+    },
+    MetricSpec {
+        path: "kills",
+        higher_is_better: true,
+        rel_tol: 0.0,
+        wall: false,
+    },
+    MetricSpec {
+        path: "restarts",
+        higher_is_better: true,
+        rel_tol: 0.0,
+        wall: false,
+    },
+    MetricSpec {
+        path: "requeued",
+        higher_is_better: true,
+        rel_tol: 0.25,
+        wall: false,
+    },
+    MetricSpec {
+        path: "recovery_wall_ms",
+        higher_is_better: false,
+        rel_tol: 1.0,
         wall: true,
     },
 ];

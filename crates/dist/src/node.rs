@@ -1,0 +1,338 @@
+//! One worker "node" of the distributed crawl: an in-process crawler
+//! shard owning the documents of the hosts hashed to it.
+//!
+//! A node is deliberately small: a [`DocumentStore`] + [`BulkLoader`],
+//! a content registry, and a scratch directory. It fetches the URLs of
+//! a lease, drives them through the shared document pipeline
+//! ([`bingo_crawler::process_batch`] — the same convert → analyze →
+//! classify → bulk-load path the single-node crawler uses), and hands
+//! discovered links back to the coordinator for sharding. All the
+//! distributed machinery (leases, deadlines, snapshots, fault windows)
+//! lives in the coordinator; killing a node is just dropping this
+//! struct.
+//!
+//! Fetches are always issued with `attempt = 0`, making the fetch
+//! outcome a pure function of (URL, fault windows): on a calm-host
+//! world a killed-and-replayed URL fetches identical bytes, which is
+//! what lets chaos runs converge to calm-run store contents.
+
+use crate::lease::WorkItem;
+use bingo_crawler::pipeline::{FetchedDoc, PipelineMetrics};
+use bingo_crawler::{process_batch, BatchJudge, DocOutcome};
+use bingo_obs::Registry;
+use bingo_store::persist::{read_snapshot, write_snapshot};
+use bingo_store::spill::SCRATCH_DIR_SUFFIX;
+use bingo_store::{BulkLoader, DocumentStore};
+use bingo_textproc::{ContentRegistry, Interner, TextprocMetrics};
+use bingo_webworld::fetch::FetchOutcome;
+use bingo_webworld::World;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Scratch directory of node `id` under `session`: restart-disposable
+/// state (the append-only ack log). The `.scratch` suffix puts stale
+/// copies left by a killed node under the startup sweep
+/// ([`bingo_store::reap_stale_spill_files`]).
+pub fn scratch_dir(session: &Path, id: usize) -> PathBuf {
+    session.join(format!("node-{id}{SCRATCH_DIR_SUFFIX}"))
+}
+
+/// What one leased batch did, from the coordinator's point of view.
+#[derive(Debug, Default, Clone)]
+pub struct BatchResult {
+    /// Links discovered by stored documents plus redirect targets —
+    /// the coordinator shards and offers these.
+    pub discovered: Vec<WorkItem>,
+    /// Documents stored by this batch.
+    pub stored: u64,
+    /// Successful fetches.
+    pub fetch_ok: u64,
+    /// Fetch errors.
+    pub fetch_err: u64,
+    /// Redirect responses.
+    pub redirects: u64,
+    /// Virtual cost of the batch: fetch latencies plus per-document
+    /// processing time.
+    pub cost_ms: u64,
+}
+
+/// One in-process worker node.
+pub struct WorkerNode {
+    id: usize,
+    store: DocumentStore,
+    loader: BulkLoader,
+    registry: ContentRegistry,
+    scratch: PathBuf,
+    /// Private obs handles for the shared pipeline (node-local; the
+    /// scenario-visible counters are the coordinator's `dist.*` set).
+    textproc: TextprocMetrics,
+    pipeline: PipelineMetrics,
+    acked_batches: u64,
+}
+
+impl WorkerNode {
+    /// A fresh node with an empty store.
+    pub fn new(id: usize, session: &Path) -> Self {
+        Self::with_store(id, session, DocumentStore::new())
+    }
+
+    /// Restart a node from the snapshot bytes of the last committed
+    /// distributed generation (empty bytes → empty store).
+    pub fn restore(id: usize, session: &Path, snapshot: &[u8]) -> io::Result<Self> {
+        let store = if snapshot.is_empty() {
+            DocumentStore::new()
+        } else {
+            read_snapshot(snapshot).map_err(|e| io::Error::other(format!("{e:?}")))?
+        };
+        Ok(Self::with_store(id, session, store))
+    }
+
+    fn with_store(id: usize, session: &Path, store: DocumentStore) -> Self {
+        let obs = Registry::new();
+        let obs = Arc::new(obs);
+        WorkerNode {
+            id,
+            loader: BulkLoader::new(store.clone()),
+            store,
+            registry: ContentRegistry::new(),
+            scratch: scratch_dir(session, id),
+            textproc: TextprocMetrics::new(obs.clone()),
+            pipeline: PipelineMetrics::new(&obs),
+            acked_batches: 0,
+        }
+    }
+
+    /// Node id (== its shard).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The node's store (shared handle).
+    pub fn store(&self) -> &DocumentStore {
+        &self.store
+    }
+
+    /// Documents stored by this node.
+    pub fn document_count(&self) -> usize {
+        self.loader.pending() + self.store.document_count()
+    }
+
+    /// Acked batches since (re)start.
+    pub fn acked_batches(&self) -> u64 {
+        self.acked_batches
+    }
+
+    /// Fetch and process one leased batch at virtual time `now_ms`.
+    /// `proc_ms` is the virtual per-stored-document processing cost.
+    /// Does **not** flush the bulk loader — the coordinator acks via
+    /// [`WorkerNode::ack`] only when the lease survives to completion.
+    pub fn process(
+        &mut self,
+        world: &World,
+        vocab: &mut dyn Interner,
+        judge: &dyn BatchJudge,
+        items: &[WorkItem],
+        now_ms: u64,
+        proc_ms: u64,
+    ) -> BatchResult {
+        let mut out = BatchResult::default();
+        let mut batch: Vec<FetchedDoc> = Vec::with_capacity(items.len());
+        let mut batch_items: Vec<&WorkItem> = Vec::with_capacity(items.len());
+        for item in items {
+            // attempt = 0 always: outcome is a pure function of the URL
+            // on calm hosts, so replays after a node kill re-fetch
+            // identical content.
+            match world.fetch_at(&item.url, 0, now_ms) {
+                FetchOutcome::Ok(response) => {
+                    out.fetch_ok += 1;
+                    out.cost_ms += response.latency_ms;
+                    batch.push(FetchedDoc {
+                        response,
+                        depth: item.depth,
+                        src_topic: item.src_topic,
+                        anchor_terms: Vec::new(),
+                        neighbor_terms: Vec::new(),
+                        fetched_at: now_ms,
+                    });
+                    batch_items.push(item);
+                }
+                FetchOutcome::Redirect {
+                    location,
+                    latency_ms,
+                } => {
+                    out.redirects += 1;
+                    out.cost_ms += latency_ms;
+                    out.discovered.push(WorkItem {
+                        url: location,
+                        depth: item.depth,
+                        src_topic: item.src_topic,
+                    });
+                }
+                FetchOutcome::Err { latency_ms, .. } => {
+                    out.fetch_err += 1;
+                    out.cost_ms += latency_ms;
+                }
+            }
+        }
+        if batch.is_empty() {
+            return out;
+        }
+        let outcomes = process_batch(
+            world,
+            &self.registry,
+            vocab,
+            &mut self.loader,
+            batch,
+            |_| true,
+            |docs, ctxs| judge.judge_batch(docs, ctxs),
+            &self.textproc,
+            &self.pipeline,
+        );
+        for (outcome, item) in outcomes.iter().zip(&batch_items) {
+            // AlreadyStored discovers links too: a replayed URL whose
+            // document survived in a snapshot cut must still hand its
+            // outlinks to the coordinator (the seen-URL filter dedups
+            // re-offers), or a node kill could silently drop a subtree.
+            let (stored, doc, judgment) = match outcome {
+                DocOutcome::Stored { doc, judgment, .. } => (true, doc, judgment),
+                DocOutcome::AlreadyStored { doc, judgment, .. } => (false, doc, judgment),
+                _ => continue,
+            };
+            if stored {
+                out.stored += 1;
+                out.cost_ms += proc_ms;
+            }
+            for link in &doc.links {
+                out.discovered.push(WorkItem {
+                    url: link.href.clone(),
+                    depth: item.depth + 1,
+                    src_topic: judgment.topic.or(item.src_topic),
+                });
+            }
+        }
+        out
+    }
+
+    /// Make the batch durable in the node's store (the lease-ack
+    /// point) and append the ack to the node-local scratch log.
+    pub fn ack(&mut self, lease_id: u64, now_ms: u64, stored: u64) -> io::Result<()> {
+        self.loader.flush();
+        let _ = self.loader.take_errors();
+        self.acked_batches += 1;
+        std::fs::create_dir_all(&self.scratch)?;
+        let line = format!(
+            "{}\n",
+            serde_json::json!({"lease": lease_id, "t_ms": now_ms, "stored": stored})
+        );
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.scratch.join("ack-log.jsonl"))?;
+        f.write_all(line.as_bytes())
+    }
+
+    /// Drop rows staged by a batch whose lease will never ack (the
+    /// node is scripted to die mid-batch): they must not leak into a
+    /// snapshot taken before the kill lands. Returns discarded rows.
+    pub fn discard_pending(&mut self) -> usize {
+        self.loader.discard_pending()
+    }
+
+    /// Serialize the node's store for the distributed snapshot
+    /// (byte-deterministic; see [`bingo_store::persist`]).
+    pub fn snapshot_bytes(&mut self) -> io::Result<Vec<u8>> {
+        self.loader.flush();
+        let _ = self.loader.take_errors();
+        let mut bytes = Vec::new();
+        write_snapshot(&self.store, &mut bytes).map_err(|e| io::Error::other(format!("{e:?}")))?;
+        Ok(bytes)
+    }
+
+    /// Drop the node's scratch directory (called on clean shutdown; a
+    /// killed node leaves it behind for the restart sweep).
+    pub fn clean_scratch(&self) {
+        let _ = std::fs::remove_dir_all(&self.scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bingo_crawler::{Judgment, PageContext};
+    use bingo_textproc::{AnalyzedDocument, Vocabulary};
+    use bingo_webworld::gen::WorldConfig;
+
+    fn judge_all() -> impl BatchJudge {
+        |_: &AnalyzedDocument, _: &PageContext| Judgment {
+            topic: Some(0),
+            confidence: 1.0,
+        }
+    }
+
+    fn small_world() -> World {
+        WorldConfig::small_test(7).build()
+    }
+
+    fn seed_items(world: &World, n: u64) -> Vec<WorkItem> {
+        (1..=n)
+            .map(|id| WorkItem {
+                url: world.url_of(id),
+                depth: 0,
+                src_topic: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn process_stores_documents_and_discovers_links() {
+        let world = small_world();
+        let dir = tempdir();
+        let mut vocab = Vocabulary::new();
+        let mut node = WorkerNode::new(0, &dir);
+        let items = seed_items(&world, 4);
+        let judge = judge_all();
+        let result = node.process(&world, &mut vocab, &judge, &items, 0, 2);
+        assert!(result.stored > 0, "seed pages store");
+        assert!(!result.discovered.is_empty(), "links discovered");
+        assert!(result.cost_ms > 0, "virtual cost accrues");
+        assert!(
+            result.discovered.iter().all(|w| w.depth == 1),
+            "link depth is parent + 1"
+        );
+        node.ack(0, 10, result.stored).unwrap();
+        assert_eq!(node.document_count() as u64, result.stored);
+        assert!(scratch_dir(&dir, 0).join("ack-log.jsonl").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_the_store() {
+        let world = small_world();
+        let dir = tempdir();
+        let mut vocab = Vocabulary::new();
+        let mut node = WorkerNode::new(1, &dir);
+        let items = seed_items(&world, 4);
+        let judge = judge_all();
+        let result = node.process(&world, &mut vocab, &judge, &items, 0, 2);
+        node.ack(0, 5, result.stored).unwrap();
+        let bytes = node.snapshot_bytes().unwrap();
+        let restored = WorkerNode::restore(1, &dir, &bytes).unwrap();
+        assert_eq!(restored.document_count(), node.document_count());
+        // Same state serializes to the same bytes.
+        let mut restored = restored;
+        assert_eq!(restored.snapshot_bytes().unwrap(), bytes);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn tempdir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "bingo-dist-node-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+}

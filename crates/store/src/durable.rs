@@ -336,9 +336,18 @@ impl<'a> GenerationWriter<'a> {
     }
 
     /// Write one artifact into the generation and record it for the
-    /// manifest.
+    /// manifest. `name` may contain `/` separators (`node-0/store.jsonl`)
+    /// — a distributed snapshot commits per-node subtrees under one
+    /// manifest; intermediate directories are created through the same
+    /// [`DurableFs`], so an injected crash can land on the mkdir too.
     pub fn write_file(&mut self, name: &str, bytes: &[u8]) -> io::Result<()> {
-        self.fs.atomic_write(&self.gen_dir.join(name), bytes)?;
+        let path = self.gen_dir.join(name);
+        if let Some(parent) = path.parent() {
+            if parent != self.gen_dir {
+                self.fs.create_dir_all(parent)?;
+            }
+        }
+        self.fs.atomic_write(&path, bytes)?;
         self.files.push(ManifestEntry {
             name: name.to_string(),
             len: bytes.len() as u64,
@@ -405,6 +414,27 @@ mod tests {
         assert_eq!(newest.generation, 2);
         assert_eq!(newest.manifest.files.len(), 1);
         assert_eq!(std::fs::read(newest.dir.join("a")).unwrap(), b"alpha-2");
+        std::fs::remove_dir_all(&session).ok();
+    }
+
+    #[test]
+    fn nested_file_names_commit_and_verify() {
+        let session = temp_session("nested");
+        let fs = StdFs;
+        let mut w = GenerationWriter::begin(&fs, &session).unwrap();
+        w.write_file("node-0/store.jsonl", b"alpha").unwrap();
+        w.write_file("node-1/store.jsonl", b"beta").unwrap();
+        w.write_file("coordinator.json", b"{}").unwrap();
+        w.commit().unwrap();
+        let newest = find_newest_complete(&session).unwrap();
+        assert_eq!(newest.manifest.files.len(), 3);
+        assert_eq!(
+            std::fs::read(newest.dir.join("node-1/store.jsonl")).unwrap(),
+            b"beta"
+        );
+        // Corrupting one node's file invalidates the whole generation.
+        std::fs::write(newest.dir.join("node-0/store.jsonl"), b"XXXXX").unwrap();
+        assert!(find_newest_complete(&session).is_none());
         std::fs::remove_dir_all(&session).ok();
     }
 

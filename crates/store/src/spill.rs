@@ -50,12 +50,20 @@ const SAMPLE_EVERY: usize = 64;
 
 /// File-name prefixes of every spill-file family the system writes.
 /// The stale-file sweep on recovery reaps all of them — frontier slots,
-/// dedup shards, vocabulary string logs, and threaded work-queue
-/// overflow alike (see [`reap_stale_spill_files`]).
-pub const SPILL_FILE_PREFIXES: &[&str] = &["slot-", "dedup-", "vocab-", "work-"];
+/// dedup shards, vocabulary string logs, threaded work-queue overflow,
+/// distributed lease journals, and per-node scratch directories alike
+/// (see [`reap_stale_spill_files`]).
+pub const SPILL_FILE_PREFIXES: &[&str] = &["slot-", "dedup-", "vocab-", "work-", "lease-", "node-"];
 
 /// Suffix shared by all spill scratch files.
 pub const SPILL_FILE_SUFFIX: &str = ".spill";
+
+/// Suffix of per-node scratch *directories* a distributed crawl's
+/// worker nodes write under (`node-3.scratch/`). A killed node leaves
+/// its directory behind; recovery never reads it — node state is
+/// restored from committed snapshot generations — so stale ones are
+/// swept whole.
+pub const SCRATCH_DIR_SUFFIX: &str = ".scratch";
 
 /// Where and how aggressively a [`SpillSet`] spills.
 #[derive(Debug, Clone)]
@@ -503,12 +511,20 @@ impl SpillSet {
     }
 }
 
-/// Delete leftover spill scratch files in `dir` whose name starts with
-/// one of `prefixes` and ends with `.spill` — or `.spill.tmp`, the torn
-/// sibling a crash mid-[`DurableFs::atomic_write`] leaves behind. Spill
-/// files are never part of recovery — checkpoints are self-contained —
-/// so stale ones from an aborted run are pure garbage. Returns how many
-/// files were removed.
+/// Delete leftover run-scratch in `dir` whose name starts with one of
+/// `prefixes`:
+///
+/// * spill files (`.spill`, or `.spill.tmp` — the torn sibling a crash
+///   mid-[`DurableFs::atomic_write`] leaves behind),
+/// * any other torn `.tmp` sibling of an atomic write, e.g. the
+///   `lease-journal.json.tmp` a killed coordinator abandons,
+/// * per-node scratch *directories* (`node-3.scratch/`) left by killed
+///   worker nodes, removed whole.
+///
+/// None of these are ever part of recovery — checkpoints and snapshot
+/// generations are self-contained — so stale ones from an aborted run
+/// are pure garbage. Returns how many files and directories were
+/// removed.
 pub fn reap_stale_spill_files(dir: &Path, prefixes: &[&str]) -> usize {
     let Ok(rd) = std::fs::read_dir(dir) else {
         return 0;
@@ -518,10 +534,17 @@ pub fn reap_stale_spill_files(dir: &Path, prefixes: &[&str]) -> usize {
         let name = entry.file_name();
         let name = name.to_string_lossy();
         let base = name.strip_suffix(".tmp").unwrap_or(&name);
-        if base.ends_with(SPILL_FILE_SUFFIX)
-            && prefixes.iter().any(|p| base.starts_with(p))
-            && std::fs::remove_file(entry.path()).is_ok()
-        {
+        if !prefixes.iter().any(|p| base.starts_with(p)) {
+            continue;
+        }
+        let is_dir = entry.file_type().map(|t| t.is_dir()).unwrap_or(false);
+        let removed = if is_dir {
+            base.ends_with(SCRATCH_DIR_SUFFIX) && std::fs::remove_dir_all(entry.path()).is_ok()
+        } else {
+            (base.ends_with(SPILL_FILE_SUFFIX) || name.ends_with(".tmp"))
+                && std::fs::remove_file(entry.path()).is_ok()
+        };
+        if removed {
             reaped += 1;
         }
     }
@@ -670,6 +693,33 @@ mod tests {
         assert_eq!(reaped, 4);
         assert!(dir.join("keep.jsonl").exists());
         assert!(dir.join("other-1.spill").exists(), "unknown prefix spared");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_journal_temps_and_scratch_dirs_are_reaped() {
+        let dir = temp_dir("reap-dist");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Torn atomic-write sibling of a lease journal, and a spill temp.
+        std::fs::write(dir.join("lease-journal.json.tmp"), b"torn").unwrap();
+        std::fs::write(dir.join("slot-2.spill.tmp"), b"torn").unwrap();
+        // Committed journal: never touched.
+        std::fs::write(dir.join("lease-journal.json"), b"{}").unwrap();
+        // Scratch directory of a killed node, with contents.
+        let scratch = dir.join("node-3.scratch");
+        std::fs::create_dir_all(&scratch).unwrap();
+        std::fs::write(scratch.join("seg-000001.jsonl"), b"x").unwrap();
+        // Directories that merely share a prefix are spared.
+        std::fs::create_dir_all(dir.join("node-0")).unwrap();
+        // Unknown-prefix temp file is spared.
+        std::fs::write(dir.join("other.json.tmp"), b"torn").unwrap();
+
+        let reaped = reap_stale_spill_files(&dir, SPILL_FILE_PREFIXES);
+        assert_eq!(reaped, 3, "journal temp + spill temp + scratch dir");
+        assert!(dir.join("lease-journal.json").exists(), "committed spared");
+        assert!(dir.join("node-0").exists(), "non-scratch dir spared");
+        assert!(dir.join("other.json.tmp").exists(), "unknown prefix spared");
+        assert!(!scratch.exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -30,12 +30,14 @@ pub mod faults;
 pub mod fetch;
 pub mod gen;
 pub mod lexicon;
+pub mod nodefaults;
 pub mod paged;
 pub mod scenario;
 
 pub use dblp::AuthorInfo;
 pub use faults::{FaultKind, FaultPlan, FaultProfile, FaultWindow};
 pub use fetch::{DnsError, FetchError, FetchOutcome, FetchResponse};
+pub use nodefaults::{NodeFaultKind, NodeFaultPlan, NodeFaultProfile, NodeFaultWindow};
 pub use paged::PagedConfig;
 
 use bingo_graph::{HostId, LinkSource, PageId};

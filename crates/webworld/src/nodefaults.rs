@@ -1,0 +1,264 @@
+//! Deterministic *node-level* fault injection: scripted kill / stall /
+//! restart events for whole crawler worker nodes.
+//!
+//! [`crate::faults`] scripts trouble on the *web* side (hosts go dark,
+//! drip bytes, flap DNS). This module scripts trouble on the *crawler*
+//! side: a distributed crawl's worker nodes die and come back, or hang
+//! without dying — the failure modes a coordinator/worker design (see
+//! `bingo-dist`) must supervise. Like host faults, node faults are
+//! derived entirely from a seed, so a chaos run is exactly
+//! reproducible: same seed, same kills, same restart times.
+//!
+//! The coordinator polls [`NodeFaultPlan::event_at`] on the virtual
+//! clock; the plan itself never touches node state.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// What happens to a worker node during a fault window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeFaultKind {
+    /// The node process dies at `start_ms`: all in-memory state (store
+    /// workspace, in-flight leases) is lost. It restarts fresh at
+    /// `end_ms` and recovers from the last committed snapshot.
+    Kill,
+    /// The node hangs for the window without dying: it processes
+    /// nothing, but its memory survives. Leases it holds expire and are
+    /// re-issued by the coordinator.
+    Stall,
+}
+
+/// One scripted fault episode on a node: the node is down (or hung)
+/// during `[start_ms, end_ms)` of virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeFaultWindow {
+    /// First virtual millisecond the fault is active (the kill instant).
+    pub start_ms: u64,
+    /// First virtual millisecond the node is healthy again (the restart
+    /// instant for kills).
+    pub end_ms: u64,
+    /// Failure mode during the window.
+    pub kind: NodeFaultKind,
+}
+
+impl NodeFaultWindow {
+    /// True while the window is active.
+    pub fn contains(&self, now_ms: u64) -> bool {
+        self.start_ms <= now_ms && now_ms < self.end_ms
+    }
+}
+
+/// Parameters for seeding a node-fault script over an N-node crawl.
+#[derive(Debug, Clone)]
+pub struct NodeFaultProfile {
+    /// Fraction of nodes that receive a fault script.
+    pub node_fraction: f64,
+    /// Maximum scripted windows per faulty node (at least one).
+    pub max_windows_per_node: u32,
+    /// Windows are scheduled within `[0, horizon_ms)` of virtual time.
+    pub horizon_ms: u64,
+    /// Minimum and maximum window duration in virtual milliseconds.
+    pub window_ms: (u64, u64),
+    /// Probability a window is a [`NodeFaultKind::Kill`] rather than a
+    /// stall.
+    pub kill_fraction: f64,
+}
+
+impl Default for NodeFaultProfile {
+    fn default() -> Self {
+        NodeFaultProfile {
+            node_fraction: 0.5,
+            max_windows_per_node: 2,
+            horizon_ms: 300_000,
+            window_ms: (5_000, 40_000),
+            kill_fraction: 0.6,
+        }
+    }
+}
+
+impl NodeFaultProfile {
+    /// An aggressive profile for chaos tests: most nodes fault, windows
+    /// come early relative to the short virtual span of test crawls.
+    pub fn chaos() -> Self {
+        NodeFaultProfile {
+            node_fraction: 0.8,
+            max_windows_per_node: 3,
+            horizon_ms: 60_000,
+            window_ms: (2_000, 10_000),
+            kill_fraction: 0.7,
+        }
+    }
+}
+
+/// The complete node-fault script of a distributed crawl: per-node
+/// windows, sorted by start time. Empty by default — a calm run.
+#[derive(Debug, Clone, Default)]
+pub struct NodeFaultPlan {
+    /// `windows[node]` is that node's script.
+    windows: Vec<Vec<NodeFaultWindow>>,
+}
+
+impl NodeFaultPlan {
+    /// A plan with no node faults.
+    pub fn empty() -> Self {
+        NodeFaultPlan::default()
+    }
+
+    /// True when no node has a fault script.
+    pub fn is_empty(&self) -> bool {
+        self.windows.iter().all(|w| w.is_empty())
+    }
+
+    /// Number of nodes with at least one scripted window.
+    pub fn faulty_nodes(&self) -> usize {
+        self.windows.iter().filter(|w| !w.is_empty()).count()
+    }
+
+    /// Total scripted windows across all nodes.
+    pub fn window_count(&self) -> usize {
+        self.windows.iter().map(Vec::len).sum()
+    }
+
+    /// Generate the script for `node_count` nodes. Pure function of the
+    /// arguments: the same seed and profile always produce the same
+    /// schedule.
+    pub fn generate(seed: u64, node_count: usize, profile: &NodeFaultProfile) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x000D_157F_A017_C4A0_u64);
+        let mut plan = NodeFaultPlan {
+            windows: vec![Vec::new(); node_count],
+        };
+        let (min_len, max_len) = profile.window_ms;
+        let max_len = max_len.max(min_len + 1);
+        for node in 0..node_count {
+            if !rng.gen_bool(profile.node_fraction.clamp(0.0, 1.0)) {
+                continue;
+            }
+            let n = rng.gen_range(1..=profile.max_windows_per_node.max(1));
+            // Sequential layout with recovery gaps, like host faults:
+            // one node is never scripted to die while already dead.
+            let mut t = rng.gen_range(0..profile.horizon_ms.max(2) / 2);
+            for _ in 0..n {
+                if t >= profile.horizon_ms {
+                    break;
+                }
+                let len = rng.gen_range(min_len..max_len);
+                let kind = if rng.gen_bool(profile.kill_fraction.clamp(0.0, 1.0)) {
+                    NodeFaultKind::Kill
+                } else {
+                    NodeFaultKind::Stall
+                };
+                plan.insert_window(
+                    node,
+                    NodeFaultWindow {
+                        start_ms: t,
+                        end_ms: t + len,
+                        kind,
+                    },
+                );
+                t += len + rng.gen_range(min_len..max_len * 2);
+            }
+        }
+        plan
+    }
+
+    /// Add one window to a node's script (tests hand-author kills at
+    /// exact virtual instants with this). Keeps the script sorted by
+    /// start time and grows the plan to cover `node`.
+    pub fn insert_window(&mut self, node: usize, window: NodeFaultWindow) {
+        if self.windows.len() <= node {
+            self.windows.resize(node + 1, Vec::new());
+        }
+        let script = &mut self.windows[node];
+        script.push(window);
+        script.sort_by_key(|w| w.start_ms);
+    }
+
+    /// The fault active on `node` at `now_ms`, if any.
+    pub fn active(&self, node: usize, now_ms: u64) -> Option<&NodeFaultWindow> {
+        self.windows.get(node)?.iter().find(|w| w.contains(now_ms))
+    }
+
+    /// The first window of `node` that *starts* in `[from_ms, to_ms)` —
+    /// how a coordinator discovers that a kill lands inside a node's
+    /// current processing span.
+    pub fn event_at(&self, node: usize, from_ms: u64, to_ms: u64) -> Option<&NodeFaultWindow> {
+        self.windows
+            .get(node)?
+            .iter()
+            .find(|w| from_ms <= w.start_ms && w.start_ms < to_ms)
+    }
+
+    /// The full script of a node (empty for healthy nodes).
+    pub fn windows_for(&self, node: usize) -> &[NodeFaultWindow] {
+        self.windows.get(node).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = NodeFaultProfile::chaos();
+        let a = NodeFaultPlan::generate(7, 8, &p);
+        let b = NodeFaultPlan::generate(7, 8, &p);
+        for n in 0..8 {
+            assert_eq!(a.windows_for(n), b.windows_for(n), "node {n}");
+        }
+        let c = NodeFaultPlan::generate(8, 8, &p);
+        let differs = (0..8).any(|n| a.windows_for(n) != c.windows_for(n));
+        assert!(differs, "different seeds must differ");
+    }
+
+    #[test]
+    fn windows_are_sorted_and_disjoint_per_node() {
+        let plan = NodeFaultPlan::generate(3, 16, &NodeFaultProfile::chaos());
+        assert!(plan.faulty_nodes() > 4, "chaos profile faults most nodes");
+        for n in 0..16 {
+            let ws = plan.windows_for(n);
+            for w in ws {
+                assert!(w.start_ms < w.end_ms);
+            }
+            for pair in ws.windows(2) {
+                assert!(pair[0].end_ms <= pair[1].start_ms, "overlap on node {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn event_at_finds_kills_inside_a_span() {
+        let mut plan = NodeFaultPlan::empty();
+        plan.insert_window(
+            1,
+            NodeFaultWindow {
+                start_ms: 500,
+                end_ms: 900,
+                kind: NodeFaultKind::Kill,
+            },
+        );
+        assert!(
+            plan.event_at(1, 0, 500).is_none(),
+            "start is inclusive-end-exclusive"
+        );
+        assert_eq!(plan.event_at(1, 0, 501).unwrap().start_ms, 500);
+        assert_eq!(
+            plan.event_at(1, 400, 600).unwrap().kind,
+            NodeFaultKind::Kill
+        );
+        assert!(plan.event_at(1, 501, 600).is_none());
+        assert!(plan.event_at(0, 0, 10_000).is_none(), "other nodes clean");
+        assert!(plan.active(1, 899).is_some());
+        assert!(plan.active(1, 900).is_none(), "end exclusive");
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = NodeFaultPlan::empty();
+        assert!(plan.is_empty());
+        assert_eq!(plan.faulty_nodes(), 0);
+        assert_eq!(plan.window_count(), 0);
+        assert!(plan.active(0, 0).is_none());
+        assert!(plan.event_at(3, 0, u64::MAX).is_none());
+    }
+}

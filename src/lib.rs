@@ -18,6 +18,7 @@
 //! | [`store`] | `bingo-store` | embedded crawl database: flat tables, bulk loader, snapshots |
 //! | [`webworld`] | `bingo-webworld` | deterministic synthetic web (the paper's live-Web substitute) |
 //! | [`crawler`] | `bingo-crawler` | focused crawler: frontier, focusing rules, tunnelling, dedup, DNS, hosts |
+//! | [`dist`] | `bingo-dist` | distributed crawl: coordinator/worker sharding, leased work journal, multi-node snapshots |
 //! | [`core`] | `bingo-core` | the BINGO! engine: topic tree, per-topic models, archetypes, phases |
 //! | [`search`] | `bingo-search` | local search engine: inverted index, ranking, feedback, clustering |
 //! | [`serve`] | `bingo-serve` | portal serving: snapshot-swap live index queries during the crawl, load generation |
@@ -27,6 +28,7 @@
 
 pub use bingo_core as core;
 pub use bingo_crawler as crawler;
+pub use bingo_dist as dist;
 pub use bingo_graph as graph;
 pub use bingo_ml as ml;
 pub use bingo_search as search;
